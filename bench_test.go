@@ -1,0 +1,334 @@
+package pvfscache_test
+
+// One benchmark per table/figure of the paper (see DESIGN.md §4 for the
+// experiment index):
+//
+//	BenchmarkFigure4ReadOverhead / BenchmarkFigure4WriteOverhead  — Fig 4(a,b)
+//	BenchmarkFigure5Read / BenchmarkFigure5Write                  — Fig 5(a,b)
+//	BenchmarkFigure6 / BenchmarkFigure7 / BenchmarkFigure8        — Figs 6-8
+//	BenchmarkBlockLookupCopy                                      — §4.2 "<400 µs per 4 KB block"
+//	BenchmarkAblation*                                            — DESIGN.md A1-A3
+//	BenchmarkLive*                                                — live-system data path
+//
+// The figure benchmarks drive the discrete-event model; their interesting
+// output is the regenerated series (printed once via b.Logf — run with
+// -v or read EXPERIMENTS.md) and the reported virtual-time metrics. The
+// live benchmarks measure the real implementation wall-clock.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/cluster"
+	"pvfscache/internal/harness"
+	"pvfscache/internal/pvfs"
+)
+
+// benchOpts keeps figure regeneration fast enough for benchmarking while
+// preserving steady-state behaviour.
+func benchOpts() harness.Options {
+	return harness.Options{TotalBytes: 4 << 20, IODs: 4, Seed: 1}
+}
+
+var logOnce sync.Map
+
+func logFigures(b *testing.B, key string, figs []harness.Figure) {
+	b.Helper()
+	if _, done := logOnce.LoadOrStore(key, true); !done {
+		b.Logf("\n%s", harness.RenderAll(figs))
+	}
+}
+
+// reportSeries exports a reference point (largest request size of the
+// first and last series) as benchmark metrics, in virtual milliseconds.
+func reportSeries(b *testing.B, figs []harness.Figure) {
+	if len(figs) == 0 {
+		return
+	}
+	fig := figs[0]
+	if len(fig.Series) == 0 {
+		return
+	}
+	first := fig.Series[0]
+	last := fig.Series[len(fig.Series)-1]
+	if len(first.Points) > 0 {
+		pt := first.Points[len(first.Points)-1]
+		b.ReportMetric(float64(pt.Value)/1e6, "vms/"+metricName(first.Label))
+	}
+	if len(last.Points) > 0 && len(fig.Series) > 1 {
+		pt := last.Points[len(last.Points)-1]
+		b.ReportMetric(float64(pt.Value)/1e6, "vms/"+metricName(last.Label))
+	}
+}
+
+func metricName(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	if len(out) > 16 {
+		out = out[:16]
+	}
+	return string(out)
+}
+
+func benchFigure(b *testing.B, key string, gen func(harness.Options) ([]harness.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		figs, err := gen(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logFigures(b, key, figs)
+			reportSeries(b, figs)
+		}
+	}
+}
+
+// BenchmarkFigure4ReadOverhead regenerates Figure 4(a): caching overhead
+// for reads, single instance, p=4, l=0.
+func BenchmarkFigure4ReadOverhead(b *testing.B) {
+	benchFigure(b, "fig4r", func(o harness.Options) ([]harness.Figure, error) {
+		figs, err := harness.Figure4(o)
+		if err != nil {
+			return nil, err
+		}
+		return figs[:1], nil
+	})
+}
+
+// BenchmarkFigure4WriteOverhead regenerates Figure 4(b): write-behind
+// versus direct writes, single instance, p=4, l=0.
+func BenchmarkFigure4WriteOverhead(b *testing.B) {
+	benchFigure(b, "fig4w", func(o harness.Options) ([]harness.Figure, error) {
+		figs, err := harness.Figure4(o)
+		if err != nil {
+			return nil, err
+		}
+		return figs[1:], nil
+	})
+}
+
+// BenchmarkFigure5Read regenerates Figure 5(a): reads at l=1.
+func BenchmarkFigure5Read(b *testing.B) {
+	benchFigure(b, "fig5r", func(o harness.Options) ([]harness.Figure, error) {
+		figs, err := harness.Figure5(o)
+		if err != nil {
+			return nil, err
+		}
+		return figs[:1], nil
+	})
+}
+
+// BenchmarkFigure5Write regenerates Figure 5(b): writes at l=1.
+func BenchmarkFigure5Write(b *testing.B) {
+	benchFigure(b, "fig5w", func(o harness.Options) ([]harness.Figure, error) {
+		figs, err := harness.Figure5(o)
+		if err != nil {
+			return nil, err
+		}
+		return figs[1:], nil
+	})
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (two instances, p=4, all three
+// locality panels, four sharing degrees plus baseline).
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, "fig6", harness.Figure6) }
+
+// BenchmarkFigure7 regenerates Figure 7 (two instances, p=2).
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, "fig7", harness.Figure7) }
+
+// BenchmarkFigure8 regenerates Figure 8 (caching versus parallelism).
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, "fig8", harness.Figure8) }
+
+// BenchmarkAblationEviction regenerates ablation A1 (clock vs exact LRU).
+func BenchmarkAblationEviction(b *testing.B) {
+	benchFigure(b, "abl1", func(o harness.Options) ([]harness.Figure, error) {
+		fig, err := harness.AblationEviction(o)
+		return []harness.Figure{fig}, err
+	})
+}
+
+// BenchmarkAblationFlushPeriod regenerates ablation A2 (flusher period).
+func BenchmarkAblationFlushPeriod(b *testing.B) {
+	benchFigure(b, "abl2", func(o harness.Options) ([]harness.Figure, error) {
+		fig, err := harness.AblationFlushPeriod(o)
+		return []harness.Figure{fig}, err
+	})
+}
+
+// BenchmarkAblationWatermarks regenerates ablation A3 (harvester
+// watermarks).
+func BenchmarkAblationWatermarks(b *testing.B) {
+	benchFigure(b, "abl3", func(o harness.Options) ([]harness.Figure, error) {
+		fig, err := harness.AblationWatermarks(o)
+		return []harness.Figure{fig}, err
+	})
+}
+
+// BenchmarkBlockLookupCopy measures the real buffer manager's hit path —
+// lookup plus copying one 4 KB block — the cost the paper bounds by 400 µs
+// on its 800 MHz Pentium-III (experiment T0).
+func BenchmarkBlockLookupCopy(b *testing.B) {
+	m := buffer.New(buffer.Config{BlockSize: 4096, Capacity: 300})
+	data := make([]byte, 4096)
+	for i := 0; i < 300; i++ {
+		m.InsertClean(blockio.BlockKey{File: 1, Index: int64(i)}, 0, data)
+	}
+	dst := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := blockio.BlockKey{File: 1, Index: int64(i % 300)}
+		if !m.ReadSpan(key, 0, dst) {
+			b.Fatal("unexpected miss")
+		}
+	}
+	b.SetBytes(4096)
+}
+
+// liveCluster boots an in-memory live cluster with a seeded file for the
+// data-path benchmarks.
+func liveCluster(b *testing.B, caching bool) (*cluster.Cluster, *pvfs.File) {
+	b.Helper()
+	c, err := cluster.Start(cluster.Config{
+		IODs:        4,
+		ClientNodes: 1,
+		Caching:     caching,
+		FlushPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	p, err := c.NewProcess(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	f, err := p.Create(fmt.Sprintf("bench-%v.dat", caching), pvfs.StripeSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		b.Fatal(err)
+	}
+	return c, f
+}
+
+// BenchmarkLiveReadCachedHit measures a 64 KB read served by the live
+// cache module from a warm cache.
+func BenchmarkLiveReadCachedHit(b *testing.B) {
+	_, f := liveCluster(b, true)
+	buf := make([]byte, 64<<10)
+	if _, err := f.ReadAt(buf, 0); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+}
+
+// BenchmarkLiveReadDirect measures the same 64 KB read through original
+// (uncached) PVFS over the in-memory transport.
+func BenchmarkLiveReadDirect(b *testing.B) {
+	_, f := liveCluster(b, false)
+	buf := make([]byte, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+}
+
+// BenchmarkLiveWriteBehind measures a 64 KB write absorbed by the cache
+// module (acknowledged from memory, flushed in the background).
+func BenchmarkLiveWriteBehind(b *testing.B) {
+	_, f := liveCluster(b, true)
+	buf := make([]byte, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, int64(i%8)*(64<<10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+}
+
+// BenchmarkGlobalCacheRemoteRead measures the global-cache extension
+// (experiment X1): node 1 reads data that only node 0 has cached, served
+// by peer-gets instead of iod fetches.
+func BenchmarkGlobalCacheRemoteRead(b *testing.B) {
+	c, err := cluster.Start(cluster.Config{
+		IODs:        2,
+		ClientNodes: 2,
+		Caching:     true,
+		GlobalCache: true,
+		FlushPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	seed, err := c.NewProcess(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := seed.Create("gcbench.dat", pvfs.StripeSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 256<<10), 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Module(0).FlushAll(); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+	// Node 0 holds everything; node 1 reads and re-reads with its local
+	// cache dropped each round, so every iteration exercises peer-gets.
+	p1, err := c.NewProcess(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p1.Close() })
+	f1, err := p1.Open("gcbench.dat")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Module(1).Buffer().InvalidateFile(f1.ID())
+		if _, err := f1.ReadAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+}
+
+// BenchmarkLiveWriteDirect measures the same write through original PVFS.
+func BenchmarkLiveWriteDirect(b *testing.B) {
+	_, f := liveCluster(b, false)
+	buf := make([]byte, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, int64(i%8)*(64<<10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+}

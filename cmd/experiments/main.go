@@ -1,0 +1,75 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (Figures 4-8) plus the ablation studies on the discrete-event cluster
+// model, and prints the series as text tables.
+//
+// Usage:
+//
+//	experiments [-figure all|4|5|6|7|8|ablations] [-total bytes] [-iods n] [-seed n]
+//
+// The output tables are the source for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pvfscache/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		figure = flag.String("figure", "all", "which figure to regenerate: all, 4, 5, 6, 7, 8, or ablations")
+		total  = flag.Int64("total", 8<<20, "application-level bytes moved per configuration")
+		iods   = flag.Int("iods", 4, "number of I/O daemons")
+		seed   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	o := harness.Options{TotalBytes: *total, IODs: *iods, Seed: *seed}
+	start := time.Now()
+
+	var figs []harness.Figure
+	var err error
+	switch *figure {
+	case "all":
+		figs, err = harness.All(o)
+	case "4":
+		figs, err = harness.Figure4(o)
+	case "5":
+		figs, err = harness.Figure5(o)
+	case "6":
+		figs, err = harness.Figure6(o)
+	case "7":
+		figs, err = harness.Figure7(o)
+	case "8":
+		figs, err = harness.Figure8(o)
+	case "ablations":
+		for _, gen := range []func(harness.Options) (harness.Figure, error){
+			harness.AblationEviction,
+			harness.AblationFlushPeriod,
+			harness.AblationWatermarks,
+		} {
+			fig, gerr := gen(o)
+			if gerr != nil {
+				err = gerr
+				break
+			}
+			figs = append(figs, fig)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -figure %q\n", *figure)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(harness.RenderAll(figs))
+	fmt.Printf("\nregenerated %d figure panel(s) in %v\n", len(figs), time.Since(start).Round(time.Millisecond))
+}

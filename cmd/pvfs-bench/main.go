@@ -1,0 +1,267 @@
+// Command pvfs-bench runs the paper's micro-benchmark (§4.1) against a
+// live cluster — either an in-process one (the default, for a zero-setup
+// demo) or external pvfs-mgr/pvfs-iod daemons over TCP.
+//
+// Examples:
+//
+//	# self-contained: boots an in-memory cluster and compares
+//	# caching vs no-caching for the given parameters
+//	pvfs-bench -d 65536 -l 0.5 -s 0.5 -instances 2 -p 2
+//
+//	# against a running TCP cluster, caching enabled
+//	pvfs-bench -mgr host:7000 -iods h1:7010,h2:7010 -flush h1:7011,h2:7011 \
+//	           -caching -d 65536 -total 8388608
+//
+// The tool reports per-request latency, total completion time per
+// instance, and the cache-module counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"pvfscache/internal/cachemod"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/cluster"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/microbench"
+	"pvfscache/internal/pvfs"
+	"pvfscache/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pvfs-bench: ")
+	var (
+		mgrAddr   = flag.String("mgr", "", "mgr address (empty boots an in-process cluster)")
+		iodList   = flag.String("iods", "", "comma-separated iod data addresses")
+		flushList = flag.String("flush", "", "comma-separated iod flush addresses")
+		caching   = flag.Bool("caching", true, "enable the cache module")
+		instances = flag.Int("instances", 1, "application instances (degree of multiprogramming)")
+		p         = flag.Int("p", 2, "processes (nodes) per instance")
+		d         = flag.Int64("d", 64<<10, "request size in bytes (per process)")
+		total     = flag.Int64("total", 4<<20, "bytes moved per process")
+		locality  = flag.Float64("l", 0, "degree of locality in [0,1]")
+		sharing   = flag.Float64("s", 0, "degree of inter-instance sharing in [0,1]")
+		write     = flag.Bool("write", false, "issue writes instead of reads")
+		seed      = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	mb := microbench.Params{
+		Instances:   *instances,
+		Nodes:       *p,
+		RequestSize: *d,
+		TotalBytes:  *total,
+		Read:        !*write,
+		Locality:    *locality,
+		Sharing:     *sharing,
+		Seed:        *seed,
+	}
+	if err := mb.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *mgrAddr == "" {
+		runInProcess(mb, *caching)
+		return
+	}
+	iods := splitList(*iodList)
+	flushes := splitList(*flushList)
+	if len(iods) == 0 {
+		log.Fatal("-iods is required with -mgr")
+	}
+	runAgainst(mb, *caching, transport.NewTCP(), *mgrAddr, iods, flushes)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runInProcess boots a full in-memory cluster and runs the benchmark with
+// and without caching for comparison.
+func runInProcess(mb microbench.Params, caching bool) {
+	modes := []bool{caching}
+	if caching {
+		modes = []bool{true, false}
+	}
+	for _, withCache := range modes {
+		c, err := cluster.Start(cluster.Config{
+			IODs:        4,
+			ClientNodes: mb.Nodes,
+			Caching:     withCache,
+			FlushPeriod: 100 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "no caching"
+		if withCache {
+			label = "caching"
+		}
+		runWorkload(label, mb, func(node int) (*pvfs.Client, error) { return c.NewProcess(node) })
+		if withCache {
+			printModuleStats(c.Reg)
+		}
+		c.Close()
+	}
+}
+
+// runAgainst executes the benchmark against external daemons.
+func runAgainst(mb microbench.Params, caching bool, net transport.Network, mgrAddr string, iods, flushes []string) {
+	var modules []*cachemod.Module
+	if caching {
+		for node := 0; node < mb.Nodes; node++ {
+			mod, err := cachemod.New(cachemod.Config{
+				Network:       net,
+				ClientID:      uint32(node + 1),
+				IODDataAddrs:  iods,
+				IODFlushAddrs: flushes,
+				Buffer:        buffer.Config{},
+			})
+			if err != nil {
+				log.Fatalf("cache module for node %d: %v", node, err)
+			}
+			defer mod.Close()
+			modules = append(modules, mod)
+		}
+	}
+	newProc := func(node int) (*pvfs.Client, error) {
+		cfg := pvfs.Config{
+			Network:  net,
+			MgrAddr:  mgrAddr,
+			IODAddrs: iods,
+			ClientID: uint32(node + 1),
+		}
+		if caching {
+			cfg.Transport = modules[node].NewTransport()
+		}
+		return pvfs.NewClient(cfg)
+	}
+	label := "no caching"
+	if caching {
+		label = "caching"
+	}
+	runWorkload(label, mb, newProc)
+}
+
+// runWorkload creates the benchmark files, spawns one goroutine per
+// (instance, node) process, and reports timing.
+func runWorkload(label string, mb microbench.Params, newProc func(node int) (*pvfs.Client, error)) {
+	setup, err := newProc(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	files := mb.Files()
+	for name, size := range files {
+		f, err := setup.Create(name, pvfs.StripeSpec{})
+		if err != nil {
+			// Already present from a previous run: fine.
+			continue
+		}
+		// Seed the file so reads have data to fetch.
+		chunk := make([]byte, 256<<10)
+		for off := int64(0); off < size; off += int64(len(chunk)) {
+			n := int64(len(chunk))
+			if off+n > size {
+				n = size - off
+			}
+			if _, err := f.WriteAt(chunk[:n], off); err != nil {
+				log.Fatalf("seeding %s: %v", name, err)
+			}
+		}
+		f.Close()
+	}
+	setup.Close()
+
+	type procResult struct {
+		instance int
+		elapsed  time.Duration
+		requests int
+	}
+	results := make(chan procResult, mb.Instances*mb.Nodes)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for inst := 0; inst < mb.Instances; inst++ {
+		for node := 0; node < mb.Nodes; node++ {
+			wg.Add(1)
+			go func(inst, node int) {
+				defer wg.Done()
+				client, err := newProc(node)
+				if err != nil {
+					log.Fatalf("instance %d node %d: %v", inst, node, err)
+				}
+				defer client.Close()
+				handles := make(map[string]*pvfs.File)
+				for name := range files {
+					f, err := client.Open(name)
+					if err != nil {
+						log.Fatalf("open %s: %v", name, err)
+					}
+					handles[name] = f
+				}
+				buf := make([]byte, mb.RequestSize)
+				t0 := time.Now()
+				stream := mb.Stream(inst, node)
+				for _, req := range stream {
+					f := handles[req.File]
+					if req.Read {
+						if _, err := f.ReadAt(buf, req.Offset); err != nil {
+							log.Fatalf("read %s@%d: %v", req.File, req.Offset, err)
+						}
+					} else {
+						if _, err := f.WriteAt(buf, req.Offset); err != nil {
+							log.Fatalf("write %s@%d: %v", req.File, req.Offset, err)
+						}
+					}
+				}
+				results <- procResult{instance: inst, elapsed: time.Since(t0), requests: len(stream)}
+			}(inst, node)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	perInstance := make([]time.Duration, mb.Instances)
+	totalReqs := 0
+	var totalTime time.Duration
+	for r := range results {
+		if r.elapsed > perInstance[r.instance] {
+			perInstance[r.instance] = r.elapsed
+		}
+		totalReqs += r.requests
+		totalTime += r.elapsed
+	}
+	fmt.Printf("[%s] d=%d l=%v s=%v instances=%d p=%d\n",
+		label, mb.RequestSize, mb.Locality, mb.Sharing, mb.Instances, mb.Nodes)
+	for i, t := range perInstance {
+		fmt.Printf("  instance %d completion: %v\n", i, t.Round(time.Microsecond))
+	}
+	if totalReqs > 0 {
+		fmt.Printf("  mean request latency:  %v over %d requests (wall %v)\n",
+			(totalTime / time.Duration(totalReqs)).Round(time.Microsecond),
+			totalReqs, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func printModuleStats(reg *metrics.Registry) {
+	snap := reg.Snapshot()
+	fmt.Printf("  cache: hits=%d misses=%d evictions=%d flushed=%d joins=%d\n",
+		snap.Counters["cache.hits"], snap.Counters["cache.misses"],
+		snap.Counters["cache.evictions"], snap.Counters["module.flushed_blocks"],
+		snap.Counters["module.fetch_joins"])
+}

@@ -1,0 +1,49 @@
+// Command pvfs-iod runs one I/O daemon over TCP: a data port for
+// read/write/sync-write traffic and a flush port for the cache modules'
+// write-behind batches.
+//
+//	pvfs-iod -id 0 -data :7010 -flush :7011
+//
+// Run one instance per storage node, then list every daemon's data and
+// flush addresses (in -id order) on the clients.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"pvfscache/internal/iod"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/transport"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("pvfs-iod: ")
+	var (
+		id        = flag.Int("id", 0, "daemon index in the cluster iod list")
+		dataAddr  = flag.String("data", ":7010", "data port listen address")
+		flushAddr = flag.String("flush", ":7011", "flush port listen address")
+		blockSize = flag.Int("block", 4096, "cache block size used for the coherence directory")
+	)
+	flag.Parse()
+
+	net := transport.NewTCP()
+	dl, err := net.Listen(*dataAddr)
+	if err != nil {
+		log.Fatalf("listen data %s: %v", *dataAddr, err)
+	}
+	fl, err := net.Listen(*flushAddr)
+	if err != nil {
+		log.Fatalf("listen flush %s: %v", *flushAddr, err)
+	}
+	log.Printf("iod %d: data on %s, flush on %s", *id, dl.Addr(), fl.Addr())
+
+	srv := iod.New(*id, *blockSize, net, metrics.NewRegistry())
+	errs := make(chan error, 2)
+	go func() { errs <- srv.ServeData(dl) }()
+	go func() { errs <- srv.ServeFlush(fl) }()
+	if err := <-errs; err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

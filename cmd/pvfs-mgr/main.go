@@ -1,0 +1,38 @@
+// Command pvfs-mgr runs the metadata server over TCP. One instance serves
+// an entire cluster:
+//
+//	pvfs-mgr -addr :7000 -iods 4
+//
+// Clients (pvfs-bench, pvfs-cli, or programs using internal/pvfs) point
+// their -mgr flag at this address.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/mgr"
+	"pvfscache/internal/transport"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("pvfs-mgr: ")
+	var (
+		addr = flag.String("addr", ":7000", "listen address")
+		iods = flag.Int("iods", 4, "number of I/O daemons in the cluster")
+	)
+	flag.Parse()
+
+	net := transport.NewTCP()
+	l, err := net.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("metadata server listening on %s (%d iods)", l.Addr(), *iods)
+	srv := mgr.New(*iods, metrics.NewRegistry())
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

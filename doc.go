@@ -1,0 +1,23 @@
+// Package pvfscache is a from-scratch reproduction of "Kernel-Level
+// Caching for Optimizing I/O by Exploiting Inter-Application Data Sharing"
+// (Vilayannur, Kandemir, Sivasubramaniam; IEEE CLUSTER 2002).
+//
+// The repository contains two complete systems that share one
+// buffer-manager implementation:
+//
+//   - a live, runnable PVFS-like parallel file system (metadata server,
+//     I/O daemons, client library) with the paper's per-node cache module
+//     interposed between the client library and the network
+//     (internal/mgr, internal/iod, internal/pvfs, internal/cachemod,
+//     assembled by internal/cluster); and
+//
+//   - a deterministic discrete-event model of the paper's 6-node testbed
+//     (internal/sim, internal/simcluster) that regenerates every figure of
+//     the evaluation via internal/harness and cmd/experiments.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The benchmarks in bench_test.go regenerate each figure; run them with
+//
+//	go test -bench=. -benchmem
+package pvfscache

@@ -1,0 +1,164 @@
+// Package blockio provides the block arithmetic shared by the PVFS client,
+// the I/O daemons and the cache module.
+//
+// The cache operates on fixed-size blocks (4 KB in the paper, matching the
+// Linux page size). File byte ranges are decomposed into block spans: a span
+// names one block plus the sub-range of that block the request touches.
+package blockio
+
+import "fmt"
+
+// DefaultBlockSize is the cache block size used throughout the paper:
+// 4 KB, chosen to equal the page size.
+const DefaultBlockSize = 4096
+
+// FileID identifies a file in the cluster namespace. IDs are allocated by
+// the metadata server and are never reused within a cluster lifetime.
+type FileID uint64
+
+// BlockKey identifies one cache block: a file and a block index within it.
+type BlockKey struct {
+	File  FileID
+	Index int64
+}
+
+// String renders the key as "file:index" for logs and tests.
+func (k BlockKey) String() string { return fmt.Sprintf("%d:%d", k.File, k.Index) }
+
+// Span is the intersection of a byte range with a single block.
+// Off is the offset of the range within the block; Len never exceeds
+// blockSize-Off.
+type Span struct {
+	Key BlockKey
+	Off int   // offset within the block
+	Len int   // bytes of the block covered
+	Pos int64 // offset of this span within the original request buffer
+}
+
+// Full reports whether the span covers the entire block.
+func (s Span) Full(blockSize int) bool { return s.Off == 0 && s.Len == blockSize }
+
+// FileOffset returns the absolute file offset of the span's first byte.
+func (s Span) FileOffset(blockSize int) int64 {
+	return s.Key.Index*int64(blockSize) + int64(s.Off)
+}
+
+// Spans decomposes the byte range [offset, offset+length) of file into
+// block spans, in increasing block order. A zero or negative length yields
+// no spans. blockSize must be positive.
+func Spans(file FileID, offset, length int64, blockSize int) []Span {
+	if length <= 0 {
+		return nil
+	}
+	if blockSize <= 0 {
+		panic("blockio: non-positive block size")
+	}
+	bs := int64(blockSize)
+	first := offset / bs
+	last := (offset + length - 1) / bs
+	spans := make([]Span, 0, last-first+1)
+	pos := int64(0)
+	for idx := first; idx <= last; idx++ {
+		blockStart := idx * bs
+		off := int64(0)
+		if idx == first {
+			off = offset - blockStart
+		}
+		end := bs
+		if idx == last {
+			end = offset + length - blockStart
+		}
+		spans = append(spans, Span{
+			Key: BlockKey{File: file, Index: idx},
+			Off: int(off),
+			Len: int(end - off),
+			Pos: pos,
+		})
+		pos += end - off
+	}
+	return spans
+}
+
+// BlockRange returns the first block index and the number of blocks touched
+// by the byte range [offset, offset+length).
+func BlockRange(offset, length int64, blockSize int) (first int64, count int64) {
+	if length <= 0 {
+		return offset / int64(blockSize), 0
+	}
+	bs := int64(blockSize)
+	first = offset / bs
+	last := (offset + length - 1) / bs
+	return first, last - first + 1
+}
+
+// Blocks returns the number of whole blocks needed to hold n bytes.
+func Blocks(n int64, blockSize int) int64 {
+	bs := int64(blockSize)
+	return (n + bs - 1) / bs
+}
+
+// Extent is a contiguous byte range within one file. Extents are the unit
+// the client library aggregates into per-iod network requests, and the unit
+// the cache module splits around cached holes.
+type Extent struct {
+	File   FileID
+	Offset int64
+	Length int64
+}
+
+// End returns the exclusive end offset of the extent.
+func (e Extent) End() int64 { return e.Offset + e.Length }
+
+// Empty reports whether the extent covers no bytes.
+func (e Extent) Empty() bool { return e.Length <= 0 }
+
+// Overlaps reports whether e and o share at least one byte of the same file.
+func (e Extent) Overlaps(o Extent) bool {
+	return e.File == o.File && e.Offset < o.End() && o.Offset < e.End()
+}
+
+// Intersect returns the overlapping byte range of e and o. The boolean is
+// false when they do not overlap.
+func (e Extent) Intersect(o Extent) (Extent, bool) {
+	if !e.Overlaps(o) {
+		return Extent{}, false
+	}
+	start := maxI64(e.Offset, o.Offset)
+	end := minI64(e.End(), o.End())
+	return Extent{File: e.File, Offset: start, Length: end - start}, true
+}
+
+// MergeAdjacent coalesces sorted, same-file extents that touch or overlap.
+// The input must be sorted by (File, Offset); the output preserves order.
+func MergeAdjacent(exts []Extent) []Extent {
+	if len(exts) == 0 {
+		return nil
+	}
+	out := make([]Extent, 0, len(exts))
+	cur := exts[0]
+	for _, e := range exts[1:] {
+		if e.File == cur.File && e.Offset <= cur.End() {
+			if e.End() > cur.End() {
+				cur.Length = e.End() - cur.Offset
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = e
+	}
+	return append(out, cur)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

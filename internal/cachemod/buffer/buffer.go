@@ -1,0 +1,640 @@
+// Package buffer implements the paper's "full-fledged buffer manager of
+// blocks": a fixed-capacity cache of 4 KB blocks with a hash table for
+// lookup, a free list refilled by the harvester between a low and a high
+// watermark, a dirty list drained by the flusher, and an approximate-LRU
+// (clock, second-chance) replacement policy that prefers evicting clean
+// blocks over dirty ones. An exact-LRU policy is also provided for the
+// ablation study — the paper explicitly chose approximate LRU because
+// "exact LRU can result in a significant overhead at each read/write
+// invocation".
+//
+// The manager is pure policy: every method is non-blocking and returns an
+// explicit outcome. The live cache module wraps it with goroutines and
+// waiting; the discrete-event simulator drives the same code in virtual
+// time. Both therefore exercise identical replacement behaviour.
+//
+// Each block tracks a single valid interval and a single dirty interval
+// (dirty ⊆ valid). Flushing any valid byte is safe — clean valid bytes
+// equal the stored data — so a write merging with resident valid data only
+// needs the dirty hull. A write that would leave an unknown gap inside the
+// dirty hull reports OutcomeNeedFetch and the caller performs a
+// read-modify-write.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/metrics"
+)
+
+// Policy selects the replacement algorithm.
+type Policy int
+
+const (
+	// PolicyClock is the paper's approximate LRU: a second-chance sweep
+	// that prefers clean victims.
+	PolicyClock Policy = iota
+	// PolicyLRU is exact LRU (ablation baseline).
+	PolicyLRU
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyClock:
+		return "clock"
+	case PolicyLRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Outcome reports the result of a cache mutation.
+type Outcome int
+
+const (
+	// OutcomeOK means the operation was applied to the cache.
+	OutcomeOK Outcome = iota
+	// OutcomeNeedFetch means the write would leave an unknown gap in the
+	// block; the caller must fetch the block and retry (read-modify-write).
+	OutcomeNeedFetch
+	// OutcomeNoSpace means no free block was available and no clean block
+	// could be evicted. The caller should flush and retry, or bypass.
+	OutcomeNoSpace
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeNeedFetch:
+		return "need-fetch"
+	case OutcomeNoSpace:
+		return "no-space"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Config sizes a Manager.
+type Config struct {
+	// BlockSize is the cache block size in bytes (default 4 KB).
+	BlockSize int
+	// Capacity is the total number of blocks (default 300 = 1.2 MB / 4 KB,
+	// the paper's per-node cache size).
+	Capacity int
+	// LowWater triggers harvesting when the free list falls below it
+	// (default Capacity/10).
+	LowWater int
+	// HighWater is the harvester's refill target (default Capacity/4).
+	HighWater int
+	// Policy selects the replacement algorithm (default PolicyClock).
+	Policy Policy
+	// Registry receives hit/miss/eviction counters; nil uses a private one.
+	Registry *metrics.Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = blockio.DefaultBlockSize
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 300
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = c.Capacity / 10
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = c.Capacity / 4
+	}
+	if c.HighWater > c.Capacity {
+		c.HighWater = c.Capacity
+	}
+	if c.LowWater > c.HighWater {
+		c.LowWater = c.HighWater
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+}
+
+// block is one cache frame.
+type block struct {
+	key   blockio.BlockKey
+	owner int // iod index holding this block's data on disk
+	data  []byte
+
+	validOff, validLen int
+	dirtyOff, dirtyLen int
+	flushGen           uint64 // bumped on every dirtying write
+	flushing           bool   // a snapshot is in flight to the iod
+
+	ref bool // clock referenced bit
+
+	lruEl   *list.Element // position in lru list (front = most recent)
+	clockEl *list.Element // position in clock ring
+	dirtyEl *list.Element // position in dirty FIFO, nil when clean
+}
+
+func (b *block) dirty() bool { return b.dirtyLen > 0 }
+
+// FlushItem is a snapshot of one dirty span handed to the flusher.
+type FlushItem struct {
+	Key   blockio.BlockKey
+	Owner int
+	Off   int
+	Data  []byte
+	gen   uint64
+}
+
+// Stats is a point-in-time summary of manager state.
+type Stats struct {
+	Capacity  int
+	Resident  int
+	Free      int
+	Dirty     int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Manager is the buffer manager. All methods are safe for concurrent use.
+// (The in-kernel implementation used finer-grained locks; a single mutex
+// preserves the same externally visible behaviour.)
+type Manager struct {
+	cfg Config
+
+	mu        sync.Mutex
+	table     map[blockio.BlockKey]*block
+	free      []*block
+	lru       *list.List // exact-LRU order, front = most recently used
+	clockRing *list.List // resident blocks in insertion order
+	clockHand *list.Element
+	dirtyFIFO *list.List // blocks awaiting flush, front = oldest
+
+	hits, misses, evictions int64
+}
+
+// New returns a manager with cfg (zero fields take defaults).
+func New(cfg Config) *Manager {
+	cfg.fillDefaults()
+	m := &Manager{
+		cfg:       cfg,
+		table:     make(map[blockio.BlockKey]*block, cfg.Capacity),
+		free:      make([]*block, 0, cfg.Capacity),
+		lru:       list.New(),
+		clockRing: list.New(),
+		dirtyFIFO: list.New(),
+	}
+	// Pre-allocate every frame, as the kernel module does: allocation at
+	// request time only pops the free list.
+	backing := make([]byte, cfg.Capacity*cfg.BlockSize)
+	for i := 0; i < cfg.Capacity; i++ {
+		m.free = append(m.free, &block{data: backing[i*cfg.BlockSize : (i+1)*cfg.BlockSize]})
+	}
+	return m
+}
+
+// BlockSize returns the configured block size.
+func (m *Manager) BlockSize() int { return m.cfg.BlockSize }
+
+// Capacity returns the total number of frames.
+func (m *Manager) Capacity() int { return m.cfg.Capacity }
+
+// ReadSpan copies the bytes [off, off+len(dst)) of the block into dst if
+// they are all valid in the cache. It returns false — and counts a miss —
+// otherwise. A hit marks the block referenced and refreshes its LRU
+// position.
+func (m *Manager) ReadSpan(key blockio.BlockKey, off int, dst []byte) bool {
+	if len(dst) == 0 {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.table[key]
+	if !ok || !covers(b.validOff, b.validLen, off, len(dst)) {
+		m.misses++
+		m.cfg.Registry.Counter("cache.misses").Inc()
+		return false
+	}
+	copy(dst, b.data[off:off+len(dst)])
+	m.touch(b)
+	m.hits++
+	m.cfg.Registry.Counter("cache.hits").Inc()
+	return true
+}
+
+// Contains reports whether the whole span is valid in the cache without
+// copying or disturbing replacement state.
+func (m *Manager) Contains(key blockio.BlockKey, off, length int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.table[key]
+	return ok && covers(b.validOff, b.validLen, off, length)
+}
+
+// WriteSpan applies src at offset off of the block, marking the span dirty
+// when markDirty is set (the write-behind path) or merely valid when it is
+// clear (the sync-write path, whose data is simultaneously persisted at the
+// iod). owner is the iod that stores the block.
+func (m *Manager) WriteSpan(key blockio.BlockKey, owner, off int, src []byte, markDirty bool) Outcome {
+	if len(src) == 0 {
+		return OutcomeOK
+	}
+	if off < 0 || off+len(src) > m.cfg.BlockSize {
+		panic(fmt.Sprintf("buffer: span [%d,%d) outside block", off, off+len(src)))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.table[key]
+	if !ok {
+		b = m.allocate(key, owner)
+		if b == nil {
+			m.cfg.Registry.Counter("cache.write_nospace").Inc()
+			return OutcomeNoSpace
+		}
+		copy(b.data[off:], src)
+		b.validOff, b.validLen = off, len(src)
+		if markDirty {
+			m.markDirty(b, off, len(src))
+		}
+		m.touch(b)
+		return OutcomeOK
+	}
+	// Merging with resident data: the write must touch the valid interval,
+	// otherwise an unknown gap would sit inside the flush hull.
+	if b.validLen > 0 && !touches(b.validOff, b.validLen, off, len(src)) {
+		m.cfg.Registry.Counter("cache.write_rmw").Inc()
+		return OutcomeNeedFetch
+	}
+	copy(b.data[off:], src)
+	b.validOff, b.validLen = hull(b.validOff, b.validLen, off, len(src))
+	if markDirty {
+		m.markDirty(b, off, len(src))
+	}
+	m.touch(b)
+	return OutcomeOK
+}
+
+// InsertClean installs a freshly fetched whole block. Bytes inside the
+// block's current dirty interval are preserved: cached dirty data is newer
+// than anything the iod returned. Fetched data shorter than the block size
+// leaves the tail zeroed (sparse files read as zero).
+func (m *Manager) InsertClean(key blockio.BlockKey, owner int, data []byte) Outcome {
+	if len(data) > m.cfg.BlockSize {
+		panic("buffer: InsertClean data exceeds block size")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.table[key]
+	if !ok {
+		b = m.allocate(key, owner)
+		if b == nil {
+			m.cfg.Registry.Counter("cache.insert_nospace").Inc()
+			return OutcomeNoSpace
+		}
+		n := copy(b.data, data)
+		zero(b.data[n:])
+		b.validOff, b.validLen = 0, m.cfg.BlockSize
+		m.touch(b)
+		return OutcomeOK
+	}
+	// Merge: preserve dirty bytes, refresh everything else.
+	var saved []byte
+	if b.dirty() {
+		saved = append(saved, b.data[b.dirtyOff:b.dirtyOff+b.dirtyLen]...)
+	}
+	n := copy(b.data, data)
+	zero(b.data[n:])
+	if saved != nil {
+		copy(b.data[b.dirtyOff:], saved)
+	}
+	b.validOff, b.validLen = 0, m.cfg.BlockSize
+	m.touch(b)
+	return OutcomeOK
+}
+
+// TakeDirty snapshots up to max dirty blocks (oldest first) for flushing.
+// The blocks stay resident and readable; a subsequent FlushDone marks each
+// clean unless it was re-dirtied while the flush was in flight. Blocks
+// already being flushed are skipped.
+func (m *Manager) TakeDirty(max int) []FlushItem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if max <= 0 {
+		max = m.dirtyFIFO.Len()
+	}
+	items := make([]FlushItem, 0, min(max, m.dirtyFIFO.Len()))
+	for el := m.dirtyFIFO.Front(); el != nil && len(items) < max; el = el.Next() {
+		b := el.Value.(*block)
+		if b.flushing {
+			continue
+		}
+		b.flushing = true
+		data := make([]byte, b.dirtyLen)
+		copy(data, b.data[b.dirtyOff:b.dirtyOff+b.dirtyLen])
+		items = append(items, FlushItem{
+			Key:   b.key,
+			Owner: b.owner,
+			Off:   b.dirtyOff,
+			Data:  data,
+			gen:   b.flushGen,
+		})
+	}
+	return items
+}
+
+// FlushDone marks the snapshot's blocks clean. A block whose flushGen
+// advanced since TakeDirty was re-dirtied concurrently and stays on the
+// dirty list (its next flush will carry the new data).
+func (m *Manager) FlushDone(items []FlushItem) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, it := range items {
+		b, ok := m.table[it.Key]
+		if !ok {
+			continue // evicted or invalidated meanwhile
+		}
+		b.flushing = false
+		if b.flushGen != it.gen {
+			continue // re-dirtied during flight
+		}
+		m.markClean(b)
+	}
+}
+
+// FlushFailed clears the in-flight mark without cleaning, so the blocks are
+// retried on the next flusher round.
+func (m *Manager) FlushFailed(items []FlushItem) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, it := range items {
+		if b, ok := m.table[it.Key]; ok {
+			b.flushing = false
+		}
+	}
+}
+
+// Invalidate drops the block, returning whether it was resident. Dirty data
+// is discarded — the iod-side writer that triggered the invalidation holds
+// the authoritative bytes (the paper's sync-write semantics).
+func (m *Manager) Invalidate(key blockio.BlockKey) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.table[key]
+	if !ok {
+		return false
+	}
+	m.removeBlock(b)
+	m.cfg.Registry.Counter("cache.invalidations").Inc()
+	return true
+}
+
+// InvalidateFile drops every resident block of a file and returns how many
+// were dropped.
+func (m *Manager) InvalidateFile(file blockio.FileID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var victims []*block
+	for key, b := range m.table {
+		if key.File == file {
+			victims = append(victims, b)
+		}
+	}
+	for _, b := range victims {
+		m.removeBlock(b)
+	}
+	return len(victims)
+}
+
+// NeedsHarvest reports whether the free list has fallen below the low
+// watermark.
+func (m *Manager) NeedsHarvest() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free) < m.cfg.LowWater
+}
+
+// Harvest evicts clean blocks until the free list reaches the high
+// watermark or no evictable block remains. It returns the number of blocks
+// freed. Dirty blocks are never evicted here — the caller should flush and
+// call Harvest again (the paper's harvester/flusher cooperation).
+func (m *Manager) Harvest() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	freed := 0
+	for len(m.free) < m.cfg.HighWater {
+		v := m.pickVictim()
+		if v == nil {
+			break
+		}
+		m.removeBlock(v)
+		m.evictions++
+		m.cfg.Registry.Counter("cache.evictions").Inc()
+		freed++
+	}
+	return freed
+}
+
+// Stats returns a snapshot of occupancy and activity.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Capacity:  m.cfg.Capacity,
+		Resident:  len(m.table),
+		Free:      len(m.free),
+		Dirty:     m.dirtyFIFO.Len(),
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Evictions: m.evictions,
+	}
+}
+
+// DirtyCount returns the dirty-list length.
+func (m *Manager) DirtyCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dirtyFIFO.Len()
+}
+
+// FreeCount returns the free-list length.
+func (m *Manager) FreeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free)
+}
+
+// --- internal (m.mu held) ---
+
+// allocate pops a free frame or inline-evicts a clean block. It returns nil
+// when neither is possible (everything resident is dirty or flushing).
+func (m *Manager) allocate(key blockio.BlockKey, owner int) *block {
+	var b *block
+	if n := len(m.free); n > 0 {
+		b = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		v := m.pickVictim()
+		if v == nil {
+			return nil
+		}
+		m.removeBlock(v)
+		m.evictions++
+		m.cfg.Registry.Counter("cache.evictions").Inc()
+		b = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	}
+	b.key = key
+	b.owner = owner
+	b.validOff, b.validLen = 0, 0
+	b.dirtyOff, b.dirtyLen = 0, 0
+	b.flushGen = 0
+	b.flushing = false
+	b.ref = false
+	m.table[key] = b
+	b.lruEl = m.lru.PushFront(b)
+	b.clockEl = m.clockRing.PushBack(b)
+	return b
+}
+
+// removeBlock detaches a block from every structure and returns its frame
+// to the free list.
+func (m *Manager) removeBlock(b *block) {
+	delete(m.table, b.key)
+	if b.lruEl != nil {
+		m.lru.Remove(b.lruEl)
+		b.lruEl = nil
+	}
+	if b.clockEl != nil {
+		if m.clockHand == b.clockEl {
+			m.clockHand = b.clockEl.Next()
+		}
+		m.clockRing.Remove(b.clockEl)
+		b.clockEl = nil
+	}
+	if b.dirtyEl != nil {
+		m.dirtyFIFO.Remove(b.dirtyEl)
+		b.dirtyEl = nil
+	}
+	b.dirtyOff, b.dirtyLen = 0, 0
+	b.validOff, b.validLen = 0, 0
+	m.free = append(m.free, b)
+}
+
+// touch refreshes replacement state after an access.
+func (m *Manager) touch(b *block) {
+	b.ref = true
+	m.lru.MoveToFront(b.lruEl)
+}
+
+// markDirty extends the block's dirty hull and enqueues it for flushing.
+func (m *Manager) markDirty(b *block, off, length int) {
+	b.dirtyOff, b.dirtyLen = hull(b.dirtyOff, b.dirtyLen, off, length)
+	b.flushGen++
+	if b.dirtyEl == nil {
+		b.dirtyEl = m.dirtyFIFO.PushBack(b)
+	}
+}
+
+// markClean clears the dirty state after a successful flush.
+func (m *Manager) markClean(b *block) {
+	b.dirtyOff, b.dirtyLen = 0, 0
+	if b.dirtyEl != nil {
+		m.dirtyFIFO.Remove(b.dirtyEl)
+		b.dirtyEl = nil
+	}
+}
+
+// pickVictim chooses a clean, non-flushing resident block according to the
+// policy, or nil if none exists.
+func (m *Manager) pickVictim() *block {
+	if m.cfg.Policy == PolicyLRU {
+		for el := m.lru.Back(); el != nil; el = el.Prev() {
+			b := el.Value.(*block)
+			if !b.dirty() && !b.flushing {
+				return b
+			}
+		}
+		return nil
+	}
+	// Clock (second chance), preferring clean blocks: sweep at most two
+	// full revolutions. First revolution gives referenced blocks a second
+	// chance; the second picks any clean block.
+	n := m.clockRing.Len()
+	if n == 0 {
+		return nil
+	}
+	advance := func(el *list.Element) *list.Element {
+		if el == nil || el.Next() == nil {
+			return m.clockRing.Front()
+		}
+		return el.Next()
+	}
+	if m.clockHand == nil {
+		m.clockHand = m.clockRing.Front()
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			el := m.clockHand
+			m.clockHand = advance(el)
+			b := el.Value.(*block)
+			if b.dirty() || b.flushing {
+				continue
+			}
+			if pass == 0 && b.ref {
+				b.ref = false
+				continue
+			}
+			return b
+		}
+	}
+	return nil
+}
+
+// --- interval helpers ---
+
+// covers reports whether [off, off+length) lies inside [vOff, vOff+vLen).
+func covers(vOff, vLen, off, length int) bool {
+	return vLen > 0 && off >= vOff && off+length <= vOff+vLen
+}
+
+// touches reports whether the two intervals overlap or are adjacent.
+func touches(aOff, aLen, bOff, bLen int) bool {
+	return bOff <= aOff+aLen && aOff <= bOff+bLen
+}
+
+// hull returns the smallest interval containing both inputs. A zero-length
+// first interval yields the second.
+func hull(aOff, aLen, bOff, bLen int) (int, int) {
+	if aLen == 0 {
+		return bOff, bLen
+	}
+	lo := aOff
+	if bOff < lo {
+		lo = bOff
+	}
+	hi := aOff + aLen
+	if bOff+bLen > hi {
+		hi = bOff + bLen
+	}
+	return lo, hi - lo
+}
+
+func zero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,420 @@
+package cachemod
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/iod"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/pvfs"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// rig is a two-iod test harness with one cache module.
+type rig struct {
+	net   *transport.MemNetwork
+	iods  []*iod.Server
+	mod   *Module
+	reg   *metrics.Registry
+	addrs []string
+}
+
+func newRig(t *testing.T, cfgEdit func(*Config)) *rig {
+	t.Helper()
+	net := transport.NewMem()
+	reg := metrics.NewRegistry()
+	r := &rig{net: net, reg: reg}
+	var dataAddrs, flushAddrs []string
+	for i := 0; i < 2; i++ {
+		d := iod.New(i, 4096, net, reg)
+		r.iods = append(r.iods, d)
+		dl, err := net.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := net.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { dl.Close(); fl.Close() })
+		go d.ServeData(dl)
+		go d.ServeFlush(fl)
+		dataAddrs = append(dataAddrs, dl.Addr())
+		flushAddrs = append(flushAddrs, fl.Addr())
+	}
+	r.addrs = dataAddrs
+	cfg := Config{
+		Network:       net,
+		ClientID:      1,
+		IODDataAddrs:  dataAddrs,
+		IODFlushAddrs: flushAddrs,
+		Buffer:        buffer.Config{BlockSize: 4096, Capacity: 64},
+		FlushPeriod:   20 * time.Millisecond,
+		Registry:      reg,
+	}
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
+	mod, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mod.Close() })
+	r.mod = mod
+	return r
+}
+
+// seed stores bytes directly at an iod.
+func (r *rig) seed(iodIdx int, file blockio.FileID, off int64, data []byte) {
+	r.iods[iodIdx].Store().WriteAt(file, off, data)
+}
+
+// sendRecv runs one Send/Recv pair on a transport.
+func sendRecv(t *testing.T, tr pvfs.Transport, iodIdx int, req wire.Message) wire.Message {
+	t.Helper()
+	id, err := tr.Send(iodIdx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tr.Recv(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	r := newRig(t, nil)
+	data := bytes.Repeat([]byte{0xAD}, 8192)
+	r.seed(0, 5, 0, data)
+
+	tr := r.mod.NewTransport()
+	before := r.reg.Snapshot()
+	resp := sendRecv(t, tr, 0, &wire.Read{File: 5, Offset: 0, Length: 8192}).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data, data) {
+		t.Fatal("first read wrong data")
+	}
+	mid := r.reg.Snapshot()
+	if d := mid.Diff(before); d["iod.reads"] == 0 {
+		t.Fatal("first read should reach the iod")
+	}
+	resp = sendRecv(t, tr, 0, &wire.Read{File: 5, Offset: 0, Length: 8192}).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data, data) {
+		t.Fatal("second read wrong data")
+	}
+	if d := r.reg.Snapshot().Diff(mid); d["iod.reads"] != 0 {
+		t.Fatalf("second read hit the network (%d iod reads)", d["iod.reads"])
+	}
+}
+
+func TestPartialHitSplitsRequest(t *testing.T) {
+	// Cache the middle block of a three-block range, then read the whole
+	// range: the module must issue two sub-requests (before and after the
+	// cached block), as the paper describes.
+	r := newRig(t, nil)
+	data := bytes.Repeat([]byte{7}, 3*4096)
+	r.seed(0, 9, 0, data)
+
+	tr := r.mod.NewTransport()
+	// Fault in just the middle block.
+	sendRecv(t, tr, 0, &wire.Read{File: 9, Offset: 4096, Length: 4096})
+
+	before := r.reg.Snapshot()
+	resp := sendRecv(t, tr, 0, &wire.Read{File: 9, Offset: 0, Length: 3 * 4096}).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data, data) {
+		t.Fatal("split read wrong data")
+	}
+	d := r.reg.Snapshot().Diff(before)
+	if d["module.read_subrequests"] != 2 {
+		t.Fatalf("sub-requests = %d, want 2 (split around cached block)", d["module.read_subrequests"])
+	}
+	if d["iod.reads"] != 2 {
+		t.Fatalf("iod reads = %d, want 2", d["iod.reads"])
+	}
+}
+
+func TestWriteFakedAckAndFlush(t *testing.T) {
+	r := newRig(t, nil)
+	tr := r.mod.NewTransport()
+	payload := bytes.Repeat([]byte{0x3C}, 4096)
+
+	before := r.reg.Snapshot()
+	ack := sendRecv(t, tr, 1, &wire.Write{File: 2, Offset: 0, Data: payload}).(*wire.WriteAck)
+	if ack.Status != wire.StatusOK {
+		t.Fatalf("ack status %d", ack.Status)
+	}
+	// The ack was faked: no iod write happened yet.
+	if d := r.reg.Snapshot().Diff(before); d["iod.writes"] != 0 {
+		t.Fatal("write went straight to the iod (not write-behind)")
+	}
+	if err := r.mod.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if n := r.iods[1].Store().ReadAt(2, 0, got); n != 4096 || !bytes.Equal(got, payload) {
+		t.Fatalf("flush did not persist data (n=%d)", n)
+	}
+}
+
+func TestWriteReadYourOwn(t *testing.T) {
+	r := newRig(t, nil)
+	tr := r.mod.NewTransport()
+	payload := bytes.Repeat([]byte{0x11}, 10000)
+	sendRecv(t, tr, 0, &wire.Write{File: 3, Offset: 500, Data: payload})
+	resp := sendRecv(t, tr, 0, &wire.Read{File: 3, Offset: 500, Length: 10000}).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data, payload) {
+		t.Fatal("read-your-own-write failed")
+	}
+}
+
+func TestUnalignedWriteRMW(t *testing.T) {
+	// Writing two disjoint spans of one block forces a read-modify-write
+	// fetch; both spans and the iod's original bytes must survive.
+	r := newRig(t, nil)
+	orig := bytes.Repeat([]byte{0xEE}, 4096)
+	r.seed(0, 4, 0, orig)
+
+	tr := r.mod.NewTransport()
+	sendRecv(t, tr, 0, &wire.Write{File: 4, Offset: 100, Data: []byte("aaaa")})
+	sendRecv(t, tr, 0, &wire.Write{File: 4, Offset: 3000, Data: []byte("bbbb")})
+	if err := r.mod.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	r.iods[0].Store().ReadAt(4, 0, got)
+	if string(got[100:104]) != "aaaa" || string(got[3000:3004]) != "bbbb" {
+		t.Fatal("spans lost")
+	}
+	if got[0] != 0xEE || got[200] != 0xEE || got[4095] != 0xEE {
+		t.Fatal("original bytes clobbered by RMW")
+	}
+}
+
+func TestConcurrentTransportsShareCache(t *testing.T) {
+	r := newRig(t, nil)
+	data := bytes.Repeat([]byte{0x55}, 64*1024)
+	r.seed(0, 8, 0, data)
+
+	// Process A faults the data in; processes B..E read concurrently and
+	// must all be served without extra iod traffic.
+	trA := r.mod.NewTransport()
+	sendRecv(t, trA, 0, &wire.Read{File: 8, Offset: 0, Length: 64 * 1024})
+
+	before := r.reg.Snapshot()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := r.mod.NewTransport()
+			id, err := tr.Send(0, &wire.Read{File: 8, Offset: 0, Length: 64 * 1024})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := tr.Recv(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(resp.(*wire.ReadResp).Data, data) {
+				t.Error("wrong data")
+			}
+		}()
+	}
+	wg.Wait()
+	if d := r.reg.Snapshot().Diff(before); d["iod.reads"] != 0 {
+		t.Fatalf("shared reads caused %d iod reads", d["iod.reads"])
+	}
+}
+
+func TestFetchDeduplication(t *testing.T) {
+	// Two processes missing the same cold blocks concurrently: the module
+	// must not fetch them twice.
+	r := newRig(t, nil)
+	data := bytes.Repeat([]byte{0x99}, 128*1024)
+	r.seed(0, 12, 0, data)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := r.mod.NewTransport()
+			resp := sendRecv(t, tr, 0, &wire.Read{File: 12, Offset: 0, Length: 128 * 1024})
+			if !bytes.Equal(resp.(*wire.ReadResp).Data, data) {
+				t.Error("wrong data")
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.reg.Snapshot()
+	blocks := int64(128 * 1024 / 4096)
+	fetched := snap.Counters["iod.read_bytes"]
+	// At most the data once plus a small slack for races on the last
+	// block boundary.
+	if fetched > int64(128*1024)+8192 {
+		t.Errorf("fetched %d bytes for %d-byte file: duplicate fetches", fetched, 128*1024)
+	}
+	if snap.Counters["module.fetch_joins"] == 0 && snap.Counters["cache.hits"] < blocks {
+		t.Error("no deduplication observed")
+	}
+}
+
+func TestSyncWritePassesThrough(t *testing.T) {
+	r := newRig(t, nil)
+	tr := r.mod.NewTransport()
+	payload := bytes.Repeat([]byte{0x77}, 4096)
+	ack := sendRecv(t, tr, 0, &wire.SyncWrite{Client: 1, File: 6, Offset: 0, Data: payload}).(*wire.SyncWriteAck)
+	if ack.Status != wire.StatusOK {
+		t.Fatalf("ack %d", ack.Status)
+	}
+	// Sync-writes persist immediately — no flush needed.
+	got := make([]byte, 4096)
+	if n := r.iods[0].Store().ReadAt(6, 0, got); n != 4096 || !bytes.Equal(got, payload) {
+		t.Fatal("sync write not persisted")
+	}
+	// And the local cache holds a clean copy.
+	if r.mod.Buffer().DirtyCount() != 0 {
+		t.Fatal("sync write left dirty blocks")
+	}
+	before := r.reg.Snapshot()
+	resp := sendRecv(t, tr, 0, &wire.Read{File: 6, Offset: 0, Length: 4096}).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data, payload) {
+		t.Fatal("read after sync write wrong")
+	}
+	if d := r.reg.Snapshot().Diff(before); d["iod.reads"] != 0 {
+		t.Fatal("read after sync write went to network")
+	}
+}
+
+func TestInvalidationListener(t *testing.T) {
+	r := newRig(t, nil)
+	tr := r.mod.NewTransport()
+	r.seed(0, 7, 0, make([]byte, 4096))
+	sendRecv(t, tr, 0, &wire.Read{File: 7, Offset: 0, Length: 4096})
+	if !r.mod.Buffer().Contains(blockio.BlockKey{File: 7, Index: 0}, 0, 4096) {
+		t.Fatal("block not cached")
+	}
+	// Another client's sync write invalidates our copy via the iod.
+	direct, err := r.net.Dial(r.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	if err := wire.WriteMessage(direct, &wire.SyncWrite{Client: 99, File: 7, Offset: 0, Data: make([]byte, 4096)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadMessage(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.SyncWriteAck); ack.Invalidated != 1 {
+		t.Fatalf("invalidated %d", ack.Invalidated)
+	}
+	if r.mod.Buffer().Contains(blockio.BlockKey{File: 7, Index: 0}, 0, 4096) {
+		t.Fatal("block survived invalidation")
+	}
+}
+
+func TestWriteLargerThanCacheCompletes(t *testing.T) {
+	// 64-block cache (256 KB); write 1 MB. Stalls and write-through
+	// fallbacks must keep the data intact.
+	r := newRig(t, func(c *Config) {
+		c.WriteStall = 200 * time.Millisecond
+	})
+	tr := r.mod.NewTransport()
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20)
+	ack := sendRecv(t, tr, 0, &wire.Write{File: 13, Offset: 0, Data: payload}).(*wire.WriteAck)
+	if ack.Status != wire.StatusOK {
+		t.Fatalf("ack %d", ack.Status)
+	}
+	if err := r.mod.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1<<20)
+	if n := r.iods[0].Store().ReadAt(13, 0, got); n != 1<<20 || !bytes.Equal(got, payload) {
+		t.Fatalf("large write corrupted (n=%d)", n)
+	}
+}
+
+func TestDisableCoherenceSkipsRegistration(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.DisableCoherence = true })
+	tr := r.mod.NewTransport()
+	r.seed(0, 1, 0, make([]byte, 4096))
+	resp := sendRecv(t, tr, 0, &wire.Read{File: 1, Offset: 0, Length: 4096}).(*wire.ReadResp)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("read status %d", resp.Status)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing network accepted")
+	}
+	if _, err := New(Config{Network: transport.NewMem()}); err == nil {
+		t.Error("zero client id accepted")
+	}
+	if _, err := New(Config{Network: transport.NewMem(), ClientID: 1}); err == nil {
+		t.Error("missing iods accepted")
+	}
+}
+
+func TestRecvUnknownID(t *testing.T) {
+	r := newRig(t, nil)
+	tr := r.mod.NewTransport()
+	if _, err := tr.Recv(12345); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestPassthroughMessage(t *testing.T) {
+	// Register is not a cached message type: it must pass through to the
+	// iod untouched.
+	r := newRig(t, nil)
+	tr := r.mod.NewTransport()
+	resp := sendRecv(t, tr, 0, &wire.Register{Client: 42, Addr: "x"})
+	if _, ok := resp.(*wire.RegisterAck); !ok {
+		t.Fatalf("passthrough reply %T", resp)
+	}
+}
+
+func TestCloseFlushesDirtyBlocks(t *testing.T) {
+	net := transport.NewMem()
+	reg := metrics.NewRegistry()
+	d := iod.New(0, 4096, net, reg)
+	dl, _ := net.Listen("")
+	fl, _ := net.Listen("")
+	defer dl.Close()
+	defer fl.Close()
+	go d.ServeData(dl)
+	go d.ServeFlush(fl)
+
+	mod, err := New(Config{
+		Network:       net,
+		ClientID:      1,
+		IODDataAddrs:  []string{dl.Addr()},
+		IODFlushAddrs: []string{fl.Addr()},
+		Buffer:        buffer.Config{BlockSize: 4096, Capacity: 16},
+		FlushPeriod:   time.Hour, // flusher never fires on its own
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mod.NewTransport()
+	payload := bytes.Repeat([]byte{0xCD}, 4096)
+	sendRecv(t, tr, 0, &wire.Write{File: 20, Offset: 0, Data: payload})
+	if err := mod.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if n := d.Store().ReadAt(20, 0, got); n != 4096 || !bytes.Equal(got, payload) {
+		t.Fatal("Close lost dirty data")
+	}
+}

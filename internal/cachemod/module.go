@@ -1,0 +1,484 @@
+// Package cachemod implements the paper's contribution: a per-node cache
+// module that interposes between libpvfs and the I/O daemons and services
+// the requests of every application process on the node from one shared
+// block cache.
+//
+// The kernel module of the paper intercepts libpvfs's socket calls; here
+// the same interception happens at the pvfs.Transport boundary, which
+// carries exactly the traffic those socket calls carry. Per request the
+// module:
+//
+//   - checks which blocks are already cached and discounts them, issuing
+//     network sub-requests only for the missing runs (a cached block in the
+//     middle of a request splits it into several sub-requests, as in the
+//     paper);
+//   - returns control to libpvfs with the transfers marked pending, and
+//     fakes the acknowledgments locally — libpvfs's subsequent receive
+//     calls complete from the cache module's state machine;
+//   - performs writes into the cache and returns immediately, leaving the
+//     propagation to the background flusher thread;
+//   - runs a harvester thread that refills the free list between a low and
+//     a high watermark so allocations do not pay eviction latency.
+//
+// One Module runs per node. Each application process obtains its own
+// pvfs.Transport from NewTransport; all of them share the cache, which is
+// what makes inter-application data sharing pay off.
+package cachemod
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/globalcache"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// Config assembles a Module.
+type Config struct {
+	// Network reaches the iods and hosts the invalidation listener.
+	Network transport.Network
+	// ClientID identifies this node's cache to the iods. Must be nonzero.
+	ClientID uint32
+	// IODDataAddrs lists every iod data-port address, in cluster order.
+	IODDataAddrs []string
+	// IODFlushAddrs lists every iod flush-port address, in cluster order.
+	// Empty disables write-behind (writes go through synchronously).
+	IODFlushAddrs []string
+	// Buffer sizes the block cache (see buffer.Config for defaults: 300
+	// blocks of 4 KB — the paper's 1.2 MB cache).
+	Buffer buffer.Config
+	// FlushPeriod is the flusher thread's wake-up interval (default 1s).
+	FlushPeriod time.Duration
+	// FlushBatch bounds the dirty blocks taken per flush round (default 64).
+	FlushBatch int
+	// WriteStall bounds how long a write blocks waiting for cache space
+	// before falling back to write-through (default 2s).
+	WriteStall time.Duration
+	// DisableCoherence skips the invalidation listener and iod
+	// registration; sync-writes then behave like plain writes plus a
+	// server write-through.
+	DisableCoherence bool
+	// GlobalCache, when non-nil, enables the cooperative global cache
+	// extension (the paper's §5 ongoing work): this module serves its
+	// blocks to peers on Ring.Peers[Ring.Self] and probes block home
+	// nodes before fetching from the iods.
+	GlobalCache *globalcache.Ring
+	// Registry receives the module's counters; nil uses a private one.
+	Registry *metrics.Registry
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Network == nil {
+		return errors.New("cachemod: Config.Network is required")
+	}
+	if c.ClientID == 0 {
+		return errors.New("cachemod: Config.ClientID must be nonzero")
+	}
+	if len(c.IODDataAddrs) == 0 {
+		return errors.New("cachemod: Config.IODDataAddrs is required")
+	}
+	if c.FlushPeriod <= 0 {
+		c.FlushPeriod = time.Second
+	}
+	if c.FlushBatch <= 0 {
+		c.FlushBatch = 64
+	}
+	if c.WriteStall <= 0 {
+		c.WriteStall = 2 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	c.Buffer.Registry = c.Registry
+	return nil
+}
+
+// fetchState coordinates one in-flight block fetch across processes: the
+// first requester owns the network transfer, later requesters wait on done
+// and then read the block from the cache (or from data, which survives
+// even if the insert was bypassed for lack of space).
+type fetchState struct {
+	done chan struct{}
+	data []byte // full block, zero-padded; set before done closes
+	err  error
+}
+
+// Module is the per-node cache module.
+type Module struct {
+	cfg Config
+	buf *buffer.Manager
+
+	data  []*rpcClient // per-iod data-port connections (module-owned)
+	flush []*rpcClient // per-iod flush-port connections
+
+	fetchMu sync.Mutex
+	fetches map[blockio.BlockKey]*fetchState
+
+	spaceMu   sync.Mutex
+	spaceCond *sync.Cond
+
+	invalListener transport.Listener
+	invalConnsMu  sync.Mutex
+	invalConns    map[transport.Conn]struct{}
+
+	gcService *globalcache.Service
+	gcClient  *globalcache.Client
+
+	flushKick   chan struct{}
+	harvestKick chan struct{}
+	stop        chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
+}
+
+// New builds and starts a module: background threads launch, the
+// invalidation listener opens, and the module registers with every iod
+// (unless coherence is disabled).
+func New(cfg Config) (*Module, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	m := &Module{
+		cfg:         cfg,
+		buf:         buffer.New(cfg.Buffer),
+		fetches:     make(map[blockio.BlockKey]*fetchState),
+		invalConns:  make(map[transport.Conn]struct{}),
+		flushKick:   make(chan struct{}, 1),
+		harvestKick: make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+	}
+	m.spaceCond = sync.NewCond(&m.spaceMu)
+	for _, addr := range cfg.IODDataAddrs {
+		m.data = append(m.data, newRPCClient(cfg.Network, addr))
+	}
+	for _, addr := range cfg.IODFlushAddrs {
+		m.flush = append(m.flush, newRPCClient(cfg.Network, addr))
+	}
+
+	if !cfg.DisableCoherence {
+		l, err := cfg.Network.Listen(":0")
+		if err != nil {
+			return nil, fmt.Errorf("cachemod: invalidation listener: %w", err)
+		}
+		m.invalListener = l
+		m.wg.Add(1)
+		go m.invalidationLoop(l)
+		for i, rc := range m.data {
+			resp, err := rc.roundTrip(&wire.Register{Client: cfg.ClientID, Addr: l.Addr()})
+			if err != nil {
+				m.Close()
+				return nil, fmt.Errorf("cachemod: registering with iod %d: %w", i, err)
+			}
+			if _, ok := resp.(*wire.RegisterAck); !ok {
+				m.Close()
+				return nil, fmt.Errorf("cachemod: iod %d register reply %v", i, resp.WireType())
+			}
+		}
+	}
+
+	if cfg.GlobalCache != nil {
+		ring := *cfg.GlobalCache
+		if !ring.Valid() {
+			m.Close()
+			return nil, errors.New("cachemod: invalid global-cache ring")
+		}
+		l, err := cfg.Network.Listen(ring.Peers[ring.Self])
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("cachemod: global-cache listener: %w", err)
+		}
+		m.gcService = globalcache.NewService(m.buf, l, cfg.Registry)
+		m.gcClient, err = globalcache.NewClient(ring, cfg.Network, cfg.Registry)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+
+	if len(m.flush) > 0 {
+		m.wg.Add(1)
+		go m.flusherLoop()
+	}
+	m.wg.Add(1)
+	go m.harvesterLoop()
+	return m, nil
+}
+
+// Buffer exposes the underlying buffer manager (stats, tests).
+func (m *Module) Buffer() *buffer.Manager { return m.buf }
+
+// Registry returns the module's metrics registry.
+func (m *Module) Registry() *metrics.Registry { return m.cfg.Registry }
+
+// WriteBehind reports whether the module buffers writes (flush ports were
+// configured).
+func (m *Module) WriteBehind() bool { return len(m.flush) > 0 }
+
+// Close flushes all dirty blocks, stops the background threads and closes
+// every connection.
+func (m *Module) Close() error {
+	var err error
+	m.stopOnce.Do(func() {
+		// Final flush: drain the dirty list before tearing down.
+		if len(m.flush) > 0 {
+			err = m.FlushAll()
+		}
+		close(m.stop)
+		if m.gcClient != nil {
+			m.gcClient.Close()
+		}
+		if m.gcService != nil {
+			m.gcService.Close()
+		}
+		if m.invalListener != nil {
+			m.invalListener.Close()
+		}
+		m.invalConnsMu.Lock()
+		for conn := range m.invalConns {
+			conn.Close()
+		}
+		m.invalConnsMu.Unlock()
+		m.spaceCond.Broadcast()
+		m.wg.Wait()
+		for _, rc := range m.data {
+			rc.close()
+		}
+		for _, rc := range m.flush {
+			rc.close()
+		}
+	})
+	return err
+}
+
+// --- background threads ---
+
+// flusherLoop is the paper's flusher kernel thread: it periodically drains
+// the dirty list to the iods' flush ports.
+func (m *Module) flusherLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.FlushPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		case <-m.flushKick:
+		}
+		m.flushOnce(m.cfg.FlushBatch)
+	}
+}
+
+// flushOnce pushes up to batch dirty blocks out, grouped per (iod, file).
+func (m *Module) flushOnce(batch int) {
+	items := m.buf.TakeDirty(batch)
+	if len(items) == 0 {
+		return
+	}
+	type groupKey struct {
+		owner int
+		file  blockio.FileID
+	}
+	groups := make(map[groupKey][]buffer.FlushItem)
+	for _, it := range items {
+		gk := groupKey{owner: it.Owner, file: it.Key.File}
+		groups[gk] = append(groups[gk], it)
+	}
+	for gk, group := range groups {
+		if gk.owner < 0 || gk.owner >= len(m.flush) {
+			m.buf.FlushFailed(group)
+			continue
+		}
+		msg := &wire.Flush{Client: m.cfg.ClientID, File: gk.file}
+		for _, it := range group {
+			msg.Blocks = append(msg.Blocks, wire.FlushBlock{
+				Index: it.Key.Index,
+				Off:   uint32(it.Off),
+				Data:  it.Data,
+			})
+		}
+		resp, err := m.flush[gk.owner].roundTrip(msg)
+		if err != nil {
+			m.buf.FlushFailed(group)
+			continue
+		}
+		if ack, ok := resp.(*wire.FlushAck); !ok || ack.Status != wire.StatusOK {
+			m.buf.FlushFailed(group)
+			continue
+		}
+		m.buf.FlushDone(group)
+		m.cfg.Registry.Counter("module.flush_rounds").Inc()
+		m.cfg.Registry.Counter("module.flushed_blocks").Add(int64(len(group)))
+	}
+	m.signalSpace()
+}
+
+// FlushAll synchronously drains the entire dirty list (used on Close and by
+// tests needing durability).
+func (m *Module) FlushAll() error {
+	for i := 0; i < 1000; i++ {
+		if m.buf.DirtyCount() == 0 {
+			return nil
+		}
+		m.flushOnce(0)
+	}
+	if n := m.buf.DirtyCount(); n > 0 {
+		return fmt.Errorf("cachemod: %d dirty blocks remain after FlushAll", n)
+	}
+	return nil
+}
+
+// harvesterLoop is the paper's harvester kernel thread: whenever the free
+// list falls below the low watermark it frees blocks up to the high
+// watermark, preferring clean victims; if everything evictable is dirty it
+// kicks the flusher.
+func (m *Module) harvesterLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.FlushPeriod / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		case <-m.harvestKick:
+		}
+		if m.buf.NeedsHarvest() {
+			freed := m.buf.Harvest()
+			m.cfg.Registry.Counter("module.harvested").Add(int64(freed))
+			if m.buf.NeedsHarvest() {
+				m.kickFlusher()
+			}
+			if freed > 0 {
+				m.signalSpace()
+			}
+		}
+	}
+}
+
+// invalidationLoop serves Invalidate messages from the iods.
+func (m *Module) invalidationLoop(l transport.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m.invalConnsMu.Lock()
+		m.invalConns[conn] = struct{}{}
+		m.invalConnsMu.Unlock()
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer func() {
+				m.invalConnsMu.Lock()
+				delete(m.invalConns, conn)
+				m.invalConnsMu.Unlock()
+				conn.Close()
+			}()
+			for {
+				msg, err := wire.ReadMessage(conn)
+				if err != nil {
+					return
+				}
+				inv, ok := msg.(*wire.Invalidate)
+				if !ok {
+					return
+				}
+				for _, idx := range inv.Indices {
+					m.buf.Invalidate(blockio.BlockKey{File: inv.File, Index: idx})
+				}
+				m.cfg.Registry.Counter("module.invalidations_rx").Inc()
+				if err := wire.WriteMessage(conn, &wire.InvalidAck{Status: wire.StatusOK}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// --- helpers shared with the transport FSM ---
+
+func (m *Module) kickFlusher() {
+	select {
+	case m.flushKick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Module) kickHarvester() {
+	select {
+	case m.harvestKick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Module) signalSpace() {
+	m.spaceMu.Lock()
+	m.spaceCond.Broadcast()
+	m.spaceMu.Unlock()
+}
+
+// waitForSpace blocks until signalSpace or the deadline; it returns false
+// on timeout or shutdown.
+func (m *Module) waitForSpace(deadline time.Time) bool {
+	done := make(chan struct{})
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		close(done)
+		m.signalSpace()
+	})
+	defer timer.Stop()
+	m.spaceMu.Lock()
+	defer m.spaceMu.Unlock()
+	select {
+	case <-m.stop:
+		return false
+	case <-done:
+		return false
+	default:
+	}
+	m.spaceCond.Wait()
+	select {
+	case <-m.stop:
+		return false
+	case <-done:
+		return false
+	default:
+		return true
+	}
+}
+
+// fetchBlockSync fetches one whole block from its iod, inserts it, and
+// returns its bytes. Used for read-modify-write and for stragglers whose
+// fetch owner's insert got evicted.
+func (m *Module) fetchBlockSync(iod int, key blockio.BlockKey) ([]byte, error) {
+	bs := int64(m.buf.BlockSize())
+	resp, err := m.data[iod].roundTrip(&wire.Read{
+		Client: m.cfg.ClientID,
+		File:   key.File,
+		Offset: key.Index * bs,
+		Length: bs,
+		Track:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := resp.(*wire.ReadResp)
+	if !ok {
+		return nil, fmt.Errorf("cachemod: unexpected fetch reply %v", resp.WireType())
+	}
+	if err := rr.Status.Err(); err != nil {
+		return nil, err
+	}
+	data := make([]byte, bs)
+	copy(data, rr.Data)
+	m.buf.InsertClean(key, iod, data)
+	m.cfg.Registry.Counter("module.sync_fetches").Inc()
+	return data, nil
+}

@@ -1,0 +1,119 @@
+package cachemod
+
+import (
+	"fmt"
+	"sync"
+
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// rpcResult is a completed round trip.
+type rpcResult struct {
+	msg wire.Message
+	err error
+}
+
+// rpcClient multiplexes the cache module's own traffic to one iod port over
+// a single connection. Requests from every application process on the node
+// funnel through it — the module is the per-node serializing point the
+// paper places in the kernel. Responses arrive in request order (the iod is
+// a FIFO request/response server), so a reader goroutine hands each
+// incoming message to the oldest waiter.
+type rpcClient struct {
+	network transport.Network
+	addr    string
+
+	mu     sync.Mutex
+	conn   transport.Conn
+	queue  []chan rpcResult
+	broken error // sticky failure until redial
+}
+
+func newRPCClient(network transport.Network, addr string) *rpcClient {
+	return &rpcClient{network: network, addr: addr}
+}
+
+// call writes req and returns a channel that yields the response. The
+// channel receives exactly one result.
+func (r *rpcClient) call(req wire.Message) (<-chan rpcResult, error) {
+	ch := make(chan rpcResult, 1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.broken != nil {
+		// One redial attempt per call after a failure.
+		r.broken = nil
+	}
+	if r.conn == nil {
+		conn, err := r.network.Dial(r.addr)
+		if err != nil {
+			return nil, fmt.Errorf("cachemod: dialing %s: %w", r.addr, err)
+		}
+		r.conn = conn
+		go r.readLoop(conn)
+	}
+	if err := wire.WriteMessage(r.conn, req); err != nil {
+		r.failLocked(err)
+		return nil, fmt.Errorf("cachemod: sending %v to %s: %w", req.WireType(), r.addr, err)
+	}
+	r.queue = append(r.queue, ch)
+	return ch, nil
+}
+
+// roundTrip is the synchronous form of call.
+func (r *rpcClient) roundTrip(req wire.Message) (wire.Message, error) {
+	ch, err := r.call(req)
+	if err != nil {
+		return nil, err
+	}
+	res := <-ch
+	return res.msg, res.err
+}
+
+// readLoop delivers responses from conn to waiters in FIFO order.
+func (r *rpcClient) readLoop(conn transport.Conn) {
+	for {
+		msg, err := wire.ReadMessage(conn)
+		r.mu.Lock()
+		if r.conn != conn {
+			// A newer connection replaced this one; stop quietly.
+			r.mu.Unlock()
+			return
+		}
+		if err != nil {
+			r.failLocked(err)
+			r.mu.Unlock()
+			return
+		}
+		if len(r.queue) == 0 {
+			// Response with no waiter: protocol corruption.
+			r.failLocked(fmt.Errorf("cachemod: unsolicited %v from %s", msg.WireType(), r.addr))
+			r.mu.Unlock()
+			return
+		}
+		ch := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+		ch <- rpcResult{msg: msg}
+	}
+}
+
+// failLocked tears down the connection and fails every waiter.
+func (r *rpcClient) failLocked(err error) {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	r.broken = err
+	for _, ch := range r.queue {
+		ch <- rpcResult{err: err}
+	}
+	r.queue = nil
+}
+
+// close shuts the connection down; in-flight calls fail.
+func (r *rpcClient) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failLocked(transport.ErrClosed)
+}

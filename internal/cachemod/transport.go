@@ -1,0 +1,450 @@
+package cachemod
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/pvfs"
+	"pvfscache/internal/wire"
+)
+
+// CachedTransport is one application process's view of the cache module:
+// it implements pvfs.Transport, so libpvfs uses it exactly like a socket,
+// while every CachedTransport created from the same Module shares the
+// node's block cache. This mirrors the paper's finite state machine per
+// socket: Send transitions a request into the pending state (issuing
+// network sub-requests only for the missing pieces) and Recv completes it
+// (faking acknowledgments for whatever the cache absorbed).
+type CachedTransport struct {
+	m *Module
+
+	mu      sync.Mutex
+	next    pvfs.ReqID
+	pending map[pvfs.ReqID]*pendingOp
+}
+
+// NewTransport returns a transport for one application process.
+func (m *Module) NewTransport() *CachedTransport {
+	return &CachedTransport{m: m, next: 1, pending: make(map[pvfs.ReqID]*pendingOp)}
+}
+
+// pendingOp is the per-request FSM state between Send and Recv.
+type pendingOp struct {
+	ready wire.Message     // response already known (fake ack, full cache hit)
+	read  *pendingRead     // read with outstanding transfers
+	call  <-chan rpcResult // passthrough round trip
+}
+
+// pendingRead tracks a read whose missing pieces are in flight.
+type pendingRead struct {
+	result  []byte
+	fetches []ownedFetch
+	waits   []spanWait
+	iod     int
+}
+
+// ownedFetch is one network sub-request this process issued for a run of
+// consecutive missing blocks.
+type ownedFetch struct {
+	iod      int
+	ch       <-chan rpcResult
+	firstIdx int64
+	keys     []blockio.BlockKey
+	states   []*fetchState
+	spans    []blockio.Span // request spans served by this run
+}
+
+// spanWait is a span whose block another process is already fetching.
+type spanWait struct {
+	span blockio.Span
+	st   *fetchState
+	iod  int
+}
+
+// Send implements pvfs.Transport. For reads and writes it runs the cache
+// FSM; any other message passes through to the iod untouched, keeping the
+// module transparent to protocol extensions.
+func (t *CachedTransport) Send(iod int, req wire.Message) (pvfs.ReqID, error) {
+	if iod < 0 || iod >= len(t.m.data) {
+		return 0, fmt.Errorf("cachemod: iod index %d out of range", iod)
+	}
+	var op *pendingOp
+	var err error
+	switch r := req.(type) {
+	case *wire.Read:
+		op, err = t.sendRead(iod, r)
+	case *wire.Write:
+		op, err = t.sendWrite(iod, r)
+	case *wire.SyncWrite:
+		op, err = t.sendSyncWrite(iod, r)
+	default:
+		ch, cerr := t.m.data[iod].call(req)
+		if cerr != nil {
+			return 0, cerr
+		}
+		op = &pendingOp{call: ch}
+	}
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	id := t.next
+	t.next++
+	t.pending[id] = op
+	t.mu.Unlock()
+	return id, nil
+}
+
+// Recv implements pvfs.Transport: it completes the pending request,
+// waiting for outstanding transfers if necessary.
+func (t *CachedTransport) Recv(id pvfs.ReqID) (wire.Message, error) {
+	t.mu.Lock()
+	op, ok := t.pending[id]
+	delete(t.pending, id)
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cachemod: unknown request id %d", id)
+	}
+	switch {
+	case op.ready != nil:
+		return op.ready, nil
+	case op.read != nil:
+		return t.completeRead(op.read)
+	case op.call != nil:
+		res := <-op.call
+		return res.msg, res.err
+	default:
+		return nil, fmt.Errorf("cachemod: empty pending op %d", id)
+	}
+}
+
+// Close drops per-process state. The module (shared by every process on
+// the node) stays up.
+func (t *CachedTransport) Close() error {
+	t.mu.Lock()
+	t.pending = make(map[pvfs.ReqID]*pendingOp)
+	t.mu.Unlock()
+	return nil
+}
+
+// --- read path ---
+
+// sendRead classifies each block span of the request as a cache hit, a
+// join on another process's in-flight fetch, or a miss this process must
+// fetch. Misses are grouped into runs of consecutive blocks; a cached
+// block in the middle therefore splits the request into several network
+// sub-requests, as the paper describes.
+func (t *CachedTransport) sendRead(iod int, req *wire.Read) (*pendingOp, error) {
+	bs := t.m.buf.BlockSize()
+	spans := blockio.Spans(req.File, req.Offset, req.Length, bs)
+	result := make([]byte, req.Length)
+	pr := &pendingRead{result: result, iod: iod}
+	var owned []blockio.Span // spans whose fetch this process owns
+
+	for _, sp := range spans {
+		dst := result[sp.Pos : sp.Pos+int64(sp.Len)]
+		if t.m.buf.ReadSpan(sp.Key, sp.Off, dst) {
+			continue
+		}
+		t.m.fetchMu.Lock()
+		if st := t.m.fetches[sp.Key]; st != nil {
+			t.m.fetchMu.Unlock()
+			pr.waits = append(pr.waits, spanWait{span: sp, st: st, iod: iod})
+			continue
+		}
+		st := &fetchState{done: make(chan struct{})}
+		t.m.fetches[sp.Key] = st
+		t.m.fetchMu.Unlock()
+		// Global-cache extension: probe the block's home node before
+		// resorting to the iod.
+		if t.m.gcClient != nil {
+			if data, ok := t.m.gcClient.Get(sp.Key); ok {
+				t.m.buf.InsertClean(sp.Key, iod, data)
+				copy(dst, data[sp.Off:sp.Off+sp.Len])
+				st.data = data
+				t.m.fetchMu.Lock()
+				delete(t.m.fetches, sp.Key)
+				t.m.fetchMu.Unlock()
+				close(st.done)
+				t.m.cfg.Registry.Counter("module.gcache_hits").Inc()
+				continue
+			}
+		}
+		owned = append(owned, sp)
+	}
+
+	// Group owned spans into runs of consecutive block indices and issue
+	// one block-aligned sub-request per run.
+	for start := 0; start < len(owned); {
+		end := start + 1
+		for end < len(owned) && owned[end].Key.Index == owned[end-1].Key.Index+1 {
+			end++
+		}
+		run := owned[start:end]
+		of := ownedFetch{iod: iod, firstIdx: run[0].Key.Index, spans: run}
+		for _, sp := range run {
+			of.keys = append(of.keys, sp.Key)
+			t.m.fetchMu.Lock()
+			of.states = append(of.states, t.m.fetches[sp.Key])
+			t.m.fetchMu.Unlock()
+		}
+		sub := &wire.Read{
+			Client: t.m.cfg.ClientID,
+			File:   req.File,
+			Offset: of.firstIdx * int64(bs),
+			Length: int64(len(run)) * int64(bs),
+			Track:  true,
+		}
+		ch, err := t.m.data[iod].call(sub)
+		if err != nil {
+			t.abortFetches(pr.fetches, err)
+			t.abortFetch(of, err)
+			return nil, err
+		}
+		of.ch = ch
+		pr.fetches = append(pr.fetches, of)
+		t.m.cfg.Registry.Counter("module.read_subrequests").Inc()
+		start = end
+	}
+
+	if len(pr.fetches) == 0 && len(pr.waits) == 0 {
+		// Entire request served from the cache: the response is ready now;
+		// libpvfs's receive call will be faked locally.
+		t.m.cfg.Registry.Counter("module.read_full_hits").Inc()
+		return &pendingOp{ready: &wire.ReadResp{Status: wire.StatusOK, Data: result}}, nil
+	}
+	return &pendingOp{read: pr}, nil
+}
+
+// completeRead waits for the pending transfers, installs fetched blocks in
+// the cache, and assembles the response buffer.
+func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
+	bs := t.m.buf.BlockSize()
+	var firstErr error
+	for _, of := range pr.fetches {
+		res := <-of.ch
+		if res.err != nil {
+			t.abortFetch(of, res.err)
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		rr, ok := res.msg.(*wire.ReadResp)
+		if !ok || rr.Status != wire.StatusOK {
+			err := fmt.Errorf("cachemod: fetch failed: %v", res.msg.WireType())
+			if ok {
+				if serr := rr.Status.Err(); serr != nil {
+					err = serr
+				}
+			}
+			t.abortFetch(of, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// Slice the run into blocks, install each, publish to waiters.
+		for i, key := range of.keys {
+			blockData := make([]byte, bs)
+			lo := i * bs
+			if lo < len(rr.Data) {
+				copy(blockData, rr.Data[lo:])
+			}
+			t.m.buf.InsertClean(key, of.iod, blockData)
+			if t.m.gcClient != nil {
+				// Feed the global cache: the block's home node gets a copy.
+				t.m.gcClient.Push(key, of.iod, blockData)
+			}
+			st := of.states[i]
+			st.data = blockData
+			t.m.fetchMu.Lock()
+			delete(t.m.fetches, key)
+			t.m.fetchMu.Unlock()
+			close(st.done)
+		}
+		// Copy the request's spans out of the run.
+		for _, sp := range of.spans {
+			lo := int(sp.Key.Index-of.firstIdx)*bs + sp.Off
+			n := copy(pr.result[sp.Pos:sp.Pos+int64(sp.Len)], rr.Data[minInt(lo, len(rr.Data)):])
+			_ = n // short data reads as zero; result is pre-zeroed
+		}
+	}
+	for _, w := range pr.waits {
+		<-w.st.done
+		dst := pr.result[w.span.Pos : w.span.Pos+int64(w.span.Len)]
+		if w.st.err == nil && w.st.data != nil {
+			copy(dst, w.st.data[w.span.Off:w.span.Off+w.span.Len])
+			t.m.cfg.Registry.Counter("module.fetch_joins").Inc()
+			continue
+		}
+		// The owner's fetch failed: fall back to a synchronous fetch of our
+		// own.
+		data, err := t.m.fetchBlockSync(w.iod, w.span.Key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		copy(dst, data[w.span.Off:w.span.Off+w.span.Len])
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &wire.ReadResp{Status: wire.StatusOK, Data: pr.result}, nil
+}
+
+// abortFetch publishes a fetch failure to waiters and clears the table.
+func (t *CachedTransport) abortFetch(of ownedFetch, err error) {
+	for i, key := range of.keys {
+		st := of.states[i]
+		if st == nil {
+			continue
+		}
+		st.err = err
+		t.m.fetchMu.Lock()
+		if t.m.fetches[key] == st {
+			delete(t.m.fetches, key)
+		}
+		t.m.fetchMu.Unlock()
+		select {
+		case <-st.done:
+		default:
+			close(st.done)
+		}
+	}
+}
+
+func (t *CachedTransport) abortFetches(ofs []ownedFetch, err error) {
+	for _, of := range ofs {
+		// Drain the response so the rpc FIFO stays aligned.
+		if of.ch != nil {
+			go func(ch <-chan rpcResult) { <-ch }(of.ch)
+		}
+		t.abortFetch(of, err)
+	}
+}
+
+// --- write path ---
+
+// sendWrite performs the write on the cache and fakes the acknowledgment;
+// the flusher propagates the data later. A write that cannot get cache
+// space blocks (bounded by WriteStall) and finally falls back to writing
+// through, which matches the paper's "writes may need to block for
+// availability of cache space" behaviour for requests larger than the
+// cache.
+func (t *CachedTransport) sendWrite(iod int, req *wire.Write) (*pendingOp, error) {
+	if !t.m.WriteBehind() {
+		ch, err := t.m.data[iod].call(req)
+		if err != nil {
+			return nil, err
+		}
+		return &pendingOp{call: ch}, nil
+	}
+	bs := t.m.buf.BlockSize()
+	spans := blockio.Spans(req.File, req.Offset, int64(len(req.Data)), bs)
+	deadline := time.Now().Add(t.m.cfg.WriteStall)
+	for _, sp := range spans {
+		src := req.Data[sp.Pos : sp.Pos+int64(sp.Len)]
+		if err := t.writeSpan(iod, sp, src, deadline); err != nil {
+			return nil, err
+		}
+	}
+	// Keep the flusher ahead of demand when the dirty list grows large.
+	if t.m.buf.DirtyCount() > t.m.buf.Capacity()/2 {
+		t.m.kickFlusher()
+	}
+	t.m.cfg.Registry.Counter("module.writes_buffered").Inc()
+	return &pendingOp{ready: &wire.WriteAck{Status: wire.StatusOK}}, nil
+}
+
+// writeSpan applies one block span to the cache, handling read-modify-
+// write and cache-full conditions.
+func (t *CachedTransport) writeSpan(iod int, sp blockio.Span, src []byte, deadline time.Time) error {
+	for {
+		switch t.m.buf.WriteSpan(sp.Key, iod, sp.Off, src, true) {
+		case buffer.OutcomeOK:
+			return nil
+		case buffer.OutcomeNeedFetch:
+			// Another process may already be fetching this block.
+			t.m.fetchMu.Lock()
+			st := t.m.fetches[sp.Key]
+			t.m.fetchMu.Unlock()
+			if st != nil {
+				<-st.done
+				continue
+			}
+			if _, err := t.m.fetchBlockSync(iod, sp.Key); err != nil {
+				// Cannot complete the merge: write this span through.
+				return t.writeThrough(iod, sp, src)
+			}
+		case buffer.OutcomeNoSpace:
+			t.m.kickHarvester()
+			t.m.kickFlusher()
+			t.m.cfg.Registry.Counter("module.write_stalls").Inc()
+			if !t.m.waitForSpace(deadline) {
+				return t.writeThrough(iod, sp, src)
+			}
+		}
+	}
+}
+
+// writeThrough sends one span straight to the iod, bypassing the cache.
+func (t *CachedTransport) writeThrough(iod int, sp blockio.Span, src []byte) error {
+	t.m.cfg.Registry.Counter("module.write_through").Inc()
+	resp, err := t.m.data[iod].roundTrip(&wire.Write{
+		Client: t.m.cfg.ClientID,
+		File:   sp.Key.File,
+		Offset: sp.FileOffset(t.m.buf.BlockSize()),
+		Data:   src,
+	})
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.WriteAck)
+	if !ok {
+		return fmt.Errorf("cachemod: unexpected write-through reply %v", resp.WireType())
+	}
+	return ack.Status.Err()
+}
+
+// --- sync-write path ---
+
+// sendSyncWrite propagates the write both to the cache and to the iod; the
+// iod invalidates every other cache before acknowledging. The local cache
+// copy is updated as clean (the iod already holds these bytes when the ack
+// arrives).
+func (t *CachedTransport) sendSyncWrite(iod int, req *wire.SyncWrite) (*pendingOp, error) {
+	bs := t.m.buf.BlockSize()
+	spans := blockio.Spans(req.File, req.Offset, int64(len(req.Data)), bs)
+	for _, sp := range spans {
+		src := req.Data[sp.Pos : sp.Pos+int64(sp.Len)]
+		switch t.m.buf.WriteSpan(sp.Key, iod, sp.Off, src, false) {
+		case buffer.OutcomeOK:
+		case buffer.OutcomeNeedFetch:
+			// Merging would leave an unknown gap inside the block. The
+			// resident valid bytes are untouched by this write, so they
+			// remain correct; simply skip caching the new span rather than
+			// fetch on the critical path of a coherent write.
+		case buffer.OutcomeNoSpace:
+			// Not cacheable right now; the server still gets the data.
+		}
+	}
+	ch, err := t.m.data[iod].call(req)
+	if err != nil {
+		return nil, err
+	}
+	t.m.cfg.Registry.Counter("module.sync_writes").Inc()
+	return &pendingOp{call: ch}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

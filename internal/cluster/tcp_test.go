@@ -1,0 +1,13 @@
+package cluster
+
+import (
+	"testing"
+
+	"pvfscache/internal/transport"
+)
+
+// newTCP returns the OS TCP stack for tests that exercise real sockets.
+func newTCP(t *testing.T) transport.Network {
+	t.Helper()
+	return transport.NewTCP()
+}

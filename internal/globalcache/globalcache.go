@@ -1,0 +1,273 @@
+// Package globalcache implements the first item of the paper's ongoing
+// work (§5): "a global cache that can be shared by all the nodes ...
+// before disk operations are really invoked."
+//
+// Every block has a home node, chosen by hashing its key over the node
+// ring. When a node fetches a block from an iod it pushes a copy to the
+// block's home (PeerPut); when a node misses locally it asks the home
+// (PeerGet) before going to the iod. Cluster memory thus acts as a second
+// cache level between the per-node caches and the daemons.
+//
+// The implementation is deliberately simple cooperative caching — no
+// N-chance recirculation, no duplicate avoidance beyond home placement —
+// as the paper describes the global cache only as a direction.
+package globalcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// Ring maps blocks to home nodes.
+type Ring struct {
+	// Peers lists every node's peer-cache service address, in node order.
+	Peers []string
+	// Self is this node's index in Peers.
+	Self int
+}
+
+// Valid reports whether the ring is usable.
+func (r Ring) Valid() bool { return len(r.Peers) > 0 && r.Self >= 0 && r.Self < len(r.Peers) }
+
+// Home returns the home node index for a block.
+func (r Ring) Home(key blockio.BlockKey) int {
+	h := uint64(key.File)*0x9E3779B97F4A7C15 + uint64(key.Index)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	return int(h % uint64(len(r.Peers)))
+}
+
+// Service answers PeerGet and PeerPut requests against a node's buffer
+// manager. Run one per node, listening on the node's ring address.
+type Service struct {
+	buf *buffer.Manager
+	reg *metrics.Registry
+	l   transport.Listener
+
+	mu    sync.Mutex
+	conns map[transport.Conn]struct{}
+	done  bool
+}
+
+// NewService starts serving the buffer manager's contents on l.
+func NewService(buf *buffer.Manager, l transport.Listener, reg *metrics.Registry) *Service {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Service{buf: buf, reg: reg, l: l, conns: make(map[transport.Conn]struct{})}
+	go s.acceptLoop()
+	return s
+}
+
+// Close stops the service and its connections.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.done = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Service) acceptLoop() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Service) serveConn(conn transport.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	bs := s.buf.BlockSize()
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		var resp wire.Message
+		switch m := msg.(type) {
+		case *wire.PeerGet:
+			data := make([]byte, bs)
+			key := blockio.BlockKey{File: m.File, Index: m.Index}
+			if s.buf.ReadSpan(key, 0, data) {
+				resp = &wire.PeerGetResp{Status: wire.StatusOK, Data: data}
+				s.reg.Counter("gcache.serve_hits").Inc()
+			} else {
+				resp = &wire.PeerGetResp{Status: wire.StatusNotFound}
+				s.reg.Counter("gcache.serve_misses").Inc()
+			}
+		case *wire.PeerPut:
+			key := blockio.BlockKey{File: m.File, Index: m.Index}
+			s.buf.InsertClean(key, int(m.Owner), m.Data)
+			s.reg.Counter("gcache.puts_rx").Inc()
+			resp = &wire.PeerPutAck{Status: wire.StatusOK}
+		default:
+			return
+		}
+		if err := wire.WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client queries and feeds the global cache from one node.
+type Client struct {
+	ring    Ring
+	network transport.Network
+	reg     *metrics.Registry
+
+	mu    sync.Mutex
+	conns map[int]transport.Conn
+
+	pushCh chan wire.PeerPut
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// NewClient returns a client for the given ring. Pushes are delivered by a
+// background forwarder; a full push queue drops pushes rather than
+// blocking the read path.
+func NewClient(ring Ring, network transport.Network, reg *metrics.Registry) (*Client, error) {
+	if !ring.Valid() {
+		return nil, errors.New("globalcache: invalid ring")
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c := &Client{
+		ring:    ring,
+		network: network,
+		reg:     reg,
+		conns:   make(map[int]transport.Conn),
+		pushCh:  make(chan wire.PeerPut, 256),
+		stop:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.pushLoop()
+	return c, nil
+}
+
+// Close stops the forwarder and closes peer connections.
+func (c *Client) Close() error {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = make(map[int]transport.Conn)
+	return nil
+}
+
+// Get fetches a block from its home node's cache. It returns (nil, false)
+// when this node is the home, the home is unreachable, or the home misses.
+func (c *Client) Get(key blockio.BlockKey) ([]byte, bool) {
+	home := c.ring.Home(key)
+	if home == c.ring.Self {
+		return nil, false
+	}
+	resp, err := c.roundTrip(home, &wire.PeerGet{File: key.File, Index: key.Index})
+	if err != nil {
+		return nil, false
+	}
+	gr, ok := resp.(*wire.PeerGetResp)
+	if !ok || gr.Status != wire.StatusOK {
+		c.reg.Counter("gcache.get_misses").Inc()
+		return nil, false
+	}
+	c.reg.Counter("gcache.get_hits").Inc()
+	return gr.Data, true
+}
+
+// Push asynchronously forwards a freshly fetched block to its home node.
+// Blocks homed at this node are ignored (they are already in the local
+// cache).
+func (c *Client) Push(key blockio.BlockKey, owner int, data []byte) {
+	home := c.ring.Home(key)
+	if home == c.ring.Self {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	select {
+	case c.pushCh <- wire.PeerPut{File: key.File, Index: key.Index, Owner: uint32(owner), Data: cp}:
+	default:
+		c.reg.Counter("gcache.push_dropped").Inc()
+	}
+}
+
+func (c *Client) pushLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case put := <-c.pushCh:
+			home := c.ring.Home(blockio.BlockKey{File: put.File, Index: put.Index})
+			if _, err := c.roundTrip(home, &put); err == nil {
+				c.reg.Counter("gcache.push_tx").Inc()
+			}
+		}
+	}
+}
+
+// roundTrip performs one synchronous exchange with a peer, redialing once
+// after a failure.
+func (c *Client) roundTrip(peer int, req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		conn := c.conns[peer]
+		if conn == nil {
+			var err error
+			conn, err = c.network.Dial(c.ring.Peers[peer])
+			if err != nil {
+				return nil, fmt.Errorf("globalcache: dialing peer %d: %w", peer, err)
+			}
+			c.conns[peer] = conn
+		}
+		if err := wire.WriteMessage(conn, req); err != nil {
+			conn.Close()
+			delete(c.conns, peer)
+			continue
+		}
+		resp, err := wire.ReadMessage(conn)
+		if err != nil {
+			conn.Close()
+			delete(c.conns, peer)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("globalcache: peer %d unreachable", peer)
+}

@@ -1,0 +1,166 @@
+package globalcache
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/transport"
+)
+
+func TestRingHomeStableAndInRange(t *testing.T) {
+	r := Ring{Peers: []string{"a", "b", "c"}, Self: 0}
+	seen := make(map[int]int)
+	for f := 1; f <= 10; f++ {
+		for b := int64(0); b < 100; b++ {
+			key := blockio.BlockKey{File: blockio.FileID(f), Index: b}
+			h1 := r.Home(key)
+			h2 := r.Home(key)
+			if h1 != h2 {
+				t.Fatalf("home not stable for %v", key)
+			}
+			if h1 < 0 || h1 >= 3 {
+				t.Fatalf("home %d out of range", h1)
+			}
+			seen[h1]++
+		}
+	}
+	// The hash must actually spread blocks over nodes.
+	for n := 0; n < 3; n++ {
+		if seen[n] == 0 {
+			t.Errorf("node %d homes no blocks", n)
+		}
+	}
+}
+
+func TestRingValidity(t *testing.T) {
+	if (Ring{}).Valid() {
+		t.Error("empty ring valid")
+	}
+	if (Ring{Peers: []string{"a"}, Self: 1}).Valid() {
+		t.Error("out-of-range self valid")
+	}
+	if !(Ring{Peers: []string{"a", "b"}, Self: 1}).Valid() {
+		t.Error("good ring invalid")
+	}
+}
+
+// twoNodeRig builds two buffer managers with peer services and clients on
+// one in-memory network.
+func twoNodeRig(t *testing.T) (bufs [2]*buffer.Manager, clients [2]*Client) {
+	t.Helper()
+	net := transport.NewMem()
+	peers := []string{"gc-0", "gc-1"}
+	for i := 0; i < 2; i++ {
+		bufs[i] = buffer.New(buffer.Config{BlockSize: 64, Capacity: 32})
+		l, err := net.Listen(peers[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := NewService(bufs[i], l, metrics.NewRegistry())
+		t.Cleanup(func() { svc.Close() })
+	}
+	for i := 0; i < 2; i++ {
+		c, err := NewClient(Ring{Peers: peers, Self: i}, net, metrics.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+	}
+	return bufs, clients
+}
+
+// keyHomedAt finds a block key whose home is the given node in a 2-ring.
+func keyHomedAt(home int) blockio.BlockKey {
+	r := Ring{Peers: []string{"x", "y"}, Self: 0}
+	for i := int64(0); ; i++ {
+		key := blockio.BlockKey{File: 1, Index: i}
+		if r.Home(key) == home {
+			return key
+		}
+	}
+}
+
+func TestGetServedFromPeer(t *testing.T) {
+	bufs, clients := twoNodeRig(t)
+	key := keyHomedAt(1) // home is node 1; node 0 queries it
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	bufs[1].InsertClean(key, 0, data)
+
+	got, ok := clients[0].Get(key)
+	if !ok {
+		t.Fatal("peer get missed")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("peer get wrong data")
+	}
+}
+
+func TestGetMissesWhenPeerCold(t *testing.T) {
+	_, clients := twoNodeRig(t)
+	if _, ok := clients[0].Get(keyHomedAt(1)); ok {
+		t.Fatal("cold peer returned a hit")
+	}
+}
+
+func TestGetSkipsSelfHomedBlocks(t *testing.T) {
+	bufs, clients := twoNodeRig(t)
+	key := keyHomedAt(0)
+	bufs[0].InsertClean(key, 0, make([]byte, 64))
+	// Node 0 is home: Get must not loop back to itself.
+	if _, ok := clients[0].Get(key); ok {
+		t.Fatal("self-homed get should report false")
+	}
+}
+
+func TestPushLandsAtHome(t *testing.T) {
+	bufs, clients := twoNodeRig(t)
+	key := keyHomedAt(1)
+	data := bytes.Repeat([]byte{0x5A}, 64)
+	clients[0].Push(key, 3, data)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for !bufs[1].Contains(key, 0, 64) {
+		if time.Now().After(deadline) {
+			t.Fatal("push never arrived at home node")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dst := make([]byte, 64)
+	bufs[1].ReadSpan(key, 0, dst)
+	if !bytes.Equal(dst, data) {
+		t.Fatal("pushed data corrupt")
+	}
+}
+
+func TestPushToSelfIgnored(t *testing.T) {
+	bufs, clients := twoNodeRig(t)
+	key := keyHomedAt(0)
+	clients[0].Push(key, 0, make([]byte, 64))
+	time.Sleep(20 * time.Millisecond)
+	if bufs[0].Contains(key, 0, 64) {
+		t.Fatal("self push inserted a block")
+	}
+}
+
+func TestGetUnreachablePeerDegrades(t *testing.T) {
+	net := transport.NewMem()
+	c, err := NewClient(Ring{Peers: []string{"self", "gone"}, Self: 0}, net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.Get(keyHomedAt(1)); ok {
+		t.Fatal("unreachable peer returned a hit")
+	}
+}
+
+func TestNewClientRejectsBadRing(t *testing.T) {
+	if _, err := NewClient(Ring{}, transport.NewMem(), nil); err == nil {
+		t.Fatal("invalid ring accepted")
+	}
+}

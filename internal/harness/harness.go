@@ -1,0 +1,532 @@
+// Package harness regenerates every figure of the paper's evaluation
+// (Section 4) on the simulated cluster. Each FigureN function runs the
+// micro-benchmark configurations behind one published figure and returns
+// the same series the paper plots; Render formats them as aligned text
+// tables for EXPERIMENTS.md and cmd/experiments.
+//
+// The experiment index lives in DESIGN.md §4. Absolute values are virtual
+// time on the calibrated model — the reproduction target is shape: who
+// wins, how the ordering moves with l and s, and where the
+// caching-versus-parallelism crossover falls.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/microbench"
+	"pvfscache/internal/sim"
+	"pvfscache/internal/simcluster"
+)
+
+// RequestSizes is the x-axis of every figure: request size d in bytes,
+// log-spaced from 1 KB to 1 MB as in the paper.
+var RequestSizes = []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// SmallRequestSizes is the x-axis of Figure 5, which stops below the cache
+// size (an individual request cannot exceed the 1.2 MB cache).
+var SmallRequestSizes = []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
+
+// Series is one plotted line: a label and one point per request size.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one measurement.
+type Point struct {
+	RequestSize int64
+	Value       time.Duration
+	// Hits/Misses/Joins carry cache counters for the caching runs.
+	Hits, Misses, Joins int64
+}
+
+// Figure is a complete reproduced figure.
+type Figure struct {
+	ID       string
+	Title    string
+	YLabel   string
+	Series   []Series
+	Notes    string
+	Duration time.Duration // wall-clock cost of regenerating it
+}
+
+// Options tunes a harness run.
+type Options struct {
+	// TotalBytes is the application-level data volume per run (default
+	// 8 MB): each of the p processes moves TotalBytes/p, and the loop
+	// count is TotalBytes/RequestSize, holding total data constant across
+	// request sizes as the paper does.
+	TotalBytes int64
+	// IODs is the number of I/O daemons (default 4, with 6 total "nodes"
+	// echoing the paper's 6-node cluster).
+	IODs int
+	// Params overrides the hardware calibration (nil = DefaultParams).
+	Params *simcluster.Params
+	// Seed for the workload generator.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.TotalBytes <= 0 {
+		o.TotalBytes = 8 << 20
+	}
+	if o.IODs <= 0 {
+		o.IODs = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o Options) params() simcluster.Params {
+	if o.Params != nil {
+		return *o.Params
+	}
+	return simcluster.DefaultParams()
+}
+
+// runConfig executes one (caching?, placement, params) micro-benchmark
+// configuration on a fresh simulated cluster and returns the result.
+func runConfig(o Options, mb microbench.Params, caching bool, pl simcluster.Placement, nodes int) (simcluster.Result, error) {
+	env := sim.NewEnv()
+	c := simcluster.New(env, o.params(), o.IODs, nodes, caching)
+	return simcluster.Run(c, mb, pl)
+}
+
+// mbParams builds the per-process micro-benchmark parameters for an
+// application-level request size d: the paper's benchmark is a parallel
+// application, so one call moves d bytes collectively and each of the p
+// processes transfers d/p from its own file region. TotalBytes is likewise
+// the application-level volume, split across processes.
+func mbParams(o Options, instances, p int, d int64, read bool, l, s float64) microbench.Params {
+	return microbench.Params{
+		Instances:   instances,
+		Nodes:       p,
+		RequestSize: d / int64(p),
+		TotalBytes:  o.TotalBytes / int64(p),
+		Read:        read,
+		Locality:    l,
+		Sharing:     s,
+		Seed:        o.Seed,
+	}
+}
+
+// perRequest converts a result to the per-request mean the paper plots in
+// Figures 4 and 5.
+func perRequest(r simcluster.Result) time.Duration { return r.MeanRequest }
+
+// total converts a result to the total application time the paper plots in
+// Figures 6-8.
+func total(r simcluster.Result) time.Duration { return r.MaxInstanceTime() }
+
+// Figure4 reproduces Figure 4: caching overhead with a single application
+// instance, p=4, l=0 — per-request read time (a) and write time (b) versus
+// request size, caching versus no caching.
+func Figure4(o Options) ([]Figure, error) {
+	o.fill()
+	out := make([]Figure, 0, 2)
+	for _, read := range []bool{true, false} {
+		kind, id := "reads", "4a"
+		if !read {
+			kind, id = "writes", "4b"
+		}
+		fig := Figure{
+			ID:     id,
+			Title:  fmt.Sprintf("Figure %s: caching overhead for %s (single instance, p=4, l=0)", id, kind),
+			YLabel: "time per request",
+		}
+		start := time.Now()
+		var caching, noCaching Series
+		caching.Label = "Caching"
+		noCaching.Label = "No Caching"
+		for _, d := range RequestSizes {
+			mb := mbParams(o, 1, 4, d, read, 0, 0)
+			withCache, err := runConfig(o, mb, true, simcluster.SameNodes(1, 4), 4)
+			if err != nil {
+				return nil, fmt.Errorf("figure %s d=%d caching: %w", id, d, err)
+			}
+			without, err := runConfig(o, mb, false, simcluster.SameNodes(1, 4), 4)
+			if err != nil {
+				return nil, fmt.Errorf("figure %s d=%d no-caching: %w", id, d, err)
+			}
+			caching.Points = append(caching.Points, Point{
+				RequestSize: d, Value: perRequest(withCache),
+				Hits: withCache.Hits, Misses: withCache.Misses, Joins: withCache.Joins,
+			})
+			noCaching.Points = append(noCaching.Points, Point{RequestSize: d, Value: perRequest(without)})
+		}
+		fig.Series = []Series{caching, noCaching}
+		fig.Duration = time.Since(start)
+		if read {
+			fig.Notes = "Expected shape: the two curves stay close (small caching overhead with no locality to exploit)."
+		} else {
+			fig.Notes = "Expected shape: caching wins via write-behind, most prominently at small d; the gap narrows as writes block for cache space."
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Figure5 reproduces Figure 5: single instance, p=4, l=1 — per-request
+// read (a) and write (b) time with perfect locality.
+func Figure5(o Options) ([]Figure, error) {
+	o.fill()
+	out := make([]Figure, 0, 2)
+	for _, read := range []bool{true, false} {
+		kind, id := "reads", "5a"
+		if !read {
+			kind, id = "writes", "5b"
+		}
+		fig := Figure{
+			ID:     id,
+			Title:  fmt.Sprintf("Figure %s: caching vs no caching for %s (single instance, p=4, l=1)", id, kind),
+			YLabel: "time per request",
+		}
+		start := time.Now()
+		var caching, noCaching Series
+		caching.Label = "Caching"
+		noCaching.Label = "No Caching"
+		for _, d := range SmallRequestSizes {
+			mb := mbParams(o, 1, 4, d, read, 1.0, 0)
+			withCache, err := runConfig(o, mb, true, simcluster.SameNodes(1, 4), 4)
+			if err != nil {
+				return nil, fmt.Errorf("figure %s d=%d caching: %w", id, d, err)
+			}
+			without, err := runConfig(o, mb, false, simcluster.SameNodes(1, 4), 4)
+			if err != nil {
+				return nil, fmt.Errorf("figure %s d=%d no-caching: %w", id, d, err)
+			}
+			caching.Points = append(caching.Points, Point{
+				RequestSize: d, Value: perRequest(withCache),
+				Hits: withCache.Hits, Misses: withCache.Misses, Joins: withCache.Joins,
+			})
+			noCaching.Points = append(noCaching.Points, Point{RequestSize: d, Value: perRequest(without)})
+		}
+		fig.Series = []Series{caching, noCaching}
+		fig.Duration = time.Since(start)
+		fig.Notes = "Expected shape: substantial caching benefit for both reads and writes, growing with request size."
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// SharingDegrees is the s-axis of Figures 6-8.
+var SharingDegrees = []float64{0.25, 0.50, 0.75, 1.00}
+
+// Localities is the per-panel l value of Figures 6-8.
+var Localities = []float64{0, 0.5, 1.0}
+
+// figureSharing implements Figures 6 and 7: two instances multiprogrammed
+// on the same p nodes, total application time versus request size, one
+// caching series per sharing degree plus the no-caching baseline. One
+// Figure is returned per locality panel (a, b, c).
+func figureSharing(o Options, figNum string, p int) ([]Figure, error) {
+	o.fill()
+	out := make([]Figure, 0, len(Localities))
+	for li, l := range Localities {
+		fig := Figure{
+			ID:     fmt.Sprintf("%s%c", figNum, 'a'+li),
+			Title:  fmt.Sprintf("Figure %s(%c): two instances reading, p=%d, l=%v", figNum, 'a'+li, p, l),
+			YLabel: "total time",
+		}
+		start := time.Now()
+		for _, s := range SharingDegrees {
+			series := Series{Label: fmt.Sprintf("Caching(%d%% sharing)", int(s*100))}
+			for _, d := range RequestSizes {
+				mb := mbParams(o, 2, p, d, true, l, s)
+				res, err := runConfig(o, mb, true, simcluster.SameNodes(2, p), p)
+				if err != nil {
+					return nil, fmt.Errorf("figure %s l=%v s=%v d=%d: %w", figNum, l, s, d, err)
+				}
+				series.Points = append(series.Points, Point{
+					RequestSize: d, Value: total(res),
+					Hits: res.Hits, Misses: res.Misses, Joins: res.Joins,
+				})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		baseline := Series{Label: "No Caching"}
+		for _, d := range RequestSizes {
+			mb := mbParams(o, 2, p, d, true, l, 0.5) // sharing is irrelevant without caching
+			res, err := runConfig(o, mb, false, simcluster.SameNodes(2, p), p)
+			if err != nil {
+				return nil, fmt.Errorf("figure %s baseline l=%v d=%d: %w", figNum, l, d, err)
+			}
+			baseline.Points = append(baseline.Points, Point{RequestSize: d, Value: total(res)})
+		}
+		fig.Series = append(fig.Series, baseline)
+		fig.Duration = time.Since(start)
+		fig.Notes = "Expected shape: caching beats no-caching for nearly all sharing degrees even at l=0; higher sharing and higher locality widen the gap."
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Figure6 reproduces Figure 6 (two instances, p=4).
+func Figure6(o Options) ([]Figure, error) { return figureSharing(o, "6", 4) }
+
+// Figure7 reproduces Figure 7 (two instances, p=2).
+func Figure7(o Options) ([]Figure, error) { return figureSharing(o, "7", 2) }
+
+// Figure8 reproduces Figure 8: can caching compensate for loss of
+// parallelism? Two instances on p=3 nodes: caching co-located (3 nodes)
+// versus no-caching co-located (3 nodes) versus no-caching spread
+// (6 nodes).
+func Figure8(o Options) ([]Figure, error) {
+	o.fill()
+	const p = 3
+	out := make([]Figure, 0, len(Localities))
+	for li, l := range Localities {
+		fig := Figure{
+			ID:     fmt.Sprintf("8%c", 'a'+li),
+			Title:  fmt.Sprintf("Figure 8(%c): caching vs parallelism, p=%d, l=%v", 'a'+li, p, l),
+			YLabel: "total time",
+		}
+		start := time.Now()
+		for _, s := range SharingDegrees {
+			series := Series{Label: fmt.Sprintf("Caching(%d%% sharing)", int(s*100))}
+			for _, d := range RequestSizes {
+				mb := mbParams(o, 2, p, d, true, l, s)
+				res, err := runConfig(o, mb, true, simcluster.SameNodes(2, p), p)
+				if err != nil {
+					return nil, fmt.Errorf("figure 8 l=%v s=%v d=%d: %w", l, s, d, err)
+				}
+				series.Points = append(series.Points, Point{
+					RequestSize: d, Value: total(res),
+					Hits: res.Hits, Misses: res.Misses, Joins: res.Joins,
+				})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		for _, spread := range []bool{false, true} {
+			label := "No Caching (2 apps on same 3 nodes)"
+			pl := simcluster.SameNodes(2, p)
+			nodes := p
+			if spread {
+				label = "No Caching (2 apps on different nodes, 6 total)"
+				pl = simcluster.DisjointNodes(2, p)
+				nodes = 2 * p
+			}
+			series := Series{Label: label}
+			for _, d := range RequestSizes {
+				mb := mbParams(o, 2, p, d, true, l, 0.5)
+				res, err := runConfig(o, mb, false, pl, nodes)
+				if err != nil {
+					return nil, fmt.Errorf("figure 8 baseline spread=%v l=%v d=%d: %w", spread, l, d, err)
+				}
+				series.Points = append(series.Points, Point{RequestSize: d, Value: total(res)})
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		fig.Duration = time.Since(start)
+		switch l {
+		case 0:
+			fig.Notes = "Expected shape: spreading wins at l=0 (parallelism beats inter-application caching), but caching still beats no-caching on the same nodes."
+		case 0.5:
+			fig.Notes = "Expected shape: caching partially offsets the parallelism loss."
+		default:
+			fig.Notes = "Expected shape: caching fully offsets the parallelism loss — co-located caching beats even the spread placement."
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// AblationEviction compares the clock (approximate LRU) policy against
+// exact LRU on the Figure 6 workload (DESIGN.md experiment A1).
+func AblationEviction(o Options) (Figure, error) {
+	o.fill()
+	fig := Figure{
+		ID:     "A1",
+		Title:  "Ablation: clock (approximate LRU) vs exact LRU eviction (2 instances, p=4, l=0.5, s=50%)",
+		YLabel: "total time",
+	}
+	start := time.Now()
+	for _, pol := range []buffer.Policy{buffer.PolicyClock, buffer.PolicyLRU} {
+		series := Series{Label: "Policy " + pol.String()}
+		params := o.params()
+		params.Policy = pol
+		po := o
+		po.Params = &params
+		for _, d := range RequestSizes {
+			mb := mbParams(o, 2, 4, d, true, 0.5, 0.5)
+			res, err := runConfig(po, mb, true, simcluster.SameNodes(2, 4), 4)
+			if err != nil {
+				return fig, err
+			}
+			series.Points = append(series.Points, Point{
+				RequestSize: d, Value: total(res),
+				Hits: res.Hits, Misses: res.Misses, Joins: res.Joins,
+			})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	fig.Duration = time.Since(start)
+	fig.Notes = "Expected shape: near-identical times — the approximate policy loses little hit ratio, which is why the paper chose it over exact LRU's per-access overhead."
+	return fig, nil
+}
+
+// AblationFlushPeriod sweeps the flusher period on the Figure 4(b) write
+// workload (DESIGN.md experiment A2).
+func AblationFlushPeriod(o Options) (Figure, error) {
+	o.fill()
+	fig := Figure{
+		ID:     "A2",
+		Title:  "Ablation: flusher period on the write workload (single instance, p=4, l=0)",
+		YLabel: "time per request",
+	}
+	start := time.Now()
+	for _, period := range []time.Duration{100 * time.Millisecond, time.Second, 10 * time.Second} {
+		series := Series{Label: fmt.Sprintf("FlushPeriod=%v", period)}
+		params := o.params()
+		params.FlushPeriod = period
+		po := o
+		po.Params = &params
+		for _, d := range RequestSizes {
+			mb := mbParams(o, 1, 4, d, false, 0, 0)
+			res, err := runConfig(po, mb, true, simcluster.SameNodes(1, 4), 4)
+			if err != nil {
+				return fig, err
+			}
+			series.Points = append(series.Points, Point{RequestSize: d, Value: perRequest(res)})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	fig.Duration = time.Since(start)
+	fig.Notes = "Expected shape: the period matters little until the cache fills; pressure-driven flushing dominates at large d."
+	return fig, nil
+}
+
+// AblationWatermarks sweeps the harvester watermarks on the Figure 5 read
+// workload (DESIGN.md experiment A3).
+func AblationWatermarks(o Options) (Figure, error) {
+	o.fill()
+	fig := Figure{
+		ID:     "A3",
+		Title:  "Ablation: harvester watermarks on the l=1 read workload (single instance, p=4)",
+		YLabel: "time per request",
+	}
+	start := time.Now()
+	type wm struct{ low, high int }
+	for _, w := range []wm{{10, 25}, {30, 75}, {100, 200}} {
+		series := Series{Label: fmt.Sprintf("low=%d high=%d", w.low, w.high)}
+		params := o.params()
+		params.LowWater, params.HighWater = w.low, w.high
+		po := o
+		po.Params = &params
+		for _, d := range SmallRequestSizes {
+			mb := mbParams(o, 1, 4, d, true, 1.0, 0)
+			res, err := runConfig(po, mb, true, simcluster.SameNodes(1, 4), 4)
+			if err != nil {
+				return fig, err
+			}
+			series.Points = append(series.Points, Point{
+				RequestSize: d, Value: perRequest(res),
+				Hits: res.Hits, Misses: res.Misses,
+			})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	fig.Duration = time.Since(start)
+	fig.Notes = "Expected shape: aggressive harvesting (high watermarks) evicts blocks the l=1 workload is about to re-touch, lowering the hit ratio; modest watermarks are safe."
+	return fig, nil
+}
+
+// All regenerates every figure and ablation.
+func All(o Options) ([]Figure, error) {
+	o.fill()
+	var out []Figure
+	for _, gen := range []func(Options) ([]Figure, error){Figure4, Figure5, Figure6, Figure7, Figure8} {
+		figs, err := gen(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, figs...)
+	}
+	for _, gen := range []func(Options) (Figure, error){AblationEviction, AblationFlushPeriod, AblationWatermarks} {
+		fig, err := gen(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Render formats a figure as an aligned text table.
+func Render(fig Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", fig.Title)
+	fmt.Fprintf(&b, "y-axis: %s; x-axis: request size d (bytes)\n", fig.YLabel)
+
+	// Header row: request sizes.
+	sizes := make([]int64, 0)
+	if len(fig.Series) > 0 {
+		for _, pt := range fig.Series[0].Points {
+			sizes = append(sizes, pt.RequestSize)
+		}
+	}
+	labelWidth := 0
+	for _, s := range fig.Series {
+		if len(s.Label) > labelWidth {
+			labelWidth = len(s.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelWidth+2, "series")
+	for _, d := range sizes {
+		fmt.Fprintf(&b, "%12s", sizeLabel(d))
+	}
+	b.WriteString("\n")
+	for _, s := range fig.Series {
+		fmt.Fprintf(&b, "%-*s", labelWidth+2, s.Label)
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%12s", shortDuration(pt.Value))
+		}
+		b.WriteString("\n")
+	}
+	if fig.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", fig.Notes)
+	}
+	return b.String()
+}
+
+// RenderAll renders every figure separated by blank lines, sorted by ID.
+func RenderAll(figs []Figure) string {
+	sorted := make([]Figure, len(figs))
+	copy(sorted, figs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	var b strings.Builder
+	for i, f := range sorted {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(Render(f))
+	}
+	return b.String()
+}
+
+func sizeLabel(d int64) string {
+	switch {
+	case d >= 1<<20 && d%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", d>>20)
+	case d >= 1<<10 && d%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", d>>10)
+	default:
+		return fmt.Sprintf("%dB", d)
+	}
+}
+
+func shortDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}

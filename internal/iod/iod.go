@@ -1,0 +1,355 @@
+// Package iod implements the PVFS I/O daemon: the per-node data server
+// that stores file strips and answers read/write requests from libpvfs
+// clients. In addition to the plain PVFS data port, the daemon carries the
+// two server-side pieces the paper adds:
+//
+//   - a separate flush port, served by the "server version of the flusher
+//     thread", which accepts batched dirty-block flushes from the per-node
+//     cache modules and writes them with local file-system calls; and
+//   - a per-block coherence directory used by sync-writes: the directory
+//     records which client caches hold a copy of each block, and a
+//     sync-write invalidates every other holder before it is acknowledged.
+package iod
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/simdisk"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// Server is one I/O daemon.
+type Server struct {
+	id        int
+	blockSize int
+	store     *simdisk.Store
+	reg       *metrics.Registry
+	network   transport.Network
+
+	mu      sync.Mutex
+	clients map[uint32]string              // client id -> invalidation listener address
+	inval   map[uint32]*invalChannel       // lazily dialed invalidation connections
+	dir     map[blockio.BlockKey]holderSet // coherence directory
+
+	observer AccessObserver
+}
+
+// AccessObserver receives one callback per block touched by client
+// traffic. It feeds the sharing-pattern classifier (internal/sharing) —
+// the paper's "classify different sharing patterns" ongoing-work item.
+// Callbacks run on request-serving goroutines and must be fast and
+// thread-safe.
+type AccessObserver func(client uint32, file blockio.FileID, block int64, write bool)
+
+type holderSet map[uint32]struct{}
+
+// invalChannel serializes invalidation round trips to one client.
+type invalChannel struct {
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
+// New returns an iod with the given index in the cluster's iod list.
+// network is used to dial client invalidation listeners; it may be nil when
+// sync-writes are not used. reg may be nil.
+func New(id int, blockSize int, network transport.Network, reg *metrics.Registry) *Server {
+	if blockSize <= 0 {
+		blockSize = blockio.DefaultBlockSize
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Server{
+		id:        id,
+		blockSize: blockSize,
+		store:     simdisk.NewStore(),
+		reg:       reg,
+		network:   network,
+		clients:   make(map[uint32]string),
+		inval:     make(map[uint32]*invalChannel),
+		dir:       make(map[blockio.BlockKey]holderSet),
+	}
+}
+
+// ID returns the daemon's index in the cluster iod list.
+func (s *Server) ID() int { return s.id }
+
+// Store exposes the daemon's backing store (tests and the simulator seed
+// data through it).
+func (s *Server) Store() *simdisk.Store { return s.store }
+
+// ServeData accepts data-port connections until the listener closes.
+func (s *Server) ServeData(l transport.Listener) error { return s.serve(l, s.handleData) }
+
+// ServeFlush accepts flush-port connections until the listener closes.
+// This is the server half of the flusher protocol.
+func (s *Server) ServeFlush(l transport.Listener) error { return s.serve(l, s.handleFlush) }
+
+func (s *Server) serve(l transport.Listener, handler func(wire.Message) wire.Message) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				msg, err := wire.ReadMessage(conn)
+				if err != nil {
+					return
+				}
+				resp := handler(msg)
+				if resp == nil {
+					return
+				}
+				if err := wire.WriteMessage(conn, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// handleData dispatches one data-port request.
+func (s *Server) handleData(msg wire.Message) wire.Message {
+	switch m := msg.(type) {
+	case *wire.Read:
+		return s.read(m)
+	case *wire.Write:
+		return s.write(m)
+	case *wire.SyncWrite:
+		return s.syncWrite(m)
+	case *wire.Register:
+		s.RegisterClient(m.Client, m.Addr)
+		return &wire.RegisterAck{Status: wire.StatusOK}
+	default:
+		return nil
+	}
+}
+
+// handleFlush dispatches one flush-port request.
+func (s *Server) handleFlush(msg wire.Message) wire.Message {
+	m, ok := msg.(*wire.Flush)
+	if !ok {
+		return nil
+	}
+	return s.flush(m)
+}
+
+// SetObserver installs the access observer. Call before serving traffic.
+func (s *Server) SetObserver(obs AccessObserver) { s.observer = obs }
+
+// observe reports every block of a range to the observer, if any.
+func (s *Server) observe(client uint32, file blockio.FileID, off, length int64, write bool) {
+	if s.observer == nil || client == 0 {
+		return
+	}
+	first, count := blockio.BlockRange(off, length, s.blockSize)
+	for i := int64(0); i < count; i++ {
+		s.observer(client, file, first+i, write)
+	}
+}
+
+// RegisterClient records the invalidation address for a client cache.
+// Re-registering replaces the address and drops any cached connection.
+func (s *Server) RegisterClient(client uint32, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clients[client] = addr
+	if ch := s.inval[client]; ch != nil {
+		ch.mu.Lock()
+		if ch.conn != nil {
+			ch.conn.Close()
+			ch.conn = nil
+		}
+		ch.mu.Unlock()
+	}
+	delete(s.inval, client)
+}
+
+func (s *Server) read(m *wire.Read) *wire.ReadResp {
+	if m.Length < 0 || m.Length > wire.MaxMessageSize/2 {
+		return &wire.ReadResp{Status: wire.StatusBadRequest}
+	}
+	buf := make([]byte, m.Length)
+	n := s.store.ReadAt(m.File, m.Offset, buf)
+	s.reg.Counter("iod.reads").Inc()
+	s.reg.Counter("iod.read_bytes").Add(int64(n))
+	if m.Track && m.Client != 0 {
+		s.trackHolders(m.Client, m.File, m.Offset, m.Length)
+	}
+	s.observe(m.Client, m.File, m.Offset, m.Length, false)
+	return &wire.ReadResp{Status: wire.StatusOK, Data: buf[:n]}
+}
+
+func (s *Server) write(m *wire.Write) *wire.WriteAck {
+	s.store.WriteAt(m.File, m.Offset, m.Data)
+	s.reg.Counter("iod.writes").Inc()
+	s.reg.Counter("iod.write_bytes").Add(int64(len(m.Data)))
+	s.observe(m.Client, m.File, m.Offset, int64(len(m.Data)), true)
+	return &wire.WriteAck{Status: wire.StatusOK}
+}
+
+func (s *Server) flush(m *wire.Flush) *wire.FlushAck {
+	for _, blk := range m.Blocks {
+		s.store.WriteAt(m.File, blk.Index*int64(s.blockSize)+int64(blk.Off), blk.Data)
+		// Flushed blocks stay resident (clean) in the flusher's cache.
+		if m.Client != 0 {
+			s.addHolder(m.Client, blockio.BlockKey{File: m.File, Index: blk.Index})
+		}
+	}
+	s.reg.Counter("iod.flushes").Inc()
+	s.reg.Counter("iod.flush_blocks").Add(int64(len(m.Blocks)))
+	if s.observer != nil && m.Client != 0 {
+		for _, blk := range m.Blocks {
+			s.observer(m.Client, m.File, blk.Index, true)
+		}
+	}
+	return &wire.FlushAck{Status: wire.StatusOK}
+}
+
+// syncWrite performs the paper's coherent write: persist, then invalidate
+// every other cache holding any touched block, then acknowledge.
+func (s *Server) syncWrite(m *wire.SyncWrite) *wire.SyncWriteAck {
+	s.store.WriteAt(m.File, m.Offset, m.Data)
+	s.reg.Counter("iod.sync_writes").Inc()
+	s.observe(m.Client, m.File, m.Offset, int64(len(m.Data)), true)
+
+	victims := s.collectVictims(m.Client, m.File, m.Offset, int64(len(m.Data)))
+	invalidated := uint32(0)
+	for client, indices := range victims {
+		if err := s.sendInvalidate(client, m.File, indices); err == nil {
+			invalidated++
+		}
+		// Whether or not delivery succeeded, the directory entry is gone:
+		// an unreachable cache is treated as departed.
+	}
+	// The writer keeps a current copy.
+	if m.Client != 0 {
+		s.trackHolders(m.Client, m.File, m.Offset, int64(len(m.Data)))
+	}
+	return &wire.SyncWriteAck{Status: wire.StatusOK, Invalidated: invalidated}
+}
+
+// trackHolders registers client as a holder of every block in the range.
+func (s *Server) trackHolders(client uint32, file blockio.FileID, off, length int64) {
+	first, count := blockio.BlockRange(off, length, s.blockSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := int64(0); i < count; i++ {
+		key := blockio.BlockKey{File: file, Index: first + i}
+		hs := s.dir[key]
+		if hs == nil {
+			hs = make(holderSet)
+			s.dir[key] = hs
+		}
+		hs[client] = struct{}{}
+	}
+}
+
+func (s *Server) addHolder(client uint32, key blockio.BlockKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hs := s.dir[key]
+	if hs == nil {
+		hs = make(holderSet)
+		s.dir[key] = hs
+	}
+	hs[client] = struct{}{}
+}
+
+// collectVictims removes every holder other than writer from the directory
+// entries covering the range and returns them grouped by client.
+func (s *Server) collectVictims(writer uint32, file blockio.FileID, off, length int64) map[uint32][]int64 {
+	first, count := blockio.BlockRange(off, length, s.blockSize)
+	victims := make(map[uint32][]int64)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := int64(0); i < count; i++ {
+		key := blockio.BlockKey{File: file, Index: first + i}
+		for client := range s.dir[key] {
+			if client == writer {
+				continue
+			}
+			victims[client] = append(victims[client], key.Index)
+			delete(s.dir[key], client)
+		}
+		if len(s.dir[key]) == 0 {
+			delete(s.dir, key)
+		}
+	}
+	return victims
+}
+
+// Holders returns the clients the directory currently records for a block
+// (test hook).
+func (s *Server) Holders(key blockio.BlockKey) []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []uint32
+	for c := range s.dir[key] {
+		out = append(out, c)
+	}
+	return out
+}
+
+// sendInvalidate delivers one Invalidate round trip to a client cache.
+func (s *Server) sendInvalidate(client uint32, file blockio.FileID, indices []int64) error {
+	ch, addr, err := s.invalChannelFor(client)
+	if err != nil {
+		return err
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.conn == nil {
+		if s.network == nil {
+			return fmt.Errorf("iod %d: no network to reach client %d", s.id, client)
+		}
+		conn, err := s.network.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("iod %d: dialing invalidation listener of client %d: %w", s.id, client, err)
+		}
+		ch.conn = conn
+	}
+	if err := wire.WriteMessage(ch.conn, &wire.Invalidate{File: file, Indices: indices}); err != nil {
+		ch.conn.Close()
+		ch.conn = nil
+		return err
+	}
+	resp, err := wire.ReadMessage(ch.conn)
+	if err != nil {
+		ch.conn.Close()
+		ch.conn = nil
+		return err
+	}
+	if _, ok := resp.(*wire.InvalidAck); !ok {
+		ch.conn.Close()
+		ch.conn = nil
+		return fmt.Errorf("iod %d: unexpected invalidation reply %v", s.id, resp.WireType())
+	}
+	s.reg.Counter("iod.invalidations").Inc()
+	return nil
+}
+
+func (s *Server) invalChannelFor(client uint32) (*invalChannel, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, ok := s.clients[client]
+	if !ok {
+		return nil, "", fmt.Errorf("iod %d: client %d not registered", s.id, client)
+	}
+	ch := s.inval[client]
+	if ch == nil {
+		ch = &invalChannel{}
+		s.inval[client] = ch
+	}
+	return ch, addr, nil
+}

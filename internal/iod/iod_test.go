@@ -1,0 +1,305 @@
+package iod
+
+import (
+	"bytes"
+	"testing"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// testDaemon starts an iod with data and flush listeners on a fresh
+// in-memory network and returns a dialer helper.
+func testDaemon(t *testing.T) (*Server, transport.Network, string, string) {
+	t.Helper()
+	net := transport.NewMem()
+	s := New(0, 4096, net, metrics.NewRegistry())
+	dl, err := net.Listen("iod-data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := net.Listen("iod-flush")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeData(dl)
+	go s.ServeFlush(fl)
+	t.Cleanup(func() { dl.Close(); fl.Close() })
+	return s, net, "iod-data", "iod-flush"
+}
+
+func call(t *testing.T, conn transport.Conn, req wire.Message) wire.Message {
+	t.Helper()
+	if err := wire.WriteMessage(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestWriteThenRead(t *testing.T) {
+	_, net, data, _ := testDaemon(t)
+	conn, err := net.Dial(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := bytes.Repeat([]byte{0x42}, 1000)
+	wa := call(t, conn, &wire.Write{Client: 1, File: 7, Offset: 500, Data: payload}).(*wire.WriteAck)
+	if wa.Status != wire.StatusOK {
+		t.Fatalf("write status %d", wa.Status)
+	}
+	rr := call(t, conn, &wire.Read{Client: 1, File: 7, Offset: 500, Length: 1000}).(*wire.ReadResp)
+	if rr.Status != wire.StatusOK || !bytes.Equal(rr.Data, payload) {
+		t.Fatalf("read: status=%d len=%d", rr.Status, len(rr.Data))
+	}
+}
+
+func TestReadShortPastEnd(t *testing.T) {
+	_, net, data, _ := testDaemon(t)
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	call(t, conn, &wire.Write{File: 1, Offset: 0, Data: []byte("abc")})
+	rr := call(t, conn, &wire.Read{File: 1, Offset: 0, Length: 100}).(*wire.ReadResp)
+	if len(rr.Data) != 3 {
+		t.Fatalf("short read returned %d bytes", len(rr.Data))
+	}
+	rr = call(t, conn, &wire.Read{File: 1, Offset: 50, Length: 10}).(*wire.ReadResp)
+	if len(rr.Data) != 0 {
+		t.Fatalf("read past end returned %d bytes", len(rr.Data))
+	}
+}
+
+func TestReadRejectsBadLength(t *testing.T) {
+	_, net, data, _ := testDaemon(t)
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	rr := call(t, conn, &wire.Read{File: 1, Offset: 0, Length: -5}).(*wire.ReadResp)
+	if rr.Status != wire.StatusBadRequest {
+		t.Fatalf("negative length status %d", rr.Status)
+	}
+}
+
+func TestFlushPortWritesBlocks(t *testing.T) {
+	s, net, _, flush := testDaemon(t)
+	conn, _ := net.Dial(flush)
+	defer conn.Close()
+
+	fa := call(t, conn, &wire.Flush{
+		Client: 3,
+		File:   9,
+		Blocks: []wire.FlushBlock{
+			{Index: 0, Off: 0, Data: bytes.Repeat([]byte{1}, 4096)},
+			{Index: 2, Off: 100, Data: []byte("partial")},
+		},
+	}).(*wire.FlushAck)
+	if fa.Status != wire.StatusOK {
+		t.Fatalf("flush status %d", fa.Status)
+	}
+	buf := make([]byte, 4096)
+	if n := s.Store().ReadAt(9, 0, buf); n != 4096 || buf[0] != 1 {
+		t.Fatalf("block 0 not stored: n=%d", n)
+	}
+	got := make([]byte, 7)
+	s.Store().ReadAt(9, 2*4096+100, got)
+	if string(got) != "partial" {
+		t.Fatalf("partial flush stored %q", got)
+	}
+	// Flushed blocks register the client as a holder.
+	holders := s.Holders(blockio.BlockKey{File: 9, Index: 0})
+	if len(holders) != 1 || holders[0] != 3 {
+		t.Fatalf("holders = %v", holders)
+	}
+}
+
+func TestFlushPortRejectsDataMessages(t *testing.T) {
+	_, net, _, flush := testDaemon(t)
+	conn, _ := net.Dial(flush)
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, &wire.Read{File: 1, Length: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadMessage(conn); err == nil {
+		t.Fatal("flush port served a data message")
+	}
+}
+
+func TestTrackOnlyWhenRequested(t *testing.T) {
+	s, net, data, _ := testDaemon(t)
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	call(t, conn, &wire.Write{File: 4, Offset: 0, Data: make([]byte, 8192)})
+
+	call(t, conn, &wire.Read{Client: 5, File: 4, Offset: 0, Length: 4096, Track: false})
+	if h := s.Holders(blockio.BlockKey{File: 4, Index: 0}); len(h) != 0 {
+		t.Fatalf("untracked read registered holders %v", h)
+	}
+	call(t, conn, &wire.Read{Client: 5, File: 4, Offset: 0, Length: 8192, Track: true})
+	if h := s.Holders(blockio.BlockKey{File: 4, Index: 1}); len(h) != 1 || h[0] != 5 {
+		t.Fatalf("tracked read holders %v", h)
+	}
+	// Anonymous clients (id 0) are never tracked.
+	call(t, conn, &wire.Read{Client: 0, File: 4, Offset: 0, Length: 4096, Track: true})
+	for _, h := range s.Holders(blockio.BlockKey{File: 4, Index: 0}) {
+		if h == 0 {
+			t.Fatal("anonymous client tracked")
+		}
+	}
+}
+
+// invalListener runs a minimal client-side invalidation handler and
+// records what it was asked to drop.
+func invalListener(t *testing.T, net transport.Network, addr string) *[]int64 {
+	t.Helper()
+	l, err := net.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var got []int64
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					msg, err := wire.ReadMessage(conn)
+					if err != nil {
+						return
+					}
+					inv, ok := msg.(*wire.Invalidate)
+					if !ok {
+						return
+					}
+					got = append(got, inv.Indices...)
+					if err := wire.WriteMessage(conn, &wire.InvalidAck{Status: wire.StatusOK}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return &got
+}
+
+func TestSyncWriteInvalidatesOtherHolders(t *testing.T) {
+	s, net, data, _ := testDaemon(t)
+	dropped := invalListener(t, net, "client2-inval")
+	s.RegisterClient(2, "client2-inval")
+
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	call(t, conn, &wire.Write{File: 6, Offset: 0, Data: make([]byte, 8192)})
+	// Client 2 reads blocks 0 and 1 with tracking.
+	call(t, conn, &wire.Read{Client: 2, File: 6, Offset: 0, Length: 8192, Track: true})
+
+	// Client 1 sync-writes block 0: client 2 must be invalidated.
+	ack := call(t, conn, &wire.SyncWrite{Client: 1, File: 6, Offset: 0, Data: make([]byte, 4096)}).(*wire.SyncWriteAck)
+	if ack.Status != wire.StatusOK {
+		t.Fatalf("sync write status %d", ack.Status)
+	}
+	if ack.Invalidated != 1 {
+		t.Fatalf("invalidated %d caches, want 1", ack.Invalidated)
+	}
+	if len(*dropped) != 1 || (*dropped)[0] != 0 {
+		t.Fatalf("client 2 asked to drop %v, want [0]", *dropped)
+	}
+	// Block 1 was untouched: client 2 still holds it.
+	if h := s.Holders(blockio.BlockKey{File: 6, Index: 1}); len(h) != 1 || h[0] != 2 {
+		t.Fatalf("block 1 holders %v", h)
+	}
+	// Block 0: the writer is now the holder.
+	h := s.Holders(blockio.BlockKey{File: 6, Index: 0})
+	if len(h) != 1 || h[0] != 1 {
+		t.Fatalf("block 0 holders %v", h)
+	}
+}
+
+func TestSyncWriteByHolderDoesNotSelfInvalidate(t *testing.T) {
+	s, net, data, _ := testDaemon(t)
+	dropped := invalListener(t, net, "client7-inval")
+	s.RegisterClient(7, "client7-inval")
+
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	call(t, conn, &wire.Write{File: 2, Offset: 0, Data: make([]byte, 4096)})
+	call(t, conn, &wire.Read{Client: 7, File: 2, Offset: 0, Length: 4096, Track: true})
+	ack := call(t, conn, &wire.SyncWrite{Client: 7, File: 2, Offset: 0, Data: make([]byte, 4096)}).(*wire.SyncWriteAck)
+	if ack.Invalidated != 0 {
+		t.Fatalf("writer invalidated itself: %d", ack.Invalidated)
+	}
+	if len(*dropped) != 0 {
+		t.Fatalf("writer received invalidations %v", *dropped)
+	}
+}
+
+func TestSyncWriteUnreachableClientDegradesGracefully(t *testing.T) {
+	s, net, data, _ := testDaemon(t)
+	s.RegisterClient(9, "nowhere") // never listening
+
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	call(t, conn, &wire.Read{Client: 9, File: 3, Offset: 0, Length: 4096, Track: true})
+	ack := call(t, conn, &wire.SyncWrite{Client: 1, File: 3, Offset: 0, Data: make([]byte, 4096)}).(*wire.SyncWriteAck)
+	if ack.Status != wire.StatusOK {
+		t.Fatalf("sync write should succeed despite unreachable cache: %d", ack.Status)
+	}
+	if ack.Invalidated != 0 {
+		t.Fatalf("invalidated = %d", ack.Invalidated)
+	}
+	// The departed cache is dropped from the directory.
+	if h := s.Holders(blockio.BlockKey{File: 3, Index: 0}); len(h) != 1 || h[0] != 1 {
+		t.Fatalf("holders = %v", h)
+	}
+}
+
+func TestRegisterClientReplacesAddress(t *testing.T) {
+	s, net, data, _ := testDaemon(t)
+	// Register at a dead address first, then re-register at a live one.
+	s.RegisterClient(4, "dead")
+	dropped := invalListener(t, net, "live")
+	s.RegisterClient(4, "live")
+
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	call(t, conn, &wire.Read{Client: 4, File: 1, Offset: 0, Length: 4096, Track: true})
+	ack := call(t, conn, &wire.SyncWrite{Client: 1, File: 1, Offset: 0, Data: make([]byte, 4096)}).(*wire.SyncWriteAck)
+	if ack.Invalidated != 1 {
+		t.Fatalf("invalidated = %d", ack.Invalidated)
+	}
+	if len(*dropped) != 1 {
+		t.Fatalf("live listener got %v", *dropped)
+	}
+}
+
+func TestDefaultBlockSizeApplied(t *testing.T) {
+	s := New(0, 0, nil, nil)
+	if s.blockSize != blockio.DefaultBlockSize {
+		t.Errorf("block size = %d", s.blockSize)
+	}
+}
+
+func TestRegisterOverWire(t *testing.T) {
+	s, net, data, _ := testDaemon(t)
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	ra := call(t, conn, &wire.Register{Client: 11, Addr: "somewhere"}).(*wire.RegisterAck)
+	if ra.Status != wire.StatusOK {
+		t.Fatalf("register status %d", ra.Status)
+	}
+	s.mu.Lock()
+	addr := s.clients[11]
+	s.mu.Unlock()
+	if addr != "somewhere" {
+		t.Fatalf("registered addr %q", addr)
+	}
+}

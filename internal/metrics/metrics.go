@@ -1,0 +1,290 @@
+// Package metrics provides the lightweight counters, gauges and histograms
+// used by every component of the system: the buffer manager counts hits and
+// misses, the iods count serviced bytes, the flusher counts flush rounds,
+// and the simulator exports virtual-time latencies.
+//
+// A Registry is safe for concurrent use. Counters and gauges are lock-free;
+// histograms take a short mutex. Snapshots are cheap and used by tests and
+// the experiment harness to diff activity across a run.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta. Negative deltas are rejected.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative delta on counter")
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a 64-bit value that can move in both directions.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into power-of-two buckets.
+// Bucket i counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts
+// v <= 1). It also tracks sum, count, min and max exactly.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one observation. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+func bucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return 64 - int(leadingZeros64(uint64(v-1)))
+}
+
+func leadingZeros64(x uint64) uint {
+	if x == 0 {
+		return 64
+	}
+	n := uint(0)
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// the bucket boundaries. It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			return 1 << uint(i)
+		}
+	}
+	return h.max
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of counter and gauge values plus
+// histogram counts.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	HistCounts map[string]int64
+	HistSums   map[string]int64
+}
+
+// Snapshot captures the current values of every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		HistCounts: make(map[string]int64, len(r.histograms)),
+		HistSums:   make(map[string]int64, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.HistCounts[name] = h.Count()
+		s.HistSums[name] = h.Sum()
+	}
+	return s
+}
+
+// Diff returns the counter deltas between an earlier snapshot and this one.
+// Counters absent from the earlier snapshot are treated as starting at zero.
+func (s Snapshot) Diff(earlier Snapshot) map[string]int64 {
+	out := make(map[string]int64, len(s.Counters))
+	for name, v := range s.Counters {
+		out[name] = v - earlier.Counters[name]
+	}
+	return out
+}
+
+// String renders the snapshot sorted by metric name, one per line.
+func (s Snapshot) String() string {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, "counter/"+n)
+	}
+	for n := range s.Gauges {
+		names = append(names, "gauge/"+n)
+	}
+	for n := range s.HistCounts {
+		names = append(names, "hist/"+n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, "counter/"):
+			fmt.Fprintf(&b, "%s = %d\n", n, s.Counters[strings.TrimPrefix(n, "counter/")])
+		case strings.HasPrefix(n, "gauge/"):
+			fmt.Fprintf(&b, "%s = %d\n", n, s.Gauges[strings.TrimPrefix(n, "gauge/")])
+		default:
+			base := strings.TrimPrefix(n, "hist/")
+			fmt.Fprintf(&b, "%s: count=%d sum=%d\n", n, s.HistCounts[base], s.HistSums[base])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative delta")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("value = %d, want 7", g.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("value = %d, want 16000", c.Value())
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106 {
+		t.Errorf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 26.5 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-10)
+	if h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Error("negative observation should clamp to zero")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	// Median of 1..100 lies in bucket covering 64; the bound must be >= 50
+	// and a power of two.
+	q := h.Quantile(0.5)
+	if q < 50 {
+		t.Errorf("median bound %d < 50", q)
+	}
+	if h.Quantile(0) < 1 {
+		t.Error("q=0 should return at least 1")
+	}
+	if h.Quantile(1) < 100 {
+		t.Errorf("q=1 bound %d < max", h.Quantile(1))
+	}
+	// Out-of-range q values are clamped, not panics.
+	_ = h.Quantile(-1)
+	_ = h.Quantile(2)
+}
+
+// Property: bucketFor returns a bucket whose bound covers v.
+func TestBucketForProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		b := bucketFor(v)
+		if b < 0 || b >= 64 {
+			return false
+		}
+		bound := int64(1) << uint(b)
+		if v > bound {
+			return false
+		}
+		if b > 0 {
+			lower := int64(1) << uint(b-1)
+			return v > lower
+		}
+		return v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits")
+	b := r.Counter("hits")
+	if a != b {
+		t.Error("same name should return same counter")
+	}
+	a.Inc()
+	if r.Counter("hits").Value() != 1 {
+		t.Error("counter state lost")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("gauge identity")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("histogram identity")
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads").Add(10)
+	r.Gauge("dirty").Set(3)
+	r.Histogram("lat").Observe(5)
+
+	before := r.Snapshot()
+	r.Counter("reads").Add(7)
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if d["reads"] != 7 {
+		t.Errorf("diff reads = %d, want 7", d["reads"])
+	}
+	if after.Gauges["dirty"] != 3 {
+		t.Errorf("gauge = %d", after.Gauges["dirty"])
+	}
+	if after.HistCounts["lat"] != 1 || after.HistSums["lat"] != 5 {
+		t.Error("histogram snapshot wrong")
+	}
+}
+
+func TestSnapshotDiffMissingEarlier(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Snapshot()
+	r.Counter("new").Add(4)
+	d := r.Snapshot().Diff(empty)
+	if d["new"] != 4 {
+		t.Errorf("diff new = %d", d["new"])
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(2)
+	s := r.Snapshot().String()
+	if !strings.Contains(s, "counter/a = 1") || !strings.Contains(s, "gauge/z = 2") {
+		t.Errorf("render:\n%s", s)
+	}
+	// sorted: a before b
+	if strings.Index(s, "counter/a") > strings.Index(s, "counter/b") {
+		t.Error("output not sorted")
+	}
+}

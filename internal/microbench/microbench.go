@@ -1,0 +1,209 @@
+// Package microbench generates the paper's customizable micro-benchmark
+// workload (§4.1): a parallel application in which processes on p nodes
+// issue read/write requests of size d against shared and private files,
+// with a controllable degree of locality l (the fraction of requests that
+// re-touch recently accessed data, ensuring a pre-specified cache hit
+// ratio) and a degree of inter-application data sharing s (the fraction of
+// requests that target a file shared between application instances).
+//
+// Each process accesses a distinct portion of every file — the completely
+// data-parallel mode the paper evaluates. The total amount of data
+// accessed per process is held constant, so larger request sizes mean
+// fewer file-system calls, exactly as in the paper's figures.
+package microbench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Params describes one experiment configuration.
+type Params struct {
+	// Instances is the degree of multiprogramming: the number of
+	// application instances (each instance runs one process per node).
+	Instances int
+	// Nodes is p: the number of nodes each instance is parallelized over.
+	Nodes int
+	// RequestSize is d: bytes per read/write call.
+	RequestSize int64
+	// TotalBytes is the amount of data each process accesses across the
+	// whole run; the loop count is TotalBytes/RequestSize.
+	TotalBytes int64
+	// Read selects reads (true) or writes (false).
+	Read bool
+	// Locality is l in [0,1]: the probability a request re-touches the
+	// previous request's data (a guaranteed cache hit in steady state).
+	Locality float64
+	// Sharing is s in [0,1]: the probability a request targets the shared
+	// file rather than the instance's private file.
+	Sharing float64
+	// FileSize is the size of each file (shared and private). A process's
+	// region within a file is FileSize/Nodes. The default (64 x RequestSize
+	// x loop fraction) is set by Validate when zero.
+	FileSize int64
+	// Seed drives the request mix; runs are deterministic per seed.
+	Seed int64
+}
+
+// Validate fills defaults and rejects inconsistent parameter sets.
+func (p *Params) Validate() error {
+	if p.Instances <= 0 {
+		p.Instances = 1
+	}
+	if p.Nodes <= 0 {
+		return fmt.Errorf("microbench: Nodes must be positive, got %d", p.Nodes)
+	}
+	if p.RequestSize <= 0 {
+		return fmt.Errorf("microbench: RequestSize must be positive, got %d", p.RequestSize)
+	}
+	if p.TotalBytes <= 0 {
+		p.TotalBytes = 4 << 20
+	}
+	if p.Locality < 0 || p.Locality > 1 {
+		return fmt.Errorf("microbench: Locality %v outside [0,1]", p.Locality)
+	}
+	if p.Sharing < 0 || p.Sharing > 1 {
+		return fmt.Errorf("microbench: Sharing %v outside [0,1]", p.Sharing)
+	}
+	if p.FileSize == 0 {
+		// Large enough that an l=0 walk cycles through far more data than
+		// the 1.2 MB node cache, so zero locality yields zero reuse.
+		p.FileSize = int64(p.Nodes) * 8 << 20
+	}
+	if p.FileSize/int64(p.Nodes) < p.RequestSize {
+		return fmt.Errorf("microbench: per-node region %d smaller than request size %d",
+			p.FileSize/int64(p.Nodes), p.RequestSize)
+	}
+	return nil
+}
+
+// Requests returns the loop count per process.
+func (p Params) Requests() int {
+	n := p.TotalBytes / p.RequestSize
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// SharedFile is the name of the file all instances share.
+const SharedFile = "mb/shared.dat"
+
+// PrivateFile names instance i's private file.
+func PrivateFile(instance int) string { return fmt.Sprintf("mb/private-%d.dat", instance) }
+
+// Request is one file-system call of the benchmark.
+type Request struct {
+	File   string
+	Offset int64
+	Length int64
+	Read   bool
+}
+
+// Stream produces the deterministic request sequence for the process of
+// the given instance running on the given node (0 <= node < Nodes).
+//
+// The process walks its own region of each file with a per-file cursor;
+// with probability Locality it re-issues the previous request instead
+// (touching data that is certainly cached in steady state), and with
+// probability Sharing a request goes to the shared file. Because every
+// instance's process on the same node walks the same region of the shared
+// file, instances genuinely share those blocks — the inter-application
+// locality the paper exploits.
+func (p Params) Stream(instance, node int) []Request {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if node < 0 || node >= p.Nodes {
+		panic(fmt.Sprintf("microbench: node %d out of range", node))
+	}
+	region := p.FileSize / int64(p.Nodes)
+	regionStart := int64(node) * region
+	// The seed depends on the node but NOT the instance: two instances of
+	// the micro-benchmark are two runs of the same program with the same
+	// parameters, so their pseudo-random request mixes are identical and
+	// their shared-file cursors advance in lockstep. Only the private file
+	// they touch differs. This is what makes the paper's degree-of-sharing
+	// knob effective: s of the request stream genuinely overlaps.
+	rnd := rand.New(rand.NewSource(p.Seed ^ int64(node)*7_777_777))
+
+	sharedCursor, privateCursor := int64(0), int64(0)
+	var last *Request
+	n := p.Requests()
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		if last != nil && rnd.Float64() < p.Locality {
+			reqs = append(reqs, *last)
+			continue
+		}
+		var r Request
+		r.Length = p.RequestSize
+		r.Read = p.Read
+		if rnd.Float64() < p.Sharing {
+			r.File = SharedFile
+			r.Offset = regionStart + sharedCursor
+			sharedCursor = advance(sharedCursor, p.RequestSize, region)
+		} else {
+			r.File = PrivateFile(instance)
+			r.Offset = regionStart + privateCursor
+			privateCursor = advance(privateCursor, p.RequestSize, region)
+		}
+		reqs = append(reqs, r)
+		cp := r
+		last = &cp
+	}
+	return reqs
+}
+
+// advance moves a region cursor by one request, wrapping to the region
+// start when the next request would cross the region end.
+func advance(cursor, reqSize, region int64) int64 {
+	next := cursor + reqSize
+	if next+reqSize > region {
+		return 0
+	}
+	return next
+}
+
+// Files lists every (name, size) pair the parameter set touches, for
+// pre-creation by harnesses.
+func (p Params) Files() map[string]int64 {
+	out := make(map[string]int64)
+	if p.Sharing > 0 || p.Instances > 1 {
+		out[SharedFile] = p.FileSize
+	}
+	for i := 0; i < p.Instances; i++ {
+		if p.Sharing < 1 {
+			out[PrivateFile(i)] = p.FileSize
+		}
+	}
+	return out
+}
+
+// Stats summarizes a stream for tests and reporting.
+type Stats struct {
+	Requests      int
+	SharedCount   int
+	RepeatCount   int
+	BytesTotal    int64
+	DistinctFiles int
+}
+
+// Summarize computes stream statistics.
+func Summarize(reqs []Request) Stats {
+	var st Stats
+	files := make(map[string]struct{})
+	for i, r := range reqs {
+		st.Requests++
+		st.BytesTotal += r.Length
+		files[r.File] = struct{}{}
+		if r.File == SharedFile {
+			st.SharedCount++
+		}
+		if i > 0 && r == reqs[i-1] {
+			st.RepeatCount++
+		}
+	}
+	st.DistinctFiles = len(files)
+	return st
+}

@@ -1,0 +1,235 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+)
+
+func baseParams() Params {
+	return Params{
+		Instances:   2,
+		Nodes:       4,
+		RequestSize: 8192,
+		TotalBytes:  1 << 20,
+		Read:        true,
+		Locality:    0.5,
+		Sharing:     0.5,
+		Seed:        1,
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	p := Params{Nodes: 2, RequestSize: 4096}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Instances != 1 || p.TotalBytes == 0 || p.FileSize == 0 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Params{
+		{Nodes: 0, RequestSize: 1},
+		{Nodes: 1, RequestSize: 0},
+		{Nodes: 1, RequestSize: 1, Locality: -0.1},
+		{Nodes: 1, RequestSize: 1, Locality: 1.1},
+		{Nodes: 1, RequestSize: 1, Sharing: 2},
+		{Nodes: 4, RequestSize: 1 << 20, FileSize: 1 << 20}, // region < request
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestRequestCountMatchesTotalBytes(t *testing.T) {
+	p := baseParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := int(p.TotalBytes / p.RequestSize)
+	if p.Requests() != want {
+		t.Errorf("requests = %d, want %d", p.Requests(), want)
+	}
+	stream := p.Stream(0, 0)
+	if len(stream) != want {
+		t.Errorf("stream length = %d, want %d", len(stream), want)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	p := baseParams()
+	a := p.Stream(1, 2)
+	b := p.Stream(1, 2)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamStaysInNodeRegion(t *testing.T) {
+	p := baseParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	region := p.FileSize / int64(p.Nodes)
+	for node := 0; node < p.Nodes; node++ {
+		for _, r := range p.Stream(0, node) {
+			lo := int64(node) * region
+			hi := lo + region
+			if r.Offset < lo || r.Offset+r.Length > hi {
+				t.Fatalf("node %d request [%d,%d) escapes region [%d,%d)",
+					node, r.Offset, r.Offset+r.Length, lo, hi)
+			}
+		}
+	}
+}
+
+func TestLocalityZeroNeverRepeatsConsecutively(t *testing.T) {
+	p := baseParams()
+	p.Locality = 0
+	reqs := p.Stream(0, 0)
+	st := Summarize(reqs)
+	if st.RepeatCount != 0 {
+		t.Errorf("l=0 produced %d consecutive repeats", st.RepeatCount)
+	}
+}
+
+func TestLocalityOneAlwaysRepeats(t *testing.T) {
+	p := baseParams()
+	p.Locality = 1
+	reqs := p.Stream(0, 0)
+	st := Summarize(reqs)
+	// Every request after the first repeats the first.
+	if st.RepeatCount != st.Requests-1 {
+		t.Errorf("l=1: repeats = %d of %d", st.RepeatCount, st.Requests)
+	}
+}
+
+func TestLocalityFractionApproximate(t *testing.T) {
+	p := baseParams()
+	p.Locality = 0.5
+	p.TotalBytes = 8 << 20 // more samples
+	reqs := p.Stream(0, 0)
+	st := Summarize(reqs)
+	frac := float64(st.RepeatCount) / float64(st.Requests)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("repeat fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSharingFractionApproximate(t *testing.T) {
+	p := baseParams()
+	p.Sharing = 0.25
+	p.Locality = 0
+	p.TotalBytes = 8 << 20
+	reqs := p.Stream(0, 0)
+	st := Summarize(reqs)
+	frac := float64(st.SharedCount) / float64(st.Requests)
+	if math.Abs(frac-0.25) > 0.05 {
+		t.Errorf("shared fraction = %.3f, want ~0.25", frac)
+	}
+}
+
+func TestSharingExtremes(t *testing.T) {
+	p := baseParams()
+	p.Sharing = 0
+	st := Summarize(p.Stream(0, 0))
+	if st.SharedCount != 0 {
+		t.Error("s=0 touched shared file")
+	}
+	p.Sharing = 1
+	st = Summarize(p.Stream(0, 0))
+	if st.SharedCount != st.Requests {
+		t.Error("s=1 touched private file")
+	}
+}
+
+func TestInstancesWalkSameSharedOffsets(t *testing.T) {
+	// The shared-file offsets visited by two instances on the same node
+	// must be the same set (that's what makes sharing exploitable).
+	p := baseParams()
+	p.Sharing = 1
+	p.Locality = 0
+	seen := func(instance int) map[int64]bool {
+		out := make(map[int64]bool)
+		for _, r := range p.Stream(instance, 1) {
+			out[r.Offset] = true
+		}
+		return out
+	}
+	a, b := seen(0), seen(1)
+	if len(a) != len(b) {
+		t.Fatalf("different offset-set sizes: %d vs %d", len(a), len(b))
+	}
+	for off := range a {
+		if !b[off] {
+			t.Fatalf("offset %d visited by instance 0 only", off)
+		}
+	}
+}
+
+func TestPrivateFilesDistinctPerInstance(t *testing.T) {
+	p := baseParams()
+	p.Sharing = 0
+	f0 := p.Stream(0, 0)[0].File
+	f1 := p.Stream(1, 0)[0].File
+	if f0 == f1 {
+		t.Errorf("instances share a private file: %q", f0)
+	}
+}
+
+func TestCursorWrapsWithinRegion(t *testing.T) {
+	p := Params{
+		Nodes:       2,
+		RequestSize: 1024,
+		TotalBytes:  64 << 10, // 64 requests
+		FileSize:    8 << 10,  // region 4 KB: forces wrapping
+		Read:        true,
+		Seed:        3,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	region := p.FileSize / int64(p.Nodes)
+	for _, r := range p.Stream(0, 1) {
+		if r.Offset < region || r.Offset+r.Length > 2*region {
+			t.Fatalf("request [%d,%d) outside node 1 region", r.Offset, r.Offset+r.Length)
+		}
+	}
+}
+
+func TestFilesInventory(t *testing.T) {
+	p := baseParams()
+	files := p.Files()
+	if _, ok := files[SharedFile]; !ok {
+		t.Error("shared file missing")
+	}
+	if _, ok := files[PrivateFile(0)]; !ok {
+		t.Error("private file 0 missing")
+	}
+	if _, ok := files[PrivateFile(1)]; !ok {
+		t.Error("private file 1 missing")
+	}
+	p.Sharing = 1
+	files = p.Files()
+	if _, ok := files[PrivateFile(0)]; ok {
+		t.Error("s=1 should not list private files")
+	}
+}
+
+func TestWriteStreams(t *testing.T) {
+	p := baseParams()
+	p.Read = false
+	for _, r := range p.Stream(0, 0)[:10] {
+		if r.Read {
+			t.Fatal("write stream produced reads")
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package pvfs implements the client side of the parallel file system: the
+// equivalent of libpvfs. A Client resolves names against the metadata
+// server and moves data to and from the I/O daemons, striping requests over
+// the daemons that hold each file. All data traffic flows through a
+// Transport; installing the cache module's transport adds per-node shared
+// caching without the library (or the application) noticing — the
+// transparency property the paper's design is built around.
+package pvfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// StripeSpec controls file striping at create time. Zero values select the
+// cluster defaults (stripe over all iods, 64 KB strips, base 0).
+type StripeSpec struct {
+	Base   uint32
+	PCount uint32
+	SSize  uint32
+}
+
+// Config assembles a client.
+type Config struct {
+	// Network connects to mgr (and to the iods when Transport is nil).
+	Network transport.Network
+	// MgrAddr is the metadata server's address.
+	MgrAddr string
+	// IODAddrs lists every iod data-port address, in cluster order.
+	IODAddrs []string
+	// ClientID identifies this client's node cache to the iods (0 means
+	// anonymous: no coherence tracking).
+	ClientID uint32
+	// Transport overrides the data path. Nil builds a DirectTransport —
+	// the original, uncached PVFS behaviour.
+	Transport Transport
+}
+
+// Client is one application process's handle on the file system. It is not
+// safe for concurrent use, matching a single-threaded PVFS process; run one
+// Client per simulated process.
+type Client struct {
+	cfg   Config
+	data  Transport
+	mu    sync.Mutex // guards mgr conn
+	mgr   transport.Conn
+	files map[blockio.FileID]*File
+}
+
+// NewClient validates cfg and returns a client. Connections are dialed
+// lazily.
+func NewClient(cfg Config) (*Client, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("pvfs: Config.Network is required")
+	}
+	if cfg.MgrAddr == "" {
+		return nil, errors.New("pvfs: Config.MgrAddr is required")
+	}
+	if len(cfg.IODAddrs) == 0 {
+		return nil, errors.New("pvfs: Config.IODAddrs is required")
+	}
+	data := cfg.Transport
+	if data == nil {
+		data = NewDirectTransport(cfg.Network, cfg.IODAddrs)
+	}
+	return &Client{cfg: cfg, data: data, files: make(map[blockio.FileID]*File)}, nil
+}
+
+// mgrCall performs one synchronous metadata round trip.
+func (c *Client) mgrCall(req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mgr == nil {
+		conn, err := c.cfg.Network.Dial(c.cfg.MgrAddr)
+		if err != nil {
+			return nil, fmt.Errorf("pvfs: dialing mgr at %s: %w", c.cfg.MgrAddr, err)
+		}
+		c.mgr = conn
+	}
+	if err := wire.WriteMessage(c.mgr, req); err != nil {
+		c.mgr.Close()
+		c.mgr = nil
+		return nil, fmt.Errorf("pvfs: mgr request: %w", err)
+	}
+	resp, err := wire.ReadMessage(c.mgr)
+	if err != nil {
+		c.mgr.Close()
+		c.mgr = nil
+		return nil, fmt.Errorf("pvfs: mgr response: %w", err)
+	}
+	return resp, nil
+}
+
+// Create makes a new file and returns an open handle on it.
+func (c *Client) Create(name string, spec StripeSpec) (*File, error) {
+	resp, err := c.mgrCall(&wire.Create{Name: name, Base: spec.Base, PCount: spec.PCount, SSize: spec.SSize})
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := resp.(*wire.CreateResp)
+	if !ok {
+		return nil, fmt.Errorf("pvfs: unexpected create reply %v", resp.WireType())
+	}
+	if err := cr.Status.Err(); err != nil {
+		return nil, fmt.Errorf("pvfs: create %q: %w", name, err)
+	}
+	return c.newFile(name, cr.File, cr.Meta), nil
+}
+
+// Open resolves an existing file.
+func (c *Client) Open(name string) (*File, error) {
+	resp, err := c.mgrCall(&wire.Open{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	or, ok := resp.(*wire.OpenResp)
+	if !ok {
+		return nil, fmt.Errorf("pvfs: unexpected open reply %v", resp.WireType())
+	}
+	if err := or.Status.Err(); err != nil {
+		return nil, fmt.Errorf("pvfs: open %q: %w", name, err)
+	}
+	return c.newFile(name, or.File, or.Meta), nil
+}
+
+func (c *Client) newFile(name string, id blockio.FileID, meta wire.FileMeta) *File {
+	f := &File{client: c, name: name, id: id, meta: meta}
+	c.files[id] = f
+	return f
+}
+
+// Unlink removes a file from the namespace. Strip data at the iods is left
+// for the store to garbage collect (PVFS semantics are similar: iods clean
+// up out of band).
+func (c *Client) Unlink(name string) error {
+	resp, err := c.mgrCall(&wire.Unlink{Name: name})
+	if err != nil {
+		return err
+	}
+	sm, ok := resp.(*wire.StatusMsg)
+	if !ok {
+		return fmt.Errorf("pvfs: unexpected unlink reply %v", resp.WireType())
+	}
+	if err := sm.Status.Err(); err != nil {
+		return fmt.Errorf("pvfs: unlink %q: %w", name, err)
+	}
+	return nil
+}
+
+// List returns every name in the cluster namespace.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.mgrCall(&wire.List{})
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := resp.(*wire.ListResp)
+	if !ok {
+		return nil, fmt.Errorf("pvfs: unexpected list reply %v", resp.WireType())
+	}
+	return lr.Names, lr.Status.Err()
+}
+
+// Close shuts down the data transport and the mgr connection.
+func (c *Client) Close() error {
+	err := c.data.Close()
+	c.mu.Lock()
+	if c.mgr != nil {
+		c.mgr.Close()
+		c.mgr = nil
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// File is an open handle. Offsets are explicit (pread/pwrite style), which
+// is how the paper's micro-benchmark drives the system.
+type File struct {
+	client *Client
+	name   string
+	id     blockio.FileID
+	meta   wire.FileMeta
+}
+
+// Name returns the path the file was opened with.
+func (f *File) Name() string { return f.name }
+
+// ID returns the cluster-wide file ID.
+func (f *File) ID() blockio.FileID { return f.id }
+
+// Meta returns the striping metadata (size as of the last refresh).
+func (f *File) Meta() wire.FileMeta { return f.meta }
+
+// Size returns the file size as known locally (updated by this handle's
+// writes and by Refresh).
+func (f *File) Size() int64 { return f.meta.Size }
+
+// Refresh re-reads the file's metadata from mgr.
+func (f *File) Refresh() error {
+	resp, err := f.client.mgrCall(&wire.Stat{File: f.id})
+	if err != nil {
+		return err
+	}
+	sr, ok := resp.(*wire.StatResp)
+	if !ok {
+		return fmt.Errorf("pvfs: unexpected stat reply %v", resp.WireType())
+	}
+	if err := sr.Status.Err(); err != nil {
+		return err
+	}
+	f.meta = sr.Meta
+	return nil
+}
+
+// ReadAt fills p from the file starting at off. It follows the libpvfs
+// protocol: one request per per-iod piece is sent before any response is
+// awaited. Reads entirely beyond EOF return (0, io.EOF); reads crossing
+// EOF return short. Bytes inside holes of sparse files read as zero.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pvfs: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	size := f.meta.Size
+	if off >= size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > size {
+		want = size - off
+	}
+	pieces := PiecesFor(f.id, f.meta, len(f.client.cfg.IODAddrs), off, want)
+	ids := make([]ReqID, len(pieces))
+	for i, pc := range pieces {
+		req := &wire.Read{
+			Client: f.client.cfg.ClientID,
+			File:   f.id,
+			Offset: pc.Ext.Offset,
+			Length: pc.Ext.Length,
+		}
+		id, err := f.client.data.Send(pc.IOD, req)
+		if err != nil {
+			return 0, err
+		}
+		ids[i] = id
+	}
+	for i, pc := range pieces {
+		resp, err := f.client.data.Recv(ids[i])
+		if err != nil {
+			return 0, err
+		}
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok {
+			return 0, fmt.Errorf("pvfs: unexpected read reply %v", resp.WireType())
+		}
+		if err := rr.Status.Err(); err != nil {
+			return 0, fmt.Errorf("pvfs: read %q @%d: %w", f.name, pc.Ext.Offset, err)
+		}
+		dst := p[pc.Pos : pc.Pos+pc.Ext.Length]
+		n := copy(dst, rr.Data)
+		// Sparse or short strip data reads as zero.
+		for j := n; j < len(dst); j++ {
+			dst[j] = 0
+		}
+	}
+	if want < int64(len(p)) {
+		return int(want), io.EOF
+	}
+	return int(want), nil
+}
+
+// WriteAt stores p at off using the default (no-coherence) write path and
+// extends the file size at mgr when needed.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	return f.writeAt(p, off, false)
+}
+
+// SyncWriteAt is the paper's coherent write: data is propagated to the
+// iods, and every other node cache holding the touched blocks is
+// invalidated before the call returns.
+func (f *File) SyncWriteAt(p []byte, off int64) (int, error) {
+	return f.writeAt(p, off, true)
+}
+
+func (f *File) writeAt(p []byte, off int64, sync bool) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pvfs: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	pieces := PiecesFor(f.id, f.meta, len(f.client.cfg.IODAddrs), off, int64(len(p)))
+	ids := make([]ReqID, len(pieces))
+	for i, pc := range pieces {
+		data := p[pc.Pos : pc.Pos+pc.Ext.Length]
+		var req wire.Message
+		if sync {
+			req = &wire.SyncWrite{Client: f.client.cfg.ClientID, File: f.id, Offset: pc.Ext.Offset, Data: data}
+		} else {
+			req = &wire.Write{Client: f.client.cfg.ClientID, File: f.id, Offset: pc.Ext.Offset, Data: data}
+		}
+		id, err := f.client.data.Send(pc.IOD, req)
+		if err != nil {
+			return 0, err
+		}
+		ids[i] = id
+	}
+	for i, pc := range pieces {
+		resp, err := f.client.data.Recv(ids[i])
+		if err != nil {
+			return 0, err
+		}
+		var status wire.Status
+		switch ack := resp.(type) {
+		case *wire.WriteAck:
+			status = ack.Status
+		case *wire.SyncWriteAck:
+			status = ack.Status
+		default:
+			return 0, fmt.Errorf("pvfs: unexpected write reply %v", resp.WireType())
+		}
+		if err := status.Err(); err != nil {
+			return 0, fmt.Errorf("pvfs: write %q @%d: %w", f.name, pc.Ext.Offset, err)
+		}
+	}
+	if end := off + int64(len(p)); end > f.meta.Size {
+		f.meta.Size = end
+		resp, err := f.client.mgrCall(&wire.SetSize{File: f.id, Size: end})
+		if err != nil {
+			return 0, err
+		}
+		if sm, ok := resp.(*wire.StatusMsg); !ok || sm.Status != wire.StatusOK {
+			return 0, fmt.Errorf("pvfs: extending %q failed", f.name)
+		}
+	}
+	return len(p), nil
+}
+
+// Close releases the handle. Data-path connections belong to the Client
+// and stay open for other files.
+func (f *File) Close() error {
+	delete(f.client.files, f.id)
+	return nil
+}

@@ -1,0 +1,175 @@
+package pvfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+func meta(base, pcount, ssize uint32) wire.FileMeta {
+	return wire.FileMeta{Base: base, PCount: pcount, SSize: ssize}
+}
+
+func TestPiecesSingleStrip(t *testing.T) {
+	pieces := PiecesFor(1, meta(0, 4, 65536), 4, 100, 200)
+	if len(pieces) != 1 {
+		t.Fatalf("pieces = %d", len(pieces))
+	}
+	p := pieces[0]
+	if p.IOD != 0 || p.Ext.Offset != 100 || p.Ext.Length != 200 || p.Pos != 0 {
+		t.Errorf("piece = %+v", p)
+	}
+}
+
+func TestPiecesSpanStrips(t *testing.T) {
+	// 64 KB strips over 4 iods; read 200 KB from offset 0: strips 0,1,2
+	// full, strip 3 partial (8 KB).
+	pieces := PiecesFor(1, meta(0, 4, 65536), 4, 0, 200<<10)
+	if len(pieces) != 4 {
+		t.Fatalf("pieces = %d: %+v", len(pieces), pieces)
+	}
+	for i, p := range pieces {
+		if p.IOD != i {
+			t.Errorf("piece %d on iod %d", i, p.IOD)
+		}
+	}
+	if pieces[3].Ext.Length != 200<<10-3*(64<<10) {
+		t.Errorf("tail length = %d", pieces[3].Ext.Length)
+	}
+}
+
+func TestPiecesRoundRobinWrap(t *testing.T) {
+	// 2 iods, 4 strips: iods alternate 0,1,0,1.
+	pieces := PiecesFor(1, meta(0, 2, 4096), 4, 0, 16384)
+	want := []int{0, 1, 0, 1}
+	if len(pieces) != 4 {
+		t.Fatalf("pieces = %d", len(pieces))
+	}
+	for i, p := range pieces {
+		if p.IOD != want[i] {
+			t.Errorf("strip %d on iod %d, want %d", i, p.IOD, want[i])
+		}
+	}
+}
+
+func TestPiecesBaseOffsetsIODs(t *testing.T) {
+	pieces := PiecesFor(1, meta(2, 2, 4096), 4, 0, 8192)
+	if pieces[0].IOD != 2 || pieces[1].IOD != 3 {
+		t.Errorf("base=2 pieces on iods %d,%d", pieces[0].IOD, pieces[1].IOD)
+	}
+	// Base + pcount wraps modulo total iods.
+	pieces = PiecesFor(1, meta(3, 2, 4096), 4, 0, 8192)
+	if pieces[0].IOD != 3 || pieces[1].IOD != 0 {
+		t.Errorf("wrap pieces on iods %d,%d", pieces[0].IOD, pieces[1].IOD)
+	}
+}
+
+func TestPiecesEmptyAndInvalid(t *testing.T) {
+	if got := PiecesFor(1, meta(0, 2, 4096), 4, 0, 0); got != nil {
+		t.Errorf("zero length pieces = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero strip size")
+		}
+	}()
+	PiecesFor(1, meta(0, 2, 0), 4, 0, 10)
+}
+
+// Property: pieces tile the request exactly and each lies within one
+// strip of its iod.
+func TestPiecesTileProperty(t *testing.T) {
+	f := func(off uint32, length uint16, pcount, ssizeExp uint8) bool {
+		total := 4
+		pc := uint32(pcount%4) + 1
+		ssize := uint32(1) << (10 + ssizeExp%7) // 1 KB .. 64 KB
+		m := meta(0, pc, ssize)
+		offset := int64(off % (1 << 22))
+		n := int64(length)
+		pieces := PiecesFor(1, m, total, offset, n)
+		if n == 0 {
+			return pieces == nil
+		}
+		var sum int64
+		cursor := offset
+		pos := int64(0)
+		for _, p := range pieces {
+			if p.Ext.Offset != cursor || p.Pos != pos {
+				return false
+			}
+			// Entirely within one strip.
+			strip := p.Ext.Offset / int64(ssize)
+			if (p.Ext.Offset+p.Ext.Length-1)/int64(ssize) != strip {
+				return false
+			}
+			// Mapped to the right iod.
+			if p.IOD != int((strip%int64(pc)))%total {
+				return false
+			}
+			sum += p.Ext.Length
+			cursor += p.Ext.Length
+			pos += p.Ext.Length
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIODsFor(t *testing.T) {
+	got := IODsFor(meta(2, 3, 4096), 4)
+	want := []int{2, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("iods = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("iods = %v, want %v", got, want)
+		}
+	}
+	// PCount larger than the cluster clamps.
+	if got := IODsFor(meta(0, 9, 4096), 3); len(got) != 3 {
+		t.Errorf("clamped iods = %v", got)
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(Config{}); err == nil {
+		t.Error("missing network accepted")
+	}
+	if _, err := NewClient(Config{Network: fakeNetwork{}}); err == nil {
+		t.Error("missing mgr addr accepted")
+	}
+	if _, err := NewClient(Config{Network: fakeNetwork{}, MgrAddr: "m"}); err == nil {
+		t.Error("missing iods accepted")
+	}
+}
+
+// fakeNetwork satisfies transport.Network without ever connecting; the
+// client dials lazily, so construction-time validation tests never touch
+// it.
+type fakeNetwork struct{}
+
+func (fakeNetwork) Listen(string) (transport.Listener, error) {
+	return nil, transport.ErrClosed
+}
+
+func (fakeNetwork) Dial(string) (transport.Conn, error) {
+	return nil, transport.ErrClosed
+}
+
+var _ transport.Network = fakeNetwork{}
+
+func TestFileHelpers(t *testing.T) {
+	f := &File{name: "x", id: 7, meta: wire.FileMeta{Size: 100, PCount: 2, SSize: 4096}}
+	if f.Name() != "x" || f.ID() != blockio.FileID(7) || f.Size() != 100 {
+		t.Error("accessors wrong")
+	}
+	if f.Meta().PCount != 2 {
+		t.Error("meta accessor wrong")
+	}
+}

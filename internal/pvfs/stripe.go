@@ -1,0 +1,65 @@
+package pvfs
+
+import (
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/wire"
+)
+
+// Piece is the part of a request that one iod serves: a contiguous
+// file-space extent that lies entirely within strips held by that iod,
+// plus the extent's position within the caller's buffer.
+type Piece struct {
+	IOD int // global iod index
+	Ext blockio.Extent
+	Pos int64 // offset of this piece within the request buffer
+}
+
+// PiecesFor splits the byte range [offset, offset+length) of a striped file
+// into per-iod pieces, in increasing file-offset order. The file is striped
+// round-robin in units of meta.SSize over meta.PCount iods starting at
+// meta.Base (all indices into the cluster's iod list of size totalIODs).
+func PiecesFor(file blockio.FileID, meta wire.FileMeta, totalIODs int, offset, length int64) []Piece {
+	if length <= 0 {
+		return nil
+	}
+	ssize := int64(meta.SSize)
+	pcount := int64(meta.PCount)
+	if ssize <= 0 || pcount <= 0 || totalIODs <= 0 {
+		panic("pvfs: invalid striping metadata")
+	}
+	var pieces []Piece
+	pos := int64(0)
+	cur := offset
+	end := offset + length
+	for cur < end {
+		strip := cur / ssize
+		stripEnd := (strip + 1) * ssize
+		pieceEnd := end
+		if stripEnd < pieceEnd {
+			pieceEnd = stripEnd
+		}
+		iod := (int64(meta.Base) + strip%pcount) % int64(totalIODs)
+		pieces = append(pieces, Piece{
+			IOD: int(iod),
+			Ext: blockio.Extent{File: file, Offset: cur, Length: pieceEnd - cur},
+			Pos: pos,
+		})
+		pos += pieceEnd - cur
+		cur = pieceEnd
+	}
+	return pieces
+}
+
+// IODsFor returns the distinct iod indices a file with the given metadata
+// is striped over.
+func IODsFor(meta wire.FileMeta, totalIODs int) []int {
+	n := int(meta.PCount)
+	if n > totalIODs {
+		n = totalIODs
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, (int(meta.Base)+i)%totalIODs)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Package sharing classifies inter-application data-sharing patterns —
+// the second item of the paper's ongoing work (§5): "classify different
+// sharing patterns and develop different I/O optimizations for each type
+// of pattern."
+//
+// A Tracker ingests block-level access events (which client touched which
+// block, read or write) — fed from the iods' request streams or from a
+// trace — and classifies every block, and by aggregation every file, into
+// one of four patterns:
+//
+//	Private          one client only
+//	ReadShared       several readers, no writer conflicts
+//	ProducerConsumer one writer produced the data, other clients read it
+//	                 afterwards (the analysis-cycle pipeline of Figure 1)
+//	WriteShared      writes interleaved with other clients' accesses
+//
+// Each pattern maps to the optimization the paper sketches: read-shared
+// data is worth caching and replicating aggressively, producer-consumer
+// data is worth forwarding/prefetching to the consumer, and write-shared
+// data needs sync-writes (coherence).
+package sharing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pvfscache/internal/blockio"
+)
+
+// Pattern classifies how a block (or file) is shared.
+type Pattern int
+
+// Patterns, ordered by increasing coordination cost.
+const (
+	Unaccessed Pattern = iota
+	Private
+	ReadShared
+	ProducerConsumer
+	WriteShared
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Unaccessed:
+		return "unaccessed"
+	case Private:
+		return "private"
+	case ReadShared:
+		return "read-shared"
+	case ProducerConsumer:
+		return "producer-consumer"
+	case WriteShared:
+		return "write-shared"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Advice returns the optimization the paper's taxonomy suggests for the
+// pattern.
+func (p Pattern) Advice() string {
+	switch p {
+	case Private:
+		return "cache without coherence; no cross-node traffic needed"
+	case ReadShared:
+		return "cache and replicate aggressively; consider the global cache"
+	case ProducerConsumer:
+		return "forward or prefetch producer output to consumer nodes"
+	case WriteShared:
+		return "use sync-writes; consider combining or serializing writers"
+	default:
+		return "no data"
+	}
+}
+
+// Event is one block access.
+type Event struct {
+	Client uint32
+	File   blockio.FileID
+	Block  int64
+	Write  bool
+}
+
+// blockState accumulates per-block evidence.
+type blockState struct {
+	readers     map[uint32]struct{}
+	writers     map[uint32]struct{}
+	firstWriter uint32
+	// foreignRead is set once a client other than the writer read the
+	// block; a write after that means interleaved write sharing rather
+	// than produce-then-consume.
+	foreignRead bool
+	interleaved bool
+}
+
+// Tracker ingests events and classifies blocks. Safe for concurrent use.
+type Tracker struct {
+	mu     sync.Mutex
+	blocks map[blockio.BlockKey]*blockState
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{blocks: make(map[blockio.BlockKey]*blockState)}
+}
+
+// Observe ingests one access event.
+func (t *Tracker) Observe(ev Event) {
+	key := blockio.BlockKey{File: ev.File, Index: ev.Block}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.blocks[key]
+	if st == nil {
+		st = &blockState{
+			readers: make(map[uint32]struct{}),
+			writers: make(map[uint32]struct{}),
+		}
+		t.blocks[key] = st
+	}
+	if ev.Write {
+		if len(st.writers) == 0 {
+			st.firstWriter = ev.Client
+		}
+		st.writers[ev.Client] = struct{}{}
+		if st.foreignRead {
+			// Writing after another client consumed the data: the block
+			// is actively write-shared, not a one-shot hand-off.
+			st.interleaved = true
+		}
+	} else {
+		st.readers[ev.Client] = struct{}{}
+		if len(st.writers) > 0 && ev.Client != st.firstWriter {
+			st.foreignRead = true
+		}
+	}
+}
+
+// classify derives the pattern from accumulated state.
+func (st *blockState) classify() Pattern {
+	clients := make(map[uint32]struct{}, len(st.readers)+len(st.writers))
+	for c := range st.readers {
+		clients[c] = struct{}{}
+	}
+	for c := range st.writers {
+		clients[c] = struct{}{}
+	}
+	switch {
+	case len(clients) == 0:
+		return Unaccessed
+	case len(clients) == 1:
+		return Private
+	case len(st.writers) == 0:
+		return ReadShared
+	case len(st.writers) == 1 && !st.interleaved:
+		return ProducerConsumer
+	default:
+		return WriteShared
+	}
+}
+
+// BlockPattern returns the pattern of one block.
+func (t *Tracker) BlockPattern(key blockio.BlockKey) Pattern {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.blocks[key]
+	if st == nil {
+		return Unaccessed
+	}
+	return st.classify()
+}
+
+// FileSummary aggregates a file's block patterns.
+type FileSummary struct {
+	File     blockio.FileID
+	Blocks   int
+	ByKind   map[Pattern]int
+	Dominant Pattern
+}
+
+// String renders the summary for reports.
+func (s FileSummary) String() string {
+	return fmt.Sprintf("file %d: %d blocks, dominant %v (%s)",
+		s.File, s.Blocks, s.Dominant, s.Dominant.Advice())
+}
+
+// Summarize classifies every observed file. Results are sorted by file ID.
+func (t *Tracker) Summarize() []FileSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	byFile := make(map[blockio.FileID]*FileSummary)
+	for key, st := range t.blocks {
+		s := byFile[key.File]
+		if s == nil {
+			s = &FileSummary{File: key.File, ByKind: make(map[Pattern]int)}
+			byFile[key.File] = s
+		}
+		s.Blocks++
+		s.ByKind[st.classify()]++
+	}
+	out := make([]FileSummary, 0, len(byFile))
+	for _, s := range byFile {
+		s.Dominant = dominant(s.ByKind)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
+}
+
+// dominant picks the pattern covering the most blocks; ties break toward
+// the costlier (more conservative) pattern.
+func dominant(byKind map[Pattern]int) Pattern {
+	best, bestN := Unaccessed, -1
+	for _, p := range []Pattern{Private, ReadShared, ProducerConsumer, WriteShared} {
+		if n := byKind[p]; n > bestN || (n == bestN && p > best) {
+			best, bestN = p, n
+		}
+	}
+	if bestN <= 0 {
+		return Unaccessed
+	}
+	return best
+}
+
+// Reset clears all accumulated state.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	t.blocks = make(map[blockio.BlockKey]*blockState)
+	t.mu.Unlock()
+}

@@ -1,0 +1,159 @@
+package sharing
+
+import (
+	"sync"
+	"testing"
+
+	"pvfscache/internal/blockio"
+)
+
+func key(f, b int) blockio.BlockKey {
+	return blockio.BlockKey{File: blockio.FileID(f), Index: int64(b)}
+}
+
+func TestUnaccessed(t *testing.T) {
+	tr := NewTracker()
+	if got := tr.BlockPattern(key(1, 0)); got != Unaccessed {
+		t.Errorf("pattern = %v", got)
+	}
+}
+
+func TestPrivateReadAndWrite(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{Client: 1, File: 1, Block: 0, Write: true})
+	tr.Observe(Event{Client: 1, File: 1, Block: 0})
+	tr.Observe(Event{Client: 1, File: 1, Block: 0, Write: true})
+	if got := tr.BlockPattern(key(1, 0)); got != Private {
+		t.Errorf("pattern = %v, want private", got)
+	}
+}
+
+func TestReadShared(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{Client: 1, File: 2, Block: 5})
+	tr.Observe(Event{Client: 2, File: 2, Block: 5})
+	tr.Observe(Event{Client: 3, File: 2, Block: 5})
+	if got := tr.BlockPattern(key(2, 5)); got != ReadShared {
+		t.Errorf("pattern = %v, want read-shared", got)
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	tr := NewTracker()
+	// Client 1 writes, then clients 2 and 3 read — the Figure 1 pipeline.
+	tr.Observe(Event{Client: 1, File: 3, Block: 0, Write: true})
+	tr.Observe(Event{Client: 1, File: 3, Block: 0, Write: true})
+	tr.Observe(Event{Client: 2, File: 3, Block: 0})
+	tr.Observe(Event{Client: 3, File: 3, Block: 0})
+	if got := tr.BlockPattern(key(3, 0)); got != ProducerConsumer {
+		t.Errorf("pattern = %v, want producer-consumer", got)
+	}
+	// The producer may re-read its own output without demoting the
+	// pattern.
+	tr.Observe(Event{Client: 1, File: 3, Block: 0})
+	if got := tr.BlockPattern(key(3, 0)); got != ProducerConsumer {
+		t.Errorf("pattern after producer re-read = %v", got)
+	}
+}
+
+func TestWriteAfterForeignReadIsWriteShared(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{Client: 1, File: 4, Block: 0, Write: true})
+	tr.Observe(Event{Client: 2, File: 4, Block: 0})
+	// Producer writes again after the consumer read: interleaved.
+	tr.Observe(Event{Client: 1, File: 4, Block: 0, Write: true})
+	if got := tr.BlockPattern(key(4, 0)); got != WriteShared {
+		t.Errorf("pattern = %v, want write-shared", got)
+	}
+}
+
+func TestMultipleWritersAreWriteShared(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{Client: 1, File: 5, Block: 0, Write: true})
+	tr.Observe(Event{Client: 2, File: 5, Block: 0, Write: true})
+	if got := tr.BlockPattern(key(5, 0)); got != WriteShared {
+		t.Errorf("pattern = %v, want write-shared", got)
+	}
+}
+
+func TestSummarizeDominantAndSorted(t *testing.T) {
+	tr := NewTracker()
+	// File 1: 3 read-shared blocks, 1 private.
+	for b := 0; b < 3; b++ {
+		tr.Observe(Event{Client: 1, File: 1, Block: int64(b)})
+		tr.Observe(Event{Client: 2, File: 1, Block: int64(b)})
+	}
+	tr.Observe(Event{Client: 1, File: 1, Block: 99})
+	// File 2: producer-consumer.
+	tr.Observe(Event{Client: 1, File: 2, Block: 0, Write: true})
+	tr.Observe(Event{Client: 2, File: 2, Block: 0})
+
+	sums := tr.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].File != 1 || sums[1].File != 2 {
+		t.Fatal("summaries not sorted by file")
+	}
+	if sums[0].Dominant != ReadShared {
+		t.Errorf("file 1 dominant = %v", sums[0].Dominant)
+	}
+	if sums[0].Blocks != 4 || sums[0].ByKind[Private] != 1 {
+		t.Errorf("file 1 counts: %+v", sums[0])
+	}
+	if sums[1].Dominant != ProducerConsumer {
+		t.Errorf("file 2 dominant = %v", sums[1].Dominant)
+	}
+	if sums[0].String() == "" || sums[1].String() == "" {
+		t.Error("empty summary strings")
+	}
+}
+
+func TestDominantTieBreaksConservative(t *testing.T) {
+	byKind := map[Pattern]int{ReadShared: 2, WriteShared: 2}
+	if got := dominant(byKind); got != WriteShared {
+		t.Errorf("tie broke to %v, want write-shared", got)
+	}
+	if got := dominant(map[Pattern]int{}); got != Unaccessed {
+		t.Errorf("empty dominant = %v", got)
+	}
+}
+
+func TestPatternStringsAndAdvice(t *testing.T) {
+	for _, p := range []Pattern{Unaccessed, Private, ReadShared, ProducerConsumer, WriteShared} {
+		if p.String() == "" || p.Advice() == "" {
+			t.Errorf("pattern %d has empty text", p)
+		}
+	}
+	if Pattern(99).String() == "" {
+		t.Error("unknown pattern renders empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{Client: 1, File: 1, Block: 0})
+	tr.Reset()
+	if got := tr.BlockPattern(key(1, 0)); got != Unaccessed {
+		t.Errorf("pattern after reset = %v", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for c := uint32(1); c <= 4; c++ {
+		wg.Add(1)
+		go func(c uint32) {
+			defer wg.Done()
+			for b := int64(0); b < 100; b++ {
+				tr.Observe(Event{Client: c, File: 1, Block: b})
+			}
+		}(c)
+	}
+	wg.Wait()
+	sums := tr.Summarize()
+	if len(sums) != 1 || sums[0].Blocks != 100 || sums[0].Dominant != ReadShared {
+		t.Fatalf("summary = %+v", sums)
+	}
+}

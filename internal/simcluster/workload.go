@@ -1,0 +1,178 @@
+package simcluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/microbench"
+	"pvfscache/internal/sim"
+	"pvfscache/internal/wire"
+)
+
+// Placement maps each application instance to the cluster nodes its
+// processes run on. InstanceNodes[i][k] is the node hosting process k of
+// instance i; every instance must list exactly mb.Nodes entries.
+type Placement struct {
+	InstanceNodes [][]int
+}
+
+// SameNodes places every instance's processes on nodes 0..p-1 — the
+// multiprogrammed placement of Figures 6 and 7.
+func SameNodes(instances, p int) Placement {
+	pl := Placement{}
+	for i := 0; i < instances; i++ {
+		nodes := make([]int, p)
+		for k := range nodes {
+			nodes[k] = k
+		}
+		pl.InstanceNodes = append(pl.InstanceNodes, nodes)
+	}
+	return pl
+}
+
+// DisjointNodes gives each instance its own p nodes — the spread placement
+// of Figure 8's parallelism arm.
+func DisjointNodes(instances, p int) Placement {
+	pl := Placement{}
+	for i := 0; i < instances; i++ {
+		nodes := make([]int, p)
+		for k := range nodes {
+			nodes[k] = i*p + k
+		}
+		pl.InstanceNodes = append(pl.InstanceNodes, nodes)
+	}
+	return pl
+}
+
+// MaxNode returns the highest node index used.
+func (pl Placement) MaxNode() int {
+	max := 0
+	for _, nodes := range pl.InstanceNodes {
+		for _, n := range nodes {
+			if n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// Result summarizes one workload run.
+type Result struct {
+	// InstanceTimes is each instance's completion time (max over its
+	// processes).
+	InstanceTimes []time.Duration
+	// MeanRequest is the average per-request latency across every process.
+	MeanRequest time.Duration
+	// Requests is the total number of application calls issued.
+	Requests int
+	// Hits and Misses are the node-cache counters summed over the run
+	// (zero without caching).
+	Hits, Misses int64
+	// Joins counts requests that piggybacked on another process's
+	// in-flight fetch of the same block — the other face of
+	// inter-application sharing when two instances run in lockstep.
+	Joins int64
+}
+
+// MaxInstanceTime returns the slowest instance's completion time — the
+// "total time for the application to complete" on the paper's y-axes.
+func (r Result) MaxInstanceTime() time.Duration {
+	var max time.Duration
+	for _, t := range r.InstanceTimes {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Run executes the micro-benchmark described by mb on the cluster with the
+// given placement and returns timing results. The cluster must have at
+// least pl.MaxNode()+1 nodes. Run drives the simulation to completion.
+func Run(c *Cluster, mb microbench.Params, pl Placement) (Result, error) {
+	if err := mb.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(pl.InstanceNodes) != mb.Instances {
+		return Result{}, fmt.Errorf("simcluster: placement has %d instances, params %d",
+			len(pl.InstanceNodes), mb.Instances)
+	}
+	if pl.MaxNode() >= len(c.Nodes) {
+		return Result{}, fmt.Errorf("simcluster: placement needs node %d, cluster has %d nodes",
+			pl.MaxNode(), len(c.Nodes))
+	}
+
+	// Create every file the workload touches. Reads run against warm
+	// daemons (the dataset was produced earlier and is page-cache
+	// resident); written files start cold.
+	names := make([]string, 0)
+	for name := range mb.Files() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type fh struct {
+		id   blockio.FileID
+		meta wire.FileMeta
+	}
+	handles := make(map[string]fh)
+	for _, name := range names {
+		id := c.CreateFile(name, mb.FileSize, mb.Read)
+		fid, meta := c.Lookup(name)
+		_ = id
+		handles[name] = fh{id: fid, meta: meta}
+	}
+
+	res := Result{InstanceTimes: make([]time.Duration, mb.Instances)}
+	var totalLatency time.Duration
+	totalReqs := 0
+	remaining := 0
+
+	for inst := 0; inst < mb.Instances; inst++ {
+		inst := inst
+		for k, nodeID := range pl.InstanceNodes[inst] {
+			k := k
+			node := c.Nodes[nodeID]
+			stream := mb.Stream(inst, k)
+			remaining++
+			c.Env.Go(fmt.Sprintf("app%d.proc%d", inst, k), func(p *sim.Proc) {
+				start := c.Env.Now()
+				for _, req := range stream {
+					h := handles[req.File]
+					t0 := c.Env.Now()
+					if req.Read {
+						c.Read(p, node, h.id, h.meta, req.Offset, req.Length)
+					} else {
+						c.Write(p, node, h.id, h.meta, req.Offset, req.Length)
+					}
+					totalLatency += c.Env.Now() - t0
+					totalReqs++
+				}
+				elapsed := c.Env.Now() - start
+				if elapsed > res.InstanceTimes[inst] {
+					res.InstanceTimes[inst] = elapsed
+				}
+				remaining--
+				if remaining == 0 {
+					c.Finish()
+				}
+			})
+		}
+	}
+
+	c.Env.Run()
+	if remaining != 0 {
+		return Result{}, fmt.Errorf("simcluster: %d processes never finished (deadlock?)", remaining)
+	}
+	res.Requests = totalReqs
+	if totalReqs > 0 {
+		res.MeanRequest = totalLatency / time.Duration(totalReqs)
+	}
+	snap := c.Reg.Snapshot()
+	res.Hits = snap.Counters["cache.hits"]
+	res.Misses = snap.Counters["cache.misses"]
+	res.Joins = snap.Counters["sim.fetch_joins"]
+	return res, nil
+}

@@ -1,0 +1,104 @@
+// Package simdisk provides the storage substrate for the I/O daemons: an
+// in-memory block store with sparse-file semantics, plus a seek/rotation/
+// transfer-rate disk timing model calibrated to the paper's 20 GB IDE
+// drives. The live system uses the store for bytes only; the discrete-event
+// simulator additionally charges Model access times.
+package simdisk
+
+import (
+	"sync"
+
+	"pvfscache/internal/blockio"
+)
+
+// Store holds the strip data an iod serves. Files are sparse: reads past
+// written data return short, and callers treat missing bytes as zero.
+// A Store is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	files map[blockio.FileID]*fileData
+}
+
+type fileData struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{files: make(map[blockio.FileID]*fileData)}
+}
+
+func (s *Store) file(id blockio.FileID, create bool) *fileData {
+	s.mu.RLock()
+	f := s.files[id]
+	s.mu.RUnlock()
+	if f != nil || !create {
+		return f
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f = s.files[id]; f == nil {
+		f = &fileData{}
+		s.files[id] = f
+	}
+	return f
+}
+
+// WriteAt stores p at offset off of the file, growing it as needed.
+func (s *Store) WriteAt(id blockio.FileID, off int64, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	f := s.file(id, true)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if int64(len(f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:end], p)
+}
+
+// ReadAt copies up to len(p) bytes from offset off into p. It returns the
+// number of bytes copied, which is short when the range extends past the
+// stored size. It never returns an error: missing data is simply absent.
+func (s *Store) ReadAt(id blockio.FileID, off int64, p []byte) int {
+	f := s.file(id, false)
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= int64(len(f.data)) {
+		return 0
+	}
+	return copy(p, f.data[off:])
+}
+
+// Size returns the stored size of the file (0 if absent).
+func (s *Store) Size(id blockio.FileID) int64 {
+	f := s.file(id, false)
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data))
+}
+
+// Delete removes a file's data.
+func (s *Store) Delete(id blockio.FileID) {
+	s.mu.Lock()
+	delete(s.files, id)
+	s.mu.Unlock()
+}
+
+// Files returns the number of files with stored data.
+func (s *Store) Files() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}

@@ -1,0 +1,264 @@
+// Package transport abstracts the byte-stream connections the system runs
+// over. The live cluster uses TCP; tests and in-process examples use an
+// in-memory network with identical semantics (ordered, reliable, duplex
+// byte streams). The cache module interposes on these connections exactly
+// where the paper's kernel module interposes on socket calls.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is an ordered, reliable duplex byte stream.
+type Conn interface {
+	io.Reader
+	io.Writer
+	io.Closer
+}
+
+// Listener accepts inbound connections on one address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the address peers should dial, which may differ from
+	// the requested address (e.g. ":0" resolves to a concrete port).
+	Addr() string
+}
+
+// Network can both listen and dial. One Network value represents one
+// interconnect (a TCP stack, or one in-memory fabric).
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// ErrClosed is returned by operations on closed listeners and connections.
+var ErrClosed = errors.New("transport: closed")
+
+// --- TCP ---
+
+// TCPNetwork implements Network over the operating system's TCP stack.
+type TCPNetwork struct{}
+
+// NewTCP returns a TCP-backed network.
+func NewTCP() *TCPNetwork { return &TCPNetwork{} }
+
+// Listen opens a TCP listener on addr (host:port; use ":0" for an ephemeral
+// port).
+func (*TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP address.
+func (*TCPNetwork) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// The protocol is request/response with small framed messages;
+		// disable Nagle as PVFS does.
+		_ = tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// --- in-memory ---
+
+// MemNetwork is an in-process Network. Addresses are arbitrary strings.
+// Connections are buffered duplex pipes: writers block only when the peer's
+// receive buffer (64 KB) is full, mirroring a TCP socket buffer, which keeps
+// the request/response and background-flush traffic deadlock-free.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	nextAuto  int
+}
+
+// NewMem returns an empty in-memory network.
+func NewMem() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+// Listen registers a listener on addr. An empty addr or ":0" suffix
+// allocates a unique address.
+func (n *MemNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" || addr == ":0" {
+		n.nextAuto++
+		addr = fmt.Sprintf("mem:%d", n.nextAuto)
+	}
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &memListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan Conn, 16),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a registered listener.
+func (n *MemNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: connection refused to %q", addr)
+	}
+	client, server := Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (n *MemNetwork) remove(addr string) {
+	n.mu.Lock()
+	delete(n.listeners, addr)
+	n.mu.Unlock()
+}
+
+type memListener struct {
+	net       *MemNetwork
+	addr      string
+	accept    chan Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.net.remove(l.addr)
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// Pipe returns two connected in-memory Conns. Bytes written to one side are
+// readable from the other. Each direction has an independent 64 KB buffer.
+func Pipe() (Conn, Conn) {
+	ab := newHalf()
+	ba := newHalf()
+	return &pipeConn{r: ba, w: ab}, &pipeConn{r: ab, w: ba}
+}
+
+const pipeBufSize = 64 << 10
+
+// half is one direction of a pipe: a bounded byte queue.
+type half struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newHalf() *half {
+	h := &half{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *half) write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		h.mu.Lock()
+		for len(h.buf) >= pipeBufSize && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return total, ErrClosed
+		}
+		room := pipeBufSize - len(h.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		h.buf = append(h.buf, p[:n]...)
+		h.cond.Broadcast()
+		h.mu.Unlock()
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+func (h *half) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 && !h.closed {
+		h.cond.Wait()
+	}
+	if len(h.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, h.buf)
+	h.buf = h.buf[n:]
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *half) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+type pipeConn struct {
+	r, w      *half
+	closeOnce sync.Once
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.r.read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.w.close()
+		c.r.close()
+	})
+	return nil
+}

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+func testNetwork(t *testing.T, n Network) {
+	t.Helper()
+	l, err := n.Listen(":0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = c.Write(append([]byte("echo:"), buf...))
+		done <- err
+	}()
+
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "echo:hello" {
+		t.Errorf("got %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestTCPNetwork(t *testing.T)     { testNetwork(t, NewTCP()) }
+func TestMemNetworkEcho(t *testing.T) { testNetwork(t, NewMem()) }
+
+func TestMemDialUnknownAddr(t *testing.T) {
+	n := NewMem()
+	if _, err := n.Dial("mem:nowhere"); err == nil {
+		t.Fatal("expected connection refused")
+	}
+}
+
+func TestMemListenDuplicate(t *testing.T) {
+	n := NewMem()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Listen("svc"); err == nil {
+		t.Fatal("expected address-in-use error")
+	}
+}
+
+func TestMemListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewMem()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("accept returned %v, want ErrClosed", err)
+	}
+	// Dialing a closed listener fails.
+	if _, err := n.Dial("svc"); err == nil {
+		t.Fatal("dial after close should fail")
+	}
+	// The address is free again.
+	l2, err := n.Listen("svc")
+	if err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	l2.Close()
+}
+
+func TestMemAutoAddressesUnique(t *testing.T) {
+	n := NewMem()
+	l1, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Close()
+	l2, err := n.Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l1.Addr() == l2.Addr() {
+		t.Errorf("auto addresses collide: %q", l1.Addr())
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.Write([]byte("from-a"))
+	}()
+	go func() {
+		defer wg.Done()
+		b.Write([]byte("from-b"))
+	}()
+	bufA := make([]byte, 6)
+	bufB := make([]byte, 6)
+	if _, err := io.ReadFull(a, bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, bufB); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if string(bufA) != "from-b" || string(bufB) != "from-a" {
+		t.Errorf("got %q / %q", bufA, bufB)
+	}
+}
+
+func TestPipeLargeTransferExceedingBuffer(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	payload := bytes.Repeat([]byte{0xC7}, pipeBufSize*3+123)
+
+	go func() {
+		a.Write(payload)
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestPipeCloseGivesEOFThenErrClosed(t *testing.T) {
+	a, b := Pipe()
+	a.Write([]byte("tail"))
+	a.Close()
+
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("draining buffered data: %v", err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("read after close = %v, want EOF", err)
+	}
+	if _, err := b.Write([]byte("x")); err != ErrClosed {
+		// write into closed peer direction: b's write half is a's read half,
+		// which a.Close closed.
+		t.Fatalf("write after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeConcurrentWritersNoCorruption(t *testing.T) {
+	// Many goroutines each write a distinct 64-byte record; the reader
+	// must see exactly writers*records records (frame integrity is the
+	// caller's job, byte count is the pipe's).
+	a, b := Pipe()
+	const writers, records, recSize = 8, 50, 64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			rec := bytes.Repeat([]byte{id}, recSize)
+			for i := 0; i < records; i++ {
+				if _, err := a.Write(rec); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(byte(w))
+	}
+	go func() {
+		wg.Wait()
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*records*recSize {
+		t.Fatalf("got %d bytes, want %d", len(got), writers*records*recSize)
+	}
+}

@@ -1,0 +1,59 @@
+package wire
+
+import "pvfscache/internal/blockio"
+
+// PeerPut pushes one whole block into a peer node's cache — the
+// global-cache extension's block placement: after fetching a block from an
+// iod, a node forwards a copy to the block's home node so that later
+// misses anywhere in the cluster can be served from cluster memory before
+// touching the iod.
+type PeerPut struct {
+	File  blockio.FileID
+	Index int64
+	Owner uint32 // iod index storing the block
+	Data  []byte
+}
+
+// PeerPutAck acknowledges a PeerPut.
+type PeerPutAck struct{ Status Status }
+
+// Global-cache message types (extension group).
+const (
+	TPeerPut    Type = 0x0503
+	TPeerPutAck Type = 0x0504
+)
+
+// WireType implementations.
+func (*PeerPut) WireType() Type    { return TPeerPut }
+func (*PeerPutAck) WireType() Type { return TPeerPutAck }
+
+func (m *PeerPut) append(b []byte) []byte {
+	b = apU64(b, uint64(m.File))
+	b = apI64(b, m.Index)
+	b = apU32(b, m.Owner)
+	return apBytes(b, m.Data)
+}
+
+func (m *PeerPut) decode(r *reader) error {
+	f, err := r.u64()
+	if err != nil {
+		return err
+	}
+	m.File = blockio.FileID(f)
+	if m.Index, err = r.i64(); err != nil {
+		return err
+	}
+	if m.Owner, err = r.u32(); err != nil {
+		return err
+	}
+	m.Data, err = r.bytes()
+	return err
+}
+
+func (m *PeerPutAck) append(b []byte) []byte { return apU16(b, uint16(m.Status)) }
+
+func (m *PeerPutAck) decode(r *reader) error {
+	s, err := r.u16()
+	m.Status = Status(s)
+	return err
+}

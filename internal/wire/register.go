@@ -1,0 +1,45 @@
+package wire
+
+// Register announces a client cache to an iod: it carries the client's ID
+// and the address of its invalidation listener. The iod uses the address to
+// deliver Invalidate messages when other clients issue sync-writes to
+// blocks this client caches.
+type Register struct {
+	Client uint32
+	Addr   string
+}
+
+// RegisterAck acknowledges a Register.
+type RegisterAck struct{ Status Status }
+
+// Registration message types (coherence group).
+const (
+	TRegister    Type = 0x0403
+	TRegisterAck Type = 0x0404
+)
+
+// WireType implementations.
+func (*Register) WireType() Type    { return TRegister }
+func (*RegisterAck) WireType() Type { return TRegisterAck }
+
+func (m *Register) append(b []byte) []byte {
+	b = apU32(b, m.Client)
+	return apStr(b, m.Addr)
+}
+
+func (m *Register) decode(r *reader) error {
+	var err error
+	if m.Client, err = r.u32(); err != nil {
+		return err
+	}
+	m.Addr, err = r.str()
+	return err
+}
+
+func (m *RegisterAck) append(b []byte) []byte { return apU16(b, uint16(m.Status)) }
+
+func (m *RegisterAck) decode(r *reader) error {
+	s, err := r.u16()
+	m.Status = Status(s)
+	return err
+}

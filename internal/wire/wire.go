@@ -1,0 +1,499 @@
+// Package wire defines the binary protocol spoken between the PVFS client
+// library, the metadata server (mgr), the I/O daemons (iod), and the cache
+// module's background threads (flusher, coherence).
+//
+// Framing is [u32 payload length][u16 message type][payload]. All integers
+// are big-endian. Variable-length fields are length-prefixed. The format is
+// hand-rolled on encoding/binary so the module stays stdlib-only.
+//
+// The protocol deliberately mirrors the structure described in the paper:
+// data reads/writes and sync-writes travel on an iod's data port, flushes
+// travel on a separate flush port served by the iod-side flusher peer, and
+// invalidations travel from iods to the per-node cache module.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pvfscache/internal/blockio"
+)
+
+// MaxMessageSize bounds a single framed message (64 MB + slack); it protects
+// servers from corrupt or hostile length fields.
+const MaxMessageSize = 64<<20 + 4096
+
+// Type identifies a message kind on the wire.
+type Type uint16
+
+// Message types. The numbering groups mgr traffic in 0x01xx, iod data
+// traffic in 0x02xx, flush traffic in 0x03xx, coherence in 0x04xx, and the
+// global-cache extension in 0x05xx.
+const (
+	TCreate       Type = 0x0101
+	TCreateResp   Type = 0x0102
+	TOpen         Type = 0x0103
+	TOpenResp     Type = 0x0104
+	TStat         Type = 0x0105
+	TStatResp     Type = 0x0106
+	TUnlink       Type = 0x0107
+	TSetSize      Type = 0x0108
+	TList         Type = 0x0109
+	TListResp     Type = 0x010a
+	TStatus       Type = 0x010b
+	TRead         Type = 0x0201
+	TReadResp     Type = 0x0202
+	TWrite        Type = 0x0203
+	TWriteAck     Type = 0x0204
+	TSyncWrite    Type = 0x0205
+	TSyncWriteAck Type = 0x0206
+	TFlush        Type = 0x0301
+	TFlushAck     Type = 0x0302
+	TInvalidate   Type = 0x0401
+	TInvalidAck   Type = 0x0402
+	TPeerGet      Type = 0x0501
+	TPeerGetResp  Type = 0x0502
+)
+
+// String names the message type for logs.
+func (t Type) String() string {
+	switch t {
+	case TCreate:
+		return "Create"
+	case TCreateResp:
+		return "CreateResp"
+	case TOpen:
+		return "Open"
+	case TOpenResp:
+		return "OpenResp"
+	case TStat:
+		return "Stat"
+	case TStatResp:
+		return "StatResp"
+	case TUnlink:
+		return "Unlink"
+	case TSetSize:
+		return "SetSize"
+	case TList:
+		return "List"
+	case TListResp:
+		return "ListResp"
+	case TStatus:
+		return "Status"
+	case TRead:
+		return "Read"
+	case TReadResp:
+		return "ReadResp"
+	case TWrite:
+		return "Write"
+	case TWriteAck:
+		return "WriteAck"
+	case TSyncWrite:
+		return "SyncWrite"
+	case TSyncWriteAck:
+		return "SyncWriteAck"
+	case TFlush:
+		return "Flush"
+	case TFlushAck:
+		return "FlushAck"
+	case TInvalidate:
+		return "Invalidate"
+	case TInvalidAck:
+		return "InvalidAck"
+	case TRegister:
+		return "Register"
+	case TRegisterAck:
+		return "RegisterAck"
+	case TPeerGet:
+		return "PeerGet"
+	case TPeerGetResp:
+		return "PeerGetResp"
+	case TPeerPut:
+		return "PeerPut"
+	case TPeerPutAck:
+		return "PeerPutAck"
+	default:
+		return fmt.Sprintf("Type(0x%04x)", uint16(t))
+	}
+}
+
+// Status is a protocol-level result code.
+type Status uint16
+
+// Status codes.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusExists
+	StatusIOError
+	StatusBadRequest
+	StatusShortRead // read extended past end of stored data
+)
+
+// Err converts a non-OK status to an error; StatusOK yields nil.
+func (s Status) Err() error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusExists:
+		return ErrExists
+	case StatusIOError:
+		return ErrIO
+	case StatusBadRequest:
+		return ErrBadRequest
+	case StatusShortRead:
+		return ErrShortRead
+	default:
+		return fmt.Errorf("wire: unknown status %d", uint16(s))
+	}
+}
+
+// Sentinel errors corresponding to status codes.
+var (
+	ErrNotFound   = errors.New("wire: not found")
+	ErrExists     = errors.New("wire: already exists")
+	ErrIO         = errors.New("wire: i/o error")
+	ErrBadRequest = errors.New("wire: bad request")
+	ErrShortRead  = errors.New("wire: short read")
+	ErrTooLarge   = errors.New("wire: message exceeds size limit")
+)
+
+// StatusFor maps an error back to a status code for the server side.
+func StatusFor(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, ErrExists):
+		return StatusExists
+	case errors.Is(err, ErrBadRequest):
+		return StatusBadRequest
+	case errors.Is(err, ErrShortRead):
+		return StatusShortRead
+	default:
+		return StatusIOError
+	}
+}
+
+// Message is any protocol message.
+type Message interface {
+	// WireType returns the message's type tag.
+	WireType() Type
+	// append encodes the payload (without the frame header) onto b.
+	append(b []byte) []byte
+	// decode parses the payload from r.
+	decode(r *reader) error
+}
+
+// FileMeta carries a file's striping metadata and current size, exactly the
+// attributes libpvfs fetches from mgr on open.
+type FileMeta struct {
+	Size   int64  // current file size in bytes
+	Base   uint32 // index of the first iod holding strip 0
+	PCount uint32 // number of iods the file is striped over
+	SSize  uint32 // strip size in bytes
+}
+
+// FlushBlock is one dirty block carried by a flush message. Off is the
+// offset of Data within the block: the flusher sends only the dirty span
+// of a partially written block.
+type FlushBlock struct {
+	Index int64
+	Off   uint32
+	Data  []byte
+}
+
+// --- mgr messages ---
+
+// Create asks mgr to create a file with the given striping.
+type Create struct {
+	Name   string
+	Base   uint32
+	PCount uint32
+	SSize  uint32
+}
+
+// CreateResp returns the new file's ID and metadata.
+type CreateResp struct {
+	Status Status
+	File   blockio.FileID
+	Meta   FileMeta
+}
+
+// Open resolves a name to a file ID and metadata.
+type Open struct{ Name string }
+
+// OpenResp carries the result of an Open.
+type OpenResp struct {
+	Status Status
+	File   blockio.FileID
+	Meta   FileMeta
+}
+
+// Stat fetches current metadata by file ID.
+type Stat struct{ File blockio.FileID }
+
+// StatResp carries the result of a Stat.
+type StatResp struct {
+	Status Status
+	Meta   FileMeta
+}
+
+// Unlink removes a name from the namespace.
+type Unlink struct{ Name string }
+
+// SetSize grows the recorded file size to at least Size (writes extend
+// files; mgr keeps the authoritative size).
+type SetSize struct {
+	File blockio.FileID
+	Size int64
+}
+
+// List requests all file names.
+type List struct{}
+
+// ListResp carries the namespace contents.
+type ListResp struct {
+	Status Status
+	Names  []string
+}
+
+// StatusMsg is a bare status reply used by Unlink and SetSize.
+type StatusMsg struct{ Status Status }
+
+// --- iod data-port messages ---
+
+// Read requests [Offset, Offset+Length) of a file's data held by this iod.
+// Offsets are in file coordinates; the iod maps them to its local strips.
+// Client identifies the requesting node's cache for the coherence directory;
+// Track is set when the requester caches the result.
+type Read struct {
+	Client uint32
+	File   blockio.FileID
+	Offset int64
+	Length int64
+	Track  bool
+}
+
+// ReadResp returns the requested bytes. Data may be shorter than requested
+// when the read extends past written data; missing bytes read as zero on
+// the client side (sparse semantics).
+type ReadResp struct {
+	Status Status
+	Data   []byte
+}
+
+// Write stores Data at Offset.
+type Write struct {
+	Client uint32
+	File   blockio.FileID
+	Offset int64
+	Data   []byte
+}
+
+// WriteAck acknowledges a Write.
+type WriteAck struct{ Status Status }
+
+// SyncWrite is the paper's coherent write: the iod persists the data and
+// invalidates every other client cache holding copies of the touched blocks
+// before acknowledging.
+type SyncWrite struct {
+	Client uint32
+	File   blockio.FileID
+	Offset int64
+	Data   []byte
+}
+
+// SyncWriteAck acknowledges a SyncWrite after invalidations complete.
+type SyncWriteAck struct {
+	Status      Status
+	Invalidated uint32 // number of remote caches invalidated
+}
+
+// --- flush-port messages ---
+
+// Flush carries a batch of dirty blocks from a node's flusher thread to the
+// iod-side flusher peer, which writes them with local file-system calls.
+type Flush struct {
+	Client uint32
+	File   blockio.FileID
+	Blocks []FlushBlock
+}
+
+// FlushAck acknowledges a Flush batch.
+type FlushAck struct{ Status Status }
+
+// --- coherence messages ---
+
+// Invalidate tells a client cache to drop its copies of the listed blocks.
+type Invalidate struct {
+	File    blockio.FileID
+	Indices []int64
+}
+
+// InvalidAck acknowledges an Invalidate.
+type InvalidAck struct{ Status Status }
+
+// --- global-cache extension ---
+
+// PeerGet asks a peer node's cache for a single block.
+type PeerGet struct {
+	File  blockio.FileID
+	Index int64
+}
+
+// PeerGetResp returns the block if the peer holds it.
+type PeerGetResp struct {
+	Status Status
+	Data   []byte
+}
+
+// WireType implementations.
+func (*Create) WireType() Type       { return TCreate }
+func (*CreateResp) WireType() Type   { return TCreateResp }
+func (*Open) WireType() Type         { return TOpen }
+func (*OpenResp) WireType() Type     { return TOpenResp }
+func (*Stat) WireType() Type         { return TStat }
+func (*StatResp) WireType() Type     { return TStatResp }
+func (*Unlink) WireType() Type       { return TUnlink }
+func (*SetSize) WireType() Type      { return TSetSize }
+func (*List) WireType() Type         { return TList }
+func (*ListResp) WireType() Type     { return TListResp }
+func (*StatusMsg) WireType() Type    { return TStatus }
+func (*Read) WireType() Type         { return TRead }
+func (*ReadResp) WireType() Type     { return TReadResp }
+func (*Write) WireType() Type        { return TWrite }
+func (*WriteAck) WireType() Type     { return TWriteAck }
+func (*SyncWrite) WireType() Type    { return TSyncWrite }
+func (*SyncWriteAck) WireType() Type { return TSyncWriteAck }
+func (*Flush) WireType() Type        { return TFlush }
+func (*FlushAck) WireType() Type     { return TFlushAck }
+func (*Invalidate) WireType() Type   { return TInvalidate }
+func (*InvalidAck) WireType() Type   { return TInvalidAck }
+func (*PeerGet) WireType() Type      { return TPeerGet }
+func (*PeerGetResp) WireType() Type  { return TPeerGetResp }
+
+// New constructs an empty message of the given type, or nil for unknown
+// types.
+func New(t Type) Message {
+	switch t {
+	case TCreate:
+		return &Create{}
+	case TCreateResp:
+		return &CreateResp{}
+	case TOpen:
+		return &Open{}
+	case TOpenResp:
+		return &OpenResp{}
+	case TStat:
+		return &Stat{}
+	case TStatResp:
+		return &StatResp{}
+	case TUnlink:
+		return &Unlink{}
+	case TSetSize:
+		return &SetSize{}
+	case TList:
+		return &List{}
+	case TListResp:
+		return &ListResp{}
+	case TStatus:
+		return &StatusMsg{}
+	case TRead:
+		return &Read{}
+	case TReadResp:
+		return &ReadResp{}
+	case TWrite:
+		return &Write{}
+	case TWriteAck:
+		return &WriteAck{}
+	case TSyncWrite:
+		return &SyncWrite{}
+	case TSyncWriteAck:
+		return &SyncWriteAck{}
+	case TFlush:
+		return &Flush{}
+	case TFlushAck:
+		return &FlushAck{}
+	case TInvalidate:
+		return &Invalidate{}
+	case TInvalidAck:
+		return &InvalidAck{}
+	case TRegister:
+		return &Register{}
+	case TRegisterAck:
+		return &RegisterAck{}
+	case TPeerGet:
+		return &PeerGet{}
+	case TPeerGetResp:
+		return &PeerGetResp{}
+	case TPeerPut:
+		return &PeerPut{}
+	case TPeerPutAck:
+		return &PeerPutAck{}
+	default:
+		return nil
+	}
+}
+
+// WriteMessage frames and writes m to w.
+func WriteMessage(w io.Writer, m Message) error {
+	payload := m.append(nil)
+	if len(payload)+2 > MaxMessageSize {
+		return ErrTooLarge
+	}
+	frame := make([]byte, 6, 6+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)+2))
+	binary.BigEndian.PutUint16(frame[4:6], uint16(m.WireType()))
+	frame = append(frame, payload...)
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[0:4])
+	if size < 2 || size > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	t := Type(binary.BigEndian.Uint16(hdr[4:6]))
+	payload := make([]byte, size-2)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	m := New(t)
+	if m == nil {
+		return nil, fmt.Errorf("wire: unknown message type 0x%04x", uint16(t))
+	}
+	rd := &reader{buf: payload}
+	if err := m.decode(rd); err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", t, err)
+	}
+	if rd.pos != len(rd.buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(rd.buf)-rd.pos, t)
+	}
+	return m, nil
+}
+
+// Marshal returns the framed encoding of m (header plus payload).
+// It is used by the simulator to size messages without a writer.
+func Marshal(m Message) []byte {
+	payload := m.append(nil)
+	frame := make([]byte, 6, 6+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)+2))
+	binary.BigEndian.PutUint16(frame[4:6], uint16(m.WireType()))
+	return append(frame, payload...)
+}
+
+// EncodedSize returns the framed size of m in bytes. The simulator uses it
+// to charge network transfer time for a message without serializing data.
+func EncodedSize(m Message) int64 { return int64(len(Marshal(m))) }

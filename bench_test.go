@@ -18,6 +18,7 @@ package pvfscache_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -265,6 +266,81 @@ func BenchmarkLiveWriteBehind(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.SetBytes(64 << 10)
+}
+
+// BenchmarkLiveReadMultiClientMisses measures aggregate read throughput of
+// eight application processes sharing one node's cache module while their
+// working set (4 MB) far exceeds the cache (256 KB), so nearly every read
+// goes to the iods. This is the funnel the refactor widens: the seed
+// serialized all of a node's traffic to each iod behind one FIFO
+// connection, while internal/rpc keeps ≥2 pooled connections per iod with
+// tag-demultiplexed, out-of-order responses, letting the processes'
+// fetches overlap. Compare against the seed baseline in CHANGES.md.
+func BenchmarkLiveReadMultiClientMisses(b *testing.B) {
+	c, err := cluster.Start(cluster.Config{
+		IODs:        4,
+		ClientNodes: 1,
+		Caching:     true,
+		CacheBlocks: 64, // 256 KB: forces misses against the 4 MB file
+		FlushPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	seed, err := c.NewProcess(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := seed.Create("multiclient.dat", pvfs.StripeSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 4<<20), 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Module(0).FlushAll(); err != nil {
+		b.Fatal(err)
+	}
+
+	const workers = 8
+	files := make([]*pvfs.File, workers)
+	for w := 0; w < workers; w++ {
+		p, err := c.NewProcess(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { p.Close() })
+		if files[w], err = p.Open("multiclient.dat"); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(f *pvfs.File) {
+			defer wg.Done()
+			buf := make([]byte, 64<<10)
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				// Stride through the 64 distinct 64 KB chunks so the
+				// workers' requests interleave across iods.
+				off := ((i * 7) % 64) * (64 << 10)
+				if _, err := f.ReadAt(buf, off); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(files[w])
+	}
+	wg.Wait()
 	b.SetBytes(64 << 10)
 }
 

@@ -1,0 +1,3 @@
+module pvfscache
+
+go 1.24

@@ -35,6 +35,7 @@ import (
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/globalcache"
 	"pvfscache/internal/metrics"
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
@@ -60,6 +61,10 @@ type Config struct {
 	// WriteStall bounds how long a write blocks waiting for cache space
 	// before falling back to write-through (default 2s).
 	WriteStall time.Duration
+	// RPCConns is the connection-pool size per iod port (default
+	// rpc.DefaultConns). More connections let more of the node's
+	// processes keep requests in flight against one iod concurrently.
+	RPCConns int
 	// DisableCoherence skips the invalidation listener and iod
 	// registration; sync-writes then behave like plain writes plus a
 	// server write-through.
@@ -114,8 +119,8 @@ type Module struct {
 	cfg Config
 	buf *buffer.Manager
 
-	data  []*rpcClient // per-iod data-port connections (module-owned)
-	flush []*rpcClient // per-iod flush-port connections
+	data  []*rpc.Client // per-iod data-port clients (module-owned, pooled)
+	flush []*rpc.Client // per-iod flush-port clients
 
 	fetchMu sync.Mutex
 	fetches map[blockio.BlockKey]*fetchState
@@ -124,8 +129,7 @@ type Module struct {
 	spaceCond *sync.Cond
 
 	invalListener transport.Listener
-	invalConnsMu  sync.Mutex
-	invalConns    map[transport.Conn]struct{}
+	invalServer   *rpc.Server
 
 	gcService *globalcache.Service
 	gcClient  *globalcache.Client
@@ -148,17 +152,20 @@ func New(cfg Config) (*Module, error) {
 		cfg:         cfg,
 		buf:         buffer.New(cfg.Buffer),
 		fetches:     make(map[blockio.BlockKey]*fetchState),
-		invalConns:  make(map[transport.Conn]struct{}),
 		flushKick:   make(chan struct{}, 1),
 		harvestKick: make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 	}
 	m.spaceCond = sync.NewCond(&m.spaceMu)
 	for _, addr := range cfg.IODDataAddrs {
-		m.data = append(m.data, newRPCClient(cfg.Network, addr))
+		m.data = append(m.data, rpc.NewClient(rpc.ClientConfig{
+			Network: cfg.Network, Addr: addr, Conns: cfg.RPCConns,
+		}))
 	}
 	for _, addr := range cfg.IODFlushAddrs {
-		m.flush = append(m.flush, newRPCClient(cfg.Network, addr))
+		m.flush = append(m.flush, rpc.NewClient(rpc.ClientConfig{
+			Network: cfg.Network, Addr: addr, Conns: cfg.RPCConns,
+		}))
 	}
 
 	if !cfg.DisableCoherence {
@@ -167,10 +174,14 @@ func New(cfg Config) (*Module, error) {
 			return nil, fmt.Errorf("cachemod: invalidation listener: %w", err)
 		}
 		m.invalListener = l
+		m.invalServer = rpc.NewServer(rpc.HandlerFunc(m.handleInvalidate), rpc.ServerConfig{})
 		m.wg.Add(1)
-		go m.invalidationLoop(l)
+		go func() {
+			defer m.wg.Done()
+			m.invalServer.Serve(l)
+		}()
 		for i, rc := range m.data {
-			resp, err := rc.roundTrip(&wire.Register{Client: cfg.ClientID, Addr: l.Addr()})
+			resp, err := rc.Call(&wire.Register{Client: cfg.ClientID, Addr: l.Addr()})
 			if err != nil {
 				m.Close()
 				return nil, fmt.Errorf("cachemod: registering with iod %d: %w", i, err)
@@ -239,18 +250,16 @@ func (m *Module) Close() error {
 		if m.invalListener != nil {
 			m.invalListener.Close()
 		}
-		m.invalConnsMu.Lock()
-		for conn := range m.invalConns {
-			conn.Close()
+		if m.invalServer != nil {
+			m.invalServer.Close()
 		}
-		m.invalConnsMu.Unlock()
 		m.spaceCond.Broadcast()
 		m.wg.Wait()
 		for _, rc := range m.data {
-			rc.close()
+			rc.Close()
 		}
 		for _, rc := range m.flush {
-			rc.close()
+			rc.Close()
 		}
 	})
 	return err
@@ -290,31 +299,49 @@ func (m *Module) flushOnce(batch int) {
 		gk := groupKey{owner: it.Owner, file: it.Key.File}
 		groups[gk] = append(groups[gk], it)
 	}
+	// Keep each Flush frame comfortably under wire.MaxMessageSize: a cache
+	// holding more dirty data for one (iod, file) than a frame can carry
+	// must split it, or every retry would fail with ErrTooLarge.
+	const maxFlushBytes = 4 << 20
 	for gk, group := range groups {
 		if gk.owner < 0 || gk.owner >= len(m.flush) {
 			m.buf.FlushFailed(group)
 			continue
 		}
-		msg := &wire.Flush{Client: m.cfg.ClientID, File: gk.file}
-		for _, it := range group {
-			msg.Blocks = append(msg.Blocks, wire.FlushBlock{
-				Index: it.Key.Index,
-				Off:   uint32(it.Off),
-				Data:  it.Data,
-			})
+		for len(group) > 0 {
+			n := len(group)
+			bytes := 0
+			for i, it := range group {
+				sz := len(it.Data) + 16 // index + off + length prefix
+				if i > 0 && bytes+sz > maxFlushBytes {
+					n = i
+					break
+				}
+				bytes += sz
+			}
+			chunk := group[:n]
+			group = group[n:]
+			msg := &wire.Flush{Client: m.cfg.ClientID, File: gk.file}
+			for _, it := range chunk {
+				msg.Blocks = append(msg.Blocks, wire.FlushBlock{
+					Index: it.Key.Index,
+					Off:   uint32(it.Off),
+					Data:  it.Data,
+				})
+			}
+			resp, err := m.flush[gk.owner].Call(msg)
+			if err != nil {
+				m.buf.FlushFailed(chunk)
+				continue
+			}
+			if ack, ok := resp.(*wire.FlushAck); !ok || ack.Status != wire.StatusOK {
+				m.buf.FlushFailed(chunk)
+				continue
+			}
+			m.buf.FlushDone(chunk)
+			m.cfg.Registry.Counter("module.flush_rounds").Inc()
+			m.cfg.Registry.Counter("module.flushed_blocks").Add(int64(len(chunk)))
 		}
-		resp, err := m.flush[gk.owner].roundTrip(msg)
-		if err != nil {
-			m.buf.FlushFailed(group)
-			continue
-		}
-		if ack, ok := resp.(*wire.FlushAck); !ok || ack.Status != wire.StatusOK {
-			m.buf.FlushFailed(group)
-			continue
-		}
-		m.buf.FlushDone(group)
-		m.cfg.Registry.Counter("module.flush_rounds").Inc()
-		m.cfg.Registry.Counter("module.flushed_blocks").Add(int64(len(group)))
 	}
 	m.signalSpace()
 }
@@ -327,6 +354,12 @@ func (m *Module) FlushAll() error {
 			return nil
 		}
 		m.flushOnce(0)
+		if m.buf.DirtyCount() > 0 {
+			// Blocks still dirty here are usually in flight on a concurrent
+			// flusher round (TakeDirty skips them); yield instead of
+			// spinning through the retry budget before that round lands.
+			time.Sleep(time.Millisecond)
+		}
 	}
 	if n := m.buf.DirtyCount(); n > 0 {
 		return fmt.Errorf("cachemod: %d dirty blocks remain after FlushAll", n)
@@ -362,45 +395,18 @@ func (m *Module) harvesterLoop() {
 	}
 }
 
-// invalidationLoop serves Invalidate messages from the iods.
-func (m *Module) invalidationLoop(l transport.Listener) {
-	defer m.wg.Done()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return
-		}
-		m.invalConnsMu.Lock()
-		m.invalConns[conn] = struct{}{}
-		m.invalConnsMu.Unlock()
-		m.wg.Add(1)
-		go func() {
-			defer m.wg.Done()
-			defer func() {
-				m.invalConnsMu.Lock()
-				delete(m.invalConns, conn)
-				m.invalConnsMu.Unlock()
-				conn.Close()
-			}()
-			for {
-				msg, err := wire.ReadMessage(conn)
-				if err != nil {
-					return
-				}
-				inv, ok := msg.(*wire.Invalidate)
-				if !ok {
-					return
-				}
-				for _, idx := range inv.Indices {
-					m.buf.Invalidate(blockio.BlockKey{File: inv.File, Index: idx})
-				}
-				m.cfg.Registry.Counter("module.invalidations_rx").Inc()
-				if err := wire.WriteMessage(conn, &wire.InvalidAck{Status: wire.StatusOK}); err != nil {
-					return
-				}
-			}
-		}()
+// handleInvalidate serves one Invalidate from an iod (via the module's
+// rpc server on the invalidation listener).
+func (m *Module) handleInvalidate(msg wire.Message) wire.Message {
+	inv, ok := msg.(*wire.Invalidate)
+	if !ok {
+		return nil
 	}
+	for _, idx := range inv.Indices {
+		m.buf.Invalidate(blockio.BlockKey{File: inv.File, Index: idx})
+	}
+	m.cfg.Registry.Counter("module.invalidations_rx").Inc()
+	return &wire.InvalidAck{Status: wire.StatusOK}
 }
 
 // --- helpers shared with the transport FSM ---
@@ -459,7 +465,7 @@ func (m *Module) waitForSpace(deadline time.Time) bool {
 // fetch owner's insert got evicted.
 func (m *Module) fetchBlockSync(iod int, key blockio.BlockKey) ([]byte, error) {
 	bs := int64(m.buf.BlockSize())
-	resp, err := m.data[iod].roundTrip(&wire.Read{
+	resp, err := m.data[iod].Call(&wire.Read{
 		Client: m.cfg.ClientID,
 		File:   key.File,
 		Offset: key.Index * bs,

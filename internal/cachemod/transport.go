@@ -8,6 +8,7 @@ import (
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/pvfs"
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/wire"
 )
 
@@ -33,9 +34,9 @@ func (m *Module) NewTransport() *CachedTransport {
 
 // pendingOp is the per-request FSM state between Send and Recv.
 type pendingOp struct {
-	ready wire.Message     // response already known (fake ack, full cache hit)
-	read  *pendingRead     // read with outstanding transfers
-	call  <-chan rpcResult // passthrough round trip
+	ready wire.Message      // response already known (fake ack, full cache hit)
+	read  *pendingRead      // read with outstanding transfers
+	call  <-chan rpc.Result // passthrough round trip
 }
 
 // pendingRead tracks a read whose missing pieces are in flight.
@@ -50,7 +51,7 @@ type pendingRead struct {
 // consecutive missing blocks.
 type ownedFetch struct {
 	iod      int
-	ch       <-chan rpcResult
+	ch       <-chan rpc.Result
 	firstIdx int64
 	keys     []blockio.BlockKey
 	states   []*fetchState
@@ -81,7 +82,7 @@ func (t *CachedTransport) Send(iod int, req wire.Message) (pvfs.ReqID, error) {
 	case *wire.SyncWrite:
 		op, err = t.sendSyncWrite(iod, r)
 	default:
-		ch, cerr := t.m.data[iod].call(req)
+		ch, cerr := t.m.data[iod].Go(req)
 		if cerr != nil {
 			return 0, cerr
 		}
@@ -115,7 +116,7 @@ func (t *CachedTransport) Recv(id pvfs.ReqID) (wire.Message, error) {
 		return t.completeRead(op.read)
 	case op.call != nil:
 		res := <-op.call
-		return res.msg, res.err
+		return res.Msg, res.Err
 	default:
 		return nil, fmt.Errorf("cachemod: empty pending op %d", id)
 	}
@@ -198,7 +199,7 @@ func (t *CachedTransport) sendRead(iod int, req *wire.Read) (*pendingOp, error) 
 			Length: int64(len(run)) * int64(bs),
 			Track:  true,
 		}
-		ch, err := t.m.data[iod].call(sub)
+		ch, err := t.m.data[iod].Go(sub)
 		if err != nil {
 			t.abortFetches(pr.fetches, err)
 			t.abortFetch(of, err)
@@ -226,16 +227,16 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 	var firstErr error
 	for _, of := range pr.fetches {
 		res := <-of.ch
-		if res.err != nil {
-			t.abortFetch(of, res.err)
+		if res.Err != nil {
+			t.abortFetch(of, res.Err)
 			if firstErr == nil {
-				firstErr = res.err
+				firstErr = res.Err
 			}
 			continue
 		}
-		rr, ok := res.msg.(*wire.ReadResp)
+		rr, ok := res.Msg.(*wire.ReadResp)
 		if !ok || rr.Status != wire.StatusOK {
-			err := fmt.Errorf("cachemod: fetch failed: %v", res.msg.WireType())
+			err := fmt.Errorf("cachemod: fetch failed: %v", res.Msg.WireType())
 			if ok {
 				if serr := rr.Status.Err(); serr != nil {
 					err = serr
@@ -321,10 +322,8 @@ func (t *CachedTransport) abortFetch(of ownedFetch, err error) {
 
 func (t *CachedTransport) abortFetches(ofs []ownedFetch, err error) {
 	for _, of := range ofs {
-		// Drain the response so the rpc FIFO stays aligned.
-		if of.ch != nil {
-			go func(ch <-chan rpcResult) { <-ch }(of.ch)
-		}
+		// No drain needed: responses demultiplex by tag and the result
+		// channel is buffered, so an abandoned fetch cannot stall others.
 		t.abortFetch(of, err)
 	}
 }
@@ -339,7 +338,7 @@ func (t *CachedTransport) abortFetches(ofs []ownedFetch, err error) {
 // cache.
 func (t *CachedTransport) sendWrite(iod int, req *wire.Write) (*pendingOp, error) {
 	if !t.m.WriteBehind() {
-		ch, err := t.m.data[iod].call(req)
+		ch, err := t.m.data[iod].Go(req)
 		if err != nil {
 			return nil, err
 		}
@@ -396,7 +395,7 @@ func (t *CachedTransport) writeSpan(iod int, sp blockio.Span, src []byte, deadli
 // writeThrough sends one span straight to the iod, bypassing the cache.
 func (t *CachedTransport) writeThrough(iod int, sp blockio.Span, src []byte) error {
 	t.m.cfg.Registry.Counter("module.write_through").Inc()
-	resp, err := t.m.data[iod].roundTrip(&wire.Write{
+	resp, err := t.m.data[iod].Call(&wire.Write{
 		Client: t.m.cfg.ClientID,
 		File:   sp.Key.File,
 		Offset: sp.FileOffset(t.m.buf.BlockSize()),
@@ -434,7 +433,7 @@ func (t *CachedTransport) sendSyncWrite(iod int, req *wire.SyncWrite) (*pendingO
 			// Not cacheable right now; the server still gets the data.
 		}
 	}
-	ch, err := t.m.data[iod].call(req)
+	ch, err := t.m.data[iod].Go(req)
 	if err != nil {
 		return nil, err
 	}

@@ -53,6 +53,10 @@ type Config struct {
 	// GlobalCache enables the cooperative global cache extension: node
 	// caches serve each other misses before the iods are consulted.
 	GlobalCache bool
+	// RPCConns is the rpc connection-pool size each cache module keeps
+	// per iod port (default rpc.DefaultConns). Raise it when many
+	// processes per node keep independent requests in flight.
+	RPCConns int
 	// Registry collects metrics from every component; nil creates one.
 	Registry *metrics.Registry
 }
@@ -144,6 +148,7 @@ func Start(cfg Config) (*Cluster, error) {
 				ClientID:      uint32(node + 1),
 				IODDataAddrs:  c.IODDataAddrs,
 				IODFlushAddrs: c.IODFlushAddrs,
+				RPCConns:      cfg.RPCConns,
 				Buffer: buffer.Config{
 					BlockSize: cfg.BlockSize,
 					Capacity:  cfg.CacheBlocks,
@@ -220,6 +225,11 @@ func (c *Cluster) Close() error {
 	}
 	for _, l := range c.listeners {
 		if err := l.Close(); err != nil && !errors.Is(err, transport.ErrClosed) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, d := range c.IODs {
+		if err := d.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/metrics"
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
@@ -44,15 +45,16 @@ func (r Ring) Home(key blockio.BlockKey) int {
 }
 
 // Service answers PeerGet and PeerPut requests against a node's buffer
-// manager. Run one per node, listening on the node's ring address.
+// manager. Run one per node, listening on the node's ring address. It is a
+// thin handler over the shared rpc server core: peers keep several
+// requests in flight and block buffers are recycled once written.
 type Service struct {
 	buf *buffer.Manager
 	reg *metrics.Registry
 	l   transport.Listener
+	srv *rpc.Server
 
-	mu    sync.Mutex
-	conns map[transport.Conn]struct{}
-	done  bool
+	blockBufs rpc.BufPool
 }
 
 // NewService starts serving the buffer manager's contents on l.
@@ -60,92 +62,66 @@ func NewService(buf *buffer.Manager, l transport.Listener, reg *metrics.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	s := &Service{buf: buf, reg: reg, l: l, conns: make(map[transport.Conn]struct{})}
-	go s.acceptLoop()
+	s := &Service{buf: buf, reg: reg, l: l}
+	s.srv = rpc.NewServer(rpc.HandlerFunc(s.handle), rpc.ServerConfig{
+		AfterWrite: s.recycle,
+	})
+	go s.srv.Serve(l)
 	return s
 }
 
 // Close stops the service and its connections.
 func (s *Service) Close() error {
-	s.mu.Lock()
-	s.done = true
-	conns := make([]transport.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
 	err := s.l.Close()
-	for _, c := range conns {
-		c.Close()
-	}
+	s.srv.Close()
 	return err
 }
 
-func (s *Service) acceptLoop() {
-	for {
-		conn, err := s.l.Accept()
-		if err != nil {
-			return
+func (s *Service) handle(msg wire.Message) wire.Message {
+	switch m := msg.(type) {
+	case *wire.PeerGet:
+		data := s.blockBufs.Get(s.buf.BlockSize())
+		key := blockio.BlockKey{File: m.File, Index: m.Index}
+		if s.buf.ReadSpan(key, 0, data) {
+			s.reg.Counter("gcache.serve_hits").Inc()
+			return &wire.PeerGetResp{Status: wire.StatusOK, Data: data}
 		}
-		s.mu.Lock()
-		if s.done {
-			s.mu.Unlock()
-			conn.Close()
-			return
+		s.blockBufs.Put(data)
+		s.reg.Counter("gcache.serve_misses").Inc()
+		return &wire.PeerGetResp{Status: wire.StatusNotFound}
+	case *wire.PeerPut:
+		// Wire-supplied Data is peer-controlled; InsertClean panics on
+		// oversized input, so reject rather than crash the node.
+		if len(m.Data) > s.buf.BlockSize() {
+			return &wire.PeerPutAck{Status: wire.StatusBadRequest}
 		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		go s.serveConn(conn)
+		key := blockio.BlockKey{File: m.File, Index: m.Index}
+		s.buf.InsertClean(key, int(m.Owner), m.Data)
+		s.reg.Counter("gcache.puts_rx").Inc()
+		return &wire.PeerPutAck{Status: wire.StatusOK}
+	default:
+		return nil
 	}
 }
 
-func (s *Service) serveConn(conn transport.Conn) {
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	bs := s.buf.BlockSize()
-	for {
-		msg, err := wire.ReadMessage(conn)
-		if err != nil {
-			return
-		}
-		var resp wire.Message
-		switch m := msg.(type) {
-		case *wire.PeerGet:
-			data := make([]byte, bs)
-			key := blockio.BlockKey{File: m.File, Index: m.Index}
-			if s.buf.ReadSpan(key, 0, data) {
-				resp = &wire.PeerGetResp{Status: wire.StatusOK, Data: data}
-				s.reg.Counter("gcache.serve_hits").Inc()
-			} else {
-				resp = &wire.PeerGetResp{Status: wire.StatusNotFound}
-				s.reg.Counter("gcache.serve_misses").Inc()
-			}
-		case *wire.PeerPut:
-			key := blockio.BlockKey{File: m.File, Index: m.Index}
-			s.buf.InsertClean(key, int(m.Owner), m.Data)
-			s.reg.Counter("gcache.puts_rx").Inc()
-			resp = &wire.PeerPutAck{Status: wire.StatusOK}
-		default:
-			return
-		}
-		if err := wire.WriteMessage(conn, resp); err != nil {
-			return
-		}
+// recycle returns a served block buffer to the pool after the response has
+// been written.
+func (s *Service) recycle(resp wire.Message) {
+	if gr, ok := resp.(*wire.PeerGetResp); ok {
+		s.blockBufs.Put(gr.Data)
 	}
 }
 
-// Client queries and feeds the global cache from one node.
+// Client queries and feeds the global cache from one node. Peer round
+// trips ride the shared rpc core: one pooled, multiplexed rpc.Client per
+// peer node.
 type Client struct {
 	ring    Ring
 	network transport.Network
 	reg     *metrics.Registry
 
 	mu    sync.Mutex
-	conns map[int]transport.Conn
+	peers map[int]*rpc.Client
 
 	pushCh chan wire.PeerPut
 	wg     sync.WaitGroup
@@ -167,7 +143,7 @@ func NewClient(ring Ring, network transport.Network, reg *metrics.Registry) (*Cl
 		ring:    ring,
 		network: network,
 		reg:     reg,
-		conns:   make(map[int]transport.Conn),
+		peers:   make(map[int]*rpc.Client),
 		pushCh:  make(chan wire.PeerPut, 256),
 		stop:    make(chan struct{}),
 	}
@@ -182,10 +158,10 @@ func (c *Client) Close() error {
 	c.wg.Wait()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, conn := range c.conns {
-		conn.Close()
+	for _, rc := range c.peers {
+		rc.Close()
 	}
-	c.conns = make(map[int]transport.Conn)
+	c.peers = make(map[int]*rpc.Client)
 	return nil
 }
 
@@ -241,33 +217,28 @@ func (c *Client) pushLoop() {
 	}
 }
 
-// roundTrip performs one synchronous exchange with a peer, redialing once
-// after a failure.
+// roundTrip performs one synchronous exchange with a peer, retrying once
+// so a stale pooled connection gets one redial before the peer is treated
+// as unreachable.
 func (c *Client) roundTrip(peer int, req wire.Message) (wire.Message, error) {
+	rc := c.peerClient(peer)
+	resp, err := rc.Call(req)
+	if err != nil {
+		resp, err = rc.Call(req)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("globalcache: peer %d unreachable: %w", peer, err)
+	}
+	return resp, nil
+}
+
+func (c *Client) peerClient(peer int) *rpc.Client {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for attempt := 0; attempt < 2; attempt++ {
-		conn := c.conns[peer]
-		if conn == nil {
-			var err error
-			conn, err = c.network.Dial(c.ring.Peers[peer])
-			if err != nil {
-				return nil, fmt.Errorf("globalcache: dialing peer %d: %w", peer, err)
-			}
-			c.conns[peer] = conn
-		}
-		if err := wire.WriteMessage(conn, req); err != nil {
-			conn.Close()
-			delete(c.conns, peer)
-			continue
-		}
-		resp, err := wire.ReadMessage(conn)
-		if err != nil {
-			conn.Close()
-			delete(c.conns, peer)
-			continue
-		}
-		return resp, nil
+	rc := c.peers[peer]
+	if rc == nil {
+		rc = rpc.NewClient(rpc.ClientConfig{Network: c.network, Addr: c.ring.Peers[peer]})
+		c.peers[peer] = rc
 	}
-	return nil, fmt.Errorf("globalcache: peer %d unreachable", peer)
+	return rc
 }

@@ -9,6 +9,7 @@ import (
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
 )
 
 func TestRingHomeStableAndInRange(t *testing.T) {
@@ -162,5 +163,34 @@ func TestGetUnreachablePeerDegrades(t *testing.T) {
 func TestNewClientRejectsBadRing(t *testing.T) {
 	if _, err := NewClient(Ring{}, transport.NewMem(), nil); err == nil {
 		t.Fatal("invalid ring accepted")
+	}
+}
+
+// TestOversizedPeerPutRejected checks a hostile PeerPut larger than the
+// block size gets a bad-request ack instead of panicking the node.
+func TestOversizedPeerPutRejected(t *testing.T) {
+	net := transport.NewMem()
+	buf := buffer.New(buffer.Config{BlockSize: 4096, Capacity: 8})
+	l, err := net.Listen("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(buf, l, nil)
+	defer svc.Close()
+	conn, err := net.Dial("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, &wire.PeerPut{File: 1, Index: 0, Data: make([]byte, 8192)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := resp.(*wire.PeerPutAck)
+	if !ok || ack.Status != wire.StatusBadRequest {
+		t.Fatalf("oversized put got %+v", resp)
 	}
 }

@@ -12,12 +12,12 @@
 package iod
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/metrics"
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/simdisk"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
@@ -33,8 +33,13 @@ type Server struct {
 
 	mu      sync.Mutex
 	clients map[uint32]string              // client id -> invalidation listener address
-	inval   map[uint32]*invalChannel       // lazily dialed invalidation connections
+	inval   map[uint32]*rpc.Client         // lazily dialed invalidation clients
 	dir     map[blockio.BlockKey]holderSet // coherence directory
+
+	srvMu   sync.Mutex
+	servers []*rpc.Server
+
+	readBufs rpc.BufPool // read buffers, recycled after each response is written
 
 	observer AccessObserver
 }
@@ -47,12 +52,6 @@ type Server struct {
 type AccessObserver func(client uint32, file blockio.FileID, block int64, write bool)
 
 type holderSet map[uint32]struct{}
-
-// invalChannel serializes invalidation round trips to one client.
-type invalChannel struct {
-	mu   sync.Mutex
-	conn transport.Conn
-}
 
 // New returns an iod with the given index in the cluster's iod list.
 // network is used to dial client invalidation listeners; it may be nil when
@@ -71,7 +70,7 @@ func New(id int, blockSize int, network transport.Network, reg *metrics.Registry
 		reg:       reg,
 		network:   network,
 		clients:   make(map[uint32]string),
-		inval:     make(map[uint32]*invalChannel),
+		inval:     make(map[uint32]*rpc.Client),
 		dir:       make(map[blockio.BlockKey]holderSet),
 	}
 }
@@ -90,32 +89,45 @@ func (s *Server) ServeData(l transport.Listener) error { return s.serve(l, s.han
 // This is the server half of the flusher protocol.
 func (s *Server) ServeFlush(l transport.Listener) error { return s.serve(l, s.handleFlush) }
 
+// serve runs one rpc.Server over the listener. Tagged clients (the cache
+// modules and libpvfs) get concurrent out-of-order service; untagged
+// legacy clients are served FIFO. Read buffers return to the pool once
+// each response hits the wire.
 func (s *Server) serve(l transport.Listener, handler func(wire.Message) wire.Message) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, transport.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		go func() {
-			defer conn.Close()
-			for {
-				msg, err := wire.ReadMessage(conn)
-				if err != nil {
-					return
-				}
-				resp := handler(msg)
-				if resp == nil {
-					return
-				}
-				if err := wire.WriteMessage(conn, resp); err != nil {
-					return
-				}
-			}
-		}()
+	srv := rpc.NewServer(rpc.HandlerFunc(handler), rpc.ServerConfig{
+		AfterWrite: s.recycleReadBuf,
+	})
+	s.srvMu.Lock()
+	s.servers = append(s.servers, srv)
+	s.srvMu.Unlock()
+	return srv.Serve(l)
+}
+
+// recycleReadBuf returns a written read response's buffer to the pool.
+func (s *Server) recycleReadBuf(resp wire.Message) {
+	if rr, ok := resp.(*wire.ReadResp); ok {
+		s.readBufs.Put(rr.Data)
 	}
+}
+
+// Close drops every open connection; in-flight requests fail at the
+// clients, which redial. Listeners belong to the caller.
+func (s *Server) Close() error {
+	s.srvMu.Lock()
+	servers := s.servers
+	s.servers = nil
+	s.srvMu.Unlock()
+	for _, srv := range servers {
+		srv.Close()
+	}
+	s.mu.Lock()
+	inval := s.inval
+	s.inval = make(map[uint32]*rpc.Client)
+	s.mu.Unlock()
+	for _, c := range inval {
+		c.Close()
+	}
+	return nil
 }
 
 // handleData dispatches one data-port request.
@@ -162,24 +174,22 @@ func (s *Server) observe(client uint32, file blockio.FileID, off, length int64, 
 // Re-registering replaces the address and drops any cached connection.
 func (s *Server) RegisterClient(client uint32, addr string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	old := s.inval[client]
 	s.clients[client] = addr
-	if ch := s.inval[client]; ch != nil {
-		ch.mu.Lock()
-		if ch.conn != nil {
-			ch.conn.Close()
-			ch.conn = nil
-		}
-		ch.mu.Unlock()
-	}
 	delete(s.inval, client)
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
 }
 
 func (s *Server) read(m *wire.Read) *wire.ReadResp {
+	// The wire length field is attacker-controlled: reject anything that
+	// could not be framed back in a response rather than allocating it.
 	if m.Length < 0 || m.Length > wire.MaxMessageSize/2 {
 		return &wire.ReadResp{Status: wire.StatusBadRequest}
 	}
-	buf := make([]byte, m.Length)
+	buf := s.readBufs.Get(int(m.Length))
 	n := s.store.ReadAt(m.File, m.Offset, buf)
 	s.reg.Counter("iod.reads").Inc()
 	s.reg.Counter("iod.read_bytes").Add(int64(n))
@@ -301,55 +311,41 @@ func (s *Server) Holders(key blockio.BlockKey) []uint32 {
 	return out
 }
 
-// sendInvalidate delivers one Invalidate round trip to a client cache.
+// sendInvalidate delivers one Invalidate round trip to a client cache
+// through a pooled rpc client (dialed lazily, redialed after failures).
 func (s *Server) sendInvalidate(client uint32, file blockio.FileID, indices []int64) error {
-	ch, addr, err := s.invalChannelFor(client)
+	rc, err := s.invalClientFor(client)
 	if err != nil {
 		return err
 	}
-	ch.mu.Lock()
-	defer ch.mu.Unlock()
-	if ch.conn == nil {
-		if s.network == nil {
-			return fmt.Errorf("iod %d: no network to reach client %d", s.id, client)
-		}
-		conn, err := s.network.Dial(addr)
-		if err != nil {
-			return fmt.Errorf("iod %d: dialing invalidation listener of client %d: %w", s.id, client, err)
-		}
-		ch.conn = conn
-	}
-	if err := wire.WriteMessage(ch.conn, &wire.Invalidate{File: file, Indices: indices}); err != nil {
-		ch.conn.Close()
-		ch.conn = nil
-		return err
-	}
-	resp, err := wire.ReadMessage(ch.conn)
+	resp, err := rc.Call(&wire.Invalidate{File: file, Indices: indices})
 	if err != nil {
-		ch.conn.Close()
-		ch.conn = nil
 		return err
 	}
 	if _, ok := resp.(*wire.InvalidAck); !ok {
-		ch.conn.Close()
-		ch.conn = nil
 		return fmt.Errorf("iod %d: unexpected invalidation reply %v", s.id, resp.WireType())
 	}
 	s.reg.Counter("iod.invalidations").Inc()
 	return nil
 }
 
-func (s *Server) invalChannelFor(client uint32) (*invalChannel, string, error) {
+func (s *Server) invalClientFor(client uint32) (*rpc.Client, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	addr, ok := s.clients[client]
 	if !ok {
-		return nil, "", fmt.Errorf("iod %d: client %d not registered", s.id, client)
+		return nil, fmt.Errorf("iod %d: client %d not registered", s.id, client)
 	}
-	ch := s.inval[client]
-	if ch == nil {
-		ch = &invalChannel{}
-		s.inval[client] = ch
+	rc := s.inval[client]
+	if rc == nil {
+		if s.network == nil {
+			return nil, fmt.Errorf("iod %d: no network to reach client %d", s.id, client)
+		}
+		// Invalidations are one serial round trip per victim, so the
+		// untagged compat mode costs nothing and keeps legacy
+		// invalidation listeners reachable.
+		rc = rpc.NewClient(rpc.ClientConfig{Network: s.network, Addr: addr, Conns: 1, Untagged: true})
+		s.inval[client] = rc
 	}
-	return ch, addr, nil
+	return rc, nil
 }

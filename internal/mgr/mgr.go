@@ -6,7 +6,6 @@
 package mgr
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -14,6 +13,7 @@ import (
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/metrics"
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
@@ -163,37 +163,17 @@ func (s *Server) List() []string {
 }
 
 // Serve accepts connections on l and answers metadata requests until l is
-// closed. Each connection gets its own goroutine, mirroring mgr's
-// per-client service in PVFS.
+// closed, dispatching through the shared rpc server core: tagged clients
+// may have several metadata requests in flight per connection.
 func (s *Server) Serve(l transport.Listener) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, transport.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn transport.Conn) {
-	defer conn.Close()
-	for {
-		msg, err := wire.ReadMessage(conn)
-		if err != nil {
-			return // EOF or broken peer: drop the connection
-		}
+	srv := rpc.NewServer(rpc.HandlerFunc(func(msg wire.Message) wire.Message {
 		resp := s.handle(msg)
 		if resp == nil {
 			log.Printf("mgr: unexpected message %v", msg.WireType())
-			return
 		}
-		if err := wire.WriteMessage(conn, resp); err != nil {
-			return
-		}
-	}
+		return resp
+	}), rpc.ServerConfig{})
+	return srv.Serve(l)
 }
 
 // handle dispatches one request message and returns the reply, or nil for

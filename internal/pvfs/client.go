@@ -11,9 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"pvfscache/internal/blockio"
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
@@ -48,8 +48,7 @@ type Config struct {
 type Client struct {
 	cfg   Config
 	data  Transport
-	mu    sync.Mutex // guards mgr conn
-	mgr   transport.Conn
+	mgr   *rpc.Client
 	files map[blockio.FileID]*File
 }
 
@@ -69,30 +68,16 @@ func NewClient(cfg Config) (*Client, error) {
 	if data == nil {
 		data = NewDirectTransport(cfg.Network, cfg.IODAddrs)
 	}
-	return &Client{cfg: cfg, data: data, files: make(map[blockio.FileID]*File)}, nil
+	// Metadata traffic is light; one pooled connection suffices.
+	mgr := rpc.NewClient(rpc.ClientConfig{Network: cfg.Network, Addr: cfg.MgrAddr, Conns: 1})
+	return &Client{cfg: cfg, data: data, mgr: mgr, files: make(map[blockio.FileID]*File)}, nil
 }
 
 // mgrCall performs one synchronous metadata round trip.
 func (c *Client) mgrCall(req wire.Message) (wire.Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.mgr == nil {
-		conn, err := c.cfg.Network.Dial(c.cfg.MgrAddr)
-		if err != nil {
-			return nil, fmt.Errorf("pvfs: dialing mgr at %s: %w", c.cfg.MgrAddr, err)
-		}
-		c.mgr = conn
-	}
-	if err := wire.WriteMessage(c.mgr, req); err != nil {
-		c.mgr.Close()
-		c.mgr = nil
-		return nil, fmt.Errorf("pvfs: mgr request: %w", err)
-	}
-	resp, err := wire.ReadMessage(c.mgr)
+	resp, err := c.mgr.Call(req)
 	if err != nil {
-		c.mgr.Close()
-		c.mgr = nil
-		return nil, fmt.Errorf("pvfs: mgr response: %w", err)
+		return nil, fmt.Errorf("pvfs: mgr call: %w", err)
 	}
 	return resp, nil
 }
@@ -169,12 +154,7 @@ func (c *Client) List() ([]string, error) {
 // Close shuts down the data transport and the mgr connection.
 func (c *Client) Close() error {
 	err := c.data.Close()
-	c.mu.Lock()
-	if c.mgr != nil {
-		c.mgr.Close()
-		c.mgr = nil
-	}
-	c.mu.Unlock()
+	c.mgr.Close()
 	return err
 }
 

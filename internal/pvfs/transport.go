@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
@@ -12,14 +13,14 @@ import (
 type ReqID uint64
 
 // Transport carries libpvfs's split-phase iod traffic. The library first
-// Sends every per-iod request of an operation, then Recvs the responses in
-// the same order — exactly the aggregate-then-wait socket discipline the
-// paper describes. The cache module implements this interface and
-// interposes between the library and the network, just as the kernel
-// module interposes on socket calls; DirectTransport is the uncached
-// original-PVFS path.
+// Sends every per-iod request of an operation, then Recvs the responses —
+// exactly the aggregate-then-wait socket discipline the paper describes.
+// The cache module implements this interface and interposes between the
+// library and the network, just as the kernel module interposes on socket
+// calls; DirectTransport is the uncached original-PVFS path.
 //
-// Recv must be called in Send order for requests to the same iod.
+// Requests may be Recv'd in any order: responses demultiplex by request
+// tag (internal/rpc), so a slow iod no longer blocks unrelated requests.
 // A Transport is intended for a single client process; the cache module's
 // shared state behind it is internally synchronized.
 type Transport interface {
@@ -28,103 +29,69 @@ type Transport interface {
 	Close() error
 }
 
-// DirectTransport sends every request straight to the iods over one
-// connection per daemon, with no caching: the "no caching version" of the
-// paper's experiments.
+// DirectTransport sends every request straight to the iods with no
+// caching — the "no caching version" of the paper's experiments — over one
+// pooled, multiplexed rpc client per daemon.
 type DirectTransport struct {
-	network transport.Network
-	addrs   []string
+	clients []*rpc.Client
 
 	mu      sync.Mutex
-	conns   []transport.Conn
-	pending [][]ReqID     // per-iod FIFO of outstanding request ids
-	where   map[ReqID]int // request id -> iod
+	pending map[ReqID]<-chan rpc.Result
 	next    ReqID
 }
 
-// NewDirectTransport returns a transport that dials each iod address
-// lazily on first use.
+// NewDirectTransport returns a transport that dials each iod lazily on
+// first use.
 func NewDirectTransport(network transport.Network, iodAddrs []string) *DirectTransport {
-	return &DirectTransport{
-		network: network,
-		addrs:   iodAddrs,
-		conns:   make([]transport.Conn, len(iodAddrs)),
-		pending: make([][]ReqID, len(iodAddrs)),
-		where:   make(map[ReqID]int),
+	t := &DirectTransport{
+		pending: make(map[ReqID]<-chan rpc.Result),
 		next:    1,
 	}
+	for _, addr := range iodAddrs {
+		t.clients = append(t.clients, rpc.NewClient(rpc.ClientConfig{Network: network, Addr: addr}))
+	}
+	return t
 }
 
-// Send writes req on the iod's connection and registers the request as
-// outstanding.
+// Send issues req to the iod and registers the request as outstanding.
 func (t *DirectTransport) Send(iod int, req wire.Message) (ReqID, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	conn, err := t.connLocked(iod)
-	if err != nil {
-		return 0, err
+	if iod < 0 || iod >= len(t.clients) {
+		return 0, fmt.Errorf("pvfs: iod index %d out of range (have %d)", iod, len(t.clients))
 	}
-	if err := wire.WriteMessage(conn, req); err != nil {
+	ch, err := t.clients[iod].Go(req)
+	if err != nil {
 		return 0, fmt.Errorf("pvfs: sending %v to iod %d: %w", req.WireType(), iod, err)
 	}
+	t.mu.Lock()
 	id := t.next
 	t.next++
-	t.pending[iod] = append(t.pending[iod], id)
-	t.where[id] = iod
+	t.pending[id] = ch
+	t.mu.Unlock()
 	return id, nil
 }
 
-// Recv reads the response for the given request. Requests to the same iod
-// must be received in Send order.
+// Recv completes the given request, in any order.
 func (t *DirectTransport) Recv(id ReqID) (wire.Message, error) {
 	t.mu.Lock()
-	iod, ok := t.where[id]
+	ch, ok := t.pending[id]
+	delete(t.pending, id)
+	t.mu.Unlock()
 	if !ok {
-		t.mu.Unlock()
 		return nil, fmt.Errorf("pvfs: unknown request id %d", id)
 	}
-	q := t.pending[iod]
-	if len(q) == 0 || q[0] != id {
-		t.mu.Unlock()
-		return nil, fmt.Errorf("pvfs: request %d received out of order on iod %d", id, iod)
+	res := <-ch
+	if res.Err != nil {
+		return nil, fmt.Errorf("pvfs: receiving: %w", res.Err)
 	}
-	t.pending[iod] = q[1:]
-	delete(t.where, id)
-	conn := t.conns[iod]
-	t.mu.Unlock()
-
-	msg, err := wire.ReadMessage(conn)
-	if err != nil {
-		return nil, fmt.Errorf("pvfs: receiving from iod %d: %w", iod, err)
-	}
-	return msg, nil
+	return res.Msg, nil
 }
 
-func (t *DirectTransport) connLocked(iod int) (transport.Conn, error) {
-	if iod < 0 || iod >= len(t.addrs) {
-		return nil, fmt.Errorf("pvfs: iod index %d out of range (have %d)", iod, len(t.addrs))
-	}
-	if t.conns[iod] == nil {
-		c, err := t.network.Dial(t.addrs[iod])
-		if err != nil {
-			return nil, fmt.Errorf("pvfs: dialing iod %d at %s: %w", iod, t.addrs[iod], err)
-		}
-		t.conns[iod] = c
-	}
-	return t.conns[iod], nil
-}
-
-// Close closes every iod connection.
+// Close closes every iod client; outstanding requests fail.
 func (t *DirectTransport) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var firstErr error
-	for i, c := range t.conns {
-		if c != nil {
-			if err := c.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			t.conns[i] = nil
+	for _, c := range t.clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr

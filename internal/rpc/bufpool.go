@@ -1,0 +1,40 @@
+package rpc
+
+import "sync"
+
+// defaultBufCap bounds the capacity of buffers a BufPool retains (1 MB),
+// so one oversized response cannot pin memory forever.
+const defaultBufCap = 1 << 20
+
+// BufPool recycles response payload buffers. Servers that build responses
+// around large byte slices (iod reads, global-cache blocks) take buffers
+// from a BufPool in their handler and return them from the Server's
+// AfterWrite hook once the frame encoder is done with them.
+//
+// The zero value is ready to use.
+type BufPool struct {
+	// MaxCap overrides the retained-capacity bound (default 1 MB).
+	MaxCap int
+	pool   sync.Pool
+}
+
+// Get returns an n-byte buffer, reusing a pooled one when large enough.
+func (p *BufPool) Get(n int) []byte {
+	if b, ok := p.pool.Get().(*[]byte); ok && cap(*b) >= n {
+		return (*b)[:n]
+	}
+	return make([]byte, n)
+}
+
+// Put returns a buffer for reuse. Nil and oversized buffers are dropped.
+func (p *BufPool) Put(b []byte) {
+	max := p.MaxCap
+	if max <= 0 {
+		max = defaultBufCap
+	}
+	if b == nil || cap(b) > max {
+		return
+	}
+	b = b[:0]
+	p.pool.Put(&b)
+}

@@ -1,0 +1,324 @@
+// Package rpc is the framed request/response core shared by every layer of
+// the system. The seed implemented the same dial/queue/redial machinery
+// three times — pvfs.DirectTransport, cachemod's rpcClient, and the
+// globalcache peer protocol — each strictly FIFO over a single connection,
+// which serialized independent requests behind one another. This package
+// replaces all of them:
+//
+//   - Client keeps a small pool of connections per peer and tags every
+//     request (see wire.WriteTagged), so responses demultiplex by tag and
+//     complete out of order: a slow read no longer blocks unrelated
+//     requests sharing the connection.
+//   - Server is a shared accept/dispatch loop with a Handler interface and
+//     bounded per-connection worker concurrency, replacing the hand-rolled
+//     loops in internal/iod, internal/mgr, and internal/globalcache.
+//
+// Compatibility: an untagged (legacy) peer never sets the tag bit, and
+// Server falls back to serial FIFO service on such connections. Client can
+// likewise be configured Untagged to speak the legacy FIFO protocol to an
+// old server.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// DefaultConns is the connection-pool size per peer when ClientConfig
+// leaves Conns zero. Two connections already let one slow response stream
+// overlap with an unrelated request, and pools stay cheap on clusters with
+// many peers.
+const DefaultConns = 2
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("rpc: client closed")
+
+// Result is one completed round trip.
+type Result struct {
+	Msg wire.Message
+	Err error
+}
+
+// ClientConfig assembles a Client.
+type ClientConfig struct {
+	// Network dials the peer.
+	Network transport.Network
+	// Addr is the peer's address.
+	Addr string
+	// Conns is the connection-pool size (default DefaultConns).
+	Conns int
+	// Untagged selects the legacy FIFO protocol: requests carry no tag and
+	// responses must arrive in request order on each connection. Use it to
+	// talk to servers that predate tagged framing.
+	Untagged bool
+}
+
+// Client issues concurrent round trips to one peer over a pool of
+// connections. Connections are dialed lazily, redialed on the call after a
+// failure (the failure itself is sticky: every request in flight on the
+// broken connection fails), and shared by any number of goroutines.
+type Client struct {
+	cfg    ClientConfig
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns []*clientConn
+}
+
+// clientConn is one pooled connection and its in-flight bookkeeping.
+//
+// Lock discipline: writeMu serializes dials and wire writes and is never
+// held by the read loop; mu guards the bookkeeping and is only ever held
+// briefly (never across a blocking write or dial), so the read loop can
+// always acquire it to deliver responses — a writer blocked on a full
+// transport buffer therefore cannot stop the reader from draining the
+// other direction, which is what breaks the pipe-full deadlock.
+type clientConn struct {
+	client *Client
+
+	writeMu sync.Mutex // dials + wire writes; taken before mu, never by readLoop
+
+	mu       sync.Mutex
+	conn     transport.Conn
+	err      error                  // sticky until the next call redials
+	pending  map[uint64]chan Result // tag -> waiter (tagged mode)
+	fifo     []chan Result          // waiters in request order (untagged mode)
+	inflight int
+	nextTag  uint64
+}
+
+// NewClient returns a client for the peer at cfg.Addr. No connection is
+// opened until the first call.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Conns <= 0 {
+		cfg.Conns = DefaultConns
+	}
+	c := &Client{cfg: cfg, conns: make([]*clientConn, cfg.Conns)}
+	for i := range c.conns {
+		c.conns[i] = &clientConn{client: c}
+	}
+	return c
+}
+
+// Addr returns the peer address the client dials.
+func (c *Client) Addr() string { return c.cfg.Addr }
+
+// Go sends req and returns a channel that receives exactly one Result when
+// the response arrives (or the connection fails). Requests issued
+// concurrently may complete in any order.
+func (c *Client) Go(req wire.Message) (<-chan Result, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	return cc.send(req)
+}
+
+// Call is the synchronous form of Go.
+func (c *Client) Call(req wire.Message) (wire.Message, error) {
+	ch, err := c.Go(req)
+	if err != nil {
+		return nil, err
+	}
+	res := <-ch
+	return res.Msg, res.Err
+}
+
+// pick chooses the pooled connection with the fewest requests in flight.
+func (c *Client) pick() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	best := c.conns[0]
+	bestN := best.load()
+	for _, cc := range c.conns[1:] {
+		if n := cc.load(); n < bestN {
+			best, bestN = cc, n
+		}
+	}
+	return best, nil
+}
+
+// Close fails every in-flight request and closes the pool.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	// The flag is set before any conn lock is taken, and send re-checks it
+	// under the conn lock, so a send racing with Close either fails with
+	// ErrClosed or registers its connection before failLocked reaps it —
+	// never a leaked dial.
+	for _, cc := range c.conns {
+		cc.mu.Lock()
+		cc.failLocked(ErrClosed)
+		cc.mu.Unlock()
+	}
+	return nil
+}
+
+func (cc *clientConn) load() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.inflight
+}
+
+// send writes req on this connection, dialing or redialing first if
+// needed, and registers a waiter for the response. The waiter is
+// registered before the write so the read loop can deliver (or failLocked
+// can abort) no matter where the write blocks.
+func (cc *clientConn) send(req wire.Message) (<-chan Result, error) {
+	ch := make(chan Result, 1)
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+
+	cc.mu.Lock()
+	if cc.client.closed.Load() {
+		cc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cc.err != nil {
+		// One redial attempt per call after a failure.
+		cc.err = nil
+	}
+	if cc.conn == nil {
+		// Dial without holding mu (writeMu already excludes concurrent
+		// dialers), so a slow dial does not stall response delivery or
+		// load inspection on the pool.
+		cc.mu.Unlock()
+		conn, err := cc.client.cfg.Network.Dial(cc.client.cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: dialing %s: %w", cc.client.cfg.Addr, err)
+		}
+		cc.mu.Lock()
+		if cc.client.closed.Load() {
+			cc.mu.Unlock()
+			conn.Close()
+			return nil, ErrClosed
+		}
+		cc.conn = conn
+		cc.err = nil
+		cc.pending = make(map[uint64]chan Result)
+		cc.fifo = nil
+		go cc.readLoop(conn)
+	}
+	conn := cc.conn
+	var tag uint64
+	if cc.client.cfg.Untagged {
+		// writeMu makes registration order equal write order, which the
+		// FIFO protocol requires.
+		cc.fifo = append(cc.fifo, ch)
+	} else {
+		cc.nextTag++
+		tag = cc.nextTag
+		cc.pending[tag] = ch
+	}
+	cc.inflight++
+	cc.mu.Unlock()
+
+	var werr error
+	if cc.client.cfg.Untagged {
+		werr = wire.WriteMessage(conn, req)
+	} else {
+		werr = wire.WriteTagged(conn, tag, req)
+	}
+	if werr != nil {
+		cc.mu.Lock()
+		if errors.Is(werr, wire.ErrTooLarge) {
+			// Encode-side rejection: no byte reached the wire, the
+			// connection is still aligned. Withdraw only this waiter.
+			cc.withdrawLocked(tag, ch)
+		} else if cc.conn == conn {
+			cc.failLocked(werr)
+		}
+		cc.mu.Unlock()
+		return nil, fmt.Errorf("rpc: sending %v to %s: %w", req.WireType(), cc.client.cfg.Addr, werr)
+	}
+	return ch, nil
+}
+
+// withdrawLocked removes a waiter whose request never hit the wire. In
+// untagged mode the waiter is the fifo tail: writeMu is still held, so no
+// later registration can have happened.
+func (cc *clientConn) withdrawLocked(tag uint64, ch chan Result) {
+	if cc.client.cfg.Untagged {
+		if n := len(cc.fifo); n > 0 && cc.fifo[n-1] == ch {
+			cc.fifo = cc.fifo[:n-1]
+			cc.inflight--
+		}
+		return
+	}
+	if cc.pending[tag] == ch {
+		delete(cc.pending, tag)
+		cc.inflight--
+	}
+}
+
+// readLoop demultiplexes responses from conn to their waiters until the
+// connection fails or is replaced.
+func (cc *clientConn) readLoop(conn transport.Conn) {
+	for {
+		tag, tagged, msg, err := wire.ReadFrame(conn)
+		cc.mu.Lock()
+		if cc.conn != conn {
+			// A newer connection replaced this one; stop quietly.
+			cc.mu.Unlock()
+			return
+		}
+		if err != nil {
+			cc.failLocked(err)
+			cc.mu.Unlock()
+			return
+		}
+		var ch chan Result
+		if cc.client.cfg.Untagged {
+			if tagged || len(cc.fifo) == 0 {
+				cc.failLocked(fmt.Errorf("rpc: unsolicited %v from %s", msg.WireType(), cc.client.cfg.Addr))
+				cc.mu.Unlock()
+				return
+			}
+			ch = cc.fifo[0]
+			cc.fifo = cc.fifo[1:]
+		} else {
+			if !tagged {
+				cc.failLocked(fmt.Errorf("rpc: untagged %v from tagged peer %s", msg.WireType(), cc.client.cfg.Addr))
+				cc.mu.Unlock()
+				return
+			}
+			ch = cc.pending[tag]
+			if ch == nil {
+				cc.failLocked(fmt.Errorf("rpc: unknown response tag %d from %s", tag, cc.client.cfg.Addr))
+				cc.mu.Unlock()
+				return
+			}
+			delete(cc.pending, tag)
+		}
+		cc.inflight--
+		cc.mu.Unlock()
+		ch <- Result{Msg: msg}
+	}
+}
+
+// failLocked tears the connection down and fails every waiter.
+func (cc *clientConn) failLocked(err error) {
+	if cc.conn != nil {
+		cc.conn.Close()
+		cc.conn = nil
+	}
+	cc.err = err
+	for _, ch := range cc.pending {
+		ch <- Result{Err: err}
+	}
+	for _, ch := range cc.fifo {
+		ch <- Result{Err: err}
+	}
+	cc.pending = nil
+	cc.fifo = nil
+	cc.inflight = 0
+}

@@ -1,0 +1,181 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// DefaultConcurrency bounds how many tagged requests one connection may
+// have in service at once when ServerConfig leaves Concurrency zero.
+const DefaultConcurrency = 8
+
+// Handler serves one request. Returning nil closes the connection: it
+// marks a message the handler does not speak, which on a request/response
+// stream is protocol corruption.
+type Handler interface {
+	Handle(req wire.Message) wire.Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req wire.Message) wire.Message
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req wire.Message) wire.Message { return f(req) }
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// Concurrency bounds in-service requests per connection in tagged mode
+	// (default DefaultConcurrency). Untagged (legacy) connections are
+	// always served serially, preserving FIFO response order.
+	Concurrency int
+	// AfterWrite, when non-nil, runs after each response has been written
+	// to the wire. Handlers use it to recycle response buffers (e.g. the
+	// iod's read buffers) once the frame encoder is done with them.
+	AfterWrite func(resp wire.Message)
+}
+
+// Server accepts connections and dispatches framed requests to a Handler.
+// Tagged requests on one connection are served concurrently (bounded by
+// Concurrency) and their responses carry the request's tag, so they may
+// complete out of order; untagged connections get the legacy serial FIFO
+// service. One Server may serve any number of listeners.
+type Server struct {
+	h   Handler
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	conns  map[transport.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server dispatching to h.
+func NewServer(h Handler, cfg ServerConfig) *Server {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = DefaultConcurrency
+	}
+	return &Server{h: h, cfg: cfg, conns: make(map[transport.Conn]struct{})}
+}
+
+// Serve accepts connections on l until the listener closes. It returns nil
+// on a clean listener close. Call it from its own goroutine; one server
+// may serve several listeners concurrently.
+func (s *Server) Serve(l transport.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// Close drops every open connection and makes subsequent accepts shut
+// down. Listeners are owned by the caller and must be closed separately.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// track registers a connection and reserves its waitgroup slot atomically
+// with the closed check, so Close's wg.Wait can never race a late Add.
+func (s *Server) track(conn transport.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn transport.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn reads frames until the connection fails. Tagged requests fan
+// out to bounded workers; untagged requests are served inline so their
+// responses keep request order.
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+
+	var (
+		writeMu sync.Mutex
+		workers sync.WaitGroup
+		sem     = make(chan struct{}, s.cfg.Concurrency)
+	)
+	// LIFO: close the connection first so workers blocked writing to a
+	// peer that stopped reading fail out, then wait for them.
+	defer workers.Wait()
+	defer conn.Close()
+	for {
+		tag, tagged, msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if !tagged {
+			resp := s.h.Handle(msg)
+			if resp == nil {
+				return
+			}
+			// A peer may mix tagged and untagged frames on one
+			// connection; share the write lock with the tagged workers
+			// so frames never interleave.
+			writeMu.Lock()
+			err := wire.WriteMessage(conn, resp)
+			writeMu.Unlock()
+			if err != nil {
+				return
+			}
+			if s.cfg.AfterWrite != nil {
+				s.cfg.AfterWrite(resp)
+			}
+			continue
+		}
+		sem <- struct{}{}
+		workers.Add(1)
+		go func(tag uint64, msg wire.Message) {
+			defer workers.Done()
+			defer func() { <-sem }()
+			resp := s.h.Handle(msg)
+			if resp == nil {
+				conn.Close() // protocol error: unblock the read loop
+				return
+			}
+			writeMu.Lock()
+			err := wire.WriteTagged(conn, tag, resp)
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close()
+				return
+			}
+			if s.cfg.AfterWrite != nil {
+				s.cfg.AfterWrite(resp)
+			}
+		}(tag, msg)
+	}
+}

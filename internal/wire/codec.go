@@ -57,6 +57,22 @@ func (r *reader) i64() (int64, error) {
 	return int64(v), err
 }
 
+// count reads a u32 element count and validates it against the bytes left
+// in the payload: each element occupies at least minElemSize encoded bytes,
+// so a count the payload cannot possibly hold is rejected before any
+// allocation. This keeps a hostile 4-byte count from pre-allocating
+// gigabytes.
+func (r *reader) count(minElemSize int) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(minElemSize) > int64(len(r.buf)-r.pos) {
+		return 0, errTruncated
+	}
+	return int(n), nil
+}
+
 func (r *reader) bytes() ([]byte, error) {
 	n, err := r.u32()
 	if err != nil {
@@ -255,12 +271,12 @@ func (m *ListResp) decode(r *reader) error {
 		return err
 	}
 	m.Status = Status(s)
-	n, err := r.u32()
+	n, err := r.count(4) // each name is at least a u32 length prefix
 	if err != nil {
 		return err
 	}
 	m.Names = make([]string, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		name, err := r.str()
 		if err != nil {
 			return err
@@ -414,12 +430,12 @@ func (m *Flush) decode(r *reader) error {
 		return err
 	}
 	m.File = blockio.FileID(f)
-	n, err := r.u32()
+	n, err := r.count(16) // index + off + data length prefix
 	if err != nil {
 		return err
 	}
 	m.Blocks = make([]FlushBlock, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		var blk FlushBlock
 		if blk.Index, err = r.i64(); err != nil {
 			return err
@@ -458,12 +474,12 @@ func (m *Invalidate) decode(r *reader) error {
 		return err
 	}
 	m.File = blockio.FileID(f)
-	n, err := r.u32()
+	n, err := r.count(8)
 	if err != nil {
 		return err
 	}
 	m.Indices = make([]int64, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		idx, err := r.i64()
 		if err != nil {
 			return err

@@ -6,6 +6,13 @@
 // are big-endian. Variable-length fields are length-prefixed. The format is
 // hand-rolled on encoding/binary so the module stays stdlib-only.
 //
+// A frame may additionally carry a request tag so that responses can
+// complete out of order (see internal/rpc): when the high bit of the
+// length word is set, a u64 tag follows the type and the length counts
+// type + tag + payload. Untagged peers never set the bit, and a legacy
+// reader that receives a tagged frame fails cleanly with ErrTooLarge
+// rather than misparsing, because the bit lies far above MaxMessageSize.
+//
 // The protocol deliberately mirrors the structure described in the paper:
 // data reads/writes and sync-writes travel on an iod's data port, flushes
 // travel on a separate flush port served by the iod-side flusher peer, and
@@ -17,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"pvfscache/internal/blockio"
 )
@@ -441,51 +449,148 @@ func New(t Type) Message {
 	}
 }
 
-// WriteMessage frames and writes m to w.
-func WriteMessage(w io.Writer, m Message) error {
-	payload := m.append(nil)
-	if len(payload)+2 > MaxMessageSize {
-		return ErrTooLarge
+// tagBit marks a frame whose header carries a u64 request tag. It sits in
+// the length word, far above MaxMessageSize, so untagged readers reject
+// tagged frames instead of misparsing them.
+const tagBit = 1 << 31
+
+// framePool recycles encode buffers; payloadPool recycles decode buffers.
+// Oversized buffers are not returned so a rare huge message cannot pin
+// memory.
+var (
+	framePool   = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+	payloadPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+)
+
+// pooledBufCap bounds the capacity of buffers kept in the pools (1 MB).
+const pooledBufCap = 1 << 20
+
+func putFrameBuf(b []byte) {
+	if cap(b) <= pooledBufCap {
+		framePool.Put(b[:0]) //nolint:staticcheck // slice header allocation is amortized
 	}
-	frame := make([]byte, 6, 6+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)+2))
-	binary.BigEndian.PutUint16(frame[4:6], uint16(m.WireType()))
-	frame = append(frame, payload...)
-	_, err := w.Write(frame)
+}
+
+func putPayloadBuf(b []byte) {
+	if cap(b) <= pooledBufCap {
+		payloadPool.Put(b[:0]) //nolint:staticcheck
+	}
+}
+
+// appendFrame encodes a frame (tagged when tagged is true) onto b.
+func appendFrame(b []byte, tag uint64, tagged bool, m Message) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // length placeholder
+	b = apU16(b, uint16(m.WireType()))
+	if tagged {
+		b = apU64(b, tag)
+	}
+	b = m.append(b)
+	size := len(b) - start - 4
+	if size > MaxMessageSize {
+		return b[:start], ErrTooLarge
+	}
+	word := uint32(size)
+	if tagged {
+		word |= tagBit
+	}
+	binary.BigEndian.PutUint32(b[start:start+4], word)
+	return b, nil
+}
+
+func writeFrame(w io.Writer, tag uint64, tagged bool, m Message) error {
+	buf := framePool.Get().([]byte)
+	frame, err := appendFrame(buf, tag, tagged, m)
+	if err != nil {
+		putFrameBuf(buf)
+		return err
+	}
+	_, err = w.Write(frame)
+	putFrameBuf(frame)
 	return err
 }
 
-// ReadMessage reads one framed message from r.
+// WriteMessage frames and writes m to w in the untagged (legacy) format.
+func WriteMessage(w io.Writer, m Message) error {
+	return writeFrame(w, 0, false, m)
+}
+
+// WriteTagged frames and writes m to w with a request tag; the peer echoes
+// the tag on the response so replies can complete out of order.
+func WriteTagged(w io.Writer, tag uint64, m Message) error {
+	return writeFrame(w, tag, true, m)
+}
+
+// ReadMessage reads one untagged framed message from r. A tagged frame
+// fails with ErrTooLarge (the tag bit lies above the size limit).
 func ReadMessage(r io.Reader) (Message, error) {
-	var hdr [6]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	_, tagged, m, err := ReadFrame(r)
+	if err != nil {
 		return nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[0:4])
-	if size < 2 || size > MaxMessageSize {
+	if tagged {
 		return nil, ErrTooLarge
-	}
-	t := Type(binary.BigEndian.Uint16(hdr[4:6]))
-	payload := make([]byte, size-2)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	m := New(t)
-	if m == nil {
-		return nil, fmt.Errorf("wire: unknown message type 0x%04x", uint16(t))
-	}
-	rd := &reader{buf: payload}
-	if err := m.decode(rd); err != nil {
-		return nil, fmt.Errorf("wire: decoding %v: %w", t, err)
-	}
-	if rd.pos != len(rd.buf) {
-		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(rd.buf)-rd.pos, t)
 	}
 	return m, nil
 }
 
-// Marshal returns the framed encoding of m (header plus payload).
-// It is used by the simulator to size messages without a writer.
+// ReadFrame reads one framed message from r, accepting both the untagged
+// and the tagged format, and reports which one arrived.
+func ReadFrame(r io.Reader) (tag uint64, tagged bool, m Message, err error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, false, nil, err
+	}
+	word := binary.BigEndian.Uint32(hdr[0:4])
+	tagged = word&tagBit != 0
+	size := word &^ tagBit
+	min := uint32(2)
+	if tagged {
+		min = 2 + 8
+	}
+	if size < min || size > MaxMessageSize {
+		return 0, false, nil, ErrTooLarge
+	}
+	t := Type(binary.BigEndian.Uint16(hdr[4:6]))
+	if tagged {
+		var tb [8]byte
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			return 0, false, nil, err
+		}
+		tag = binary.BigEndian.Uint64(tb[:])
+	}
+	plen := int(size - min)
+	payload := payloadPool.Get().([]byte)
+	if cap(payload) < plen {
+		payload = make([]byte, plen)
+	}
+	payload = payload[:plen]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		putPayloadBuf(payload)
+		return 0, false, nil, err
+	}
+	m = New(t)
+	if m == nil {
+		putPayloadBuf(payload)
+		return 0, false, nil, fmt.Errorf("wire: unknown message type 0x%04x", uint16(t))
+	}
+	rd := &reader{buf: payload}
+	derr := m.decode(rd)
+	trailing := len(rd.buf) - rd.pos
+	putPayloadBuf(payload) // decode copies all variable-length fields
+	if derr != nil {
+		return 0, false, nil, fmt.Errorf("wire: decoding %v: %w", t, derr)
+	}
+	if trailing != 0 {
+		return 0, false, nil, fmt.Errorf("wire: %d trailing bytes after %v", trailing, t)
+	}
+	return tag, tagged, m, nil
+}
+
+// Marshal returns the framed encoding of m (header plus payload). It is
+// used by the simulator to size messages without a writer, so unlike
+// writeFrame it never drops an oversized message — the simulator must
+// still charge transfer time for it.
 func Marshal(m Message) []byte {
 	payload := m.append(nil)
 	frame := make([]byte, 6, 6+len(payload))

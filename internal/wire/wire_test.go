@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"reflect"
 	"testing"
@@ -248,6 +249,69 @@ func TestBackToBackMessages(t *testing.T) {
 		}
 		if got := m.(*Stat).File; got != blockio.FileID(i) {
 			t.Errorf("msg %d: file = %d", i, got)
+		}
+	}
+}
+
+func TestTaggedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := &Read{Client: 7, File: 3, Offset: 4096, Length: 8192, Track: true}
+	if err := WriteTagged(&buf, 0xdeadbeefcafe, want); err != nil {
+		t.Fatal(err)
+	}
+	tag, tagged, m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tagged || tag != 0xdeadbeefcafe {
+		t.Fatalf("tag = %#x tagged = %v", tag, tagged)
+	}
+	r, ok := m.(*Read)
+	if !ok || *r != *want {
+		t.Fatalf("got %+v want %+v", m, want)
+	}
+}
+
+func TestReadFrameAcceptsUntagged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Stat{File: 9}); err != nil {
+		t.Fatal(err)
+	}
+	tag, tagged, m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged || tag != 0 {
+		t.Fatalf("untagged frame reported tag %#x tagged %v", tag, tagged)
+	}
+	if m.(*Stat).File != 9 {
+		t.Fatalf("bad payload: %+v", m)
+	}
+}
+
+func TestLegacyReaderRejectsTaggedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTagged(&buf, 42, &Stat{File: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("legacy ReadMessage accepted a tagged frame")
+	}
+}
+
+// TestHostileCountRejected feeds a tiny payload declaring an enormous
+// element count: decode must fail instead of pre-allocating gigabytes.
+func TestHostileCountRejected(t *testing.T) {
+	for _, m := range []Message{&Invalidate{}, &Flush{}, &ListResp{}} {
+		payload := m.append(nil)
+		// The count is the last u32 in each empty encoding; overwrite it.
+		binary.BigEndian.PutUint32(payload[len(payload)-4:], 0xffffffff)
+		frame := make([]byte, 6, 6+len(payload))
+		binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)+2))
+		binary.BigEndian.PutUint16(frame[4:6], uint16(m.WireType()))
+		frame = append(frame, payload...)
+		if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+			t.Errorf("%v: hostile count accepted", m.WireType())
 		}
 	}
 }

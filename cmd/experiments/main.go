@@ -6,7 +6,7 @@
 //
 //	experiments [-figure all|4|5|6|7|8|ablations] [-total bytes] [-iods n] [-seed n]
 //
-// The output tables are the source for EXPERIMENTS.md.
+// The output tables are the repository's paper-versus-measured record.
 package main
 
 import (

@@ -49,6 +49,8 @@ func main() {
 		sharing   = flag.Float64("s", 0, "degree of inter-instance sharing in [0,1]")
 		write     = flag.Bool("write", false, "issue writes instead of reads")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		readahead = flag.Int("readahead", 0, "sequential-readahead window in blocks (0 = default, negative disables)")
+		novector  = flag.Bool("novector", false, "use the legacy one-Read-per-run miss path (ablation)")
 	)
 	flag.Parse()
 
@@ -67,7 +69,7 @@ func main() {
 	}
 
 	if *mgrAddr == "" {
-		runInProcess(mb, *caching)
+		runInProcess(mb, *caching, *readahead, *novector)
 		return
 	}
 	iods := splitList(*iodList)
@@ -75,7 +77,7 @@ func main() {
 	if len(iods) == 0 {
 		log.Fatal("-iods is required with -mgr")
 	}
-	runAgainst(mb, *caching, transport.NewTCP(), *mgrAddr, iods, flushes)
+	runAgainst(mb, *caching, *readahead, *novector, transport.NewTCP(), *mgrAddr, iods, flushes)
 }
 
 func splitList(s string) []string {
@@ -94,17 +96,19 @@ func splitList(s string) []string {
 
 // runInProcess boots a full in-memory cluster and runs the benchmark with
 // and without caching for comparison.
-func runInProcess(mb microbench.Params, caching bool) {
+func runInProcess(mb microbench.Params, caching bool, readahead int, novector bool) {
 	modes := []bool{caching}
 	if caching {
 		modes = []bool{true, false}
 	}
 	for _, withCache := range modes {
 		c, err := cluster.Start(cluster.Config{
-			IODs:        4,
-			ClientNodes: mb.Nodes,
-			Caching:     withCache,
-			FlushPeriod: 100 * time.Millisecond,
+			IODs:            4,
+			ClientNodes:     mb.Nodes,
+			Caching:         withCache,
+			FlushPeriod:     100 * time.Millisecond,
+			ReadaheadWindow: readahead,
+			DisableVector:   novector,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -122,16 +126,18 @@ func runInProcess(mb microbench.Params, caching bool) {
 }
 
 // runAgainst executes the benchmark against external daemons.
-func runAgainst(mb microbench.Params, caching bool, net transport.Network, mgrAddr string, iods, flushes []string) {
+func runAgainst(mb microbench.Params, caching bool, readahead int, novector bool, net transport.Network, mgrAddr string, iods, flushes []string) {
 	var modules []*cachemod.Module
 	if caching {
 		for node := 0; node < mb.Nodes; node++ {
 			mod, err := cachemod.New(cachemod.Config{
-				Network:       net,
-				ClientID:      uint32(node + 1),
-				IODDataAddrs:  iods,
-				IODFlushAddrs: flushes,
-				Buffer:        buffer.Config{},
+				Network:         net,
+				ClientID:        uint32(node + 1),
+				IODDataAddrs:    iods,
+				IODFlushAddrs:   flushes,
+				Buffer:          buffer.Config{},
+				ReadaheadWindow: readahead,
+				DisableVector:   novector,
 			})
 			if err != nil {
 				log.Fatalf("cache module for node %d: %v", node, err)

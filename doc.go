@@ -15,9 +15,16 @@
 //     (internal/sim, internal/simcluster) that regenerates every figure of
 //     the evaluation via internal/harness and cmd/experiments.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
-// The benchmarks in bench_test.go regenerate each figure; run them with
+// The live data path is built for throughput: every request/response
+// rides one multiplexed RPC core (internal/rpc) with tagged out-of-order
+// responses; misses leave the per-node cache as vectored multi-extent
+// reads (wire.ReadBlocks); and a sequential-readahead prefetcher keeps a
+// window of upcoming blocks in flight ahead of ascending scans.
+//
+// See README.md for a tour and DESIGN.md for the system inventory, the
+// read-path architecture, and the experiment index. The benchmarks in
+// bench_test.go regenerate each figure and measure the live data path;
+// run them with
 //
 //	go test -bench=. -benchmem
 package pvfscache

@@ -114,8 +114,10 @@ func TestReadMissThenHit(t *testing.T) {
 
 func TestPartialHitSplitsRequest(t *testing.T) {
 	// Cache the middle block of a three-block range, then read the whole
-	// range: the module must issue two sub-requests (before and after the
-	// cached block), as the paper describes.
+	// range: the cached block splits the misses into two runs, but both
+	// runs leave in ONE vectored sub-request carrying two extents — a
+	// cache hit in the middle of a request costs an extent boundary, not
+	// an extra round trip.
 	r := newRig(t, nil)
 	data := bytes.Repeat([]byte{7}, 3*4096)
 	r.seed(0, 9, 0, data)
@@ -130,11 +132,141 @@ func TestPartialHitSplitsRequest(t *testing.T) {
 		t.Fatal("split read wrong data")
 	}
 	d := r.reg.Snapshot().Diff(before)
+	if d["module.read_subrequests"] != 1 {
+		t.Fatalf("sub-requests = %d, want 1 (vectored)", d["module.read_subrequests"])
+	}
+	if d["module.read_vector_fetches"] != 1 {
+		t.Fatalf("vector fetches = %d, want 1", d["module.read_vector_fetches"])
+	}
+	if d["iod.reads"] != 1 || d["iod.vector_extents"] != 2 {
+		t.Fatalf("iod reads = %d (vector extents %d), want one round trip with 2 extents",
+			d["iod.reads"], d["iod.vector_extents"])
+	}
+}
+
+func TestPartialHitLegacySplitsRequest(t *testing.T) {
+	// With DisableVector the module reverts to the seed shape: one Read
+	// per run of consecutive missing blocks.
+	r := newRig(t, func(c *Config) { c.DisableVector = true })
+	data := bytes.Repeat([]byte{7}, 3*4096)
+	r.seed(0, 9, 0, data)
+
+	tr := r.mod.NewTransport()
+	sendRecv(t, tr, 0, &wire.Read{File: 9, Offset: 4096, Length: 4096})
+
+	before := r.reg.Snapshot()
+	resp := sendRecv(t, tr, 0, &wire.Read{File: 9, Offset: 0, Length: 3 * 4096}).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data, data) {
+		t.Fatal("split read wrong data")
+	}
+	d := r.reg.Snapshot().Diff(before)
 	if d["module.read_subrequests"] != 2 {
 		t.Fatalf("sub-requests = %d, want 2 (split around cached block)", d["module.read_subrequests"])
 	}
 	if d["iod.reads"] != 2 {
 		t.Fatalf("iod reads = %d, want 2", d["iod.reads"])
+	}
+}
+
+func TestSplitRunsBoundsFetchSize(t *testing.T) {
+	mkRun := func(first int64, n int) fetchRun {
+		run := fetchRun{firstIdx: first}
+		for i := 0; i < n; i++ {
+			idx := first + int64(i)
+			run.keys = append(run.keys, blockio.BlockKey{File: 1, Index: idx})
+			run.states = append(run.states, &fetchState{done: make(chan struct{})})
+			run.spans = append(run.spans, blockio.Span{Key: blockio.BlockKey{File: 1, Index: idx}, Len: 1024})
+		}
+		return run
+	}
+	small := mkRun(0, 3)
+	big := mkRun(10, 10)
+	out := splitRuns([]fetchRun{small, big}, 4)
+	if len(out) != 4 { // 3-block run intact, 10-block run split 4+4+2
+		t.Fatalf("split into %d runs, want 4", len(out))
+	}
+	wantFirst := []int64{0, 10, 14, 18}
+	wantN := []int{3, 4, 4, 2}
+	for i, run := range out {
+		if run.firstIdx != wantFirst[i] || len(run.keys) != wantN[i] || len(run.states) != wantN[i] {
+			t.Fatalf("run %d = first %d n %d, want first %d n %d",
+				i, run.firstIdx, len(run.keys), wantFirst[i], wantN[i])
+		}
+		if len(run.spans) != wantN[i] {
+			t.Fatalf("run %d carries %d spans, want %d", i, len(run.spans), wantN[i])
+		}
+		for _, sp := range run.spans {
+			if sp.Key.Index < run.firstIdx || sp.Key.Index > run.keys[len(run.keys)-1].Index {
+				t.Fatalf("run %d span for block %d out of range", i, sp.Key.Index)
+			}
+		}
+	}
+}
+
+// TestSubBlockStridedReadSplitsFetches reproduces the rounding-inflation
+// regression: sub-block extents at block stride each round up to a full
+// cache block, so a ~9 MB request inflates to ~37 MB of block fetches —
+// past what one response frame may carry. The miss engine must split the
+// fetch into several round trips instead of letting the iod reject it.
+func TestSubBlockStridedReadSplitsFetches(t *testing.T) {
+	r := newRig(t, nil)
+	const file = 40
+	const nblocks = 9000 // 9000 × 4 KB of rounded blocks ≈ 36.9 MB > 32 MB
+	data := bytes.Repeat([]byte{0xE7}, nblocks*4096)
+	r.seed(0, file, 0, data)
+
+	tr := r.mod.NewTransport()
+	exts := make([]wire.ReadExtent, nblocks)
+	for i := range exts {
+		exts[i] = wire.ReadExtent{Offset: int64(i) * 4096, Length: 1024}
+	}
+	before := r.reg.Snapshot()
+	resp := sendRecv(t, tr, 0, &wire.ReadBlocks{File: file, Exts: exts}).(*wire.ReadBlocksResp)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("status %d", resp.Status)
+	}
+	pos := 0
+	for i, l := range resp.Lens {
+		if l != 1024 {
+			t.Fatalf("extent %d served %d bytes", i, l)
+		}
+		if !bytes.Equal(resp.Data[pos:pos+1024], data[i*4096:i*4096+1024]) {
+			t.Fatalf("extent %d data wrong", i)
+		}
+		pos += 1024
+	}
+	d := r.reg.Snapshot().Diff(before)
+	if d["iod.reads"] != 2 { // 8191-block batch + 809-block batch
+		t.Fatalf("iod reads = %d, want 2 (split fetch)", d["iod.reads"])
+	}
+}
+
+// TestFillFromResponseRejectsOverlongLens: the wire decode only checks
+// that the per-extent lengths tile Data; a hostile iod could still claim
+// more bytes for one extent than were requested, shifting every later
+// run's bytes and poisoning the shared cache. The requester must reject
+// such a response.
+func TestFillFromResponseRejectsOverlongLens(t *testing.T) {
+	r := newRig(t, nil)
+	tr := r.mod.NewTransport()
+	mkRun := func(first int64, n int) fetchRun {
+		run := fetchRun{firstIdx: first}
+		for i := 0; i < n; i++ {
+			run.keys = append(run.keys, blockio.BlockKey{File: 7, Index: first + int64(i)})
+			run.states = append(run.states, &fetchState{done: make(chan struct{})})
+		}
+		return run
+	}
+	runs := []fetchRun{mkRun(0, 1), mkRun(5, 1)}
+	pr := &pendingRead{result: make([]byte, 2*4096)}
+	rr := &wire.ReadBlocksResp{
+		Status: wire.StatusOK,
+		Lens:   []uint32{4096 + 1024, 3072}, // extent 0 overlong; sum still tiles
+		Data:   make([]byte, 2*4096),
+	}
+	err := tr.fillFromResponse(pr, fetch{iod: 0, runs: runs}, rr)
+	if err == nil {
+		t.Fatal("overlong extent length accepted")
 	}
 }
 

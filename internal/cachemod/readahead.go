@@ -1,0 +1,376 @@
+package cachemod
+
+// Sequential readahead: the module watches each file's application-level
+// read stream — reported by libpvfs through pvfs.ReadPatternHinter, the
+// only layer that knows where one request ends and the next begins; the
+// pieces of a single striped read would masquerade as a scan at the
+// transport. Once requests arrive in ascending, gap-free order the
+// prefetcher asynchronously pre-issues the next ReadaheadWindow blocks
+// through the same vectored ReadBlocks path the miss engine uses,
+// grouped into one request per iod. Prefetched transfers register in the
+// shared fetch table, so a demand read arriving while the prefetch is in
+// flight joins it, and a demand read arriving after it completes hits
+// the cache.
+//
+// Striping makes this subtle: the module sits below libpvfs, so block
+// index arithmetic alone cannot tell which iod stores an upcoming block —
+// and an iod served a read for a range it does not hold would answer with
+// zeros from the sparse hole in its local store, which must never enter
+// the cache as real data. The prefetcher therefore only acts on files
+// whose striping geometry libpvfs has hinted (pvfs.StripeHinter →
+// CachedTransport.StripeHint) and maps every candidate block to its
+// owning iod with the same round-robin arithmetic libpvfs uses.
+
+import (
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/wire"
+)
+
+// raMinStreak is how many gap-free ascending requests must be observed on
+// a file before prefetching starts. High enough that workloads which only
+// occasionally chain two requests (e.g. 50% locality re-read patterns)
+// never engage the prefetcher — prefetching into a cache that locality is
+// already using well evicts exactly the blocks about to be re-read.
+const raMinStreak = 4
+
+// stripeHint is a file's striping geometry as learned from libpvfs.
+type stripeHint struct {
+	meta  wire.FileMeta
+	total int
+}
+
+// raState tracks one file's sequential-access detector.
+type raState struct {
+	next   int64 // block index a continuing scan would start at
+	streak int   // consecutive gap-free ascending requests seen
+	issued int64 // exclusive high-water mark of blocks already prefetched
+}
+
+// SetStripeHint records a file's striping geometry so the prefetcher can
+// route block fetches to the right iod. libpvfs calls it (through
+// CachedTransport.StripeHint) whenever it opens or refreshes a file.
+func (m *Module) SetStripeHint(file blockio.FileID, meta wire.FileMeta, totalIODs int) {
+	if meta.SSize == 0 || meta.PCount == 0 || totalIODs <= 0 {
+		return // unusable geometry; leave the file unprefetchable
+	}
+	m.stripeMu.Lock()
+	// Bounded: hints are re-learned on the next open/refresh, so resetting
+	// a full table only pauses prefetch briefly instead of letting a
+	// many-file workload grow it forever.
+	if len(m.stripes) >= maxHintedFiles {
+		m.stripes = make(map[blockio.FileID]stripeHint)
+	}
+	m.stripes[file] = stripeHint{meta: meta, total: totalIODs}
+	m.stripeMu.Unlock()
+}
+
+// maxHintedFiles bounds the stripe-hint and scan-detector tables; both
+// rebuild organically (hints on open/refresh, streaks within a few
+// requests), so eviction by reset costs little.
+const maxHintedFiles = 4096
+
+// noteAccess feeds one read request's block range [first, last] to the
+// file's sequential detector and returns the half-open block range
+// [lo, hi) to prefetch now (empty when the access is not part of an
+// established ascending scan, or when the window is already in flight).
+func (m *Module) noteAccess(file blockio.FileID, first, last int64) (lo, hi int64) {
+	if m.cfg.ReadaheadWindow == 0 {
+		return 0, 0
+	}
+	m.raMu.Lock()
+	defer m.raMu.Unlock()
+	st := m.ra[file]
+	if st == nil {
+		if len(m.ra) >= maxHintedFiles {
+			m.ra = make(map[blockio.FileID]*raState)
+		}
+		st = &raState{}
+		m.ra[file] = st
+		st.next = last + 1
+		st.streak = 1
+		return 0, 0
+	}
+	// A continuation starts exactly where the scan left off, or one block
+	// earlier with new ground covered: an unaligned scan (request size
+	// not a block multiple) re-touches the previous request's tail block
+	// every time and must not read as random. A request entirely inside
+	// the tail block (a sub-block-request scan still filling it) is
+	// neutral — neither progress nor a reset — so 1 KB sequential reads
+	// build their streak on block crossings instead of resetting on
+	// every request.
+	switch {
+	case first == st.next || (first == st.next-1 && last >= st.next):
+		st.streak++
+		st.next = last + 1
+	case first >= st.next-1 && last < st.next:
+		return 0, 0 // neutral: still inside the covered tail block
+	default:
+		if st.streak >= raMinStreak {
+			m.cfg.Registry.Counter("module.readahead_resets").Inc()
+		}
+		st.streak = 1
+		st.issued = 0
+		st.next = last + 1
+	}
+	if st.streak < raMinStreak {
+		return 0, 0
+	}
+	// Batched refill: issue nothing while more than half the window is
+	// still ahead of the scan, then top the window up in one piece. One
+	// prefetch round trip thus covers several demand requests instead of
+	// trickling a few blocks per request.
+	window := int64(m.cfg.ReadaheadWindow)
+	if remaining := st.issued - (last + 1); remaining > window/2 {
+		return 0, 0
+	}
+	lo = last + 1
+	if st.issued > lo {
+		lo = st.issued
+	}
+	hi = last + 1 + window
+	if hi <= lo {
+		return 0, 0
+	}
+	st.issued = hi
+	return lo, hi
+}
+
+// maybeReadahead runs the detector for one application-level read (via
+// CachedTransport.NoteRead) and launches the prefetcher when a scan is
+// established. The window's blocks are CLAIMED in the fetch table
+// synchronously, on the caller's thread, before the demand read proceeds
+// — if the claims were left to a goroutine, a fast scan could race past
+// the window before the goroutine ran, find nothing claimed, duplicate
+// every fetch, and starve the prefetcher permanently. With the claims in
+// place, a demand read that catches up simply joins the in-flight
+// prefetch. Only the network round trips run asynchronously.
+func (m *Module) maybeReadahead(file blockio.FileID, first, last int64) {
+	lo, hi := m.noteAccess(file, first, last)
+	if hi <= lo {
+		return
+	}
+	m.stripeMu.Lock()
+	hint, ok := m.stripes[file]
+	m.stripeMu.Unlock()
+	if !ok {
+		return // no geometry: cannot route blocks to iods safely
+	}
+	m.prefetchRange(file, hint, lo, hi)
+}
+
+// iodForBlock maps one block to the iod storing it, or -1 when the block
+// does not map cleanly to a single daemon (strip size not a multiple of
+// the block size, or corrupt geometry). Same round-robin arithmetic as
+// pvfs.PiecesFor, specialized to one block so the per-refill routing
+// loop stays allocation-free.
+func (m *Module) iodForBlock(hint stripeHint, idx int64) int {
+	bs := int64(m.buf.BlockSize())
+	ssize := int64(hint.meta.SSize)
+	pcount := int64(hint.meta.PCount)
+	if ssize <= 0 || pcount <= 0 || ssize%bs != 0 {
+		return -1 // a block straddling strips has no single owner
+	}
+	strip := idx * bs / ssize
+	iod := int((int64(hint.meta.Base) + strip%pcount) % int64(hint.total))
+	if iod < 0 || iod >= len(m.data) {
+		return -1
+	}
+	return iod
+}
+
+// prefetchRange claims the uncached, un-inflight blocks of [lo, hi)
+// synchronously, groups them per owning iod, and issues one asynchronous
+// vectored read per iod.
+func (m *Module) prefetchRange(file blockio.FileID, hint stripeHint, lo, hi int64) {
+	bs := m.buf.BlockSize()
+	type claim struct {
+		key blockio.BlockKey
+		st  *fetchState
+	}
+	perIOD := make(map[int][]claim)
+	for idx := lo; idx < hi; idx++ {
+		iod := m.iodForBlock(hint, idx)
+		if iod < 0 {
+			continue
+		}
+		key := blockio.BlockKey{File: file, Index: idx}
+		if m.buf.Contains(key, 0, bs) {
+			continue
+		}
+		m.fetchMu.Lock()
+		if m.fetches[key] != nil {
+			m.fetchMu.Unlock()
+			continue // a demand fetch or earlier prefetch owns it
+		}
+		st := &fetchState{done: make(chan struct{}), prefetch: true}
+		m.fetches[key] = st
+		m.fetchMu.Unlock()
+		perIOD[iod] = append(perIOD[iod], claim{key: key, st: st})
+	}
+	// One asynchronous request per iod, chunked so no request's extents
+	// can exceed what a response frame carries (large windows over large
+	// blocks would otherwise be rejected whole by the iod).
+	maxBlocks := maxFetchBlocks(bs)
+	for iod, claims := range perIOD {
+		for start := 0; start < len(claims); start += maxBlocks {
+			end := start + maxBlocks
+			if end > len(claims) {
+				end = len(claims)
+			}
+			chunk := claims[start:end]
+			keys := make([]blockio.BlockKey, len(chunk))
+			states := make([]*fetchState, len(chunk))
+			for i, c := range chunk {
+				keys[i] = c.key
+				states[i] = c.st
+			}
+			go m.prefetchIOD(iod, file, keys, states)
+		}
+	}
+}
+
+// prefetchIOD fetches the claimed blocks (ascending, possibly with gaps)
+// from one iod in a single vectored round trip and installs the results.
+func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockKey, states []*fetchState) {
+	bs := m.buf.BlockSize()
+	// Group consecutive block indices into extents.
+	var exts []wire.ReadExtent
+	runStart := 0
+	flush := func(end int) {
+		exts = append(exts, wire.ReadExtent{
+			Offset: keys[runStart].Index * int64(bs),
+			Length: int64(end-runStart) * int64(bs),
+		})
+		runStart = end
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i].Index != keys[i-1].Index+1 {
+			flush(i)
+		}
+	}
+	flush(len(keys))
+
+	publishFail := func(err error) {
+		m.fetchMu.Lock()
+		for i, key := range keys {
+			if m.fetches[key] == states[i] {
+				delete(m.fetches, key)
+			}
+			states[i].err = err
+		}
+		m.fetchMu.Unlock()
+		for _, st := range states {
+			close(st.done)
+		}
+	}
+
+	resp, err := m.data[iod].Call(&wire.ReadBlocks{
+		Client: m.cfg.ClientID,
+		File:   file,
+		Track:  true,
+		Exts:   exts,
+	})
+	if err != nil {
+		publishFail(err)
+		return
+	}
+	rr, ok := resp.(*wire.ReadBlocksResp)
+	if !ok || rr.Status != wire.StatusOK || len(rr.Lens) != len(exts) {
+		publishFail(wire.ErrBadRequest)
+		return
+	}
+	m.cfg.Registry.Counter("module.prefetch_issued").Inc()
+
+	// Walk the packed response extent by extent, block by block. An
+	// overlong per-extent length (hostile iod; decode only checks that
+	// the lengths tile Data) would shift later extents' bytes into the
+	// wrong blocks — reject the whole response instead.
+	for ei, ext := range exts {
+		if int64(rr.Lens[ei]) > ext.Length {
+			publishFail(wire.ErrBadRequest)
+			return
+		}
+	}
+	data := rr.Data
+	ki := 0
+	for ei, ext := range exts {
+		served := int(rr.Lens[ei])
+		nblocks := int(ext.Length) / bs
+		for j := 0; j < nblocks; j++ {
+			key, st := keys[ki], states[ki]
+			ki++
+			start := j * bs
+			if start >= served {
+				// Nothing stored here: do not cache. A genuine hole
+				// would be safe to cache as zeros, but a response this
+				// short can also mean the extent fell outside the data
+				// the iod holds, so drop it and let a demand read
+				// decide.
+				m.fetchMu.Lock()
+				if m.fetches[key] == st {
+					delete(m.fetches, key)
+				}
+				m.fetchMu.Unlock()
+				close(st.done)
+				continue
+			}
+			blockData := make([]byte, bs)
+			copy(blockData, data[start:served])
+			m.buf.InsertClean(key, iod, blockData)
+			st.data = blockData
+			m.fetchMu.Lock()
+			delete(m.fetches, key)
+			m.fetchMu.Unlock()
+			m.raMu.Lock()
+			// The marks are accounting only; evicted-before-hit blocks
+			// leave stale entries behind, so reset rather than grow
+			// without bound.
+			if len(m.prefetched) >= 2*m.buf.Capacity() {
+				m.prefetched = make(map[blockio.BlockKey]struct{})
+				m.prefetchMarks.Store(0)
+			}
+			if _, dup := m.prefetched[key]; !dup {
+				m.prefetched[key] = struct{}{}
+				m.prefetchMarks.Add(1)
+			}
+			m.raMu.Unlock()
+			close(st.done)
+			m.cfg.Registry.Counter("module.prefetch_blocks").Inc()
+		}
+		data = data[served:]
+	}
+}
+
+// notePrefetchHit counts a demand access served by a prefetched block
+// (once per block: the mark clears on first use). It runs on every
+// cache-hit span, so the no-marks case — every workload that is not
+// mid-scan — must not touch the shared mutex. The racy fast-path load is
+// safe because the marks are accounting only.
+func (m *Module) notePrefetchHit(key blockio.BlockKey) {
+	if m.prefetchMarks.Load() == 0 {
+		return
+	}
+	m.raMu.Lock()
+	_, ok := m.prefetched[key]
+	if ok {
+		delete(m.prefetched, key)
+		m.prefetchMarks.Add(-1)
+	}
+	m.raMu.Unlock()
+	if ok {
+		m.cfg.Registry.Counter("module.prefetch_hits").Inc()
+	}
+}
+
+// dropPrefetchMark forgets a block's prefetched mark (invalidation).
+func (m *Module) dropPrefetchMark(key blockio.BlockKey) {
+	if m.prefetchMarks.Load() == 0 {
+		return
+	}
+	m.raMu.Lock()
+	if _, ok := m.prefetched[key]; ok {
+		delete(m.prefetched, key)
+		m.prefetchMarks.Add(-1)
+	}
+	m.raMu.Unlock()
+}

@@ -1,0 +1,328 @@
+package cachemod
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/wire"
+)
+
+// raModule builds a bare module sufficient for driving the sequential
+// detector directly (no network, no background threads).
+func raModule(window int) *Module {
+	return &Module{
+		cfg: Config{ReadaheadWindow: window, Registry: metrics.NewRegistry()},
+		ra:  make(map[blockio.FileID]*raState),
+	}
+}
+
+func TestNoteAccessWindowAdvances(t *testing.T) {
+	m := raModule(8)
+
+	// The first raMinStreak-1 gap-free requests only establish the scan:
+	// short chains (common under re-read locality) never prefetch.
+	for i := int64(0); i < raMinStreak-1; i++ {
+		if lo, hi := m.noteAccess(1, 2*i, 2*i+1); hi > lo {
+			t.Fatalf("request %d prefetched [%d,%d)", i, lo, hi)
+		}
+	}
+	// Request raMinStreak opens the window after the scan's last block.
+	lo, hi := m.noteAccess(1, 6, 7)
+	if lo != 8 || hi != 16 {
+		t.Fatalf("window = [%d,%d), want [8,16)", lo, hi)
+	}
+	// Batched refill: with blocks 8..15 in flight and the scan at 9, more
+	// than half the window is still ahead — no new prefetch yet.
+	if lo, hi = m.noteAccess(1, 8, 9); hi > lo {
+		t.Fatalf("refilled too early: [%d,%d)", lo, hi)
+	}
+	// Once the scan eats through half the window, it tops up in one piece.
+	lo, hi = m.noteAccess(1, 10, 11)
+	if lo != 16 || hi != 20 {
+		t.Fatalf("refill window = [%d,%d), want [16,20)", lo, hi)
+	}
+	// A scan that catches up to its window keeps the full depth ahead.
+	lo, hi = m.noteAccess(1, 12, 19)
+	if lo != 20 || hi != 28 {
+		t.Fatalf("caught-up window = [%d,%d), want [20,28)", lo, hi)
+	}
+}
+
+func TestNoteAccessResetsOnRandomAccess(t *testing.T) {
+	m := raModule(8)
+	establish := func(base int64) {
+		t.Helper()
+		opened := false
+		for i := int64(0); i < raMinStreak; i++ {
+			if lo, hi := m.noteAccess(1, base+2*i, base+2*i+1); hi > lo {
+				opened = true
+			}
+		}
+		if !opened {
+			t.Fatal("scan not established")
+		}
+	}
+	establish(0)
+	// A jump breaks the streak: no prefetch, and the issued high-water
+	// clears so a new scan starts from scratch.
+	if lo, hi := m.noteAccess(1, 100, 101); hi > lo {
+		t.Fatalf("random access prefetched [%d,%d)", lo, hi)
+	}
+	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 1 {
+		t.Fatalf("readahead_resets = %d, want 1", got)
+	}
+	// Continuing from the jump re-establishes a fresh streak and resumes
+	// prefetching from the new position.
+	establish(102)
+}
+
+func TestNoteAccessPerFileIndependent(t *testing.T) {
+	m := raModule(4)
+	for i := int64(0); i < raMinStreak-1; i++ {
+		m.noteAccess(1, i, i)
+		m.noteAccess(2, 50+i, 50+i)
+	}
+	n := int64(raMinStreak)
+	if lo, hi := m.noteAccess(1, n-1, n-1); lo != n || hi != n+4 {
+		t.Fatalf("file 1 window = [%d,%d), want [%d,%d)", lo, hi, n, n+4)
+	}
+	if lo, hi := m.noteAccess(2, 50+n-1, 50+n-1); lo != 50+n || hi != 50+n+4 {
+		t.Fatalf("file 2 window = [%d,%d), want [%d,%d)", lo, hi, 50+n, 50+n+4)
+	}
+}
+
+// TestNoteAccessUnalignedScan: a scan whose request size is not a block
+// multiple re-touches the previous request's tail block each time; that
+// overlap must count as continuation, not a reset.
+func TestNoteAccessUnalignedScan(t *testing.T) {
+	m := raModule(8)
+	// 6 KB requests over 4 KB blocks: block ranges [0,1], [1,2], [2,3]...
+	var lo, hi int64
+	for i := int64(0); i < raMinStreak+1; i++ {
+		l, h := m.noteAccess(1, i, i+1)
+		if h > hi {
+			lo, hi = l, h
+		}
+	}
+	if hi <= lo {
+		t.Fatal("unaligned sequential scan never opened a window")
+	}
+	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 0 {
+		t.Fatalf("unaligned scan counted %d resets", got)
+	}
+	// A genuine re-read of an old range still resets.
+	if l, h := m.noteAccess(1, 0, 1); h > l {
+		t.Fatal("backward jump prefetched")
+	}
+}
+
+// TestNoteAccessSubBlockScan: requests smaller than one block revisit
+// the same block several times before crossing into the next; the
+// revisits must be neutral (no reset) so the streak builds on block
+// crossings and the scan still engages readahead.
+func TestNoteAccessSubBlockScan(t *testing.T) {
+	m := raModule(8)
+	var lo, hi int64
+	// 1 KB reads over 4 KB blocks: four requests per block, block range
+	// (b,b) each, advancing one block every fourth request.
+	for req := 0; req < 4*(raMinStreak+1); req++ {
+		b := int64(req / 4)
+		l, h := m.noteAccess(1, b, b)
+		if h > hi {
+			lo, hi = l, h
+		}
+	}
+	if hi <= lo {
+		t.Fatal("sub-block sequential scan never opened a window")
+	}
+	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 0 {
+		t.Fatalf("sub-block scan counted %d resets", got)
+	}
+}
+
+func TestNoteAccessDisabled(t *testing.T) {
+	m := raModule(0) // fillDefaults maps negative config here
+	for i := int64(0); i < 2*raMinStreak; i++ {
+		if lo, hi := m.noteAccess(1, i, i); hi > lo {
+			t.Fatal("disabled readahead still prefetched")
+		}
+	}
+}
+
+// waitCounter polls a counter until it reaches want (prefetch is
+// asynchronous by design).
+func waitCounter(t *testing.T, reg *metrics.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(name).Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want >= %d", name, reg.Counter(name).Value(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// hintAll routes every block of the file to iod 0 (one strip covering the
+// whole test file), mirroring what libpvfs would announce.
+func hintAll(tr *CachedTransport, file blockio.FileID) {
+	tr.StripeHint(file, wire.FileMeta{Size: 1 << 20, Base: 0, PCount: 1, SSize: 1 << 20}, 2)
+}
+
+// readSeq performs one application-level read the way libpvfs does:
+// report the whole request to the sequential detector, then send the
+// piece.
+func readSeq(t *testing.T, tr *CachedTransport, file blockio.FileID, off, length int64) wire.Message {
+	t.Helper()
+	tr.NoteRead(file, off, length)
+	return sendRecv(t, tr, 0, &wire.Read{File: file, Offset: off, Length: length})
+}
+
+func TestReadaheadPrefetchesSequentialScan(t *testing.T) {
+	r := newRig(t, nil)
+	const file = 30
+	data := bytes.Repeat([]byte{0x5A}, 16*4096)
+	r.seed(0, file, 0, data)
+
+	tr := r.mod.NewTransport()
+	hintAll(tr, file)
+
+	// raMinStreak gap-free ascending reads establish the scan; the last
+	// one triggers a prefetch of the next 8 blocks (4..11).
+	for i := int64(0); i < raMinStreak; i++ {
+		readSeq(t, tr, file, i*4096, 4096)
+	}
+	waitCounter(t, r.reg, "module.prefetch_blocks", 8)
+
+	// The scan's continuation is served entirely from prefetched blocks:
+	// no demand fetch reaches the network, and every block counts as a
+	// prefetch hit.
+	before := r.reg.Snapshot()
+	resp := readSeq(t, tr, file, raMinStreak*4096, 8*4096).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data, data[raMinStreak*4096:(raMinStreak+8)*4096]) {
+		t.Fatal("prefetched data wrong")
+	}
+	d := r.reg.Snapshot().Diff(before)
+	if d["module.read_full_hits"] != 1 {
+		t.Fatalf("read_full_hits = %d, want 1 (no demand fetch)", d["module.read_full_hits"])
+	}
+	if d["module.prefetch_hits"] != 8 {
+		t.Fatalf("prefetch_hits = %d, want 8", d["module.prefetch_hits"])
+	}
+	if d["module.read_subrequests"] != 0 {
+		t.Fatalf("read_subrequests = %d, want 0", d["module.read_subrequests"])
+	}
+}
+
+func TestReadaheadResetsOnRandomAccessLive(t *testing.T) {
+	r := newRig(t, nil)
+	const file = 31
+	data := bytes.Repeat([]byte{0x11}, 64*4096)
+	r.seed(0, file, 0, data)
+
+	tr := r.mod.NewTransport()
+	hintAll(tr, file)
+
+	for i := int64(0); i < raMinStreak; i++ {
+		readSeq(t, tr, file, i*4096, 4096)
+	}
+	waitCounter(t, r.reg, "module.prefetch_issued", 1)
+
+	issued := r.reg.Counter("module.prefetch_issued").Value()
+	// A random jump must not prefetch.
+	readSeq(t, tr, file, 40*4096, 4096)
+	if got := r.reg.Counter("module.readahead_resets").Value(); got != 1 {
+		t.Fatalf("readahead_resets = %d, want 1", got)
+	}
+	if got := r.reg.Counter("module.prefetch_issued").Value(); got != issued {
+		t.Fatalf("random access issued a prefetch (%d -> %d)", issued, got)
+	}
+}
+
+func TestReadaheadNeedsStripeHint(t *testing.T) {
+	r := newRig(t, nil)
+	const file = 32
+	r.seed(0, file, 0, bytes.Repeat([]byte{0x22}, 16*4096))
+
+	// No StripeHint: the module cannot know which iod holds upcoming
+	// blocks, so it must not prefetch (a misrouted prefetch would cache
+	// another daemon's sparse zeros as data).
+	tr := r.mod.NewTransport()
+	for i := int64(0); i < raMinStreak+1; i++ {
+		readSeq(t, tr, file, i*4096, 4096)
+	}
+	time.Sleep(20 * time.Millisecond) // would be plenty for a prefetch to land
+	if got := r.reg.Counter("module.prefetch_issued").Value(); got != 0 {
+		t.Fatalf("prefetch_issued = %d without a stripe hint", got)
+	}
+}
+
+func TestReadaheadDisabledByConfig(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.ReadaheadWindow = -1 })
+	const file = 33
+	r.seed(0, file, 0, bytes.Repeat([]byte{0x33}, 16*4096))
+
+	tr := r.mod.NewTransport()
+	hintAll(tr, file)
+	for i := int64(0); i < raMinStreak+1; i++ {
+		readSeq(t, tr, file, i*4096, 4096)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := r.reg.Counter("module.prefetch_issued").Value(); got != 0 {
+		t.Fatalf("prefetch_issued = %d with readahead disabled", got)
+	}
+}
+
+// TestPrefetchJoinCountsAsHit covers the in-flight case: a demand read
+// arriving while a prefetch is still on the wire joins it rather than
+// fetching again, and still counts as a prefetch hit. The prefetch's
+// fetch-table entry is staged by hand so the interleaving is
+// deterministic: claim, demand read joins, prefetch publishes.
+func TestPrefetchJoinCountsAsHit(t *testing.T) {
+	r := newRig(t, nil)
+	const file = 34
+	data := bytes.Repeat([]byte{0x44}, 4096)
+	r.seed(0, file, 0, data)
+
+	tr := r.mod.NewTransport()
+	key := blockio.BlockKey{File: file, Index: 0}
+	st := &fetchState{done: make(chan struct{}), prefetch: true}
+	r.mod.fetchMu.Lock()
+	r.mod.fetches[key] = st
+	r.mod.fetchMu.Unlock()
+
+	// The demand read finds the in-flight prefetch and becomes a join.
+	id, err := tr.Send(0, &wire.Read{File: file, Offset: 0, Length: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish exactly as prefetchIOD does.
+	block := make([]byte, 4096)
+	copy(block, data)
+	r.mod.buf.InsertClean(key, 0, block)
+	st.data = block
+	r.mod.fetchMu.Lock()
+	delete(r.mod.fetches, key)
+	r.mod.fetchMu.Unlock()
+	r.mod.raMu.Lock()
+	r.mod.prefetched[key] = struct{}{}
+	r.mod.prefetchMarks.Add(1)
+	r.mod.raMu.Unlock()
+	close(st.done)
+
+	resp, err := tr.Recv(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.(*wire.ReadResp).Data, data) {
+		t.Fatal("joined data wrong")
+	}
+	if got := r.reg.Counter("module.prefetch_hits").Value(); got != 1 {
+		t.Fatalf("prefetch_hits = %d, want 1", got)
+	}
+	if got := r.reg.Counter("module.fetch_joins").Value(); got != 1 {
+		t.Fatalf("fetch_joins = %d, want 1", got)
+	}
+}

@@ -32,6 +32,27 @@ func (m *Module) NewTransport() *CachedTransport {
 	return &CachedTransport{m: m, next: 1, pending: make(map[pvfs.ReqID]*pendingOp)}
 }
 
+// StripeHint implements pvfs.StripeHinter: libpvfs announces a file's
+// striping geometry whenever it opens or refreshes a file, which is what
+// lets the module's readahead prefetcher route upcoming blocks to the
+// iods that hold them.
+func (t *CachedTransport) StripeHint(file blockio.FileID, meta wire.FileMeta, totalIODs int) {
+	t.m.SetStripeHint(file, meta, totalIODs)
+}
+
+// NoteRead implements pvfs.ReadPatternHinter: libpvfs reports each whole
+// application read, and the module's sequential detector keys on that
+// stream. Detection cannot live on the Send path: the pieces of one
+// striped read arrive as several ascending Sends, so a random workload
+// of multi-piece requests would look like a scan and prefetch garbage.
+func (t *CachedTransport) NoteRead(file blockio.FileID, offset, length int64) {
+	if length <= 0 {
+		return
+	}
+	first, count := blockio.BlockRange(offset, length, t.m.buf.BlockSize())
+	t.m.maybeReadahead(file, first, first+count-1)
+}
+
 // pendingOp is the per-request FSM state between Send and Recv.
 type pendingOp struct {
 	ready wire.Message      // response already known (fake ack, full cache hit)
@@ -39,26 +60,45 @@ type pendingOp struct {
 	call  <-chan rpc.Result // passthrough round trip
 }
 
-// pendingRead tracks a read whose missing pieces are in flight.
+// pendingRead tracks a read whose missing pieces are in flight. For a
+// vectored request (libpvfs sent a ReadBlocks), result is the extents'
+// data concatenated and lens carries the per-extent byte counts for the
+// response.
 type pendingRead struct {
 	result  []byte
-	fetches []ownedFetch
+	fetches []fetch
 	waits   []spanWait
-	iod     int
+	vector  bool
+	lens    []uint32
 }
 
-// ownedFetch is one network sub-request this process issued for a run of
-// consecutive missing blocks.
-type ownedFetch struct {
-	iod      int
-	ch       <-chan rpc.Result
+// fetchRun is a run of consecutive missing blocks this process owns: one
+// extent of a vectored fetch (or the whole of a legacy one).
+type fetchRun struct {
 	firstIdx int64
 	keys     []blockio.BlockKey
 	states   []*fetchState
 	spans    []blockio.Span // request spans served by this run
 }
 
-// spanWait is a span whose block another process is already fetching.
+// fetch is one network round trip issued for a request's missing blocks:
+// a ReadBlocks covering every run at once, or — with Config.DisableVector
+// — a legacy Read carrying exactly one run.
+type fetch struct {
+	iod  int
+	ch   <-chan rpc.Result
+	runs []fetchRun
+}
+
+// ownedSpan pairs a missing span with the fetch-table entry this process
+// claimed for its block.
+type ownedSpan struct {
+	sp blockio.Span
+	st *fetchState
+}
+
+// spanWait is a span whose block another process (or the prefetcher) is
+// already fetching.
 type spanWait struct {
 	span blockio.Span
 	st   *fetchState
@@ -77,6 +117,8 @@ func (t *CachedTransport) Send(iod int, req wire.Message) (pvfs.ReqID, error) {
 	switch r := req.(type) {
 	case *wire.Read:
 		op, err = t.sendRead(iod, r)
+	case *wire.ReadBlocks:
+		op, err = t.sendVectorRead(iod, r)
 	case *wire.Write:
 		op, err = t.sendWrite(iod, r)
 	case *wire.SyncWrite:
@@ -133,84 +175,196 @@ func (t *CachedTransport) Close() error {
 
 // --- read path ---
 
+// classifySpan classifies one block span of a read: a cache hit copies
+// into the result buffer now, an in-flight fetch (another process's miss
+// or a prefetch) becomes a join, a global-cache hit is installed
+// immediately, and everything else is an owned miss returned to the
+// caller for fetching.
+func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, pr *pendingRead, owned []ownedSpan) []ownedSpan {
+	dst := pr.result[sp.Pos : sp.Pos+int64(sp.Len)]
+	if t.m.buf.ReadSpan(sp.Key, sp.Off, dst) {
+		t.m.notePrefetchHit(sp.Key)
+		return owned
+	}
+	t.m.fetchMu.Lock()
+	if st := t.m.fetches[sp.Key]; st != nil {
+		t.m.fetchMu.Unlock()
+		pr.waits = append(pr.waits, spanWait{span: sp, st: st, iod: iod})
+		return owned
+	}
+	st := &fetchState{done: make(chan struct{})}
+	t.m.fetches[sp.Key] = st
+	t.m.fetchMu.Unlock()
+	// Global-cache extension: probe the block's home node before
+	// resorting to the iod.
+	if t.m.gcClient != nil {
+		if data, ok := t.m.gcClient.Get(sp.Key); ok {
+			t.m.buf.InsertClean(sp.Key, iod, data)
+			copy(dst, data[sp.Off:sp.Off+sp.Len])
+			st.data = data
+			t.m.fetchMu.Lock()
+			delete(t.m.fetches, sp.Key)
+			t.m.fetchMu.Unlock()
+			close(st.done)
+			t.m.cfg.Registry.Counter("module.gcache_hits").Inc()
+			return owned
+		}
+	}
+	return append(owned, ownedSpan{sp: sp, st: st})
+}
+
+// issueFetches groups the owned miss spans into runs of consecutive block
+// indices and puts them on the wire: one vectored ReadBlocks carrying
+// every run as an extent (the default), or — with Config.DisableVector —
+// one legacy Read per run. Either way the sub-requests of a request are
+// all in flight before the first response is awaited.
+func (t *CachedTransport) issueFetches(iod int, file blockio.FileID, owned []ownedSpan, pr *pendingRead) error {
+	if len(owned) == 0 {
+		return nil
+	}
+	bs := t.m.buf.BlockSize()
+	var runs []fetchRun
+	for start := 0; start < len(owned); {
+		end := start + 1
+		for end < len(owned) && owned[end].sp.Key.Index == owned[end-1].sp.Key.Index+1 {
+			end++
+		}
+		group := owned[start:end]
+		run := fetchRun{firstIdx: group[0].sp.Key.Index}
+		for _, o := range group {
+			run.keys = append(run.keys, o.sp.Key)
+			run.states = append(run.states, o.st)
+			run.spans = append(run.spans, o.sp)
+		}
+		runs = append(runs, run)
+		start = end
+	}
+	// Rounding spans up to whole blocks can inflate a fetch far past the
+	// original request bytes (sub-block extents each cost a full block),
+	// so bound every run — and every vectored batch of runs — by what one
+	// response frame can carry, splitting into several round trips when
+	// necessary.
+	runs = splitRuns(runs, maxFetchBlocks(bs))
+
+	if t.m.cfg.DisableVector {
+		for i, run := range runs {
+			sub := &wire.Read{
+				Client: t.m.cfg.ClientID,
+				File:   file,
+				Offset: run.firstIdx * int64(bs),
+				Length: int64(len(run.keys)) * int64(bs),
+				Track:  true,
+			}
+			ch, err := t.m.data[iod].Go(sub)
+			if err != nil {
+				t.abortFetches(pr.fetches, err)
+				// The failing run AND the not-yet-issued ones: all their
+				// fetch-table claims must be released, or later readers
+				// of those blocks would wait forever.
+				t.abortRuns(runs[i:], err)
+				return err
+			}
+			pr.fetches = append(pr.fetches, fetch{iod: iod, ch: ch, runs: []fetchRun{run}})
+			t.m.cfg.Registry.Counter("module.read_subrequests").Inc()
+		}
+		return nil
+	}
+
+	for start := 0; start < len(runs); {
+		batch := runs[start : start+1]
+		blocks := len(runs[start].keys)
+		for end := start + 1; end < len(runs) && blocks+len(runs[end].keys) <= maxFetchBlocks(bs); end++ {
+			blocks += len(runs[end].keys)
+			batch = runs[start : end+1]
+		}
+		exts := make([]wire.ReadExtent, len(batch))
+		for i, run := range batch {
+			exts[i] = wire.ReadExtent{
+				Offset: run.firstIdx * int64(bs),
+				Length: int64(len(run.keys)) * int64(bs),
+			}
+		}
+		ch, err := t.m.data[iod].Go(&wire.ReadBlocks{
+			Client: t.m.cfg.ClientID,
+			File:   file,
+			Track:  true,
+			Exts:   exts,
+		})
+		if err != nil {
+			t.abortFetches(pr.fetches, err)
+			t.abortRuns(runs[start:], err)
+			return err
+		}
+		pr.fetches = append(pr.fetches, fetch{iod: iod, ch: ch, runs: batch})
+		t.m.cfg.Registry.Counter("module.read_subrequests").Inc()
+		t.m.cfg.Registry.Counter("module.read_vector_fetches").Inc()
+		start += len(batch)
+	}
+	return nil
+}
+
+// maxFetchBlocks is the most blocks one fetch (a run in legacy mode, a
+// batch of runs in vectored mode) may carry and still fit a response
+// frame (wire.ValidateExtents' bound), with one block of slack.
+func maxFetchBlocks(bs int) int {
+	n := wire.MaxMessageSize/2/bs - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// splitRuns bounds every run at maxBlocks consecutive blocks, splitting
+// oversized ones (a sub-block-striped request can round up to far more
+// block bytes than it asked for) into several runs that fetch separately.
+func splitRuns(runs []fetchRun, maxBlocks int) []fetchRun {
+	out := make([]fetchRun, 0, len(runs))
+	for _, run := range runs {
+		if len(run.keys) <= maxBlocks {
+			out = append(out, run)
+			continue
+		}
+		spanAt := 0
+		for start := 0; start < len(run.keys); start += maxBlocks {
+			end := start + maxBlocks
+			if end > len(run.keys) {
+				end = len(run.keys)
+			}
+			sub := fetchRun{
+				firstIdx: run.keys[start].Index,
+				keys:     run.keys[start:end],
+				states:   run.states[start:end],
+			}
+			lastIdx := run.keys[end-1].Index
+			// Spans are ordered by block, so a cursor partitions them.
+			spanStart := spanAt
+			for spanAt < len(run.spans) && run.spans[spanAt].Key.Index <= lastIdx {
+				spanAt++
+			}
+			sub.spans = run.spans[spanStart:spanAt]
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
 // sendRead classifies each block span of the request as a cache hit, a
-// join on another process's in-flight fetch, or a miss this process must
-// fetch. Misses are grouped into runs of consecutive blocks; a cached
-// block in the middle therefore splits the request into several network
-// sub-requests, as the paper describes.
+// join on an in-flight fetch, or a miss this process must fetch. All the
+// missing runs of the request leave in one vectored sub-request; a cached
+// block in the middle of the request therefore costs an extent boundary,
+// not an extra round trip.
 func (t *CachedTransport) sendRead(iod int, req *wire.Read) (*pendingOp, error) {
 	bs := t.m.buf.BlockSize()
 	spans := blockio.Spans(req.File, req.Offset, req.Length, bs)
 	result := make([]byte, req.Length)
-	pr := &pendingRead{result: result, iod: iod}
-	var owned []blockio.Span // spans whose fetch this process owns
-
+	pr := &pendingRead{result: result}
+	var owned []ownedSpan // spans whose fetch this process owns
 	for _, sp := range spans {
-		dst := result[sp.Pos : sp.Pos+int64(sp.Len)]
-		if t.m.buf.ReadSpan(sp.Key, sp.Off, dst) {
-			continue
-		}
-		t.m.fetchMu.Lock()
-		if st := t.m.fetches[sp.Key]; st != nil {
-			t.m.fetchMu.Unlock()
-			pr.waits = append(pr.waits, spanWait{span: sp, st: st, iod: iod})
-			continue
-		}
-		st := &fetchState{done: make(chan struct{})}
-		t.m.fetches[sp.Key] = st
-		t.m.fetchMu.Unlock()
-		// Global-cache extension: probe the block's home node before
-		// resorting to the iod.
-		if t.m.gcClient != nil {
-			if data, ok := t.m.gcClient.Get(sp.Key); ok {
-				t.m.buf.InsertClean(sp.Key, iod, data)
-				copy(dst, data[sp.Off:sp.Off+sp.Len])
-				st.data = data
-				t.m.fetchMu.Lock()
-				delete(t.m.fetches, sp.Key)
-				t.m.fetchMu.Unlock()
-				close(st.done)
-				t.m.cfg.Registry.Counter("module.gcache_hits").Inc()
-				continue
-			}
-		}
-		owned = append(owned, sp)
+		owned = t.classifySpan(iod, sp, pr, owned)
 	}
-
-	// Group owned spans into runs of consecutive block indices and issue
-	// one block-aligned sub-request per run.
-	for start := 0; start < len(owned); {
-		end := start + 1
-		for end < len(owned) && owned[end].Key.Index == owned[end-1].Key.Index+1 {
-			end++
-		}
-		run := owned[start:end]
-		of := ownedFetch{iod: iod, firstIdx: run[0].Key.Index, spans: run}
-		for _, sp := range run {
-			of.keys = append(of.keys, sp.Key)
-			t.m.fetchMu.Lock()
-			of.states = append(of.states, t.m.fetches[sp.Key])
-			t.m.fetchMu.Unlock()
-		}
-		sub := &wire.Read{
-			Client: t.m.cfg.ClientID,
-			File:   req.File,
-			Offset: of.firstIdx * int64(bs),
-			Length: int64(len(run)) * int64(bs),
-			Track:  true,
-		}
-		ch, err := t.m.data[iod].Go(sub)
-		if err != nil {
-			t.abortFetches(pr.fetches, err)
-			t.abortFetch(of, err)
-			return nil, err
-		}
-		of.ch = ch
-		pr.fetches = append(pr.fetches, of)
-		t.m.cfg.Registry.Counter("module.read_subrequests").Inc()
-		start = end
+	if err := t.issueFetches(iod, req.File, owned, pr); err != nil {
+		return nil, err
 	}
-
 	if len(pr.fetches) == 0 && len(pr.waits) == 0 {
 		// Entire request served from the cache: the response is ready now;
 		// libpvfs's receive call will be faked locally.
@@ -220,58 +374,63 @@ func (t *CachedTransport) sendRead(iod int, req *wire.Read) (*pendingOp, error) 
 	return &pendingOp{read: pr}, nil
 }
 
-// completeRead waits for the pending transfers, installs fetched blocks in
-// the cache, and assembles the response buffer.
-func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
+// sendVectorRead runs the cache FSM for a vectored request: libpvfs sends
+// one ReadBlocks per iod when several striping pieces of an operation land
+// on the same daemon. Every extent's spans classify against the cache
+// exactly as a plain read's do, and whatever is missing across all of
+// them leaves in a single vectored sub-request.
+func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks) (*pendingOp, error) {
 	bs := t.m.buf.BlockSize()
+	total, ok := wire.ValidateExtents(req.Exts)
+	if !ok {
+		return &pendingOp{ready: &wire.ReadBlocksResp{Status: wire.StatusBadRequest}}, nil
+	}
+	pr := &pendingRead{
+		result: make([]byte, total),
+		vector: true,
+		lens:   make([]uint32, len(req.Exts)),
+	}
+	var owned []ownedSpan
+	base := int64(0)
+	for i, e := range req.Exts {
+		// The cache serves every requested byte (missing data reads as
+		// zero), so extents complete at full length.
+		pr.lens[i] = uint32(e.Length)
+		for _, sp := range blockio.Spans(req.File, e.Offset, e.Length, bs) {
+			sp.Pos += base // position within the concatenated result
+			owned = t.classifySpan(iod, sp, pr, owned)
+		}
+		base += e.Length
+	}
+	if err := t.issueFetches(iod, req.File, owned, pr); err != nil {
+		return nil, err
+	}
+
+	if len(pr.fetches) == 0 && len(pr.waits) == 0 {
+		t.m.cfg.Registry.Counter("module.read_full_hits").Inc()
+		return &pendingOp{ready: &wire.ReadBlocksResp{Status: wire.StatusOK, Lens: pr.lens, Data: pr.result}}, nil
+	}
+	return &pendingOp{read: pr}, nil
+}
+
+// completeRead waits for the pending transfers, installs fetched blocks in
+// the cache, and assembles the response.
+func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 	var firstErr error
-	for _, of := range pr.fetches {
-		res := <-of.ch
+	for _, f := range pr.fetches {
+		res := <-f.ch
 		if res.Err != nil {
-			t.abortFetch(of, res.Err)
+			t.abortRuns(f.runs, res.Err)
 			if firstErr == nil {
 				firstErr = res.Err
 			}
 			continue
 		}
-		rr, ok := res.Msg.(*wire.ReadResp)
-		if !ok || rr.Status != wire.StatusOK {
-			err := fmt.Errorf("cachemod: fetch failed: %v", res.Msg.WireType())
-			if ok {
-				if serr := rr.Status.Err(); serr != nil {
-					err = serr
-				}
-			}
-			t.abortFetch(of, err)
+		if err := t.fillFromResponse(pr, f, res.Msg); err != nil {
+			t.abortRuns(f.runs, err)
 			if firstErr == nil {
 				firstErr = err
 			}
-			continue
-		}
-		// Slice the run into blocks, install each, publish to waiters.
-		for i, key := range of.keys {
-			blockData := make([]byte, bs)
-			lo := i * bs
-			if lo < len(rr.Data) {
-				copy(blockData, rr.Data[lo:])
-			}
-			t.m.buf.InsertClean(key, of.iod, blockData)
-			if t.m.gcClient != nil {
-				// Feed the global cache: the block's home node gets a copy.
-				t.m.gcClient.Push(key, of.iod, blockData)
-			}
-			st := of.states[i]
-			st.data = blockData
-			t.m.fetchMu.Lock()
-			delete(t.m.fetches, key)
-			t.m.fetchMu.Unlock()
-			close(st.done)
-		}
-		// Copy the request's spans out of the run.
-		for _, sp := range of.spans {
-			lo := int(sp.Key.Index-of.firstIdx)*bs + sp.Off
-			n := copy(pr.result[sp.Pos:sp.Pos+int64(sp.Len)], rr.Data[minInt(lo, len(rr.Data)):])
-			_ = n // short data reads as zero; result is pre-zeroed
 		}
 	}
 	for _, w := range pr.waits {
@@ -280,10 +439,13 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 		if w.st.err == nil && w.st.data != nil {
 			copy(dst, w.st.data[w.span.Off:w.span.Off+w.span.Len])
 			t.m.cfg.Registry.Counter("module.fetch_joins").Inc()
+			if w.st.prefetch {
+				t.m.notePrefetchHit(w.span.Key)
+			}
 			continue
 		}
-		// The owner's fetch failed: fall back to a synchronous fetch of our
-		// own.
+		// The owner's fetch failed (or a prefetch found no stored data):
+		// fall back to a synchronous fetch of our own.
 		data, err := t.m.fetchBlockSync(w.iod, w.span.Key)
 		if err != nil {
 			if firstErr == nil {
@@ -296,35 +458,118 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if pr.vector {
+		return &wire.ReadBlocksResp{Status: wire.StatusOK, Lens: pr.lens, Data: pr.result}, nil
+	}
 	return &wire.ReadResp{Status: wire.StatusOK, Data: pr.result}, nil
 }
 
-// abortFetch publishes a fetch failure to waiters and clears the table.
-func (t *CachedTransport) abortFetch(of ownedFetch, err error) {
-	for i, key := range of.keys {
-		st := of.states[i]
-		if st == nil {
-			continue
+// fillFromResponse installs a fetch's blocks from its response message,
+// publishes them to waiters, and copies the request's spans into the
+// result buffer. The response must pair with how the fetch was issued: a
+// ReadBlocksResp with one entry per run for a vectored fetch, a ReadResp
+// for a legacy single-run fetch.
+func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Message) error {
+	switch rr := msg.(type) {
+	case *wire.ReadBlocksResp:
+		if rr.Status != wire.StatusOK {
+			if err := rr.Status.Err(); err != nil {
+				return err
+			}
 		}
-		st.err = err
+		if len(rr.Lens) != len(f.runs) {
+			return fmt.Errorf("cachemod: vectored fetch returned %d extents, want %d", len(rr.Lens), len(f.runs))
+		}
+		bs := t.m.buf.BlockSize()
+		data := rr.Data
+		for i, run := range f.runs {
+			served := int(rr.Lens[i])
+			// Decode guarantees the lengths tile Data, but only the
+			// requester knows what was asked for: an overlong length
+			// would shift every later run's bytes and poison the shared
+			// cache with misattributed data.
+			if served > len(run.keys)*bs {
+				return fmt.Errorf("cachemod: vectored fetch extent %d overlong (%d > %d)",
+					i, served, len(run.keys)*bs)
+			}
+			t.fillRun(pr, f.iod, run, data[:served])
+			data = data[served:]
+		}
+		return nil
+	case *wire.ReadResp:
+		if rr.Status != wire.StatusOK {
+			if err := rr.Status.Err(); err != nil {
+				return err
+			}
+		}
+		if len(f.runs) != 1 {
+			return fmt.Errorf("cachemod: single read response for %d runs", len(f.runs))
+		}
+		t.fillRun(pr, f.iod, f.runs[0], rr.Data)
+		return nil
+	default:
+		return fmt.Errorf("cachemod: fetch failed: %v", msg.WireType())
+	}
+}
+
+// fillRun slices one run's bytes into blocks, installs each block in the
+// cache (zero-padded: data past what the iod stores reads as zero),
+// publishes them to joined waiters, and copies the run's request spans
+// into the result buffer.
+func (t *CachedTransport) fillRun(pr *pendingRead, iod int, run fetchRun, data []byte) {
+	bs := t.m.buf.BlockSize()
+	// One zero-padded slab for the whole run; the published per-block
+	// buffers are read-only slices of it.
+	slab := make([]byte, len(run.keys)*bs)
+	copy(slab, data)
+	for i, key := range run.keys {
+		blockData := slab[i*bs : (i+1)*bs]
+		t.m.buf.InsertClean(key, iod, blockData)
+		if t.m.gcClient != nil {
+			// Feed the global cache: the block's home node gets a copy.
+			t.m.gcClient.Push(key, iod, blockData)
+		}
+		st := run.states[i]
+		st.data = blockData
 		t.m.fetchMu.Lock()
-		if t.m.fetches[key] == st {
-			delete(t.m.fetches, key)
-		}
+		delete(t.m.fetches, key)
 		t.m.fetchMu.Unlock()
-		select {
-		case <-st.done:
-		default:
-			close(st.done)
+		close(st.done)
+	}
+	for _, sp := range run.spans {
+		lo := int(sp.Key.Index-run.firstIdx)*bs + sp.Off
+		copy(pr.result[sp.Pos:sp.Pos+int64(sp.Len)], slab[lo:])
+	}
+}
+
+// abortRuns publishes a fetch failure to waiters and clears the table.
+func (t *CachedTransport) abortRuns(runs []fetchRun, err error) {
+	for _, run := range runs {
+		for i, key := range run.keys {
+			st := run.states[i]
+			if st == nil {
+				continue
+			}
+			st.err = err
+			t.m.fetchMu.Lock()
+			if t.m.fetches[key] == st {
+				delete(t.m.fetches, key)
+			}
+			t.m.fetchMu.Unlock()
+			select {
+			case <-st.done:
+			default:
+				close(st.done)
+			}
 		}
 	}
 }
 
-func (t *CachedTransport) abortFetches(ofs []ownedFetch, err error) {
-	for _, of := range ofs {
+func (t *CachedTransport) abortFetches(fs []fetch, err error) {
+	for _, f := range fs {
 		// No drain needed: responses demultiplex by tag and the result
 		// channel is buffered, so an abandoned fetch cannot stall others.
-		t.abortFetch(of, err)
+		t.abortRuns(f.runs, err)
 	}
 }
 
@@ -439,11 +684,4 @@ func (t *CachedTransport) sendSyncWrite(iod int, req *wire.SyncWrite) (*pendingO
 	}
 	t.m.cfg.Registry.Counter("module.sync_writes").Inc()
 	return &pendingOp{call: ch}, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

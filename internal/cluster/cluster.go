@@ -57,6 +57,12 @@ type Config struct {
 	// per iod port (default rpc.DefaultConns). Raise it when many
 	// processes per node keep independent requests in flight.
 	RPCConns int
+	// ReadaheadWindow is the cache modules' sequential-readahead depth in
+	// blocks (default 8; negative disables readahead).
+	ReadaheadWindow int
+	// DisableVector reverts the cache modules to the legacy one-Read-per-
+	// run miss path (ablation benchmarks).
+	DisableVector bool
 	// Registry collects metrics from every component; nil creates one.
 	Registry *metrics.Registry
 }
@@ -143,12 +149,14 @@ func Start(cfg Config) (*Cluster, error) {
 				ring = &globalcache.Ring{Peers: peerAddrs, Self: node}
 			}
 			mod, err := cachemod.New(cachemod.Config{
-				GlobalCache:   ring,
-				Network:       cfg.Network,
-				ClientID:      uint32(node + 1),
-				IODDataAddrs:  c.IODDataAddrs,
-				IODFlushAddrs: c.IODFlushAddrs,
-				RPCConns:      cfg.RPCConns,
+				GlobalCache:     ring,
+				Network:         cfg.Network,
+				ClientID:        uint32(node + 1),
+				IODDataAddrs:    c.IODDataAddrs,
+				IODFlushAddrs:   c.IODFlushAddrs,
+				RPCConns:        cfg.RPCConns,
+				ReadaheadWindow: cfg.ReadaheadWindow,
+				DisableVector:   cfg.DisableVector,
 				Buffer: buffer.Config{
 					BlockSize: cfg.BlockSize,
 					Capacity:  cfg.CacheBlocks,

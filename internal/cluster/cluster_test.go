@@ -57,6 +57,43 @@ func TestWriteReadNoCaching(t *testing.T) {
 	writeReadCycle(t, c, 300_000) // striped over several iods
 }
 
+// TestDirectReadVectorsPerIOD verifies that a read spanning several
+// striping cycles sends each iod one vectored request (its pieces as
+// extents) instead of one Read per piece, even on the uncached path.
+func TestDirectReadVectorsPerIOD(t *testing.T) {
+	c := startTest(t, Config{IODs: 2, ClientNodes: 1})
+	p, err := c.NewProcess(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f, err := p.Create("vector.dat", pvfs.StripeSpec{PCount: 2, SSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8*4096) // 8 strips: 4 pieces per iod
+	rand.New(rand.NewSource(7)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Reg.Snapshot()
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+	d := c.Reg.Snapshot().Diff(before)
+	if d["iod.vector_reads"] != 2 || d["iod.reads"] != 2 {
+		t.Fatalf("iod.reads = %d, vector = %d; want one vectored read per iod",
+			d["iod.reads"], d["iod.vector_reads"])
+	}
+	if d["iod.vector_extents"] != 8 {
+		t.Fatalf("vector extents = %d, want 8 (4 pieces per iod)", d["iod.vector_extents"])
+	}
+}
+
 func TestWriteReadCaching(t *testing.T) {
 	c := startTest(t, Config{IODs: 4, ClientNodes: 1, Caching: true})
 	writeReadCycle(t, c, 300_000)

@@ -2,7 +2,7 @@
 // (Section 4) on the simulated cluster. Each FigureN function runs the
 // micro-benchmark configurations behind one published figure and returns
 // the same series the paper plots; Render formats them as aligned text
-// tables for EXPERIMENTS.md and cmd/experiments.
+// tables for cmd/experiments.
 //
 // The experiment index lives in DESIGN.md §4. Absolute values are virtual
 // time on the calibrated model — the reproduction target is shape: who

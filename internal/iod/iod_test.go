@@ -86,6 +86,79 @@ func TestReadRejectsBadLength(t *testing.T) {
 	}
 }
 
+func TestVectoredReadServesAllExtents(t *testing.T) {
+	_, net, data, _ := testDaemon(t)
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	payload := bytes.Repeat([]byte{0xA5}, 16<<10)
+	call(t, conn, &wire.Write{Client: 1, File: 3, Offset: 0, Data: payload})
+
+	rr := call(t, conn, &wire.ReadBlocks{Client: 1, File: 3, Exts: []wire.ReadExtent{
+		{Offset: 0, Length: 4096},
+		{Offset: 8192, Length: 4096},
+		{Offset: 15 << 10, Length: 4096}, // crosses end of data: short
+		{Offset: 64 << 10, Length: 4096}, // entirely past end: empty
+	}}).(*wire.ReadBlocksResp)
+	if rr.Status != wire.StatusOK {
+		t.Fatalf("status %d", rr.Status)
+	}
+	wantLens := []uint32{4096, 4096, 1 << 10, 0}
+	if len(rr.Lens) != len(wantLens) {
+		t.Fatalf("lens = %v", rr.Lens)
+	}
+	pos := 0
+	for i, want := range wantLens {
+		if rr.Lens[i] != want {
+			t.Fatalf("extent %d served %d bytes, want %d", i, rr.Lens[i], want)
+		}
+		for _, b := range rr.Data[pos : pos+int(want)] {
+			if b != 0xA5 {
+				t.Fatalf("extent %d data corrupt", i)
+			}
+		}
+		pos += int(want)
+	}
+	if pos != len(rr.Data) {
+		t.Fatalf("data has %d trailing bytes", len(rr.Data)-pos)
+	}
+}
+
+func TestVectoredReadRejectsHostileExtents(t *testing.T) {
+	_, net, data, _ := testDaemon(t)
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	for _, exts := range [][]wire.ReadExtent{
+		{{Offset: 0, Length: -1}},
+		{{Offset: -1, Length: 4096}},
+		{{Offset: 0, Length: wire.MaxMessageSize}},
+		{{Offset: 0, Length: wire.MaxMessageSize / 2}, {Offset: 0, Length: wire.MaxMessageSize / 2}},
+	} {
+		rr := call(t, conn, &wire.ReadBlocks{File: 1, Exts: exts}).(*wire.ReadBlocksResp)
+		if rr.Status != wire.StatusBadRequest {
+			t.Fatalf("extents %v: status %d, want BadRequest", exts, rr.Status)
+		}
+	}
+}
+
+func TestVectoredReadTracksHolders(t *testing.T) {
+	s, net, data, _ := testDaemon(t)
+	conn, _ := net.Dial(data)
+	defer conn.Close()
+	call(t, conn, &wire.Write{Client: 1, File: 5, Offset: 0, Data: make([]byte, 12<<10)})
+	call(t, conn, &wire.ReadBlocks{Client: 9, File: 5, Track: true, Exts: []wire.ReadExtent{
+		{Offset: 0, Length: 4096},
+		{Offset: 8192, Length: 4096},
+	}})
+	for _, idx := range []int64{0, 2} {
+		if h := s.Holders(blockio.BlockKey{File: 5, Index: idx}); len(h) != 1 || h[0] != 9 {
+			t.Fatalf("block %d holders = %v", idx, h)
+		}
+	}
+	if h := s.Holders(blockio.BlockKey{File: 5, Index: 1}); len(h) != 0 {
+		t.Fatalf("untouched block holders = %v", h)
+	}
+}
+
 func TestFlushPortWritesBlocks(t *testing.T) {
 	s, net, _, flush := testDaemon(t)
 	conn, _ := net.Dial(flush)

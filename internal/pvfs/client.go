@@ -1,10 +1,16 @@
 // Package pvfs implements the client side of the parallel file system: the
 // equivalent of libpvfs. A Client resolves names against the metadata
 // server and moves data to and from the I/O daemons, striping requests over
-// the daemons that hold each file. All data traffic flows through a
-// Transport; installing the cache module's transport adds per-node shared
-// caching without the library (or the application) noticing — the
-// transparency property the paper's design is built around.
+// the daemons that hold each file; when several striping pieces of one
+// read land on the same daemon they travel as one vectored request
+// (wire.ReadBlocks) rather than one round trip each. All data traffic
+// flows through a Transport; installing the cache module's transport adds
+// per-node shared caching without the library (or the application)
+// noticing — the transparency property the paper's design is built
+// around. The library announces each file's striping geometry to
+// transports that want it (StripeHinter), which is what lets the cache
+// module's readahead prefetcher route upcoming blocks to the right
+// daemons.
 package pvfs
 
 import (
@@ -117,7 +123,17 @@ func (c *Client) Open(name string) (*File, error) {
 func (c *Client) newFile(name string, id blockio.FileID, meta wire.FileMeta) *File {
 	f := &File{client: c, name: name, id: id, meta: meta}
 	c.files[id] = f
+	c.hintStripe(f)
 	return f
+}
+
+// hintStripe forwards the file's striping geometry to the transport when
+// it wants one (see StripeHinter); the cache module's readahead needs it
+// to route prefetched blocks to the right daemons.
+func (c *Client) hintStripe(f *File) {
+	if h, ok := c.data.(StripeHinter); ok {
+		h.StripeHint(f.id, f.meta, len(c.cfg.IODAddrs))
+	}
 }
 
 // Unlink removes a file from the namespace. Strip data at the iods is left
@@ -194,13 +210,18 @@ func (f *File) Refresh() error {
 		return err
 	}
 	f.meta = sr.Meta
+	f.client.hintStripe(f)
 	return nil
 }
 
 // ReadAt fills p from the file starting at off. It follows the libpvfs
-// protocol: one request per per-iod piece is sent before any response is
-// awaited. Reads entirely beyond EOF return (0, io.EOF); reads crossing
-// EOF return short. Bytes inside holes of sparse files read as zero.
+// protocol: every per-iod request of the operation is sent before any
+// response is awaited. When several striping pieces land on the same iod
+// (a request spanning multiple striping cycles) they travel as one
+// vectored ReadBlocks instead of one Read each, so each daemon serves at
+// most one round trip per operation. Reads entirely beyond EOF return
+// (0, io.EOF); reads crossing EOF return short. Bytes inside holes of
+// sparse files read as zero.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pvfs: negative offset %d", off)
@@ -216,44 +237,172 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off+want > size {
 		want = size - off
 	}
-	pieces := PiecesFor(f.id, f.meta, len(f.client.cfg.IODAddrs), off, want)
-	ids := make([]ReqID, len(pieces))
-	for i, pc := range pieces {
-		req := &wire.Read{
-			Client: f.client.cfg.ClientID,
-			File:   f.id,
-			Offset: pc.Ext.Offset,
-			Length: pc.Ext.Length,
-		}
-		id, err := f.client.data.Send(pc.IOD, req)
-		if err != nil {
-			return 0, err
-		}
-		ids[i] = id
+	pieces, err := PiecesFor(f.id, f.meta, len(f.client.cfg.IODAddrs), off, want)
+	if err != nil {
+		return 0, err
 	}
-	for i, pc := range pieces {
-		resp, err := f.client.data.Recv(ids[i])
-		if err != nil {
+	pieces = splitOversizedPieces(pieces)
+	// Report the request to the transport's sequential detector before
+	// the pieces go out, so an established scan's readahead overlaps this
+	// request's own fetches.
+	if h, ok := f.client.data.(ReadPatternHinter); ok {
+		h.NoteRead(f.id, off, want)
+	}
+
+	// Group the pieces per iod, preserving first-appearance order, so one
+	// daemon gets one (possibly vectored) request — split into several
+	// when a huge read would otherwise exceed what one response frame can
+	// carry.
+	groups := make(map[int][]Piece, len(pieces))
+	var order []int
+	for _, pc := range pieces {
+		if _, ok := groups[pc.IOD]; !ok {
+			order = append(order, pc.IOD)
+		}
+		groups[pc.IOD] = append(groups[pc.IOD], pc)
+	}
+	type sentGroup struct {
+		pieces []Piece
+		id     ReqID
+	}
+	var sent []sentGroup
+	for _, iod := range order {
+		for _, grp := range splitVectorGroup(groups[iod]) {
+			var req wire.Message
+			if len(grp) == 1 {
+				req = &wire.Read{
+					Client: f.client.cfg.ClientID,
+					File:   f.id,
+					Offset: grp[0].Ext.Offset,
+					Length: grp[0].Ext.Length,
+				}
+			} else {
+				exts := make([]wire.ReadExtent, len(grp))
+				for j, pc := range grp {
+					exts[j] = wire.ReadExtent{Offset: pc.Ext.Offset, Length: pc.Ext.Length}
+				}
+				req = &wire.ReadBlocks{Client: f.client.cfg.ClientID, File: f.id, Exts: exts}
+			}
+			id, err := f.client.data.Send(iod, req)
+			if err != nil {
+				return 0, err
+			}
+			sent = append(sent, sentGroup{pieces: grp, id: id})
+		}
+	}
+	for _, sg := range sent {
+		if err := f.recvReadGroup(p, sg.pieces, sg.id); err != nil {
 			return 0, err
-		}
-		rr, ok := resp.(*wire.ReadResp)
-		if !ok {
-			return 0, fmt.Errorf("pvfs: unexpected read reply %v", resp.WireType())
-		}
-		if err := rr.Status.Err(); err != nil {
-			return 0, fmt.Errorf("pvfs: read %q @%d: %w", f.name, pc.Ext.Offset, err)
-		}
-		dst := p[pc.Pos : pc.Pos+pc.Ext.Length]
-		n := copy(dst, rr.Data)
-		// Sparse or short strip data reads as zero.
-		for j := n; j < len(dst); j++ {
-			dst[j] = 0
 		}
 	}
 	if want < int64(len(p)) {
 		return int(want), io.EOF
 	}
 	return int(want), nil
+}
+
+// vectorBudget bounds the byte total of one vectored read's extents: the
+// iod rejects requests whose response could not be framed
+// (wire.MaxMessageSize/2), and the cache module may round the extents up
+// to block boundaries before forwarding, so leave generous slack.
+const vectorBudget = wire.MaxMessageSize/2 - (1 << 20)
+
+// splitOversizedPieces subdivides any piece longer than vectorBudget
+// (possible with huge strip sizes — SSize is a u32 from the wire) into
+// budget-sized pieces on the same iod, so no single request can exceed
+// what the iod will serve.
+func splitOversizedPieces(pieces []Piece) []Piece {
+	oversized := false
+	for _, pc := range pieces {
+		if pc.Ext.Length > vectorBudget {
+			oversized = true
+			break
+		}
+	}
+	if !oversized {
+		return pieces
+	}
+	out := make([]Piece, 0, len(pieces)+1)
+	for _, pc := range pieces {
+		for pc.Ext.Length > vectorBudget {
+			out = append(out, Piece{
+				IOD: pc.IOD,
+				Ext: blockio.Extent{File: pc.Ext.File, Offset: pc.Ext.Offset, Length: vectorBudget},
+				Pos: pc.Pos,
+			})
+			pc.Ext.Offset += vectorBudget
+			pc.Ext.Length -= vectorBudget
+			pc.Pos += vectorBudget
+		}
+		out = append(out, pc)
+	}
+	return out
+}
+
+// splitVectorGroup splits one iod's pieces into chunks whose extent
+// totals stay within vectorBudget, so a read of any size decomposes into
+// servable requests. Each chunk keeps at least one piece (pieces are
+// pre-split to at most vectorBudget bytes each).
+func splitVectorGroup(grp []Piece) [][]Piece {
+	var out [][]Piece
+	for len(grp) > 0 {
+		n := 1
+		bytes := grp[0].Ext.Length
+		for n < len(grp) && bytes+grp[n].Ext.Length <= vectorBudget {
+			bytes += grp[n].Ext.Length
+			n++
+		}
+		out = append(out, grp[:n])
+		grp = grp[n:]
+	}
+	return out
+}
+
+// recvReadGroup completes one iod's read request and scatters the served
+// bytes to the pieces' positions in the caller's buffer. Sparse or short
+// strip data reads as zero.
+func (f *File) recvReadGroup(p []byte, grp []Piece, id ReqID) error {
+	resp, err := f.client.data.Recv(id)
+	if err != nil {
+		return err
+	}
+	fill := func(pc Piece, data []byte) {
+		dst := p[pc.Pos : pc.Pos+pc.Ext.Length]
+		n := copy(dst, data)
+		for j := n; j < len(dst); j++ {
+			dst[j] = 0
+		}
+	}
+	switch rr := resp.(type) {
+	case *wire.ReadResp:
+		if len(grp) != 1 {
+			return fmt.Errorf("pvfs: single read reply for %d pieces", len(grp))
+		}
+		if err := rr.Status.Err(); err != nil {
+			return fmt.Errorf("pvfs: read %q @%d: %w", f.name, grp[0].Ext.Offset, err)
+		}
+		fill(grp[0], rr.Data)
+		return nil
+	case *wire.ReadBlocksResp:
+		if err := rr.Status.Err(); err != nil {
+			return fmt.Errorf("pvfs: read %q: %w", f.name, err)
+		}
+		if len(rr.Lens) != len(grp) {
+			return fmt.Errorf("pvfs: vectored read reply has %d extents, want %d", len(rr.Lens), len(grp))
+		}
+		data := rr.Data
+		for j, pc := range grp {
+			served := int64(rr.Lens[j])
+			if served > pc.Ext.Length || served > int64(len(data)) {
+				return fmt.Errorf("pvfs: vectored read extent %d overlong (%d > %d)", j, served, pc.Ext.Length)
+			}
+			fill(pc, data[:served])
+			data = data[served:]
+		}
+		return nil
+	default:
+		return fmt.Errorf("pvfs: unexpected read reply %v", resp.WireType())
+	}
 }
 
 // WriteAt stores p at off using the default (no-coherence) write path and
@@ -276,7 +425,10 @@ func (f *File) writeAt(p []byte, off int64, sync bool) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	pieces := PiecesFor(f.id, f.meta, len(f.client.cfg.IODAddrs), off, int64(len(p)))
+	pieces, err := PiecesFor(f.id, f.meta, len(f.client.cfg.IODAddrs), off, int64(len(p)))
+	if err != nil {
+		return 0, err
+	}
 	ids := make([]ReqID, len(pieces))
 	for i, pc := range pieces {
 		data := p[pc.Pos : pc.Pos+pc.Ext.Length]

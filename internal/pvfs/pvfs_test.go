@@ -13,8 +13,17 @@ func meta(base, pcount, ssize uint32) wire.FileMeta {
 	return wire.FileMeta{Base: base, PCount: pcount, SSize: ssize}
 }
 
+func mustPieces(t *testing.T, file blockio.FileID, m wire.FileMeta, total int, off, length int64) []Piece {
+	t.Helper()
+	pieces, err := PiecesFor(file, m, total, off, length)
+	if err != nil {
+		t.Fatalf("PiecesFor: %v", err)
+	}
+	return pieces
+}
+
 func TestPiecesSingleStrip(t *testing.T) {
-	pieces := PiecesFor(1, meta(0, 4, 65536), 4, 100, 200)
+	pieces := mustPieces(t, 1, meta(0, 4, 65536), 4, 100, 200)
 	if len(pieces) != 1 {
 		t.Fatalf("pieces = %d", len(pieces))
 	}
@@ -27,7 +36,7 @@ func TestPiecesSingleStrip(t *testing.T) {
 func TestPiecesSpanStrips(t *testing.T) {
 	// 64 KB strips over 4 iods; read 200 KB from offset 0: strips 0,1,2
 	// full, strip 3 partial (8 KB).
-	pieces := PiecesFor(1, meta(0, 4, 65536), 4, 0, 200<<10)
+	pieces := mustPieces(t, 1, meta(0, 4, 65536), 4, 0, 200<<10)
 	if len(pieces) != 4 {
 		t.Fatalf("pieces = %d: %+v", len(pieces), pieces)
 	}
@@ -43,7 +52,7 @@ func TestPiecesSpanStrips(t *testing.T) {
 
 func TestPiecesRoundRobinWrap(t *testing.T) {
 	// 2 iods, 4 strips: iods alternate 0,1,0,1.
-	pieces := PiecesFor(1, meta(0, 2, 4096), 4, 0, 16384)
+	pieces := mustPieces(t, 1, meta(0, 2, 4096), 4, 0, 16384)
 	want := []int{0, 1, 0, 1}
 	if len(pieces) != 4 {
 		t.Fatalf("pieces = %d", len(pieces))
@@ -56,27 +65,34 @@ func TestPiecesRoundRobinWrap(t *testing.T) {
 }
 
 func TestPiecesBaseOffsetsIODs(t *testing.T) {
-	pieces := PiecesFor(1, meta(2, 2, 4096), 4, 0, 8192)
+	pieces := mustPieces(t, 1, meta(2, 2, 4096), 4, 0, 8192)
 	if pieces[0].IOD != 2 || pieces[1].IOD != 3 {
 		t.Errorf("base=2 pieces on iods %d,%d", pieces[0].IOD, pieces[1].IOD)
 	}
 	// Base + pcount wraps modulo total iods.
-	pieces = PiecesFor(1, meta(3, 2, 4096), 4, 0, 8192)
+	pieces = mustPieces(t, 1, meta(3, 2, 4096), 4, 0, 8192)
 	if pieces[0].IOD != 3 || pieces[1].IOD != 0 {
 		t.Errorf("wrap pieces on iods %d,%d", pieces[0].IOD, pieces[1].IOD)
 	}
 }
 
 func TestPiecesEmptyAndInvalid(t *testing.T) {
-	if got := PiecesFor(1, meta(0, 2, 4096), 4, 0, 0); got != nil {
+	if got := mustPieces(t, 1, meta(0, 2, 4096), 4, 0, 0); got != nil {
 		t.Errorf("zero length pieces = %v", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on zero strip size")
+	// Invalid striping metadata arrives from the wire (a hostile or
+	// corrupt mgr response): it must surface as an error, never a panic.
+	for _, m := range []wire.FileMeta{
+		meta(0, 2, 0),    // zero strip size
+		meta(0, 0, 4096), // zero pcount
+	} {
+		if _, err := PiecesFor(1, m, 4, 0, 10); err == nil {
+			t.Errorf("meta %+v accepted", m)
 		}
-	}()
-	PiecesFor(1, meta(0, 2, 0), 4, 0, 10)
+	}
+	if _, err := PiecesFor(1, meta(0, 2, 4096), 0, 0, 10); err == nil {
+		t.Error("zero totalIODs accepted")
+	}
 }
 
 // Property: pieces tile the request exactly and each lies within one
@@ -89,7 +105,10 @@ func TestPiecesTileProperty(t *testing.T) {
 		m := meta(0, pc, ssize)
 		offset := int64(off % (1 << 22))
 		n := int64(length)
-		pieces := PiecesFor(1, m, total, offset, n)
+		pieces, err := PiecesFor(1, m, total, offset, n)
+		if err != nil {
+			return false
+		}
 		if n == 0 {
 			return pieces == nil
 		}
@@ -117,6 +136,87 @@ func TestPiecesTileProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSplitVectorGroup: one iod's pieces must decompose into chunks the
+// iod can answer (extent totals within vectorBudget), so arbitrarily
+// large reads stay servable.
+func TestSplitVectorGroup(t *testing.T) {
+	mk := func(lengths ...int64) []Piece {
+		out := make([]Piece, len(lengths))
+		var off int64
+		for i, l := range lengths {
+			out[i] = Piece{Ext: blockio.Extent{File: 1, Offset: off, Length: l}}
+			off += l
+		}
+		return out
+	}
+	small := mk(4096, 4096, 4096)
+	if got := splitVectorGroup(small); len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("small group split to %d chunks", len(got))
+	}
+	// 40 pieces of 1 MB against a ~31 MB budget: must split, every chunk
+	// within budget, nothing lost, order preserved.
+	big := mk(func() []int64 {
+		l := make([]int64, 40)
+		for i := range l {
+			l[i] = 1 << 20
+		}
+		return l
+	}()...)
+	chunks := splitVectorGroup(big)
+	if len(chunks) < 2 {
+		t.Fatalf("oversized group not split (%d chunks)", len(chunks))
+	}
+	total := 0
+	var cursor int64
+	for _, ch := range chunks {
+		var bytes int64
+		for _, pc := range ch {
+			if pc.Ext.Offset != cursor {
+				t.Fatalf("piece order broken at offset %d", pc.Ext.Offset)
+			}
+			cursor += pc.Ext.Length
+			bytes += pc.Ext.Length
+			total++
+		}
+		if bytes > vectorBudget {
+			t.Fatalf("chunk carries %d bytes, budget %d", bytes, vectorBudget)
+		}
+	}
+	if total != 40 {
+		t.Fatalf("split dropped pieces: %d/40", total)
+	}
+}
+
+// TestSplitOversizedPieces: a strip larger than the vector budget (SSize
+// is a u32 from the wire) must be subdivided so every request stays
+// within what an iod will serve.
+func TestSplitOversizedPieces(t *testing.T) {
+	huge := Piece{IOD: 1, Ext: blockio.Extent{File: 1, Offset: 0, Length: vectorBudget*2 + 100}, Pos: 0}
+	tail := Piece{IOD: 2, Ext: blockio.Extent{File: 1, Offset: huge.Ext.Length, Length: 4096}, Pos: huge.Ext.Length}
+	out := splitOversizedPieces([]Piece{huge, tail})
+	if len(out) != 4 { // budget + budget + 100 + tail
+		t.Fatalf("split into %d pieces", len(out))
+	}
+	var cursor int64
+	for _, pc := range out {
+		if pc.Ext.Length > vectorBudget {
+			t.Fatalf("piece of %d bytes exceeds budget", pc.Ext.Length)
+		}
+		if pc.Ext.Offset != cursor || pc.Pos != cursor {
+			t.Fatalf("piece at offset %d pos %d, want %d", pc.Ext.Offset, pc.Pos, cursor)
+		}
+		cursor += pc.Ext.Length
+	}
+	if cursor != huge.Ext.Length+tail.Ext.Length {
+		t.Fatalf("split lost bytes: %d", cursor)
+	}
+	// The common case passes through untouched (no copy).
+	small := []Piece{{IOD: 0, Ext: blockio.Extent{File: 1, Length: 4096}}}
+	if got := splitOversizedPieces(small); &got[0] != &small[0] {
+		t.Fatal("small pieces were copied")
 	}
 }
 

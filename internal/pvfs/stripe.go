@@ -1,6 +1,8 @@
 package pvfs
 
 import (
+	"fmt"
+
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/wire"
 )
@@ -18,14 +20,19 @@ type Piece struct {
 // into per-iod pieces, in increasing file-offset order. The file is striped
 // round-robin in units of meta.SSize over meta.PCount iods starting at
 // meta.Base (all indices into the cluster's iod list of size totalIODs).
-func PiecesFor(file blockio.FileID, meta wire.FileMeta, totalIODs int, offset, length int64) []Piece {
+//
+// The metadata arrives from the wire (an OpenResp or StatResp), so invalid
+// geometry is an input error, not a programming error: a hostile or corrupt
+// mgr response must not be able to crash the client.
+func PiecesFor(file blockio.FileID, meta wire.FileMeta, totalIODs int, offset, length int64) ([]Piece, error) {
 	if length <= 0 {
-		return nil
+		return nil, nil
 	}
 	ssize := int64(meta.SSize)
 	pcount := int64(meta.PCount)
 	if ssize <= 0 || pcount <= 0 || totalIODs <= 0 {
-		panic("pvfs: invalid striping metadata")
+		return nil, fmt.Errorf("pvfs: invalid striping metadata (ssize=%d pcount=%d iods=%d): %w",
+			ssize, pcount, totalIODs, wire.ErrBadRequest)
 	}
 	var pieces []Piece
 	pos := int64(0)
@@ -47,7 +54,7 @@ func PiecesFor(file blockio.FileID, meta wire.FileMeta, totalIODs int, offset, l
 		pos += pieceEnd - cur
 		cur = pieceEnd
 	}
-	return pieces
+	return pieces, nil
 }
 
 // IODsFor returns the distinct iod indices a file with the given metadata

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pvfscache/internal/blockio"
 	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
@@ -27,6 +28,28 @@ type Transport interface {
 	Send(iod int, req wire.Message) (ReqID, error)
 	Recv(id ReqID) (wire.Message, error)
 	Close() error
+}
+
+// StripeHinter is an optional Transport extension: the library announces
+// each file's striping geometry when it opens or refreshes the file. A
+// caching transport uses the hint to map block indices to the iods that
+// store them — the cache module's readahead prefetcher only acts on files
+// it has a hint for, because misrouting a prefetch would cache an iod's
+// sparse zeros as real data. Transports without cross-request state
+// (DirectTransport) simply do not implement it.
+type StripeHinter interface {
+	StripeHint(file blockio.FileID, meta wire.FileMeta, totalIODs int)
+}
+
+// ReadPatternHinter is an optional Transport extension: the library
+// reports each application-level read (the whole byte range of one
+// ReadAt) before issuing its per-iod pieces. Only the library knows where
+// one request ends and the next begins — at the transport the pieces of
+// a single striped read arrive as several ascending Sends,
+// indistinguishable from a sequential scan — so sequential-readahead
+// detection keys on this stream rather than on piece traffic.
+type ReadPatternHinter interface {
+	NoteRead(file blockio.FileID, offset, length int64)
 }
 
 // DirectTransport sends every request straight to the iods with no

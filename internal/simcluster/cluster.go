@@ -153,7 +153,7 @@ func (c *Cluster) CreateFile(name string, size int64, warm bool) blockio.FileID 
 	if warm {
 		bs := int64(c.P.BlockSize)
 		for off := int64(0); off < size; off += bs {
-			pieces := pvfs.PiecesFor(id, meta, len(c.IODs), off, bs)
+			pieces := c.pieces(id, meta, off, bs)
 			for _, pc := range pieces {
 				key := blockio.BlockKey{File: id, Index: pc.Ext.Offset / bs}
 				c.IODs[pc.IOD].pageInsert(key)
@@ -293,11 +293,22 @@ func (c *Cluster) rpc(p *sim.Proc, node *Node, io *IOD, reqPayload, respPayload 
 	node.CPU.Use(p, c.P.MsgOverhead)
 }
 
+// pieces splits a byte range over the iods. The model constructs every
+// FileMeta itself, so invalid geometry here is a modelling bug, not wire
+// input.
+func (c *Cluster) pieces(file blockio.FileID, meta wire.FileMeta, off, length int64) []pvfs.Piece {
+	ps, err := pvfs.PiecesFor(file, meta, len(c.IODs), off, length)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}
+
 // Read performs one application read call of [off, off+length) against the
 // named file, advancing virtual time by its full cost.
 func (c *Cluster) Read(p *sim.Proc, node *Node, file blockio.FileID, meta wire.FileMeta, off, length int64) {
 	node.CPU.Use(p, c.P.ReqOverhead)
-	pieces := pvfs.PiecesFor(file, meta, len(c.IODs), off, length)
+	pieces := c.pieces(file, meta, off, length)
 	for _, pc := range pieces {
 		if node.Cache == nil {
 			io := c.IODs[pc.IOD]
@@ -313,7 +324,7 @@ func (c *Cluster) Read(p *sim.Proc, node *Node, file blockio.FileID, meta wire.F
 // Write performs one application write call.
 func (c *Cluster) Write(p *sim.Proc, node *Node, file blockio.FileID, meta wire.FileMeta, off, length int64) {
 	node.CPU.Use(p, c.P.ReqOverhead)
-	pieces := pvfs.PiecesFor(file, meta, len(c.IODs), off, length)
+	pieces := c.pieces(file, meta, off, length)
 	for _, pc := range pieces {
 		if node.Cache == nil {
 			io := c.IODs[pc.IOD]
@@ -330,7 +341,7 @@ func (c *Cluster) Write(p *sim.Proc, node *Node, file blockio.FileID, meta wire.
 // the iod invalidating every other holder before acknowledging.
 func (c *Cluster) SyncWrite(p *sim.Proc, node *Node, file blockio.FileID, meta wire.FileMeta, off, length int64) {
 	node.CPU.Use(p, c.P.ReqOverhead)
-	pieces := pvfs.PiecesFor(file, meta, len(c.IODs), off, length)
+	pieces := c.pieces(file, meta, off, length)
 	for _, pc := range pieces {
 		io := c.IODs[pc.IOD]
 		ext := pc.Ext

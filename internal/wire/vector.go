@@ -1,0 +1,151 @@
+package wire
+
+import "pvfscache/internal/blockio"
+
+// Vectored read message types (iod data-port group).
+const (
+	TReadBlocks     Type = 0x0207
+	TReadBlocksResp Type = 0x0208
+)
+
+// ReadExtent is one contiguous byte range of a ReadBlocks request, in file
+// coordinates.
+type ReadExtent struct {
+	Offset int64
+	Length int64
+}
+
+// ReadBlocks is the vectored read: it asks one iod for several disjoint
+// extents of a file in a single round trip. The cache module uses it to
+// fetch all the missing blocks of a request (and its readahead window) at
+// once instead of issuing one Read per run of consecutive blocks, and
+// libpvfs uses it when several striping pieces of one operation land on
+// the same iod. Client and Track have Read's semantics, applied to every
+// extent.
+type ReadBlocks struct {
+	Client uint32
+	File   blockio.FileID
+	Track  bool
+	Exts   []ReadExtent
+}
+
+// ReadBlocksResp answers a ReadBlocks. The extents' bytes are concatenated
+// in request order in Data, with no padding: Lens[i] is the byte count
+// actually served for extent i, which may be short when the extent extends
+// past stored data (the missing tail reads as zero on the client side,
+// PVFS's sparse semantics). A single backing buffer lets the server
+// recycle it through the rpc AfterWrite hook, like ReadResp.
+type ReadBlocksResp struct {
+	Status Status
+	Lens   []uint32
+	Data   []byte
+}
+
+// ValidateExtents checks a vectored read's extents: every offset and
+// length non-negative, and each length plus the running total within
+// MaxMessageSize/2 so the response can always be framed. It returns the
+// byte total and whether the extents are acceptable. The iod and the
+// caching transport share it so the bound is defined once, next to
+// MaxMessageSize.
+func ValidateExtents(exts []ReadExtent) (total int64, ok bool) {
+	for _, e := range exts {
+		if e.Offset < 0 || e.Length < 0 || e.Length > MaxMessageSize/2 {
+			return 0, false
+		}
+		total += e.Length
+		if total > MaxMessageSize/2 {
+			return 0, false
+		}
+	}
+	return total, true
+}
+
+// WireType implementations.
+func (*ReadBlocks) WireType() Type     { return TReadBlocks }
+func (*ReadBlocksResp) WireType() Type { return TReadBlocksResp }
+
+func (m *ReadBlocks) append(b []byte) []byte {
+	b = apU32(b, m.Client)
+	b = apU64(b, uint64(m.File))
+	b = apBool(b, m.Track)
+	b = apU32(b, uint32(len(m.Exts)))
+	for _, e := range m.Exts {
+		b = apI64(b, e.Offset)
+		b = apI64(b, e.Length)
+	}
+	return b
+}
+
+func (m *ReadBlocks) decode(r *reader) error {
+	var err error
+	if m.Client, err = r.u32(); err != nil {
+		return err
+	}
+	f, err := r.u64()
+	if err != nil {
+		return err
+	}
+	m.File = blockio.FileID(f)
+	if m.Track, err = r.bool(); err != nil {
+		return err
+	}
+	n, err := r.count(16) // offset + length per extent
+	if err != nil {
+		return err
+	}
+	m.Exts = make([]ReadExtent, 0, n)
+	for i := 0; i < n; i++ {
+		var e ReadExtent
+		if e.Offset, err = r.i64(); err != nil {
+			return err
+		}
+		if e.Length, err = r.i64(); err != nil {
+			return err
+		}
+		m.Exts = append(m.Exts, e)
+	}
+	return nil
+}
+
+func (m *ReadBlocksResp) append(b []byte) []byte {
+	b = apU16(b, uint16(m.Status))
+	b = apU32(b, uint32(len(m.Lens)))
+	for _, n := range m.Lens {
+		b = apU32(b, n)
+	}
+	return apBytes(b, m.Data)
+}
+
+func (m *ReadBlocksResp) decode(r *reader) error {
+	s, err := r.u16()
+	if err != nil {
+		return err
+	}
+	m.Status = Status(s)
+	n, err := r.count(4)
+	if err != nil {
+		return err
+	}
+	m.Lens = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := r.u32()
+		if err != nil {
+			return err
+		}
+		m.Lens = append(m.Lens, l)
+	}
+	if m.Data, err = r.bytes(); err != nil {
+		return err
+	}
+	// The lengths must tile Data exactly; a mismatch means a corrupt or
+	// hostile peer and would otherwise let Lens address bytes Data does
+	// not hold.
+	var sum int64
+	for _, l := range m.Lens {
+		sum += int64(l)
+	}
+	if sum != int64(len(m.Data)) {
+		return errTruncated
+	}
+	return nil
+}

@@ -17,6 +17,12 @@
 // data reads/writes and sync-writes travel on an iod's data port, flushes
 // travel on a separate flush port served by the iod-side flusher peer, and
 // invalidations travel from iods to the per-node cache module.
+//
+// Reads come in two shapes: Read fetches one contiguous range, and
+// ReadBlocks (see vector.go) fetches several disjoint extents of a file
+// from one iod in a single round trip — the cache module's miss engine
+// and readahead prefetcher, and libpvfs's multi-piece striped reads, ride
+// the vectored form.
 package wire
 
 import (
@@ -102,6 +108,10 @@ func (t Type) String() string {
 		return "SyncWrite"
 	case TSyncWriteAck:
 		return "SyncWriteAck"
+	case TReadBlocks:
+		return "ReadBlocks"
+	case TReadBlocksResp:
+		return "ReadBlocksResp"
 	case TFlush:
 		return "Flush"
 	case TFlushAck:
@@ -424,6 +434,10 @@ func New(t Type) Message {
 		return &SyncWrite{}
 	case TSyncWriteAck:
 		return &SyncWriteAck{}
+	case TReadBlocks:
+		return &ReadBlocks{}
+	case TReadBlocksResp:
+		return &ReadBlocksResp{}
 	case TFlush:
 		return &Flush{}
 	case TFlushAck:

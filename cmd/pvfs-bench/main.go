@@ -51,6 +51,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		readahead = flag.Int("readahead", 0, "sequential-readahead window in blocks (0 = default, negative disables)")
 		novector  = flag.Bool("novector", false, "use the legacy one-Read-per-run miss path (ablation)")
+		shards    = flag.Int("shards", 0, "cache lock stripes (0 = power of two >= GOMAXPROCS, 1 = single-mutex ablation)")
 	)
 	flag.Parse()
 
@@ -69,7 +70,7 @@ func main() {
 	}
 
 	if *mgrAddr == "" {
-		runInProcess(mb, *caching, *readahead, *novector)
+		runInProcess(mb, *caching, *readahead, *novector, *shards)
 		return
 	}
 	iods := splitList(*iodList)
@@ -77,7 +78,7 @@ func main() {
 	if len(iods) == 0 {
 		log.Fatal("-iods is required with -mgr")
 	}
-	runAgainst(mb, *caching, *readahead, *novector, transport.NewTCP(), *mgrAddr, iods, flushes)
+	runAgainst(mb, *caching, *readahead, *novector, *shards, transport.NewTCP(), *mgrAddr, iods, flushes)
 }
 
 func splitList(s string) []string {
@@ -96,7 +97,7 @@ func splitList(s string) []string {
 
 // runInProcess boots a full in-memory cluster and runs the benchmark with
 // and without caching for comparison.
-func runInProcess(mb microbench.Params, caching bool, readahead int, novector bool) {
+func runInProcess(mb microbench.Params, caching bool, readahead int, novector bool, shards int) {
 	modes := []bool{caching}
 	if caching {
 		modes = []bool{true, false}
@@ -109,6 +110,7 @@ func runInProcess(mb microbench.Params, caching bool, readahead int, novector bo
 			FlushPeriod:     100 * time.Millisecond,
 			ReadaheadWindow: readahead,
 			DisableVector:   novector,
+			CacheShards:     shards,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -126,7 +128,7 @@ func runInProcess(mb microbench.Params, caching bool, readahead int, novector bo
 }
 
 // runAgainst executes the benchmark against external daemons.
-func runAgainst(mb microbench.Params, caching bool, readahead int, novector bool, net transport.Network, mgrAddr string, iods, flushes []string) {
+func runAgainst(mb microbench.Params, caching bool, readahead int, novector bool, shards int, net transport.Network, mgrAddr string, iods, flushes []string) {
 	var modules []*cachemod.Module
 	if caching {
 		for node := 0; node < mb.Nodes; node++ {
@@ -135,7 +137,7 @@ func runAgainst(mb microbench.Params, caching bool, readahead int, novector bool
 				ClientID:        uint32(node + 1),
 				IODDataAddrs:    iods,
 				IODFlushAddrs:   flushes,
-				Buffer:          buffer.Config{},
+				Buffer:          buffer.Config{Shards: shards},
 				ReadaheadWindow: readahead,
 				DisableVector:   novector,
 			})

@@ -25,6 +25,19 @@ type BlockKey struct {
 // String renders the key as "file:index" for logs and tests.
 func (k BlockKey) String() string { return fmt.Sprintf("%d:%d", k.File, k.Index) }
 
+// Mix returns a well-distributed 64-bit hash of the key (a Fibonacci/
+// SplitMix-style multiply-xor). It is the single routing hash of the
+// system: the global cache chooses a block's home node from its low bits
+// (Mix % peers) and the buffer manager chooses the block's shard from its
+// high bits ((Mix >> 32) & mask). One hash, two disjoint bit ranges — so
+// the layers stripe consistently yet independently: conditioning on a
+// block's home node must not collapse its shard distribution.
+func (k BlockKey) Mix() uint64 {
+	h := uint64(k.File)*0x9E3779B97F4A7C15 + uint64(k.Index)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	return h
+}
+
 // Span is the intersection of a byte range with a single block.
 // Off is the offset of the range within the block; Len never exceeds
 // blockSize-Off.

@@ -1,0 +1,131 @@
+package buffer
+
+// Scaling benchmark pair for the lock-striped manager: the same workload
+// against the sharded manager and the Shards=1 (single-mutex) ablation.
+// Run with several goroutines (RunParallel honours -cpu, and the parallel
+// variants force at least 8 workers) to see the striping win; the
+// single-goroutine pair bounds the routing overhead a shard lookup adds to
+// a hit.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pvfscache/internal/blockio"
+)
+
+// benchHitManager preloads a manager at half load so every ReadSpan is a
+// hit — the paper's hot path. Half load keeps hash skew from overflowing
+// any single shard's frame slice (a full-capacity working set would evict
+// from the fullest shard and turn the benchmark into a miss benchmark).
+func benchHitManager(b *testing.B, shards int) *Manager {
+	b.Helper()
+	m := New(Config{BlockSize: 4096, Capacity: 2048, Shards: shards})
+	data := make([]byte, 4096)
+	for i := 0; i < 1024; i++ {
+		if m.InsertClean(blockio.BlockKey{File: 1, Index: int64(i)}, 0, data) != OutcomeOK {
+			b.Fatal("preload failed")
+		}
+	}
+	return m
+}
+
+// benchReadSpanParallel measures concurrent cache hits: 8+ goroutines each
+// scanning a distinct slice of the resident blocks, so with striping the
+// lock acquisitions spread across shards while the single-mutex ablation
+// serializes every 4 KB copy.
+func benchReadSpanParallel(b *testing.B, shards int) {
+	m := benchHitManager(b, shards)
+	b.SetParallelism(8) // ≥8 goroutines even on small GOMAXPROCS
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		dst := make([]byte, 4096)
+		i := int64(0)
+		for pb.Next() {
+			// Each worker walks its own arithmetic progression so workers
+			// touch different blocks (and therefore different shards) at
+			// any instant.
+			idx := (w*131 + i*7) % 1024
+			i++
+			if !m.ReadSpan(blockio.BlockKey{File: 1, Index: idx}, 0, dst) {
+				b.Fatal("unexpected miss")
+			}
+		}
+	})
+	b.SetBytes(4096)
+}
+
+// BenchmarkReadSpanParallelSharded is the striped manager (8 shards).
+func BenchmarkReadSpanParallelSharded(b *testing.B) { benchReadSpanParallel(b, 8) }
+
+// BenchmarkReadSpanParallelSingleShard is the Shards=1 ablation: the
+// pre-sharding single global mutex.
+func BenchmarkReadSpanParallelSingleShard(b *testing.B) { benchReadSpanParallel(b, 1) }
+
+// benchMixedParallel adds writes and flusher activity to the storm: 7 of 8
+// operations are hits, every 8th dirties a block, and the flusher drains
+// concurrently — closer to the live module's steady state than pure reads.
+func benchMixedParallel(b *testing.B, shards int) {
+	m := benchHitManager(b, shards)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.FlushDone(m.TakeDirty(64))
+			}
+		}
+	}()
+	defer close(stop)
+	b.SetParallelism(8)
+	var worker atomic.Int64
+	src := make([]byte, 4096)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		dst := make([]byte, 4096)
+		i := int64(0)
+		for pb.Next() {
+			idx := (w*131 + i*7) % 1024
+			i++
+			key := blockio.BlockKey{File: 1, Index: idx}
+			if i%8 == 0 {
+				m.WriteSpan(key, 0, 0, src, true)
+			} else {
+				m.ReadSpan(key, 0, dst)
+			}
+		}
+	})
+	b.SetBytes(4096)
+}
+
+// BenchmarkMixedParallelSharded is the mixed read/write storm, striped.
+func BenchmarkMixedParallelSharded(b *testing.B) { benchMixedParallel(b, 8) }
+
+// BenchmarkMixedParallelSingleShard is the same storm on one mutex.
+func BenchmarkMixedParallelSingleShard(b *testing.B) { benchMixedParallel(b, 1) }
+
+// benchReadSpanSerial is the single-goroutine control: the sharded
+// manager's hit must stay within noise of the single mutex (one mix hash
+// and mask per operation is the only added work).
+func benchReadSpanSerial(b *testing.B, shards int) {
+	m := benchHitManager(b, shards)
+	dst := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.ReadSpan(blockio.BlockKey{File: 1, Index: int64(i % 1024)}, 0, dst) {
+			b.Fatal("unexpected miss")
+		}
+	}
+	b.SetBytes(4096)
+}
+
+// BenchmarkReadSpanSerialSharded measures routing overhead, striped.
+func BenchmarkReadSpanSerialSharded(b *testing.B) { benchReadSpanSerial(b, 8) }
+
+// BenchmarkReadSpanSerialSingleShard is the serial single-mutex baseline.
+func BenchmarkReadSpanSerialSingleShard(b *testing.B) { benchReadSpanSerial(b, 1) }

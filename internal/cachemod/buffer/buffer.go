@@ -13,6 +13,17 @@
 // waiting; the discrete-event simulator drives the same code in virtual
 // time. Both therefore exercise identical replacement behaviour.
 //
+// Concurrency: the manager is lock-striped into Config.Shards independent
+// shards (see shard.go), mirroring the paper's in-kernel fine-grained
+// locking. Every block key routes to exactly one shard by the same mix
+// hash the global cache homes blocks with (blockio.BlockKey.Mix), and each
+// shard owns its slice of the pre-allocated frames together with its own
+// hash table, LRU/clock lists, dirty FIFO and free list. Per-block
+// operations touch a single shard lock; cross-shard operations (TakeDirty,
+// InvalidateFile, Harvest, Stats) explicitly aggregate over the shards.
+// Shards = 1 reproduces the previous single-mutex behaviour exactly and is
+// kept as the ablation baseline and for the deterministic simulator.
+//
 // Each block tracks a single valid interval and a single dirty interval
 // (dirty ⊆ valid). Flushing any valid byte is safe — clean valid bytes
 // equal the stored data — so a write merging with resident valid data only
@@ -24,7 +35,9 @@ package buffer
 import (
 	"container/list"
 	"fmt"
-	"sync"
+	"runtime"
+	"sort"
+	"sync/atomic"
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/metrics"
@@ -89,10 +102,20 @@ type Config struct {
 	// the paper's per-node cache size).
 	Capacity int
 	// LowWater triggers harvesting when the free list falls below it
-	// (default Capacity/10).
+	// (default Capacity/10). Watermarks are apportioned across shards
+	// pro rata to each shard's capacity.
 	LowWater int
 	// HighWater is the harvester's refill target (default Capacity/4).
 	HighWater int
+	// Shards is the number of lock stripes. Keys route to shards by
+	// blockio.BlockKey.Mix. 0 picks a power of two ≥ GOMAXPROCS (at least
+	// 4, so a cache built early in a program's life still scales when
+	// more threads appear); explicit values are rounded up to a power of
+	// two and capped so every shard owns at least one frame. 1 is the
+	// single-mutex ablation baseline and the deterministic-simulation
+	// setting: replacement order then matches the pre-sharding manager
+	// exactly.
+	Shards int
 	// Policy selects the replacement algorithm (default PolicyClock).
 	Policy Policy
 	// Registry receives hit/miss/eviction counters; nil uses a private one.
@@ -118,9 +141,29 @@ func (c *Config) fillDefaults() {
 	if c.LowWater > c.HighWater {
 		c.LowWater = c.HighWater
 	}
+	if c.Shards <= 0 {
+		n := runtime.GOMAXPROCS(0)
+		if n < 4 {
+			n = 4
+		}
+		c.Shards = n
+	}
+	c.Shards = ceilPow2(c.Shards)
+	for c.Shards > 1 && c.Shards > c.Capacity {
+		c.Shards >>= 1
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
+}
+
+// ceilPow2 rounds n up to the next power of two (n ≥ 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // block is one cache frame.
@@ -132,6 +175,7 @@ type block struct {
 	validOff, validLen int
 	dirtyOff, dirtyLen int
 	flushGen           uint64 // bumped on every dirtying write
+	dirtySeq           uint64 // manager-wide age stamp of the dirty enqueue
 	flushing           bool   // a snapshot is in flight to the iod
 
 	ref bool // clock referenced bit
@@ -152,7 +196,9 @@ type FlushItem struct {
 	gen   uint64
 }
 
-// Stats is a point-in-time summary of manager state.
+// Stats is a point-in-time summary of manager state. With several shards
+// it is an aggregate: each shard is sampled consistently under its own
+// lock, but the shards are sampled one after another.
 type Stats struct {
 	Capacity  int
 	Resident  int
@@ -163,79 +209,139 @@ type Stats struct {
 	Evictions int64
 }
 
-// Manager is the buffer manager. All methods are safe for concurrent use.
-// (The in-kernel implementation used finer-grained locks; a single mutex
-// preserves the same externally visible behaviour.)
+// counters caches the registry counter pointers so the per-operation hot
+// paths never take the registry's lookup mutex.
+type counters struct {
+	hits          *metrics.Counter
+	misses        *metrics.Counter
+	evictions     *metrics.Counter
+	invalidations *metrics.Counter
+	writeNoSpace  *metrics.Counter
+	insertNoSpace *metrics.Counter
+	writeRMW      *metrics.Counter
+}
+
+// Manager is the buffer manager. All methods are safe for concurrent use;
+// per-block operations contend only within the owning shard.
 type Manager struct {
-	cfg Config
+	cfg    Config
+	shards []*shard
+	mask   uint64 // len(shards)-1; len is a power of two
 
-	mu        sync.Mutex
-	table     map[blockio.BlockKey]*block
-	free      []*block
-	lru       *list.List // exact-LRU order, front = most recently used
-	clockRing *list.List // resident blocks in insertion order
-	clockHand *list.Element
-	dirtyFIFO *list.List // blocks awaiting flush, front = oldest
-
-	hits, misses, evictions int64
+	dirtySeq atomic.Uint64 // cross-shard dirty-age stamps for TakeDirty
 }
 
 // New returns a manager with cfg (zero fields take defaults).
 func New(cfg Config) *Manager {
 	cfg.fillDefaults()
-	m := &Manager{
-		cfg:       cfg,
-		table:     make(map[blockio.BlockKey]*block, cfg.Capacity),
-		free:      make([]*block, 0, cfg.Capacity),
-		lru:       list.New(),
-		clockRing: list.New(),
-		dirtyFIFO: list.New(),
+	m := &Manager{cfg: cfg, mask: uint64(cfg.Shards - 1)}
+	ctrs := &counters{
+		hits:          cfg.Registry.Counter("cache.hits"),
+		misses:        cfg.Registry.Counter("cache.misses"),
+		evictions:     cfg.Registry.Counter("cache.evictions"),
+		invalidations: cfg.Registry.Counter("cache.invalidations"),
+		writeNoSpace:  cfg.Registry.Counter("cache.write_nospace"),
+		insertNoSpace: cfg.Registry.Counter("cache.insert_nospace"),
+		writeRMW:      cfg.Registry.Counter("cache.write_rmw"),
 	}
-	// Pre-allocate every frame, as the kernel module does: allocation at
-	// request time only pops the free list.
+	// Pre-allocate every frame in one slab, as the kernel module does:
+	// allocation at request time only pops a shard's free list. Frames are
+	// dealt out across shards; the remainder goes to the first shards.
 	backing := make([]byte, cfg.Capacity*cfg.BlockSize)
-	for i := 0; i < cfg.Capacity; i++ {
-		m.free = append(m.free, &block{data: backing[i*cfg.BlockSize : (i+1)*cfg.BlockSize]})
+	next := 0
+	for i := 0; i < cfg.Shards; i++ {
+		capacity := cfg.Capacity / cfg.Shards
+		if i < cfg.Capacity%cfg.Shards {
+			capacity++
+		}
+		low := cfg.LowWater * capacity / cfg.Capacity
+		high := cfg.HighWater * capacity / cfg.Capacity
+		// Pro-rata rounding must not disable harvesting: a shard with a
+		// handful of frames still needs low ≥ 1 ("len(free) < 0" is never
+		// true) or the background harvester would never run and every
+		// allocation would pay inline eviction under the shard lock.
+		if low < 1 && cfg.LowWater > 0 {
+			low = 1
+		}
+		if high < low {
+			high = low
+		}
+		if high > capacity {
+			high = capacity
+		}
+		if cfg.Shards > 1 {
+			// A striped shard must never target 100% free: with low ≥ 1
+			// and high == capacity, any resident block would re-trigger
+			// the harvester, which would evict it — every block routed
+			// there would survive at most one harvester tick. Capping
+			// high at capacity-1 turns the degenerate one-frame shard
+			// into low = high = 0 (harvest disabled there; allocation
+			// falls back to inline eviction), and leaves the single-shard
+			// ablation's semantics untouched.
+			if high > capacity-1 {
+				high = capacity - 1
+			}
+		}
+		if low > high {
+			low = high
+		}
+		s := &shard{
+			cfg:       &m.cfg,
+			ctrs:      ctrs,
+			seq:       &m.dirtySeq,
+			capacity:  capacity,
+			lowWater:  low,
+			highWater: high,
+			table:     make(map[blockio.BlockKey]*block, capacity),
+			free:      make([]*block, 0, capacity),
+			lru:       list.New(),
+			clockRing: list.New(),
+			dirtyFIFO: list.New(),
+		}
+		for j := 0; j < capacity; j++ {
+			s.free = append(s.free, &block{data: backing[next*cfg.BlockSize : (next+1)*cfg.BlockSize]})
+			next++
+		}
+		m.shards = append(m.shards, s)
 	}
 	return m
+}
+
+// shardFor routes a key to its owning shard: the HIGH 32 bits of the mix
+// hash whose low bits choose the block's global-cache home node
+// (Ring.Home computes Mix() % peers). Disjoint bits keep the two layers
+// independent — taking the low bits for both would, with a peer count
+// divisible by the shard count (e.g. 4 nodes, 4 shards), collapse every
+// block homed at one node into a single shard of that node, re-serializing
+// all its PeerGet/PeerPut traffic on one mutex.
+func (m *Manager) shardFor(key blockio.BlockKey) *shard {
+	return m.shards[(key.Mix()>>32)&m.mask]
 }
 
 // BlockSize returns the configured block size.
 func (m *Manager) BlockSize() int { return m.cfg.BlockSize }
 
-// Capacity returns the total number of frames.
+// Capacity returns the total number of frames across all shards.
 func (m *Manager) Capacity() int { return m.cfg.Capacity }
+
+// ShardCount returns the number of lock stripes in use.
+func (m *Manager) ShardCount() int { return len(m.shards) }
 
 // ReadSpan copies the bytes [off, off+len(dst)) of the block into dst if
 // they are all valid in the cache. It returns false — and counts a miss —
 // otherwise. A hit marks the block referenced and refreshes its LRU
-// position.
+// position within its shard.
 func (m *Manager) ReadSpan(key blockio.BlockKey, off int, dst []byte) bool {
 	if len(dst) == 0 {
 		return true
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, ok := m.table[key]
-	if !ok || !covers(b.validOff, b.validLen, off, len(dst)) {
-		m.misses++
-		m.cfg.Registry.Counter("cache.misses").Inc()
-		return false
-	}
-	copy(dst, b.data[off:off+len(dst)])
-	m.touch(b)
-	m.hits++
-	m.cfg.Registry.Counter("cache.hits").Inc()
-	return true
+	return m.shardFor(key).readSpan(key, off, dst)
 }
 
 // Contains reports whether the whole span is valid in the cache without
 // copying or disturbing replacement state.
 func (m *Manager) Contains(key blockio.BlockKey, off, length int) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, ok := m.table[key]
-	return ok && covers(b.validOff, b.validLen, off, length)
+	return m.shardFor(key).contains(key, off, length)
 }
 
 // WriteSpan applies src at offset off of the block, marking the span dirty
@@ -249,102 +355,94 @@ func (m *Manager) WriteSpan(key blockio.BlockKey, owner, off int, src []byte, ma
 	if off < 0 || off+len(src) > m.cfg.BlockSize {
 		panic(fmt.Sprintf("buffer: span [%d,%d) outside block", off, off+len(src)))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, ok := m.table[key]
-	if !ok {
-		b = m.allocate(key, owner)
-		if b == nil {
-			m.cfg.Registry.Counter("cache.write_nospace").Inc()
-			return OutcomeNoSpace
-		}
-		copy(b.data[off:], src)
-		b.validOff, b.validLen = off, len(src)
-		if markDirty {
-			m.markDirty(b, off, len(src))
-		}
-		m.touch(b)
-		return OutcomeOK
-	}
-	// Merging with resident data: the write must touch the valid interval,
-	// otherwise an unknown gap would sit inside the flush hull.
-	if b.validLen > 0 && !touches(b.validOff, b.validLen, off, len(src)) {
-		m.cfg.Registry.Counter("cache.write_rmw").Inc()
-		return OutcomeNeedFetch
-	}
-	copy(b.data[off:], src)
-	b.validOff, b.validLen = hull(b.validOff, b.validLen, off, len(src))
-	if markDirty {
-		m.markDirty(b, off, len(src))
-	}
-	m.touch(b)
-	return OutcomeOK
+	return m.shardFor(key).writeSpan(key, owner, off, src, markDirty)
 }
 
 // InsertClean installs a freshly fetched whole block. Bytes inside the
-// block's current dirty interval are preserved: cached dirty data is newer
-// than anything the iod returned. Fetched data shorter than the block size
-// leaves the tail zeroed (sparse files read as zero).
+// block's current valid interval are preserved: resident data is this
+// node's newest view of the block (see InstallFetched), so the fetch only
+// fills the invalid remainder. Fetched data shorter than the block size
+// leaves the tail zeroed (sparse files read as zero). Callers that go on
+// to hand the fetched image out (to readers, waiters, peers) must use
+// InstallFetched instead, so their copy gets the same resident-wins patch.
 func (m *Manager) InsertClean(key blockio.BlockKey, owner int, data []byte) Outcome {
 	if len(data) > m.cfg.BlockSize {
 		panic("buffer: InsertClean data exceeds block size")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, ok := m.table[key]
-	if !ok {
-		b = m.allocate(key, owner)
-		if b == nil {
-			m.cfg.Registry.Counter("cache.insert_nospace").Inc()
-			return OutcomeNoSpace
-		}
-		n := copy(b.data, data)
-		zero(b.data[n:])
-		b.validOff, b.validLen = 0, m.cfg.BlockSize
-		m.touch(b)
-		return OutcomeOK
+	return m.shardFor(key).insertClean(key, owner, data)
+}
+
+// InstallFetched installs a freshly fetched whole-block image and patches
+// the caller's buffer to the canonical bytes, in one shard-lock
+// acquisition. data should be a whole-block buffer; it is mutated in
+// place so that the copy the caller goes on to hand out — to readers,
+// fetch-join waiters, the readahead marks, the global cache — matches
+// what the cache holds: resident valid bytes win over the fetch. They are
+// this node's newest view of the block (unflushed dirty data has not
+// reached the iod at all, and even just-cleaned data may have landed at
+// the iod after the fetch was served there — the data and flush ports
+// race); foreign writers are handled by coherence invalidation, which
+// drops the resident block entirely. Every fetch-install path must use
+// this instead of a bare InsertClean, or a read of a partially valid
+// block can surface the iod's stale bytes for the valid range.
+func (m *Manager) InstallFetched(key blockio.BlockKey, owner int, data []byte) Outcome {
+	// Whole-block images only: a short buffer could not receive the
+	// resident-wins patch, silently diverging the caller's copy from the
+	// cache — the very bug this API exists to prevent. (InsertClean, which
+	// hands nothing back, accepts short data and zero-fills the tail.)
+	if len(data) != m.cfg.BlockSize {
+		panic("buffer: InstallFetched requires a whole-block image")
 	}
-	// Merge: preserve dirty bytes, refresh everything else.
-	var saved []byte
-	if b.dirty() {
-		saved = append(saved, b.data[b.dirtyOff:b.dirtyOff+b.dirtyLen]...)
-	}
-	n := copy(b.data, data)
-	zero(b.data[n:])
-	if saved != nil {
-		copy(b.data[b.dirtyOff:], saved)
-	}
-	b.validOff, b.validLen = 0, m.cfg.BlockSize
-	m.touch(b)
-	return OutcomeOK
+	return m.shardFor(key).installFetched(key, owner, data)
+}
+
+// dirtyCand is one shard's dirty block offered to a cross-shard TakeDirty
+// merge: enough to order globally by age and come back for the snapshot.
+type dirtyCand struct {
+	seq   uint64
+	key   blockio.BlockKey
+	shard int
 }
 
 // TakeDirty snapshots up to max dirty blocks (oldest first) for flushing.
 // The blocks stay resident and readable; a subsequent FlushDone marks each
 // clean unless it was re-dirtied while the flush was in flight. Blocks
-// already being flushed are skipped.
+// already being flushed are skipped. Across shards the batch drains by
+// dirty age: every dirty enqueue is stamped from one manager-wide counter,
+// and the batch is built in two passes — collect each shard's oldest
+// candidates (one lock per shard, no data copied), merge by stamp, then
+// snapshot the winners (one more lock per shard) — so sharding neither
+// lets one shard's old dirty data linger behind another's fresh writes
+// nor makes the flusher's round quadratic in the dirty count. A block
+// that a concurrent TakeDirty claims between the passes is simply skipped;
+// the next round picks up whatever this one under-returned.
 func (m *Manager) TakeDirty(max int) []FlushItem {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if max <= 0 {
-		max = m.dirtyFIFO.Len()
+	if len(m.shards) == 1 {
+		return m.shards[0].takeDirty(max)
 	}
-	items := make([]FlushItem, 0, min(max, m.dirtyFIFO.Len()))
-	for el := m.dirtyFIFO.Front(); el != nil && len(items) < max; el = el.Next() {
-		b := el.Value.(*block)
-		if b.flushing {
-			continue
+	var cands []dirtyCand
+	for i, s := range m.shards {
+		cands = s.collectDirtyCandidates(max, i, cands)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	if max > 0 && len(cands) > max {
+		cands = cands[:max]
+	}
+	perShard := make([][]blockio.BlockKey, len(m.shards))
+	for _, c := range cands {
+		perShard[c.shard] = append(perShard[c.shard], c.key)
+	}
+	taken := make(map[blockio.BlockKey]FlushItem, len(cands))
+	for i, keys := range perShard {
+		if len(keys) > 0 {
+			m.shards[i].takeKeys(keys, taken)
 		}
-		b.flushing = true
-		data := make([]byte, b.dirtyLen)
-		copy(data, b.data[b.dirtyOff:b.dirtyOff+b.dirtyLen])
-		items = append(items, FlushItem{
-			Key:   b.key,
-			Owner: b.owner,
-			Off:   b.dirtyOff,
-			Data:  data,
-			gen:   b.flushGen,
-		})
+	}
+	items := make([]FlushItem, 0, len(taken))
+	for _, c := range cands {
+		if it, ok := taken[c.key]; ok {
+			items = append(items, it)
+		}
 	}
 	return items
 }
@@ -353,30 +451,16 @@ func (m *Manager) TakeDirty(max int) []FlushItem {
 // advanced since TakeDirty was re-dirtied concurrently and stays on the
 // dirty list (its next flush will carry the new data).
 func (m *Manager) FlushDone(items []FlushItem) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, it := range items {
-		b, ok := m.table[it.Key]
-		if !ok {
-			continue // evicted or invalidated meanwhile
-		}
-		b.flushing = false
-		if b.flushGen != it.gen {
-			continue // re-dirtied during flight
-		}
-		m.markClean(b)
+		m.shardFor(it.Key).flushDone(it)
 	}
 }
 
 // FlushFailed clears the in-flight mark without cleaning, so the blocks are
 // retried on the next flusher round.
 func (m *Manager) FlushFailed(items []FlushItem) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, it := range items {
-		if b, ok := m.table[it.Key]; ok {
-			b.flushing = false
-		}
+		m.shardFor(it.Key).flushFailed(it)
 	}
 }
 
@@ -384,215 +468,102 @@ func (m *Manager) FlushFailed(items []FlushItem) {
 // is discarded — the iod-side writer that triggered the invalidation holds
 // the authoritative bytes (the paper's sync-write semantics).
 func (m *Manager) Invalidate(key blockio.BlockKey) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, ok := m.table[key]
-	if !ok {
-		return false
-	}
-	m.removeBlock(b)
-	m.cfg.Registry.Counter("cache.invalidations").Inc()
-	return true
+	return m.shardFor(key).invalidate(key)
 }
 
 // InvalidateFile drops every resident block of a file and returns how many
-// were dropped.
+// were dropped. The sweep visits the shards one at a time; blocks inserted
+// concurrently into an already-swept shard survive, exactly as a block
+// inserted right after a single-lock sweep would.
 func (m *Manager) InvalidateFile(file blockio.FileID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var victims []*block
-	for key, b := range m.table {
-		if key.File == file {
-			victims = append(victims, b)
-		}
+	dropped := 0
+	for _, s := range m.shards {
+		dropped += s.invalidateFile(file)
 	}
-	for _, b := range victims {
-		m.removeBlock(b)
-	}
-	return len(victims)
+	return dropped
 }
 
-// NeedsHarvest reports whether the free list has fallen below the low
-// watermark.
+// NeedsHarvest reports whether any shard's free list has fallen below its
+// low watermark.
 func (m *Manager) NeedsHarvest() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.free) < m.cfg.LowWater
+	for _, s := range m.shards {
+		if s.needsHarvest() {
+			return true
+		}
+	}
+	return false
 }
 
-// Harvest evicts clean blocks until the free list reaches the high
-// watermark or no evictable block remains. It returns the number of blocks
-// freed. Dirty blocks are never evicted here — the caller should flush and
-// call Harvest again (the paper's harvester/flusher cooperation).
+// Harvest refills the free list of every shard that has fallen below its
+// low watermark, evicting clean blocks until that shard reaches its high
+// watermark or no evictable block remains in it; shards still above their
+// low watermark keep their warm blocks. It returns the total number of
+// blocks freed. Dirty blocks are never evicted here — the caller should
+// flush and call Harvest again (the paper's harvester/flusher
+// cooperation).
 func (m *Manager) Harvest() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	freed := 0
-	for len(m.free) < m.cfg.HighWater {
-		v := m.pickVictim()
-		if v == nil {
-			break
-		}
-		m.removeBlock(v)
-		m.evictions++
-		m.cfg.Registry.Counter("cache.evictions").Inc()
-		freed++
+	for _, s := range m.shards {
+		freed += s.harvest()
 	}
 	return freed
 }
 
-// Stats returns a snapshot of occupancy and activity.
+// Stats returns a snapshot of occupancy and activity, aggregated over the
+// shards.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{
-		Capacity:  m.cfg.Capacity,
-		Resident:  len(m.table),
-		Free:      len(m.free),
-		Dirty:     m.dirtyFIFO.Len(),
-		Hits:      m.hits,
-		Misses:    m.misses,
-		Evictions: m.evictions,
+	st := Stats{Capacity: m.cfg.Capacity}
+	for _, s := range m.shards {
+		s.mu.Lock()
+		st.Resident += len(s.table)
+		st.Free += len(s.free)
+		st.Dirty += s.dirtyFIFO.Len()
+		s.mu.Unlock()
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
 	}
+	return st
 }
 
-// DirtyCount returns the dirty-list length.
+// DirtyCount returns the total dirty-list length across shards.
 func (m *Manager) DirtyCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dirtyFIFO.Len()
+	n := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		n += s.dirtyFIFO.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// FreeCount returns the free-list length.
+// FreeCount returns the total free-list length across shards.
 func (m *Manager) FreeCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.free)
+	n := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		n += len(s.free)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// --- internal (m.mu held) ---
-
-// allocate pops a free frame or inline-evicts a clean block. It returns nil
-// when neither is possible (everything resident is dirty or flushing).
-func (m *Manager) allocate(key blockio.BlockKey, owner int) *block {
-	var b *block
-	if n := len(m.free); n > 0 {
-		b = m.free[n-1]
-		m.free = m.free[:n-1]
-	} else {
-		v := m.pickVictim()
-		if v == nil {
-			return nil
+// CheckConsistency verifies the manager's structural invariants: every
+// shard's frames are conserved (free + resident == shard capacity), every
+// resident block routes to the shard holding it and sits on exactly the
+// lists its state demands, and the dirty FIFOs track exactly the dirty
+// blocks. It is meant for tests (the concurrency stress wall calls it
+// after every storm); it takes each shard's lock in turn.
+func (m *Manager) CheckConsistency() error {
+	total := 0
+	for i, s := range m.shards {
+		if err := s.checkConsistency(i, m.mask); err != nil {
+			return err
 		}
-		m.removeBlock(v)
-		m.evictions++
-		m.cfg.Registry.Counter("cache.evictions").Inc()
-		b = m.free[len(m.free)-1]
-		m.free = m.free[:len(m.free)-1]
+		total += s.capacity
 	}
-	b.key = key
-	b.owner = owner
-	b.validOff, b.validLen = 0, 0
-	b.dirtyOff, b.dirtyLen = 0, 0
-	b.flushGen = 0
-	b.flushing = false
-	b.ref = false
-	m.table[key] = b
-	b.lruEl = m.lru.PushFront(b)
-	b.clockEl = m.clockRing.PushBack(b)
-	return b
-}
-
-// removeBlock detaches a block from every structure and returns its frame
-// to the free list.
-func (m *Manager) removeBlock(b *block) {
-	delete(m.table, b.key)
-	if b.lruEl != nil {
-		m.lru.Remove(b.lruEl)
-		b.lruEl = nil
-	}
-	if b.clockEl != nil {
-		if m.clockHand == b.clockEl {
-			m.clockHand = b.clockEl.Next()
-		}
-		m.clockRing.Remove(b.clockEl)
-		b.clockEl = nil
-	}
-	if b.dirtyEl != nil {
-		m.dirtyFIFO.Remove(b.dirtyEl)
-		b.dirtyEl = nil
-	}
-	b.dirtyOff, b.dirtyLen = 0, 0
-	b.validOff, b.validLen = 0, 0
-	m.free = append(m.free, b)
-}
-
-// touch refreshes replacement state after an access.
-func (m *Manager) touch(b *block) {
-	b.ref = true
-	m.lru.MoveToFront(b.lruEl)
-}
-
-// markDirty extends the block's dirty hull and enqueues it for flushing.
-func (m *Manager) markDirty(b *block, off, length int) {
-	b.dirtyOff, b.dirtyLen = hull(b.dirtyOff, b.dirtyLen, off, length)
-	b.flushGen++
-	if b.dirtyEl == nil {
-		b.dirtyEl = m.dirtyFIFO.PushBack(b)
-	}
-}
-
-// markClean clears the dirty state after a successful flush.
-func (m *Manager) markClean(b *block) {
-	b.dirtyOff, b.dirtyLen = 0, 0
-	if b.dirtyEl != nil {
-		m.dirtyFIFO.Remove(b.dirtyEl)
-		b.dirtyEl = nil
-	}
-}
-
-// pickVictim chooses a clean, non-flushing resident block according to the
-// policy, or nil if none exists.
-func (m *Manager) pickVictim() *block {
-	if m.cfg.Policy == PolicyLRU {
-		for el := m.lru.Back(); el != nil; el = el.Prev() {
-			b := el.Value.(*block)
-			if !b.dirty() && !b.flushing {
-				return b
-			}
-		}
-		return nil
-	}
-	// Clock (second chance), preferring clean blocks: sweep at most two
-	// full revolutions. First revolution gives referenced blocks a second
-	// chance; the second picks any clean block.
-	n := m.clockRing.Len()
-	if n == 0 {
-		return nil
-	}
-	advance := func(el *list.Element) *list.Element {
-		if el == nil || el.Next() == nil {
-			return m.clockRing.Front()
-		}
-		return el.Next()
-	}
-	if m.clockHand == nil {
-		m.clockHand = m.clockRing.Front()
-	}
-	for pass := 0; pass < 2; pass++ {
-		for i := 0; i < n; i++ {
-			el := m.clockHand
-			m.clockHand = advance(el)
-			b := el.Value.(*block)
-			if b.dirty() || b.flushing {
-				continue
-			}
-			if pass == 0 && b.ref {
-				b.ref = false
-				continue
-			}
-			return b
-		}
+	if total != m.cfg.Capacity {
+		return fmt.Errorf("buffer: shard capacities sum to %d, want %d", total, m.cfg.Capacity)
 	}
 	return nil
 }
@@ -630,11 +601,4 @@ func zero(p []byte) {
 	for i := range p {
 		p[i] = 0
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

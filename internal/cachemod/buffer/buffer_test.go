@@ -14,8 +14,12 @@ func key(file, idx int) blockio.BlockKey {
 	return blockio.BlockKey{File: blockio.FileID(file), Index: int64(idx)}
 }
 
+// mgr returns a single-shard manager. These unit tests assert exact
+// replacement and flush-FIFO order, which is only deterministic within one
+// shard — Shards: 1 is the pre-sharding manager, kept as the ablation
+// baseline. Sharded behaviour is covered by sharded_test.go.
 func mgr(capacity int, policy Policy) *Manager {
-	return New(Config{BlockSize: 64, Capacity: capacity, Policy: policy})
+	return New(Config{BlockSize: 64, Capacity: capacity, Policy: policy, Shards: 1})
 }
 
 func fill(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
@@ -126,6 +130,59 @@ func TestInsertCleanPreservesDirtyBytes(t *testing.T) {
 	// Block must still be dirty: its write-back is pending.
 	if m.DirtyCount() != 1 {
 		t.Error("block lost its dirty state")
+	}
+}
+
+func TestInsertCleanPreservesCleanValidBytes(t *testing.T) {
+	// Resident VALID bytes win over a fetched image even when clean: a
+	// just-flushed block's bytes may have landed at the iod after the
+	// fetch was served there, so the fetch can be stale for the valid
+	// range (the data and flush ports race).
+	m := mgr(4, PolicyClock)
+	m.WriteSpan(key(1, 0), 0, 8, fill(5, 8), true)
+	m.FlushDone(m.TakeDirty(0)) // now clean, valid [8,16)
+	m.InsertClean(key(1, 0), 0, fill(9, 64))
+	dst := make([]byte, 64)
+	if !m.ReadSpan(key(1, 0), 0, dst) {
+		t.Fatal("miss after insert")
+	}
+	if !bytes.Equal(dst[8:16], fill(5, 8)) {
+		t.Error("clean valid bytes clobbered by fetch")
+	}
+	if !bytes.Equal(dst[:8], fill(9, 8)) || !bytes.Equal(dst[16:], fill(9, 48)) {
+		t.Error("invalid ranges should come from the fetch")
+	}
+}
+
+func TestInstallFetchedPatchesCallerBuffer(t *testing.T) {
+	m := mgr(4, PolicyClock)
+	// Absent block: the image installs untouched.
+	buf := fill(9, 64)
+	if m.InstallFetched(key(2, 0), 0, buf) != OutcomeOK {
+		t.Fatal("install of absent block failed")
+	}
+	if !bytes.Equal(buf, fill(9, 64)) {
+		t.Error("absent-block install must not modify the image")
+	}
+	// Resident valid bytes win in BOTH copies: the cache's and the
+	// caller's (which goes on to readers, waiters and the global cache).
+	m.WriteSpan(key(1, 0), 0, 8, fill(5, 8), true)
+	buf = fill(9, 64)
+	if m.InstallFetched(key(1, 0), 0, buf) != OutcomeOK {
+		t.Fatal("install over resident block failed")
+	}
+	if !bytes.Equal(buf[8:16], fill(5, 8)) {
+		t.Error("caller buffer missing resident valid bytes")
+	}
+	if !bytes.Equal(buf[:8], fill(9, 8)) || !bytes.Equal(buf[16:], fill(9, 48)) {
+		t.Error("bytes outside the valid interval must come from the fetch")
+	}
+	dst := make([]byte, 64)
+	if !m.ReadSpan(key(1, 0), 0, dst) {
+		t.Fatal("block not whole-valid after install")
+	}
+	if !bytes.Equal(dst, buf) {
+		t.Error("cache copy and caller copy diverged")
 	}
 }
 
@@ -359,7 +416,7 @@ func TestExactLRUEvictsLeastRecent(t *testing.T) {
 }
 
 func TestHarvestWatermarks(t *testing.T) {
-	m := New(Config{BlockSize: 64, Capacity: 10, LowWater: 2, HighWater: 5})
+	m := New(Config{BlockSize: 64, Capacity: 10, LowWater: 2, HighWater: 5, Shards: 1})
 	for i := 0; i < 9; i++ {
 		m.InsertClean(key(1, i), 0, fill(byte(i), 64))
 	}
@@ -376,7 +433,7 @@ func TestHarvestWatermarks(t *testing.T) {
 }
 
 func TestHarvestSkipsDirty(t *testing.T) {
-	m := New(Config{BlockSize: 64, Capacity: 4, LowWater: 2, HighWater: 4})
+	m := New(Config{BlockSize: 64, Capacity: 4, LowWater: 2, HighWater: 4, Shards: 1})
 	for i := 0; i < 4; i++ {
 		m.WriteSpan(key(1, i), 0, 0, fill(byte(i), 64), true)
 	}
@@ -459,6 +516,9 @@ func TestConcurrentMixedOps(t *testing.T) {
 	if st.Resident+st.Free != 32 {
 		t.Fatalf("frames leaked: resident=%d free=%d", st.Resident, st.Free)
 	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // Property: resident + free == capacity after any operation sequence, and
@@ -495,6 +555,9 @@ func TestFrameConservationProperty(t *testing.T) {
 				return false
 			}
 			if st.Dirty > st.Resident {
+				return false
+			}
+			if m.CheckConsistency() != nil {
 				return false
 			}
 		}

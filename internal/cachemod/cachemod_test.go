@@ -327,6 +327,35 @@ func TestUnalignedWriteRMW(t *testing.T) {
 	}
 }
 
+// TestReadMergesUnflushedWriteWithFetch is the regression test for the
+// stale-read bug the cluster consistency oracle uncovered: a block that is
+// only partially valid (one buffered write, not yet flushed) misses on a
+// whole-block read, the whole block is fetched from the iod — which still
+// holds the pre-write bytes — and the response used to be assembled from
+// the fetched image alone, surfacing stale bytes for the written range.
+// The fetched image must be patched with the resident bytes before it
+// reaches the reader (buffer.InstallFetched).
+func TestReadMergesUnflushedWriteWithFetch(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.FlushPeriod = time.Hour }) // flusher never runs
+	old := bytes.Repeat([]byte{0xAA}, 4096)
+	r.seed(0, 15, 0, old)
+
+	tr := r.mod.NewTransport()
+	fresh := []byte("fresh bytes!")
+	sendRecv(t, tr, 0, &wire.Write{File: 15, Offset: 100, Data: fresh})
+	if r.mod.Buffer().DirtyCount() != 1 {
+		t.Fatal("write was not buffered dirty")
+	}
+
+	resp := sendRecv(t, tr, 0, &wire.Read{File: 15, Offset: 0, Length: 4096}).(*wire.ReadResp)
+	if !bytes.Equal(resp.Data[100:100+len(fresh)], fresh) {
+		t.Fatalf("read returned stale bytes %q for the unflushed write", resp.Data[100:100+len(fresh)])
+	}
+	if !bytes.Equal(resp.Data[:100], old[:100]) || !bytes.Equal(resp.Data[100+len(fresh):], old[100+len(fresh):]) {
+		t.Fatal("bytes outside the write were not served from the fetch")
+	}
+}
+
 func TestConcurrentTransportsShareCache(t *testing.T) {
 	r := newRig(t, nil)
 	data := bytes.Repeat([]byte{0x55}, 64*1024)

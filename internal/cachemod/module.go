@@ -396,25 +396,45 @@ func (m *Module) flushOnce(batch int) {
 	m.signalSpace()
 }
 
+// flushAllTimeout bounds how long FlushAll tolerates a complete stall: no
+// drop in the dirty count at all. It is a deadline on progress, not a
+// retry budget — it resets every time the dirty count reaches a new low,
+// so a large backlog draining slowly (or a single in-flight round slower
+// than the timeout's worth of other rounds) never trips it.
+const flushAllTimeout = 30 * time.Second
+
 // FlushAll synchronously drains the entire dirty list (used on Close and by
-// tests needing durability).
+// tests needing durability). Blocks taken by a concurrent flusher round are
+// skipped by TakeDirty (they are already on their way to the iod), so
+// FlushAll waits for that round to land rather than failing; it errors only
+// after flushAllTimeout passes without the dirty count making any
+// progress — which means the flush ports are persistently failing, since
+// every failed round re-queues its blocks for the next attempt. (With
+// concurrent writers continuously re-dirtying the cache, "progress" means
+// a new low-water mark of the dirty count; a steady state that never
+// drains still errors after the timeout rather than blocking forever.)
 func (m *Module) FlushAll() error {
-	for i := 0; i < 1000; i++ {
-		if m.buf.DirtyCount() == 0 {
+	minSeen := m.buf.DirtyCount()
+	if minSeen == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(flushAllTimeout)
+	for {
+		m.flushOnce(0)
+		n := m.buf.DirtyCount()
+		if n == 0 {
 			return nil
 		}
-		m.flushOnce(0)
-		if m.buf.DirtyCount() > 0 {
-			// Blocks still dirty here are usually in flight on a concurrent
-			// flusher round (TakeDirty skips them); yield instead of
-			// spinning through the retry budget before that round lands.
-			time.Sleep(time.Millisecond)
+		if n < minSeen {
+			minSeen = n
+			deadline = time.Now().Add(flushAllTimeout)
 		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cachemod: %d dirty blocks remain after FlushAll stalled for %v", n, flushAllTimeout)
+		}
+		// In flight on a concurrent round: yield until it lands.
+		time.Sleep(time.Millisecond)
 	}
-	if n := m.buf.DirtyCount(); n > 0 {
-		return fmt.Errorf("cachemod: %d dirty blocks remain after FlushAll", n)
-	}
-	return nil
 }
 
 // harvesterLoop is the paper's harvester kernel thread: whenever the free
@@ -536,7 +556,7 @@ func (m *Module) fetchBlockSync(iod int, key blockio.BlockKey) ([]byte, error) {
 	}
 	data := make([]byte, bs)
 	copy(data, rr.Data)
-	m.buf.InsertClean(key, iod, data)
+	m.buf.InstallFetched(key, iod, data) // resident bytes outrank the fetch
 	m.cfg.Registry.Counter("module.sync_fetches").Inc()
 	return data, nil
 }

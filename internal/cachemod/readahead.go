@@ -316,7 +316,7 @@ func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockK
 			}
 			blockData := make([]byte, bs)
 			copy(blockData, data[start:served])
-			m.buf.InsertClean(key, iod, blockData)
+			m.buf.InstallFetched(key, iod, blockData) // resident bytes outrank the prefetch
 			st.data = blockData
 			m.fetchMu.Lock()
 			delete(m.fetches, key)

@@ -198,8 +198,14 @@ func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, pr *pendingRead
 	// Global-cache extension: probe the block's home node before
 	// resorting to the iod.
 	if t.m.gcClient != nil {
-		if data, ok := t.m.gcClient.Get(sp.Key); ok {
-			t.m.buf.InsertClean(sp.Key, iod, data)
+		// A healthy peer always serves a whole block; anything else is a
+		// buggy or hostile response whose bytes must not be installed or
+		// sliced (an oversize block would panic InstallFetched, a short
+		// one the span copy). Fall through to the iod fetch instead.
+		if data, ok := t.m.gcClient.Get(sp.Key); ok && len(data) != t.m.buf.BlockSize() {
+			t.m.cfg.Registry.Counter("module.gcache_bad_resp").Inc()
+		} else if ok {
+			t.m.buf.InstallFetched(sp.Key, iod, data) // resident bytes outrank the peer copy
 			copy(dst, data[sp.Off:sp.Off+sp.Len])
 			st.data = data
 			t.m.fetchMu.Lock()
@@ -524,7 +530,11 @@ func (t *CachedTransport) fillRun(pr *pendingRead, iod int, run fetchRun, data [
 	copy(slab, data)
 	for i, key := range run.keys {
 		blockData := slab[i*bs : (i+1)*bs]
-		t.m.buf.InsertClean(key, iod, blockData)
+		// InstallFetched patches the image with any newer resident bytes
+		// before it reaches the result buffer, the waiters, or the global
+		// cache — a bare insert would let a partially valid block's
+		// unflushed writes be answered with the iod's stale bytes.
+		t.m.buf.InstallFetched(key, iod, blockData)
 		if t.m.gcClient != nil {
 			// Feed the global cache: the block's home node gets a copy.
 			t.m.gcClient.Push(key, iod, blockData)

@@ -43,6 +43,10 @@ type Config struct {
 	// CacheBlocks is the per-node cache capacity in blocks (default 300,
 	// i.e. the paper's 1.2 MB).
 	CacheBlocks int
+	// CacheShards is the number of lock stripes in each node's buffer
+	// manager (see buffer.Config.Shards: 0 picks a power of two ≥
+	// GOMAXPROCS; 1 is the single-mutex ablation baseline).
+	CacheShards int
 	// FlushPeriod overrides the flusher interval (default 1s; tests use
 	// shorter).
 	FlushPeriod time.Duration
@@ -160,6 +164,7 @@ func Start(cfg Config) (*Cluster, error) {
 				Buffer: buffer.Config{
 					BlockSize: cfg.BlockSize,
 					Capacity:  cfg.CacheBlocks,
+					Shards:    cfg.CacheShards,
 					Policy:    cfg.Policy,
 				},
 				FlushPeriod:      cfg.FlushPeriod,

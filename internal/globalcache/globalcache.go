@@ -37,11 +37,10 @@ type Ring struct {
 // Valid reports whether the ring is usable.
 func (r Ring) Valid() bool { return len(r.Peers) > 0 && r.Self >= 0 && r.Self < len(r.Peers) }
 
-// Home returns the home node index for a block.
+// Home returns the home node index for a block. It routes by the same mix
+// hash (blockio.BlockKey.Mix) the buffer manager stripes its shards with.
 func (r Ring) Home(key blockio.BlockKey) int {
-	h := uint64(key.File)*0x9E3779B97F4A7C15 + uint64(key.Index)*0xBF58476D1CE4E5B9
-	h ^= h >> 31
-	return int(h % uint64(len(r.Peers)))
+	return int(key.Mix() % uint64(len(r.Peers)))
 }
 
 // Service answers PeerGet and PeerPut requests against a node's buffer
@@ -90,9 +89,12 @@ func (s *Service) handle(msg wire.Message) wire.Message {
 		s.reg.Counter("gcache.serve_misses").Inc()
 		return &wire.PeerGetResp{Status: wire.StatusNotFound}
 	case *wire.PeerPut:
-		// Wire-supplied Data is peer-controlled; InsertClean panics on
-		// oversized input, so reject rather than crash the node.
-		if len(m.Data) > s.buf.BlockSize() {
+		// Wire-supplied Data is peer-controlled. Legitimate peers always
+		// push whole blocks; an oversize one would panic InsertClean, and
+		// a SHORT one would be zero-filled and marked whole-valid — this
+		// node would then serve those fabricated zero bytes to the whole
+		// cluster as the block's home. Reject anything but a whole block.
+		if len(m.Data) != s.buf.BlockSize() {
 			return &wire.PeerPutAck{Status: wire.StatusBadRequest}
 		}
 		key := blockio.BlockKey{File: m.File, Index: m.Index}

@@ -113,9 +113,14 @@ func New(env *sim.Env, p Params, nIODs, nNodes int, caching bool) *Cluster {
 			space:   env.NewSignal(),
 		}
 		if caching {
+			shards := p.CacheShards
+			if shards == 0 {
+				shards = 1 // keep zero-valued Params deterministic
+			}
 			node.Cache = buffer.New(buffer.Config{
 				BlockSize: p.BlockSize,
 				Capacity:  p.CacheBlocks,
+				Shards:    shards,
 				LowWater:  p.LowWater,
 				HighWater: p.HighWater,
 				Policy:    p.Policy,

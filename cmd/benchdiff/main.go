@@ -1,0 +1,164 @@
+// Command benchdiff compares two `go test -bench -benchmem` outputs — a
+// committed baseline and a fresh run — and renders a benchstat-style
+// table of ns/op, B/op and allocs/op deltas. It exists so the CI
+// benchmark job can fail loudly on allocation regressions instead of
+// burying them in an artifact: wall-clock numbers vary with runner
+// hardware and load, but B/op and allocs/op are near-deterministic, so
+// those are the gated columns.
+//
+//	benchdiff [-gate-bytes 1.5] [-gate-allocs 2.0] baseline.txt new.txt
+//
+// The tool exits nonzero when any benchmark present in both files grew
+// its B/op (or allocs/op) beyond the gate factor. Benchmarks that exist
+// in only one file are reported but never gate, so adding or retiring a
+// benchmark does not break the job.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	name   string
+	nsOp   float64
+	bOp    float64
+	allocs float64
+	hasMem bool
+}
+
+func main() {
+	gateBytes := flag.Float64("gate-bytes", 1.5, "fail when B/op grows beyond this factor of the baseline")
+	gateAllocs := flag.Float64("gate-allocs", 2.0, "fail when allocs/op grows beyond this factor of the baseline")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.txt new.txt")
+		os.Exit(2)
+	}
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-46s %14s %14s %8s   %14s %14s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δ", "base B/op", "new B/op", "Δ")
+	failed := false
+	for _, b := range base {
+		c, ok := cur[b.name]
+		if !ok {
+			fmt.Printf("%-46s %14.0f %14s\n", b.name, b.nsOp, "(gone)")
+			continue
+		}
+		fmt.Printf("%-46s %14.0f %14.0f %8s   %14.0f %14.0f %8s\n",
+			b.name, b.nsOp, c.nsOp, delta(b.nsOp, c.nsOp),
+			b.bOp, c.bOp, delta(b.bOp, c.bOp))
+		if b.hasMem && c.hasMem {
+			if regressed(b.bOp, c.bOp, *gateBytes, bytesFloor) {
+				fmt.Printf("  FAIL: %s B/op regressed %.0f -> %.0f (> %.2fx gate)\n",
+					b.name, b.bOp, c.bOp, *gateBytes)
+				failed = true
+			}
+			if regressed(b.allocs, c.allocs, *gateAllocs, allocsFloor) {
+				fmt.Printf("  FAIL: %s allocs/op regressed %.0f -> %.0f (> %.2fx gate)\n",
+					b.name, b.allocs, c.allocs, *gateAllocs)
+				failed = true
+			}
+		}
+	}
+	for name, c := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-46s %14s %14.0f %8s   %14s %14.0f\n", name, "(new)", c.nsOp, "", "", c.bOp)
+		}
+	}
+	if failed {
+		fmt.Println("\nbenchdiff: allocation regression against the committed baseline")
+		os.Exit(1)
+	}
+}
+
+// Absolute floors below which the gate never fires, so noise around tiny
+// values (a 16-byte or 3-alloc benchmark doubling) cannot trip it. They
+// are per metric: 4096 would swallow every allocs/op regression in the
+// baseline, whose largest entry is in the hundreds.
+const (
+	bytesFloor  = 4096
+	allocsFloor = 16
+)
+
+// regressed reports whether cur exceeds base by more than factor and the
+// metric's absolute floor.
+func regressed(base, cur, factor, floor float64) bool {
+	if cur <= floor {
+		return false
+	}
+	return base >= 0 && cur > base*factor
+}
+
+func delta(base, cur float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.0f%%", (cur-base)/base*100)
+}
+
+// parseFile extracts benchmark result lines. Multiple runs of the same
+// benchmark (e.g. -count) keep the last occurrence; sub-benchmark CPU
+// suffixes (-8) are stripped so runs from machines with different core
+// counts compare.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := result{name: trimCPUSuffix(fields[0])}
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsOp, ok = v, true
+			case "B/op":
+				r.bOp, r.hasMem = v, true
+			case "allocs/op":
+				r.allocs = v
+			}
+		}
+		if ok {
+			out[r.name] = r
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimCPUSuffix drops the trailing -N GOMAXPROCS marker, if present.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

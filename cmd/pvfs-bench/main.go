@@ -13,13 +13,20 @@
 //	           -caching -d 65536 -total 8388608
 //
 // The tool reports per-request latency, total completion time per
-// instance, and the cache-module counters.
+// instance, and the cache-module counters. The -cpuprofile/-memprofile
+// flags write standard pprof profiles (see examples/README.md), and the
+// ablation flags -nozerocopy, -novector and -shards select the copying
+// data path, the per-run miss engine and the buffer manager's stripe
+// count respectively.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -37,23 +44,51 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pvfs-bench: ")
 	var (
-		mgrAddr   = flag.String("mgr", "", "mgr address (empty boots an in-process cluster)")
-		iodList   = flag.String("iods", "", "comma-separated iod data addresses")
-		flushList = flag.String("flush", "", "comma-separated iod flush addresses")
-		caching   = flag.Bool("caching", true, "enable the cache module")
-		instances = flag.Int("instances", 1, "application instances (degree of multiprogramming)")
-		p         = flag.Int("p", 2, "processes (nodes) per instance")
-		d         = flag.Int64("d", 64<<10, "request size in bytes (per process)")
-		total     = flag.Int64("total", 4<<20, "bytes moved per process")
-		locality  = flag.Float64("l", 0, "degree of locality in [0,1]")
-		sharing   = flag.Float64("s", 0, "degree of inter-instance sharing in [0,1]")
-		write     = flag.Bool("write", false, "issue writes instead of reads")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		readahead = flag.Int("readahead", 0, "sequential-readahead window in blocks (0 = default, negative disables)")
-		novector  = flag.Bool("novector", false, "use the legacy one-Read-per-run miss path (ablation)")
-		shards    = flag.Int("shards", 0, "cache lock stripes (0 = power of two >= GOMAXPROCS, 1 = single-mutex ablation)")
+		mgrAddr    = flag.String("mgr", "", "mgr address (empty boots an in-process cluster)")
+		iodList    = flag.String("iods", "", "comma-separated iod data addresses")
+		flushList  = flag.String("flush", "", "comma-separated iod flush addresses")
+		caching    = flag.Bool("caching", true, "enable the cache module")
+		instances  = flag.Int("instances", 1, "application instances (degree of multiprogramming)")
+		p          = flag.Int("p", 2, "processes (nodes) per instance")
+		d          = flag.Int64("d", 64<<10, "request size in bytes (per process)")
+		total      = flag.Int64("total", 4<<20, "bytes moved per process")
+		locality   = flag.Float64("l", 0, "degree of locality in [0,1]")
+		sharing    = flag.Float64("s", 0, "degree of inter-instance sharing in [0,1]")
+		write      = flag.Bool("write", false, "issue writes instead of reads")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		readahead  = flag.Int("readahead", 0, "sequential-readahead window in blocks (0 = default, negative disables)")
+		novector   = flag.Bool("novector", false, "use the legacy one-Read-per-run miss path (ablation)")
+		nozerocopy = flag.Bool("nozerocopy", false, "use the copying data path (ablation: per-request response buffers, no pooled leases)")
+		shards     = flag.Int("shards", 0, "cache lock stripes (0 = power of two >= GOMAXPROCS, 1 = single-mutex ablation)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocs accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	mb := microbench.Params{
 		Instances:   *instances,
@@ -70,7 +105,7 @@ func main() {
 	}
 
 	if *mgrAddr == "" {
-		runInProcess(mb, *caching, *readahead, *novector, *shards)
+		runInProcess(mb, *caching, *readahead, *novector, *nozerocopy, *shards)
 		return
 	}
 	iods := splitList(*iodList)
@@ -78,7 +113,7 @@ func main() {
 	if len(iods) == 0 {
 		log.Fatal("-iods is required with -mgr")
 	}
-	runAgainst(mb, *caching, *readahead, *novector, *shards, transport.NewTCP(), *mgrAddr, iods, flushes)
+	runAgainst(mb, *caching, *readahead, *novector, *nozerocopy, *shards, transport.NewTCP(), *mgrAddr, iods, flushes)
 }
 
 func splitList(s string) []string {
@@ -97,7 +132,7 @@ func splitList(s string) []string {
 
 // runInProcess boots a full in-memory cluster and runs the benchmark with
 // and without caching for comparison.
-func runInProcess(mb microbench.Params, caching bool, readahead int, novector bool, shards int) {
+func runInProcess(mb microbench.Params, caching bool, readahead int, novector, nozerocopy bool, shards int) {
 	modes := []bool{caching}
 	if caching {
 		modes = []bool{true, false}
@@ -110,6 +145,7 @@ func runInProcess(mb microbench.Params, caching bool, readahead int, novector bo
 			FlushPeriod:     100 * time.Millisecond,
 			ReadaheadWindow: readahead,
 			DisableVector:   novector,
+			DisableZeroCopy: nozerocopy,
 			CacheShards:     shards,
 		})
 		if err != nil {
@@ -128,7 +164,7 @@ func runInProcess(mb microbench.Params, caching bool, readahead int, novector bo
 }
 
 // runAgainst executes the benchmark against external daemons.
-func runAgainst(mb microbench.Params, caching bool, readahead int, novector bool, shards int, net transport.Network, mgrAddr string, iods, flushes []string) {
+func runAgainst(mb microbench.Params, caching bool, readahead int, novector, nozerocopy bool, shards int, net transport.Network, mgrAddr string, iods, flushes []string) {
 	var modules []*cachemod.Module
 	if caching {
 		for node := 0; node < mb.Nodes; node++ {
@@ -140,6 +176,7 @@ func runAgainst(mb microbench.Params, caching bool, readahead int, novector bool
 				Buffer:          buffer.Config{Shards: shards},
 				ReadaheadWindow: readahead,
 				DisableVector:   novector,
+				DisableZeroCopy: nozerocopy,
 			})
 			if err != nil {
 				log.Fatalf("cache module for node %d: %v", node, err)

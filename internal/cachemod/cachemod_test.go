@@ -174,8 +174,8 @@ func TestSplitRunsBoundsFetchSize(t *testing.T) {
 		for i := 0; i < n; i++ {
 			idx := first + int64(i)
 			run.keys = append(run.keys, blockio.BlockKey{File: 1, Index: idx})
-			run.states = append(run.states, &fetchState{done: make(chan struct{})})
-			run.spans = append(run.spans, blockio.Span{Key: blockio.BlockKey{File: 1, Index: idx}, Len: 1024})
+			run.states = append(run.states, newFetchState(false))
+			run.spans = append(run.spans, tgtSpan{sp: blockio.Span{Key: blockio.BlockKey{File: 1, Index: idx}, Len: 1024}})
 		}
 		return run
 	}
@@ -195,9 +195,9 @@ func TestSplitRunsBoundsFetchSize(t *testing.T) {
 		if len(run.spans) != wantN[i] {
 			t.Fatalf("run %d carries %d spans, want %d", i, len(run.spans), wantN[i])
 		}
-		for _, sp := range run.spans {
-			if sp.Key.Index < run.firstIdx || sp.Key.Index > run.keys[len(run.keys)-1].Index {
-				t.Fatalf("run %d span for block %d out of range", i, sp.Key.Index)
+		for _, ts := range run.spans {
+			if ts.sp.Key.Index < run.firstIdx || ts.sp.Key.Index > run.keys[len(run.keys)-1].Index {
+				t.Fatalf("run %d span for block %d out of range", i, ts.sp.Key.Index)
 			}
 		}
 	}

@@ -22,7 +22,13 @@
 //   - performs writes into the cache and returns immediately, leaving the
 //     propagation to the background flusher thread;
 //   - runs a harvester thread that refills the free list between a low and
-//     a high watermark so allocations do not pay eviction latency.
+//     a high watermark so allocations do not pay eviction latency;
+//   - moves read bytes zero-copy: libpvfs hands down the caller's buffer
+//     regions (pvfs.ReadSinker) and every span — cache hit, fetch join,
+//     fetched run — is copied straight into them, while fetched images
+//     live in pooled, reference-counted slabs rather than per-request
+//     allocations (see DESIGN.md §4 "Buffer ownership and lifetimes";
+//     Config.DisableZeroCopy restores the copying shape for ablation).
 //
 // One Module runs per node. Each application process obtains its own
 // pvfs.Transport from NewTransport; all of them share the cache — which is
@@ -87,6 +93,13 @@ type Config struct {
 	// ReadBlocks covering every run. Kept for the ablation benchmarks
 	// that quantify the vectored path's win.
 	DisableVector bool
+	// DisableZeroCopy reverts the data path to the copying shape: cache
+	// hits assemble into a freshly allocated response buffer that libpvfs
+	// copies into the caller's memory (instead of scattering straight into
+	// it), and miss slabs, prefetch blocks and read-modify-write blocks
+	// are allocated per fetch instead of leased from pools. Kept as the
+	// ablation baseline that quantifies the zero-copy path's win.
+	DisableZeroCopy bool
 	// DisableCoherence skips the invalidation listener and iod
 	// registration; sync-writes then behave like plain writes plus a
 	// server write-through.
@@ -135,18 +148,71 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
+// memRef counts the readers of one pooled buffer shared by one or more
+// fetchStates — a miss run's slab, or a single prefetched/peer-fetched
+// block. The buffer returns to its pool when the count drains to zero.
+// With zero-copy disabled (plain allocations) pool is nil and release is
+// a no-op: the garbage collector owns the buffer, exactly as before.
+type memRef struct {
+	buf  []byte
+	pool *rpc.BufPool
+	refs atomic.Int32
+}
+
+// newMemRef wraps buf with one reference held by the creator.
+func newMemRef(buf []byte, pool *rpc.BufPool) *memRef {
+	r := &memRef{buf: buf, pool: pool}
+	r.refs.Store(1)
+	return r
+}
+
+func (r *memRef) retain() { r.refs.Add(1) }
+
+func (r *memRef) release() {
+	if r.refs.Add(-1) == 0 && r.pool != nil {
+		r.pool.Put(r.buf)
+	}
+}
+
 // fetchState coordinates one in-flight block fetch across processes: the
 // first requester owns the network transfer, later requesters wait on done
-// and then read the block from the cache (or from data, which survives
-// even if the insert was bypassed for lack of space). The readahead
-// prefetcher registers its transfers in the same table, so a demand miss
-// on a block already being prefetched joins the prefetch instead of
-// fetching twice.
+// and then read the block from data (which survives even if the insert was
+// bypassed for lack of space). The readahead prefetcher registers its
+// transfers in the same table, so a demand miss on a block already being
+// prefetched joins the prefetch instead of fetching twice.
+//
+// Lifetime protocol (zero-copy): data may be backed by a pooled buffer
+// (mem). refs counts the holders entitled to read data after done closes —
+// the owner's publish path plus every joiner. A joiner must acquire its
+// reference with refs.Add(1) while it still holds fetchMu and sees the
+// state in the fetch table; the owner only drops its own reference after
+// the entry left the table, so a joiner's reference is always registered
+// before the owner's release can drain the count. Each holder calls decref
+// exactly once when it is done with data; the backing buffer returns to
+// its pool when the count reaches zero.
 type fetchState struct {
 	done     chan struct{}
 	data     []byte // full block, zero-padded; set before done closes
 	err      error
 	prefetch bool // transfer issued by the readahead prefetcher
+
+	refs atomic.Int32
+	mem  *memRef // backing allocation of data; nil when GC-managed
+}
+
+// newFetchState returns a state with one reference, held by the fetch
+// owner.
+func newFetchState(prefetch bool) *fetchState {
+	st := &fetchState{done: make(chan struct{}), prefetch: prefetch}
+	st.refs.Store(1)
+	return st
+}
+
+// decref drops one holder; the last one out releases the backing buffer.
+func (st *fetchState) decref() {
+	if st.refs.Add(-1) == 0 && st.mem != nil {
+		st.mem.release()
+	}
 }
 
 // Module is the per-node cache module.
@@ -156,6 +222,12 @@ type Module struct {
 
 	data  []*rpc.Client // per-iod data-port clients (module-owned, pooled)
 	flush []*rpc.Client // per-iod flush-port clients
+
+	// slabs recycles miss-run assembly buffers, blocks recycles
+	// whole-block buffers (prefetch installs, peer gets, read-modify-write
+	// fetches). Both are bypassed when Config.DisableZeroCopy is set.
+	slabs  rpc.BufPool
+	blocks rpc.BufPool
 
 	fetchMu sync.Mutex
 	fetches map[blockio.BlockKey]*fetchState
@@ -231,14 +303,14 @@ func New(cfg Config) (*Module, error) {
 			m.invalServer.Serve(l)
 		}()
 		for i, rc := range m.data {
-			resp, err := rc.Call(&wire.Register{Client: cfg.ClientID, Addr: l.Addr()})
-			if err != nil {
+			res := rc.Call(&wire.Register{Client: cfg.ClientID, Addr: l.Addr()})
+			if res.Err != nil {
 				m.Close()
-				return nil, fmt.Errorf("cachemod: registering with iod %d: %w", i, err)
+				return nil, fmt.Errorf("cachemod: registering with iod %d: %w", i, res.Err)
 			}
-			if _, ok := resp.(*wire.RegisterAck); !ok {
+			if _, ok := res.Msg.(*wire.RegisterAck); !ok {
 				m.Close()
-				return nil, fmt.Errorf("cachemod: iod %d register reply %v", i, resp.WireType())
+				return nil, fmt.Errorf("cachemod: iod %d register reply %v", i, res.Msg.WireType())
 			}
 		}
 	}
@@ -379,12 +451,12 @@ func (m *Module) flushOnce(batch int) {
 					Data:  it.Data,
 				})
 			}
-			resp, err := m.flush[gk.owner].Call(msg)
-			if err != nil {
+			res := m.flush[gk.owner].Call(msg)
+			if res.Err != nil {
 				m.buf.FlushFailed(chunk)
 				continue
 			}
-			if ack, ok := resp.(*wire.FlushAck); !ok || ack.Status != wire.StatusOK {
+			if ack, ok := res.Msg.(*wire.FlushAck); !ok || ack.Status != wire.StatusOK {
 				m.buf.FlushFailed(chunk)
 				continue
 			}
@@ -532,31 +604,88 @@ func (m *Module) waitForSpace(deadline time.Time) bool {
 	}
 }
 
-// fetchBlockSync fetches one whole block from its iod, inserts it, and
-// returns its bytes. Used for read-modify-write and for stragglers whose
-// fetch owner's insert got evicted.
-func (m *Module) fetchBlockSync(iod int, key blockio.BlockKey) ([]byte, error) {
+// getSlab returns an n-byte assembly buffer: pooled and refcounted on the
+// zero-copy path, a plain (GC-managed) allocation with a nil ref when
+// zero-copy is disabled.
+func (m *Module) getSlab(n int) ([]byte, *memRef) {
+	if m.cfg.DisableZeroCopy {
+		return make([]byte, n), nil
+	}
+	buf := m.slabs.Get(n)
+	return buf, newMemRef(buf, &m.slabs)
+}
+
+// getBlock is getSlab for whole-block buffers, drawing on the block pool.
+func (m *Module) getBlock() ([]byte, *memRef) {
+	bs := m.buf.BlockSize()
+	if m.cfg.DisableZeroCopy {
+		return make([]byte, bs), nil
+	}
+	buf := m.blocks.Get(bs)
+	return buf, newMemRef(buf, &m.blocks)
+}
+
+// publishFetched hands a fetched block image to the state's waiters: it
+// records the data (retaining a reference on its backing buffer for the
+// state's holders), removes the fetch-table entry so no new joiner can
+// arrive, and wakes everyone waiting on done. The caller still holds its
+// own state reference and must decref once it has finished reading data.
+func (m *Module) publishFetched(st *fetchState, key blockio.BlockKey, data []byte, mem *memRef) {
+	if mem != nil {
+		mem.retain()
+		st.mem = mem
+	}
+	st.data = data
+	m.fetchMu.Lock()
+	if m.fetches[key] == st {
+		delete(m.fetches, key)
+	}
+	m.fetchMu.Unlock()
+	close(st.done)
+}
+
+// fetchBlockSpan fetches one whole block from its iod, installs it in the
+// cache, and — when dst is non-nil — copies [off, off+len(dst)) of the
+// installed (resident-wins patched) image into dst. Used for
+// read-modify-write and for stragglers whose fetch owner failed. The
+// fetched image lives in a pooled block buffer for exactly the duration of
+// the call.
+func (m *Module) fetchBlockSpan(iod int, key blockio.BlockKey, off int, dst []byte) error {
 	bs := int64(m.buf.BlockSize())
-	resp, err := m.data[iod].Call(&wire.Read{
+	res := m.data[iod].Call(&wire.Read{
 		Client: m.cfg.ClientID,
 		File:   key.File,
 		Offset: key.Index * bs,
 		Length: bs,
 		Track:  true,
 	})
-	if err != nil {
-		return nil, err
+	if res.Err != nil {
+		return res.Err
 	}
-	rr, ok := resp.(*wire.ReadResp)
+	defer res.Release()
+	rr, ok := res.Msg.(*wire.ReadResp)
 	if !ok {
-		return nil, fmt.Errorf("cachemod: unexpected fetch reply %v", resp.WireType())
+		return fmt.Errorf("cachemod: unexpected fetch reply %v", res.Msg.WireType())
 	}
 	if err := rr.Status.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	data := make([]byte, bs)
-	copy(data, rr.Data)
+	data, mem := m.getBlock()
+	n := copy(data, rr.Data)
+	if mem != nil {
+		zeroFill(data[n:]) // pooled buffers carry the previous tenant's bytes
+	}
 	m.buf.InstallFetched(key, iod, data) // resident bytes outrank the fetch
+	if dst != nil {
+		copy(dst, data[off:off+len(dst)])
+	}
+	if mem != nil {
+		mem.release()
+	}
 	m.cfg.Registry.Counter("module.sync_fetches").Inc()
-	return data, nil
+	return nil
 }
+
+// zeroFill clears p (the tail of a recycled buffer whose previous contents
+// must not masquerade as file data).
+func zeroFill(p []byte) { clear(p) }

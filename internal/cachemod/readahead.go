@@ -202,7 +202,7 @@ func (m *Module) prefetchRange(file blockio.FileID, hint stripeHint, lo, hi int6
 			m.fetchMu.Unlock()
 			continue // a demand fetch or earlier prefetch owns it
 		}
-		st := &fetchState{done: make(chan struct{}), prefetch: true}
+		st := newFetchState(true)
 		m.fetches[key] = st
 		m.fetchMu.Unlock()
 		perIOD[iod] = append(perIOD[iod], claim{key: key, st: st})
@@ -261,20 +261,22 @@ func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockK
 		m.fetchMu.Unlock()
 		for _, st := range states {
 			close(st.done)
+			st.decref() // the prefetcher's hold; no data was published
 		}
 	}
 
-	resp, err := m.data[iod].Call(&wire.ReadBlocks{
+	res := m.data[iod].Call(&wire.ReadBlocks{
 		Client: m.cfg.ClientID,
 		File:   file,
 		Track:  true,
 		Exts:   exts,
 	})
-	if err != nil {
-		publishFail(err)
+	if res.Err != nil {
+		publishFail(res.Err)
 		return
 	}
-	rr, ok := resp.(*wire.ReadBlocksResp)
+	defer res.Release() // response payload is copied per block below
+	rr, ok := res.Msg.(*wire.ReadBlocksResp)
 	if !ok || rr.Status != wire.StatusOK || len(rr.Lens) != len(exts) {
 		publishFail(wire.ErrBadRequest)
 		return
@@ -312,15 +314,18 @@ func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockK
 				}
 				m.fetchMu.Unlock()
 				close(st.done)
+				st.decref()
 				continue
 			}
-			blockData := make([]byte, bs)
-			copy(blockData, data[start:served])
+			// One copy: leased response frame to a pooled whole-block
+			// buffer, which backs the cache install, any fetch joiners,
+			// and the readahead mark — and returns to the pool when the
+			// last of them lets go.
+			blockData, mem := m.getBlock()
+			n := copy(blockData, data[start:served])
+			zeroFill(blockData[n:])
 			m.buf.InstallFetched(key, iod, blockData) // resident bytes outrank the prefetch
-			st.data = blockData
-			m.fetchMu.Lock()
-			delete(m.fetches, key)
-			m.fetchMu.Unlock()
+			m.publishFetched(st, key, blockData, mem)
 			m.raMu.Lock()
 			// The marks are accounting only; evicted-before-hit blocks
 			// leave stale entries behind, so reset rather than grow
@@ -334,7 +339,10 @@ func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockK
 				m.prefetchMarks.Add(1)
 			}
 			m.raMu.Unlock()
-			close(st.done)
+			st.decref() // the prefetcher's hold; joiners keep the block alive
+			if mem != nil {
+				mem.release() // the creator's hold
+			}
 			m.cfg.Registry.Counter("module.prefetch_blocks").Inc()
 		}
 		data = data[served:]

@@ -60,16 +60,26 @@ type pendingOp struct {
 	call  <-chan rpc.Result // passthrough round trip
 }
 
-// pendingRead tracks a read whose missing pieces are in flight. For a
-// vectored request (libpvfs sent a ReadBlocks), result is the extents'
-// data concatenated and lens carries the per-extent byte counts for the
-// response.
+// pendingRead tracks a read whose missing pieces are in flight. Every
+// span of the request resolved its destination slice at classification
+// time: a region of the caller's own buffer on the zero-copy sink path
+// (see SendRead), or of result — the freshly allocated response payload —
+// on the copying path. For a vectored request (libpvfs sent a ReadBlocks)
+// lens carries the per-extent byte counts for the response.
 type pendingRead struct {
-	result  []byte
+	result  []byte // response payload buffer; nil in sink mode
+	sink    bool   // destinations are caller-owned: respond status-only
 	fetches []fetch
 	waits   []spanWait
 	vector  bool
 	lens    []uint32
+}
+
+// tgtSpan is one block span of the request together with the destination
+// it must be copied to.
+type tgtSpan struct {
+	sp  blockio.Span
+	dst []byte
 }
 
 // fetchRun is a run of consecutive missing blocks this process owns: one
@@ -78,7 +88,7 @@ type fetchRun struct {
 	firstIdx int64
 	keys     []blockio.BlockKey
 	states   []*fetchState
-	spans    []blockio.Span // request spans served by this run
+	spans    []tgtSpan // request spans served by this run
 }
 
 // fetch is one network round trip issued for a request's missing blocks:
@@ -93,16 +103,20 @@ type fetch struct {
 // ownedSpan pairs a missing span with the fetch-table entry this process
 // claimed for its block.
 type ownedSpan struct {
-	sp blockio.Span
-	st *fetchState
+	sp  blockio.Span
+	dst []byte
+	st  *fetchState
 }
 
 // spanWait is a span whose block another process (or the prefetcher) is
-// already fetching.
+// already fetching. The waiter holds a fetchState reference (acquired
+// under fetchMu at join time) and must decref exactly once after done.
 type spanWait struct {
-	span blockio.Span
-	st   *fetchState
-	iod  int
+	key blockio.BlockKey
+	off int
+	dst []byte
+	st  *fetchState
+	iod int
 }
 
 // Send implements pvfs.Transport. For reads and writes it runs the cache
@@ -116,9 +130,9 @@ func (t *CachedTransport) Send(iod int, req wire.Message) (pvfs.ReqID, error) {
 	var err error
 	switch r := req.(type) {
 	case *wire.Read:
-		op, err = t.sendRead(iod, r)
+		op, err = t.sendRead(iod, r, nil)
 	case *wire.ReadBlocks:
-		op, err = t.sendVectorRead(iod, r)
+		op, err = t.sendVectorRead(iod, r, nil)
 	case *wire.Write:
 		op, err = t.sendWrite(iod, r)
 	case *wire.SyncWrite:
@@ -133,12 +147,58 @@ func (t *CachedTransport) Send(iod int, req wire.Message) (pvfs.ReqID, error) {
 	if err != nil {
 		return 0, err
 	}
+	return t.register(op), nil
+}
+
+// SendRead implements pvfs.ReadSinker: the zero-copy read entry point.
+// sink carries one destination slice per extent of the request (a single
+// slice for a plain Read), and the FSM scatters every byte — cache hits,
+// fetch joins, fetched runs — directly into them; the Recv response is
+// then status-only. It declines (ok=false, caller falls back to
+// Send/Recv) when zero-copy is disabled, the message is not a read, or
+// the sink does not tile the request.
+func (t *CachedTransport) SendRead(iod int, req wire.Message, sink [][]byte) (pvfs.ReqID, bool, error) {
+	if t.m.cfg.DisableZeroCopy {
+		return 0, false, nil
+	}
+	if iod < 0 || iod >= len(t.m.data) {
+		return 0, false, fmt.Errorf("cachemod: iod index %d out of range", iod)
+	}
+	var op *pendingOp
+	var err error
+	switch r := req.(type) {
+	case *wire.Read:
+		if len(sink) != 1 || int64(len(sink[0])) != r.Length {
+			return 0, false, nil
+		}
+		op, err = t.sendRead(iod, r, sink)
+	case *wire.ReadBlocks:
+		if len(sink) != len(r.Exts) {
+			return 0, false, nil
+		}
+		for i, e := range r.Exts {
+			if int64(len(sink[i])) != e.Length {
+				return 0, false, nil
+			}
+		}
+		op, err = t.sendVectorRead(iod, r, sink)
+	default:
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return t.register(op), true, nil
+}
+
+// register files a pending op and returns its request id.
+func (t *CachedTransport) register(op *pendingOp) pvfs.ReqID {
 	t.mu.Lock()
 	id := t.next
 	t.next++
 	t.pending[id] = op
 	t.mu.Unlock()
-	return id, nil
+	return id
 }
 
 // Recv implements pvfs.Transport: it completes the pending request,
@@ -176,47 +236,56 @@ func (t *CachedTransport) Close() error {
 // --- read path ---
 
 // classifySpan classifies one block span of a read: a cache hit copies
-// into the result buffer now, an in-flight fetch (another process's miss
-// or a prefetch) becomes a join, a global-cache hit is installed
-// immediately, and everything else is an owned miss returned to the
-// caller for fetching.
-func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, pr *pendingRead, owned []ownedSpan) []ownedSpan {
-	dst := pr.result[sp.Pos : sp.Pos+int64(sp.Len)]
+// into dst now, an in-flight fetch (another process's miss or a prefetch)
+// becomes a join, a global-cache hit is installed immediately, and
+// everything else is an owned miss returned to the caller for fetching.
+// dst is the span's destination — a slice of the caller's buffer on the
+// sink path, of the response buffer otherwise.
+func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, dst []byte, pr *pendingRead, owned []ownedSpan) []ownedSpan {
 	if t.m.buf.ReadSpan(sp.Key, sp.Off, dst) {
 		t.m.notePrefetchHit(sp.Key)
 		return owned
 	}
 	t.m.fetchMu.Lock()
 	if st := t.m.fetches[sp.Key]; st != nil {
+		// Join: the data reference must be acquired while the entry is
+		// still in the table, so the owner (who removes it before dropping
+		// its own reference) can never drain the count under us.
+		st.refs.Add(1)
 		t.m.fetchMu.Unlock()
-		pr.waits = append(pr.waits, spanWait{span: sp, st: st, iod: iod})
+		pr.waits = append(pr.waits, spanWait{key: sp.Key, off: sp.Off, dst: dst, st: st, iod: iod})
 		return owned
 	}
-	st := &fetchState{done: make(chan struct{})}
+	st := newFetchState(false)
 	t.m.fetches[sp.Key] = st
 	t.m.fetchMu.Unlock()
 	// Global-cache extension: probe the block's home node before
 	// resorting to the iod.
 	if t.m.gcClient != nil {
+		bs := t.m.buf.BlockSize()
+		data, mem := t.m.getBlock()
 		// A healthy peer always serves a whole block; anything else is a
 		// buggy or hostile response whose bytes must not be installed or
 		// sliced (an oversize block would panic InstallFetched, a short
 		// one the span copy). Fall through to the iod fetch instead.
-		if data, ok := t.m.gcClient.Get(sp.Key); ok && len(data) != t.m.buf.BlockSize() {
+		if n, ok := t.m.gcClient.Get(sp.Key, data); ok && n != bs {
 			t.m.cfg.Registry.Counter("module.gcache_bad_resp").Inc()
 		} else if ok {
 			t.m.buf.InstallFetched(sp.Key, iod, data) // resident bytes outrank the peer copy
 			copy(dst, data[sp.Off:sp.Off+sp.Len])
-			st.data = data
-			t.m.fetchMu.Lock()
-			delete(t.m.fetches, sp.Key)
-			t.m.fetchMu.Unlock()
-			close(st.done)
+			t.m.publishFetched(st, sp.Key, data, mem)
+			st.decref() // the owner's hold; joiners keep the block alive
+			if mem != nil {
+				mem.release() // the creator's hold
+			}
 			t.m.cfg.Registry.Counter("module.gcache_hits").Inc()
 			return owned
 		}
+		if mem != nil {
+			mem.release()
+		}
 	}
-	return append(owned, ownedSpan{sp: sp, st: st})
+	return append(owned, ownedSpan{sp: sp, dst: dst, st: st})
 }
 
 // issueFetches groups the owned miss spans into runs of consecutive block
@@ -240,7 +309,7 @@ func (t *CachedTransport) issueFetches(iod int, file blockio.FileID, owned []own
 		for _, o := range group {
 			run.keys = append(run.keys, o.sp.Key)
 			run.states = append(run.states, o.st)
-			run.spans = append(run.spans, o.sp)
+			run.spans = append(run.spans, tgtSpan{sp: o.sp, dst: o.dst})
 		}
 		runs = append(runs, run)
 		start = end
@@ -344,7 +413,7 @@ func splitRuns(runs []fetchRun, maxBlocks int) []fetchRun {
 			lastIdx := run.keys[end-1].Index
 			// Spans are ordered by block, so a cursor partitions them.
 			spanStart := spanAt
-			for spanAt < len(run.spans) && run.spans[spanAt].Key.Index <= lastIdx {
+			for spanAt < len(run.spans) && run.spans[spanAt].sp.Key.Index <= lastIdx {
 				spanAt++
 			}
 			sub.spans = run.spans[spanStart:spanAt]
@@ -358,15 +427,31 @@ func splitRuns(runs []fetchRun, maxBlocks int) []fetchRun {
 // join on an in-flight fetch, or a miss this process must fetch. All the
 // missing runs of the request leave in one vectored sub-request; a cached
 // block in the middle of the request therefore costs an extent boundary,
-// not an extra round trip.
-func (t *CachedTransport) sendRead(iod int, req *wire.Read) (*pendingOp, error) {
+// not an extra round trip. With a sink (zero-copy path) every span writes
+// straight into the caller's buffer; otherwise a response buffer is
+// allocated and the response carries it.
+func (t *CachedTransport) sendRead(iod int, req *wire.Read, sink [][]byte) (*pendingOp, error) {
+	// The request length is attacker-controlled at this boundary (the same
+	// hostile-allocation guard the iod and the wire decoders apply):
+	// reject anything that could not be framed back in a response before
+	// allocating or spanning it.
+	if req.Offset < 0 || req.Length < 0 || req.Length > wire.MaxMessageSize/2 {
+		return &pendingOp{ready: &wire.ReadResp{Status: wire.StatusBadRequest}}, nil
+	}
 	bs := t.m.buf.BlockSize()
 	spans := blockio.Spans(req.File, req.Offset, req.Length, bs)
-	result := make([]byte, req.Length)
-	pr := &pendingRead{result: result}
+	pr := &pendingRead{}
+	var dstBase []byte
+	if sink != nil {
+		pr.sink = true
+		dstBase = sink[0]
+	} else {
+		pr.result = make([]byte, req.Length)
+		dstBase = pr.result
+	}
 	var owned []ownedSpan // spans whose fetch this process owns
 	for _, sp := range spans {
-		owned = t.classifySpan(iod, sp, pr, owned)
+		owned = t.classifySpan(iod, sp, dstBase[sp.Pos:sp.Pos+int64(sp.Len)], pr, owned)
 	}
 	if err := t.issueFetches(iod, req.File, owned, pr); err != nil {
 		return nil, err
@@ -375,7 +460,7 @@ func (t *CachedTransport) sendRead(iod int, req *wire.Read) (*pendingOp, error) 
 		// Entire request served from the cache: the response is ready now;
 		// libpvfs's receive call will be faked locally.
 		t.m.cfg.Registry.Counter("module.read_full_hits").Inc()
-		return &pendingOp{ready: &wire.ReadResp{Status: wire.StatusOK, Data: result}}, nil
+		return &pendingOp{ready: &wire.ReadResp{Status: wire.StatusOK, Data: pr.result}}, nil
 	}
 	return &pendingOp{read: pr}, nil
 }
@@ -384,17 +469,22 @@ func (t *CachedTransport) sendRead(iod int, req *wire.Read) (*pendingOp, error) 
 // one ReadBlocks per iod when several striping pieces of an operation land
 // on the same daemon. Every extent's spans classify against the cache
 // exactly as a plain read's do, and whatever is missing across all of
-// them leaves in a single vectored sub-request.
-func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks) (*pendingOp, error) {
+// them leaves in a single vectored sub-request. sink, when non-nil,
+// carries one destination slice per extent.
+func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks, sink [][]byte) (*pendingOp, error) {
 	bs := t.m.buf.BlockSize()
 	total, ok := wire.ValidateExtents(req.Exts)
 	if !ok {
 		return &pendingOp{ready: &wire.ReadBlocksResp{Status: wire.StatusBadRequest}}, nil
 	}
 	pr := &pendingRead{
-		result: make([]byte, total),
 		vector: true,
 		lens:   make([]uint32, len(req.Exts)),
+	}
+	if sink != nil {
+		pr.sink = true
+	} else {
+		pr.result = make([]byte, total)
 	}
 	var owned []ownedSpan
 	base := int64(0)
@@ -402,9 +492,14 @@ func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks) (*pendin
 		// The cache serves every requested byte (missing data reads as
 		// zero), so extents complete at full length.
 		pr.lens[i] = uint32(e.Length)
+		var seg []byte
+		if sink != nil {
+			seg = sink[i]
+		} else {
+			seg = pr.result[base : base+e.Length]
+		}
 		for _, sp := range blockio.Spans(req.File, e.Offset, e.Length, bs) {
-			sp.Pos += base // position within the concatenated result
-			owned = t.classifySpan(iod, sp, pr, owned)
+			owned = t.classifySpan(iod, sp, seg[sp.Pos:sp.Pos+int64(sp.Len)], pr, owned)
 		}
 		base += e.Length
 	}
@@ -420,7 +515,8 @@ func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks) (*pendin
 }
 
 // completeRead waits for the pending transfers, installs fetched blocks in
-// the cache, and assembles the response.
+// the cache, and assembles the response (status-only in sink mode: the
+// caller's buffers already hold every byte).
 func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 	var firstErr error
 	for _, f := range pr.fetches {
@@ -432,7 +528,11 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 			}
 			continue
 		}
-		if err := t.fillFromResponse(pr, f, res.Msg); err != nil {
+		err := t.fillFromResponse(pr, f, res.Msg)
+		// The response payload has been copied into the run slabs (or
+		// rejected); its leased frame buffer is dead either way.
+		res.Release()
+		if err != nil {
 			t.abortRuns(f.runs, err)
 			if firstErr == nil {
 				firstErr = err
@@ -441,25 +541,23 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 	}
 	for _, w := range pr.waits {
 		<-w.st.done
-		dst := pr.result[w.span.Pos : w.span.Pos+int64(w.span.Len)]
 		if w.st.err == nil && w.st.data != nil {
-			copy(dst, w.st.data[w.span.Off:w.span.Off+w.span.Len])
+			copy(w.dst, w.st.data[w.off:w.off+len(w.dst)])
+			w.st.decref()
 			t.m.cfg.Registry.Counter("module.fetch_joins").Inc()
 			if w.st.prefetch {
-				t.m.notePrefetchHit(w.span.Key)
+				t.m.notePrefetchHit(w.key)
 			}
 			continue
 		}
+		w.st.decref()
 		// The owner's fetch failed (or a prefetch found no stored data):
 		// fall back to a synchronous fetch of our own.
-		data, err := t.m.fetchBlockSync(w.iod, w.span.Key)
-		if err != nil {
+		if err := t.m.fetchBlockSpan(w.iod, w.key, w.off, w.dst); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-			continue
 		}
-		copy(dst, data[w.span.Off:w.span.Off+w.span.Len])
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -471,10 +569,12 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 }
 
 // fillFromResponse installs a fetch's blocks from its response message,
-// publishes them to waiters, and copies the request's spans into the
-// result buffer. The response must pair with how the fetch was issued: a
+// publishes them to waiters, and copies the request's spans into their
+// destinations. The response must pair with how the fetch was issued: a
 // ReadBlocksResp with one entry per run for a vectored fetch, a ReadResp
-// for a legacy single-run fetch.
+// for a legacy single-run fetch. Validation runs over every run before
+// any run is filled, so a hostile response is rejected whole rather than
+// half-published.
 func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Message) error {
 	switch rr := msg.(type) {
 	case *wire.ReadBlocksResp:
@@ -487,18 +587,20 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 			return fmt.Errorf("cachemod: vectored fetch returned %d extents, want %d", len(rr.Lens), len(f.runs))
 		}
 		bs := t.m.buf.BlockSize()
-		data := rr.Data
 		for i, run := range f.runs {
-			served := int(rr.Lens[i])
 			// Decode guarantees the lengths tile Data, but only the
 			// requester knows what was asked for: an overlong length
 			// would shift every later run's bytes and poison the shared
 			// cache with misattributed data.
-			if served > len(run.keys)*bs {
+			if int(rr.Lens[i]) > len(run.keys)*bs {
 				return fmt.Errorf("cachemod: vectored fetch extent %d overlong (%d > %d)",
-					i, served, len(run.keys)*bs)
+					i, int(rr.Lens[i]), len(run.keys)*bs)
 			}
-			t.fillRun(pr, f.iod, run, data[:served])
+		}
+		data := rr.Data
+		for i, run := range f.runs {
+			served := int(rr.Lens[i])
+			t.fillRun(f.iod, run, data[:served])
 			data = data[served:]
 		}
 		return nil
@@ -511,7 +613,11 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 		if len(f.runs) != 1 {
 			return fmt.Errorf("cachemod: single read response for %d runs", len(f.runs))
 		}
-		t.fillRun(pr, f.iod, f.runs[0], rr.Data)
+		if len(rr.Data) > len(f.runs[0].keys)*t.m.buf.BlockSize() {
+			return fmt.Errorf("cachemod: fetch response overlong (%d bytes for %d blocks)",
+				len(rr.Data), len(f.runs[0].keys))
+		}
+		t.fillRun(f.iod, f.runs[0], rr.Data)
 		return nil
 	default:
 		return fmt.Errorf("cachemod: fetch failed: %v", msg.WireType())
@@ -521,38 +627,52 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 // fillRun slices one run's bytes into blocks, installs each block in the
 // cache (zero-padded: data past what the iod stores reads as zero),
 // publishes them to joined waiters, and copies the run's request spans
-// into the result buffer.
-func (t *CachedTransport) fillRun(pr *pendingRead, iod int, run fetchRun, data []byte) {
+// into their destinations. data aliases the fetch response's leased frame
+// buffer; this is the single copy of the miss path — frame to pooled slab
+// — and everything downstream (cache frame, waiters, global-cache push,
+// span destinations) reads from the slab, which returns to its pool when
+// the last published state's reference drains.
+func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte) {
 	bs := t.m.buf.BlockSize()
 	// One zero-padded slab for the whole run; the published per-block
 	// buffers are read-only slices of it.
-	slab := make([]byte, len(run.keys)*bs)
-	copy(slab, data)
+	slab, mem := t.m.getSlab(len(run.keys) * bs)
+	n := copy(slab, data)
+	if mem != nil {
+		zeroFill(slab[n:])
+	}
 	for i, key := range run.keys {
 		blockData := slab[i*bs : (i+1)*bs]
 		// InstallFetched patches the image with any newer resident bytes
-		// before it reaches the result buffer, the waiters, or the global
+		// before it reaches the destinations, the waiters, or the global
 		// cache — a bare insert would let a partially valid block's
 		// unflushed writes be answered with the iod's stale bytes.
 		t.m.buf.InstallFetched(key, iod, blockData)
 		if t.m.gcClient != nil {
-			// Feed the global cache: the block's home node gets a copy.
+			// Feed the global cache: the block's home node gets a copy
+			// (made before Push returns, so the slab's lifetime is not
+			// extended by the asynchronous push).
 			t.m.gcClient.Push(key, iod, blockData)
 		}
-		st := run.states[i]
-		st.data = blockData
-		t.m.fetchMu.Lock()
-		delete(t.m.fetches, key)
-		t.m.fetchMu.Unlock()
-		close(st.done)
+		t.m.publishFetched(run.states[i], key, blockData, mem)
 	}
-	for _, sp := range run.spans {
-		lo := int(sp.Key.Index-run.firstIdx)*bs + sp.Off
-		copy(pr.result[sp.Pos:sp.Pos+int64(sp.Len)], slab[lo:])
+	for _, ts := range run.spans {
+		lo := int(ts.sp.Key.Index-run.firstIdx)*bs + ts.sp.Off
+		copy(ts.dst, slab[lo:])
+	}
+	// Drop the owner's hold on each state now that the spans are copied;
+	// joined waiters keep the slab alive until they have copied too.
+	for _, st := range run.states {
+		st.decref()
+	}
+	if mem != nil {
+		mem.release() // the creator's hold
 	}
 }
 
 // abortRuns publishes a fetch failure to waiters and clears the table.
+// States already published by a successful fillRun are left untouched;
+// for the rest, the owner's reference is dropped with the close.
 func (t *CachedTransport) abortRuns(runs []fetchRun, err error) {
 	for _, run := range runs {
 		for i, key := range run.keys {
@@ -560,7 +680,6 @@ func (t *CachedTransport) abortRuns(runs []fetchRun, err error) {
 			if st == nil {
 				continue
 			}
-			st.err = err
 			t.m.fetchMu.Lock()
 			if t.m.fetches[key] == st {
 				delete(t.m.fetches, key)
@@ -569,7 +688,9 @@ func (t *CachedTransport) abortRuns(runs []fetchRun, err error) {
 			select {
 			case <-st.done:
 			default:
+				st.err = err
 				close(st.done)
+				st.decref()
 			}
 		}
 	}
@@ -629,10 +750,12 @@ func (t *CachedTransport) writeSpan(iod int, sp blockio.Span, src []byte, deadli
 			st := t.m.fetches[sp.Key]
 			t.m.fetchMu.Unlock()
 			if st != nil {
+				// Wait for the in-flight fetch to land; no data reference
+				// is taken (the retry reads the cache, not st.data).
 				<-st.done
 				continue
 			}
-			if _, err := t.m.fetchBlockSync(iod, sp.Key); err != nil {
+			if err := t.m.fetchBlockSpan(iod, sp.Key, 0, nil); err != nil {
 				// Cannot complete the merge: write this span through.
 				return t.writeThrough(iod, sp, src)
 			}
@@ -650,18 +773,18 @@ func (t *CachedTransport) writeSpan(iod int, sp blockio.Span, src []byte, deadli
 // writeThrough sends one span straight to the iod, bypassing the cache.
 func (t *CachedTransport) writeThrough(iod int, sp blockio.Span, src []byte) error {
 	t.m.cfg.Registry.Counter("module.write_through").Inc()
-	resp, err := t.m.data[iod].Call(&wire.Write{
+	res := t.m.data[iod].Call(&wire.Write{
 		Client: t.m.cfg.ClientID,
 		File:   sp.Key.File,
 		Offset: sp.FileOffset(t.m.buf.BlockSize()),
 		Data:   src,
 	})
-	if err != nil {
-		return err
+	if res.Err != nil {
+		return res.Err
 	}
-	ack, ok := resp.(*wire.WriteAck)
+	ack, ok := res.Msg.(*wire.WriteAck)
 	if !ok {
-		return fmt.Errorf("cachemod: unexpected write-through reply %v", resp.WireType())
+		return fmt.Errorf("cachemod: unexpected write-through reply %v", res.Msg.WireType())
 	}
 	return ack.Status.Err()
 }

@@ -67,6 +67,11 @@ type Config struct {
 	// DisableVector reverts the cache modules to the legacy one-Read-per-
 	// run miss path (ablation benchmarks).
 	DisableVector bool
+	// DisableZeroCopy reverts the cache modules to the copying data path:
+	// response buffers are freshly allocated and copied into the caller's
+	// memory instead of leased from pools and scattered directly (ablation
+	// benchmarks).
+	DisableZeroCopy bool
 	// Registry collects metrics from every component; nil creates one.
 	Registry *metrics.Registry
 }
@@ -161,6 +166,7 @@ func Start(cfg Config) (*Cluster, error) {
 				RPCConns:        cfg.RPCConns,
 				ReadaheadWindow: cfg.ReadaheadWindow,
 				DisableVector:   cfg.DisableVector,
+				DisableZeroCopy: cfg.DisableZeroCopy,
 				Buffer: buffer.Config{
 					BlockSize: cfg.BlockSize,
 					Capacity:  cfg.CacheBlocks,

@@ -116,7 +116,8 @@ func (s *Service) recycle(resp wire.Message) {
 
 // Client queries and feeds the global cache from one node. Peer round
 // trips ride the shared rpc core: one pooled, multiplexed rpc.Client per
-// peer node.
+// peer node. Block copies queued for pushing live in a pool and are
+// recycled once the push round trip completes.
 type Client struct {
 	ring    Ring
 	network transport.Network
@@ -125,10 +126,11 @@ type Client struct {
 	mu    sync.Mutex
 	peers map[int]*rpc.Client
 
-	pushCh chan wire.PeerPut
-	wg     sync.WaitGroup
-	stop   chan struct{}
-	once   sync.Once
+	pushBufs rpc.BufPool
+	pushCh   chan wire.PeerPut
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	once     sync.Once
 }
 
 // NewClient returns a client for the given ring. Pushes are delivered by a
@@ -167,39 +169,48 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// Get fetches a block from its home node's cache. It returns (nil, false)
-// when this node is the home, the home is unreachable, or the home misses.
-func (c *Client) Get(key blockio.BlockKey) ([]byte, bool) {
+// Get fetches a block from its home node's cache into dst and reports the
+// number of payload bytes the peer returned along with whether the get
+// hit. It returns (0, false) when this node is the home, the home is
+// unreachable, or the home misses. A healthy peer always serves a whole
+// block; the caller must validate n against its block size before trusting
+// dst. The peer's response bytes are copied out of their leased frame
+// before this returns, so dst is caller-owned plain memory.
+func (c *Client) Get(key blockio.BlockKey, dst []byte) (n int, ok bool) {
 	home := c.ring.Home(key)
 	if home == c.ring.Self {
-		return nil, false
+		return 0, false
 	}
-	resp, err := c.roundTrip(home, &wire.PeerGet{File: key.File, Index: key.Index})
+	res, err := c.roundTrip(home, &wire.PeerGet{File: key.File, Index: key.Index})
 	if err != nil {
-		return nil, false
+		return 0, false
 	}
-	gr, ok := resp.(*wire.PeerGetResp)
+	defer res.Release()
+	gr, ok := res.Msg.(*wire.PeerGetResp)
 	if !ok || gr.Status != wire.StatusOK {
 		c.reg.Counter("gcache.get_misses").Inc()
-		return nil, false
+		return 0, false
 	}
 	c.reg.Counter("gcache.get_hits").Inc()
-	return gr.Data, true
+	copy(dst, gr.Data)
+	return len(gr.Data), true
 }
 
 // Push asynchronously forwards a freshly fetched block to its home node.
 // Blocks homed at this node are ignored (they are already in the local
-// cache).
+// cache). data is copied into a pooled buffer before Push returns, so the
+// caller may recycle it immediately.
 func (c *Client) Push(key blockio.BlockKey, owner int, data []byte) {
 	home := c.ring.Home(key)
 	if home == c.ring.Self {
 		return
 	}
-	cp := make([]byte, len(data))
+	cp := c.pushBufs.Get(len(data))
 	copy(cp, data)
 	select {
 	case c.pushCh <- wire.PeerPut{File: key.File, Index: key.Index, Owner: uint32(owner), Data: cp}:
 	default:
+		c.pushBufs.Put(cp)
 		c.reg.Counter("gcache.push_dropped").Inc()
 	}
 }
@@ -212,26 +223,28 @@ func (c *Client) pushLoop() {
 			return
 		case put := <-c.pushCh:
 			home := c.ring.Home(blockio.BlockKey{File: put.File, Index: put.Index})
-			if _, err := c.roundTrip(home, &put); err == nil {
+			if res, err := c.roundTrip(home, &put); err == nil {
+				res.Release()
 				c.reg.Counter("gcache.push_tx").Inc()
 			}
+			c.pushBufs.Put(put.Data)
 		}
 	}
 }
 
 // roundTrip performs one synchronous exchange with a peer, retrying once
 // so a stale pooled connection gets one redial before the peer is treated
-// as unreachable.
-func (c *Client) roundTrip(peer int, req wire.Message) (wire.Message, error) {
+// as unreachable. The caller owns the returned result's lease.
+func (c *Client) roundTrip(peer int, req wire.Message) (rpc.Result, error) {
 	rc := c.peerClient(peer)
-	resp, err := rc.Call(req)
-	if err != nil {
-		resp, err = rc.Call(req)
+	res := rc.Call(req)
+	if res.Err != nil {
+		res = rc.Call(req)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("globalcache: peer %d unreachable: %w", peer, err)
+	if res.Err != nil {
+		return rpc.Result{}, fmt.Errorf("globalcache: peer %d unreachable: %w", peer, res.Err)
 	}
-	return resp, nil
+	return res, nil
 }
 
 func (c *Client) peerClient(peer int) *rpc.Client {

@@ -92,18 +92,19 @@ func TestGetServedFromPeer(t *testing.T) {
 	data := bytes.Repeat([]byte{0xAB}, 64)
 	bufs[1].InsertClean(key, 0, data)
 
-	got, ok := clients[0].Get(key)
+	got := make([]byte, 64)
+	n, ok := clients[0].Get(key, got)
 	if !ok {
 		t.Fatal("peer get missed")
 	}
-	if !bytes.Equal(got, data) {
+	if n != 64 || !bytes.Equal(got, data) {
 		t.Fatal("peer get wrong data")
 	}
 }
 
 func TestGetMissesWhenPeerCold(t *testing.T) {
 	_, clients := twoNodeRig(t)
-	if _, ok := clients[0].Get(keyHomedAt(1)); ok {
+	if _, ok := clients[0].Get(keyHomedAt(1), make([]byte, 64)); ok {
 		t.Fatal("cold peer returned a hit")
 	}
 }
@@ -113,7 +114,7 @@ func TestGetSkipsSelfHomedBlocks(t *testing.T) {
 	key := keyHomedAt(0)
 	bufs[0].InsertClean(key, 0, make([]byte, 64))
 	// Node 0 is home: Get must not loop back to itself.
-	if _, ok := clients[0].Get(key); ok {
+	if _, ok := clients[0].Get(key, make([]byte, 64)); ok {
 		t.Fatal("self-homed get should report false")
 	}
 }
@@ -155,7 +156,7 @@ func TestGetUnreachablePeerDegrades(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, ok := c.Get(keyHomedAt(1)); ok {
+	if _, ok := c.Get(keyHomedAt(1), make([]byte, 64)); ok {
 		t.Fatal("unreachable peer returned a hit")
 	}
 }

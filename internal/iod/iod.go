@@ -359,12 +359,12 @@ func (s *Server) sendInvalidate(client uint32, file blockio.FileID, indices []in
 	if err != nil {
 		return err
 	}
-	resp, err := rc.Call(&wire.Invalidate{File: file, Indices: indices})
-	if err != nil {
-		return err
+	res := rc.Call(&wire.Invalidate{File: file, Indices: indices})
+	if res.Err != nil {
+		return res.Err
 	}
-	if _, ok := resp.(*wire.InvalidAck); !ok {
-		return fmt.Errorf("iod %d: unexpected invalidation reply %v", s.id, resp.WireType())
+	if _, ok := res.Msg.(*wire.InvalidAck); !ok {
+		return fmt.Errorf("iod %d: unexpected invalidation reply %v", s.id, res.Msg.WireType())
 	}
 	s.reg.Counter("iod.invalidations").Inc()
 	return nil

@@ -79,13 +79,14 @@ func NewClient(cfg Config) (*Client, error) {
 	return &Client{cfg: cfg, data: data, mgr: mgr, files: make(map[blockio.FileID]*File)}, nil
 }
 
-// mgrCall performs one synchronous metadata round trip.
+// mgrCall performs one synchronous metadata round trip. Metadata replies
+// carry no bulk payload, so the result never holds a lease.
 func (c *Client) mgrCall(req wire.Message) (wire.Message, error) {
-	resp, err := c.mgr.Call(req)
-	if err != nil {
-		return nil, fmt.Errorf("pvfs: mgr call: %w", err)
+	res := c.mgr.Call(req)
+	if res.Err != nil {
+		return nil, fmt.Errorf("pvfs: mgr call: %w", res.Err)
 	}
-	return resp, nil
+	return res.Msg, nil
 }
 
 // Create makes a new file and returns an open handle on it.
@@ -264,7 +265,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	type sentGroup struct {
 		pieces []Piece
 		id     ReqID
+		sunk   bool // response scatters straight into p (zero-copy path)
 	}
+	sinker, canSink := f.client.data.(ReadSinker)
 	var sent []sentGroup
 	for _, iod := range order {
 		for _, grp := range splitVectorGroup(groups[iod]) {
@@ -283,6 +286,24 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 				}
 				req = &wire.ReadBlocks{Client: f.client.cfg.ClientID, File: f.id, Exts: exts}
 			}
+			if canSink {
+				// Zero-copy: hand the transport the destination regions of
+				// the caller's buffer so response bytes land there directly,
+				// with no intermediate result buffer or response payload.
+				sink := make([][]byte, len(grp))
+				for j, pc := range grp {
+					sink[j] = p[pc.Pos : pc.Pos+pc.Ext.Length]
+				}
+				id, ok, err := sinker.SendRead(iod, req, sink)
+				if err != nil {
+					return 0, err
+				}
+				if ok {
+					sent = append(sent, sentGroup{pieces: grp, id: id, sunk: true})
+					continue
+				}
+				// Declined (e.g. zero-copy disabled): fall back to copying.
+			}
 			id, err := f.client.data.Send(iod, req)
 			if err != nil {
 				return 0, err
@@ -291,6 +312,12 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		}
 	}
 	for _, sg := range sent {
+		if sg.sunk {
+			if err := f.recvSunkRead(sg.pieces, sg.id); err != nil {
+				return 0, err
+			}
+			continue
+		}
 		if err := f.recvReadGroup(p, sg.pieces, sg.id); err != nil {
 			return 0, err
 		}
@@ -356,6 +383,30 @@ func splitVectorGroup(grp []Piece) [][]Piece {
 		grp = grp[n:]
 	}
 	return out
+}
+
+// recvSunkRead completes one iod's zero-copy read request: the transport
+// has already scattered every byte into the caller's buffer (data then
+// zeros), so only the status remains to be checked.
+func (f *File) recvSunkRead(grp []Piece, id ReqID) error {
+	resp, err := f.client.data.Recv(id)
+	if err != nil {
+		return err
+	}
+	switch rr := resp.(type) {
+	case *wire.ReadResp:
+		if err := rr.Status.Err(); err != nil {
+			return fmt.Errorf("pvfs: read %q @%d: %w", f.name, grp[0].Ext.Offset, err)
+		}
+		return nil
+	case *wire.ReadBlocksResp:
+		if err := rr.Status.Err(); err != nil {
+			return fmt.Errorf("pvfs: read %q: %w", f.name, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("pvfs: unexpected read reply %v", resp.WireType())
+	}
 }
 
 // recvReadGroup completes one iod's read request and scatters the served

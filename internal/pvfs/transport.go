@@ -52,6 +52,20 @@ type ReadPatternHinter interface {
 	NoteRead(file blockio.FileID, offset, length int64)
 }
 
+// ReadSinker is an optional Transport extension: the zero-copy read path.
+// SendRead issues a read request (a *wire.Read or *wire.ReadBlocks) whose
+// response bytes the transport scatters directly into sink — one
+// caller-owned destination slice per extent of the request, lengths
+// matching — instead of materializing them in a response message. On a
+// successful Recv every sink byte has been filled: served data first, the
+// remainder zeroed (PVFS sparse semantics), and the response message is
+// status-only. The transport may decline a request (ok false, no request
+// issued) — zero-copy disabled, unsupported message, mismatched sink —
+// and the caller then falls back to the plain Send/Recv path.
+type ReadSinker interface {
+	SendRead(iod int, req wire.Message, sink [][]byte) (id ReqID, ok bool, err error)
+}
+
 // DirectTransport sends every request straight to the iods with no
 // caching — the "no caching version" of the paper's experiments — over one
 // pooled, multiplexed rpc client per daemon.
@@ -59,15 +73,22 @@ type DirectTransport struct {
 	clients []*rpc.Client
 
 	mu      sync.Mutex
-	pending map[ReqID]<-chan rpc.Result
+	pending map[ReqID]*directPending
 	next    ReqID
+}
+
+// directPending is one outstanding round trip; sink, when non-nil, holds
+// the caller-owned destinations of a zero-copy read (see SendRead).
+type directPending struct {
+	ch   <-chan rpc.Result
+	sink [][]byte
 }
 
 // NewDirectTransport returns a transport that dials each iod lazily on
 // first use.
 func NewDirectTransport(network transport.Network, iodAddrs []string) *DirectTransport {
 	t := &DirectTransport{
-		pending: make(map[ReqID]<-chan rpc.Result),
+		pending: make(map[ReqID]*directPending),
 		next:    1,
 	}
 	for _, addr := range iodAddrs {
@@ -78,6 +99,23 @@ func NewDirectTransport(network transport.Network, iodAddrs []string) *DirectTra
 
 // Send issues req to the iod and registers the request as outstanding.
 func (t *DirectTransport) Send(iod int, req wire.Message) (ReqID, error) {
+	return t.send(iod, req, nil)
+}
+
+// SendRead implements ReadSinker: the response's payload is copied from
+// its leased frame buffer straight into the sink slices on Recv — no
+// intermediate result buffer exists on this path.
+func (t *DirectTransport) SendRead(iod int, req wire.Message, sink [][]byte) (ReqID, bool, error) {
+	switch req.(type) {
+	case *wire.Read, *wire.ReadBlocks:
+	default:
+		return 0, false, nil
+	}
+	id, err := t.send(iod, req, sink)
+	return id, err == nil, err
+}
+
+func (t *DirectTransport) send(iod int, req wire.Message, sink [][]byte) (ReqID, error) {
 	if iod < 0 || iod >= len(t.clients) {
 		return 0, fmt.Errorf("pvfs: iod index %d out of range (have %d)", iod, len(t.clients))
 	}
@@ -88,7 +126,7 @@ func (t *DirectTransport) Send(iod int, req wire.Message) (ReqID, error) {
 	t.mu.Lock()
 	id := t.next
 	t.next++
-	t.pending[id] = ch
+	t.pending[id] = &directPending{ch: ch, sink: sink}
 	t.mu.Unlock()
 	return id, nil
 }
@@ -96,17 +134,65 @@ func (t *DirectTransport) Send(iod int, req wire.Message) (ReqID, error) {
 // Recv completes the given request, in any order.
 func (t *DirectTransport) Recv(id ReqID) (wire.Message, error) {
 	t.mu.Lock()
-	ch, ok := t.pending[id]
+	p, ok := t.pending[id]
 	delete(t.pending, id)
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("pvfs: unknown request id %d", id)
 	}
-	res := <-ch
+	res := <-p.ch
 	if res.Err != nil {
 		return nil, fmt.Errorf("pvfs: receiving: %w", res.Err)
 	}
-	return res.Msg, nil
+	if p.sink == nil {
+		return res.Msg, nil
+	}
+	defer res.Release()
+	return drainToSink(res.Msg, p.sink)
+}
+
+// drainToSink scatters a read response's payload into the sink slices —
+// served bytes first, the rest zeroed (sparse semantics) — and strips the
+// payload from the returned message: its bytes alias a frame buffer that
+// is released when Recv returns.
+func drainToSink(msg wire.Message, sink [][]byte) (wire.Message, error) {
+	fill := func(dst, data []byte) {
+		n := copy(dst, data)
+		clear(dst[n:])
+	}
+	switch rr := msg.(type) {
+	case *wire.ReadResp:
+		if len(sink) != 1 {
+			return nil, fmt.Errorf("pvfs: single read reply for %d sink extents", len(sink))
+		}
+		if rr.Status == wire.StatusOK {
+			if len(rr.Data) > len(sink[0]) {
+				return nil, fmt.Errorf("pvfs: read reply overlong (%d > %d)", len(rr.Data), len(sink[0]))
+			}
+			fill(sink[0], rr.Data)
+		}
+		rr.Data = nil
+		return rr, nil
+	case *wire.ReadBlocksResp:
+		if rr.Status == wire.StatusOK {
+			if len(rr.Lens) != len(sink) {
+				return nil, fmt.Errorf("pvfs: vectored read reply has %d extents, want %d", len(rr.Lens), len(sink))
+			}
+			data := rr.Data
+			for i, dst := range sink {
+				served := int(rr.Lens[i])
+				if served > len(dst) || served > len(data) {
+					return nil, fmt.Errorf("pvfs: vectored read extent %d overlong (%d > %d)", i, served, len(dst))
+				}
+				fill(dst, data[:served])
+				data = data[served:]
+			}
+		}
+		rr.Data = nil
+		return rr, nil
+	default:
+		return nil, fmt.Errorf("pvfs: unexpected read reply %v", msg.WireType())
+	}
 }
 
 // Close closes every iod client; outstanding requests fail.

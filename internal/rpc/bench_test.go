@@ -36,10 +36,12 @@ func benchCalls(b *testing.B, c *Client) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := c.Call(&wire.Read{Offset: 0, Length: 4096}); err != nil {
-				b.Error(err)
+			res := c.Call(&wire.Read{Offset: 0, Length: 4096})
+			if res.Err != nil {
+				b.Error(res.Err)
 				return
 			}
+			res.Release()
 		}
 	})
 }

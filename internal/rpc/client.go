@@ -17,6 +17,14 @@
 // Server falls back to serial FIFO service on such connections. Client can
 // likewise be configured Untagged to speak the legacy FIFO protocol to an
 // old server.
+//
+// Buffers move zero-copy: requests and responses are decoded with their
+// bulk payload fields aliasing the connection's pooled frame buffer. On
+// the server the frame is released when the Handler returns (handlers
+// consume payloads, never retain them); on the client the frame travels
+// with the Result as a Lease that the consumer releases once the payload
+// bytes are dead. SetLeasePoison enables the debug mode that stamps
+// released buffers so aliasing-after-release bugs surface loudly.
 package rpc
 
 import (
@@ -38,11 +46,19 @@ const DefaultConns = 2
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("rpc: client closed")
 
-// Result is one completed round trip.
+// Result is one completed round trip. Responses are decoded zero-copy:
+// when Msg carries bulk payload bytes (ReadResp.Data and friends), those
+// bytes alias the pooled frame buffer owned by Lease, and the consumer
+// must call Release once they are dead — copy out first, release after.
+// For payload-free responses Lease is nil and Release is a no-op.
 type Result struct {
-	Msg wire.Message
-	Err error
+	Msg   wire.Message
+	Err   error
+	Lease *Lease
 }
+
+// Release recycles the frame buffer backing Msg's payload fields, if any.
+func (r Result) Release() { r.Lease.Release() }
 
 // ClientConfig assembles a Client.
 type ClientConfig struct {
@@ -119,14 +135,14 @@ func (c *Client) Go(req wire.Message) (<-chan Result, error) {
 	return cc.send(req)
 }
 
-// Call is the synchronous form of Go.
-func (c *Client) Call(req wire.Message) (wire.Message, error) {
+// Call is the synchronous form of Go. The caller owns the returned
+// Result's lease (see Result.Release).
+func (c *Client) Call(req wire.Message) Result {
 	ch, err := c.Go(req)
 	if err != nil {
-		return nil, err
+		return Result{Err: err}
 	}
-	res := <-ch
-	return res.Msg, res.Err
+	return <-ch
 }
 
 // pick chooses the pooled connection with the fewest requests in flight.
@@ -264,11 +280,12 @@ func (cc *clientConn) withdrawLocked(tag uint64, ch chan Result) {
 // connection fails or is replaced.
 func (cc *clientConn) readLoop(conn transport.Conn) {
 	for {
-		tag, tagged, msg, err := wire.ReadFrame(conn)
+		tag, tagged, msg, payload, err := wire.ReadFrameAliased(conn)
 		cc.mu.Lock()
 		if cc.conn != conn {
 			// A newer connection replaced this one; stop quietly.
 			cc.mu.Unlock()
+			wire.ReleasePayload(payload)
 			return
 		}
 		if err != nil {
@@ -281,6 +298,7 @@ func (cc *clientConn) readLoop(conn transport.Conn) {
 			if tagged || len(cc.fifo) == 0 {
 				cc.failLocked(fmt.Errorf("rpc: unsolicited %v from %s", msg.WireType(), cc.client.cfg.Addr))
 				cc.mu.Unlock()
+				wire.ReleasePayload(payload)
 				return
 			}
 			ch = cc.fifo[0]
@@ -289,19 +307,21 @@ func (cc *clientConn) readLoop(conn transport.Conn) {
 			if !tagged {
 				cc.failLocked(fmt.Errorf("rpc: untagged %v from tagged peer %s", msg.WireType(), cc.client.cfg.Addr))
 				cc.mu.Unlock()
+				wire.ReleasePayload(payload)
 				return
 			}
 			ch = cc.pending[tag]
 			if ch == nil {
 				cc.failLocked(fmt.Errorf("rpc: unknown response tag %d from %s", tag, cc.client.cfg.Addr))
 				cc.mu.Unlock()
+				wire.ReleasePayload(payload)
 				return
 			}
 			delete(cc.pending, tag)
 		}
 		cc.inflight--
 		cc.mu.Unlock()
-		ch <- Result{Msg: msg}
+		ch <- Result{Msg: msg, Lease: newLease(payload)}
 	}
 }
 

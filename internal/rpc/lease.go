@@ -1,0 +1,45 @@
+package rpc
+
+import (
+	"sync/atomic"
+
+	"pvfscache/internal/wire"
+)
+
+// Lease owns one pooled frame buffer whose bytes a zero-copy-decoded
+// message's payload fields alias (see wire.ReadFrameAliased). Whoever ends
+// up holding the last alias must call Release exactly when that alias
+// dies; the buffer then returns to the frame pool for the next request.
+// Releasing early is the failure mode zero-copy introduces — a recycled
+// buffer would be overwritten under a live alias — so debug builds can
+// enable poison-on-release (SetLeasePoison) to make any such bug read an
+// unmistakable pattern instead of stale-but-plausible bytes.
+type Lease struct {
+	buf      []byte
+	released atomic.Bool
+}
+
+// newLease wraps a payload buffer from wire.ReadFrameAliased; nil buffers
+// (no alias retained) yield a nil lease, whose Release is a no-op.
+func newLease(buf []byte) *Lease {
+	if buf == nil {
+		return nil
+	}
+	return &Lease{buf: buf}
+}
+
+// Release returns the leased frame buffer to the pool. It is idempotent
+// and nil-safe; after the first call every alias into the buffer is dead.
+func (l *Lease) Release() {
+	if l == nil || l.released.Swap(true) {
+		return
+	}
+	wire.ReleasePayload(l.buf)
+}
+
+// SetLeasePoison toggles the lease protocol's debug mode: every released
+// frame buffer is overwritten with wire.PoisonByte before recycling, so a
+// payload alias used after its lease was released reads poison (and the
+// race detector flags the concurrent reuse). Tests enable it around
+// zero-copy lifetime storms.
+func SetLeasePoison(on bool) { wire.SetPoisonReleased(on) }

@@ -35,7 +35,9 @@ func echoed(t *testing.T, res Result) int64 {
 	if !ok {
 		t.Fatalf("unexpected reply %v", res.Msg.WireType())
 	}
-	return int64(binary.BigEndian.Uint64(rr.Data))
+	v := int64(binary.BigEndian.Uint64(rr.Data))
+	res.Release() // rr.Data aliases the leased frame; dead after decoding
+	return v
 }
 
 func startServer(t *testing.T, net transport.Network, h Handler, cfg ServerConfig) (*Server, string) {
@@ -112,11 +114,11 @@ func TestConnectionPoolReuse(t *testing.T) {
 	c := NewClient(ClientConfig{Network: net, Addr: addr, Conns: 2})
 	defer c.Close()
 	for i := 0; i < 32; i++ {
-		resp, err := c.Call(&wire.Read{Offset: int64(i)})
-		if err != nil {
-			t.Fatal(err)
+		res := c.Call(&wire.Read{Offset: int64(i)})
+		if res.Err != nil {
+			t.Fatal(res.Err)
 		}
-		if rr := resp.(*wire.ReadResp); int64(binary.BigEndian.Uint64(rr.Data)) != int64(i) {
+		if got := echoed(t, res); got != int64(i) {
 			t.Fatalf("call %d: wrong echo", i)
 		}
 	}
@@ -139,8 +141,10 @@ func TestRedialAfterPeerCrash(t *testing.T) {
 
 	c := NewClient(ClientConfig{Network: mem, Addr: "peer", Conns: 2})
 	defer c.Close()
-	if _, err := c.Call(&wire.Read{Offset: 1}); err != nil {
-		t.Fatal(err)
+	if res := c.Call(&wire.Read{Offset: 1}); res.Err != nil {
+		t.Fatal(res.Err)
+	} else {
+		res.Release()
 	}
 
 	// Crash: close the listener and every server-side connection.
@@ -151,7 +155,9 @@ func TestRedialAfterPeerCrash(t *testing.T) {
 	// pool drains), and must NOT hang.
 	failed := false
 	for i := 0; i < 10; i++ {
-		if _, err := c.Call(&wire.Read{Offset: 2}); err != nil {
+		res := c.Call(&wire.Read{Offset: 2})
+		res.Release()
+		if res.Err != nil {
 			failed = true
 			break
 		}
@@ -171,12 +177,12 @@ func TestRedialAfterPeerCrash(t *testing.T) {
 
 	var lastErr error
 	for i := 0; i < 10; i++ {
-		resp, err := c.Call(&wire.Read{Offset: 3})
-		if err != nil {
-			lastErr = err
+		res := c.Call(&wire.Read{Offset: 3})
+		if res.Err != nil {
+			lastErr = res.Err
 			continue
 		}
-		if rr := resp.(*wire.ReadResp); int64(binary.BigEndian.Uint64(rr.Data)) != 3 {
+		if got := echoed(t, res); got != 3 {
 			t.Fatal("wrong echo after redial")
 		}
 		return
@@ -239,7 +245,7 @@ func TestHandlerNilClosesConnection(t *testing.T) {
 	_, addr := startServer(t, net, echoHandler(), ServerConfig{})
 	c := NewClient(ClientConfig{Network: net, Addr: addr, Conns: 1})
 	defer c.Close()
-	if _, err := c.Call(&wire.Stat{File: 1}); err == nil {
+	if res := c.Call(&wire.Stat{File: 1}); res.Err == nil {
 		t.Fatal("expected error for message the handler rejects")
 	}
 }
@@ -254,8 +260,10 @@ func TestConcurrentStress(t *testing.T) {
 		if !ok {
 			return nil
 		}
-		// Echo the payload back so callers can verify routing.
-		return &wire.ReadResp{Status: wire.StatusOK, Data: w.Data}
+		// Echo the payload back so callers can verify routing. The request
+		// payload aliases the connection's frame buffer and is released
+		// when Handle returns, so the echo must be a copy.
+		return &wire.ReadResp{Status: wire.StatusOK, Data: append([]byte(nil), w.Data...)}
 	})
 	_, addr := startServer(t, net, h, ServerConfig{Concurrency: 4})
 	c := NewClient(ClientConfig{Network: net, Addr: addr, Conns: 3})
@@ -275,16 +283,95 @@ func TestConcurrentStress(t *testing.T) {
 			for i := 0; i < calls; i++ {
 				binary.BigEndian.PutUint32(payload[0:4], uint32(g))
 				binary.BigEndian.PutUint64(payload[4:12], uint64(i))
-				resp, err := c.Call(&wire.Write{Offset: int64(i), Data: payload})
-				if err != nil {
-					errs <- fmt.Errorf("goroutine %d call %d: %w", g, i, err)
+				res := c.Call(&wire.Write{Offset: int64(i), Data: payload})
+				if res.Err != nil {
+					errs <- fmt.Errorf("goroutine %d call %d: %w", g, i, res.Err)
 					return
 				}
-				rr, ok := resp.(*wire.ReadResp)
+				rr, ok := res.Msg.(*wire.ReadResp)
 				if !ok || !bytes.Equal(rr.Data, payload) {
 					errs <- fmt.Errorf("goroutine %d call %d: response routed to wrong caller", g, i)
 					return
 				}
+				res.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLeasePoisonRoundTrips drives the complete leased-buffer cycle with
+// poison-on-release enabled: the server builds responses in pooled
+// buffers recycled by AfterWrite after the vectored frame write, the
+// client decodes them zero-copy into leased frames and releases after
+// verification. Any buffer recycled while still aliased — on either side
+// — surfaces as a poisoned or cross-request byte in the verification, and
+// as a data race under -race.
+func TestLeasePoisonRoundTrips(t *testing.T) {
+	SetLeasePoison(true)
+	defer SetLeasePoison(false)
+
+	net := transport.NewMem()
+	var pool BufPool
+	h := HandlerFunc(func(m wire.Message) wire.Message {
+		r, ok := m.(*wire.Read)
+		if !ok {
+			return nil
+		}
+		// An 8 KB pooled response stamped with a per-request byte, large
+		// enough that the vectored (scatter-gather) encoder engages.
+		data := pool.Get(8 << 10)
+		fill := byte(r.Offset)
+		if fill == wire.PoisonByte {
+			fill ^= 0x55
+		}
+		for i := range data {
+			data[i] = fill
+		}
+		return &wire.ReadResp{Status: wire.StatusOK, Data: data}
+	})
+	_, addr := startServer(t, net, h, ServerConfig{
+		Concurrency: 4,
+		AfterWrite: func(resp wire.Message) {
+			if rr, ok := resp.(*wire.ReadResp); ok {
+				pool.Put(rr.Data)
+			}
+		},
+	})
+	c := NewClient(ClientConfig{Network: net, Addr: addr, Conns: 2})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				off := int64(g*100 + i)
+				res := c.Call(&wire.Read{Offset: off})
+				if res.Err != nil {
+					errs <- res.Err
+					return
+				}
+				rr := res.Msg.(*wire.ReadResp)
+				want := byte(off)
+				if want == wire.PoisonByte {
+					want ^= 0x55
+				}
+				for j, b := range rr.Data {
+					if b != want {
+						errs <- fmt.Errorf("goroutine %d call %d: byte %d = %#x, want %#x (recycled under a live alias?)",
+							g, i, j, b, want)
+						res.Release()
+						return
+					}
+				}
+				res.Release()
 			}
 		}(g)
 	}
@@ -322,15 +409,16 @@ func TestLargeFramesNoDeadlock(t *testing.T) {
 				defer wg.Done()
 				payload := make([]byte, 128<<10)
 				for i := 0; i < 4; i++ {
-					resp, err := c.Call(&wire.Write{Data: payload})
-					if err != nil {
-						t.Error(err)
+					res := c.Call(&wire.Write{Data: payload})
+					if res.Err != nil {
+						t.Error(res.Err)
 						return
 					}
-					if rr := resp.(*wire.ReadResp); len(rr.Data) != len(payload) {
+					if rr := res.Msg.(*wire.ReadResp); len(rr.Data) != len(payload) {
 						t.Error("short echo")
 						return
 					}
+					res.Release()
 				}
 			}()
 		}

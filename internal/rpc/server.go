@@ -15,6 +15,12 @@ const DefaultConcurrency = 8
 // Handler serves one request. Returning nil closes the connection: it
 // marks a message the handler does not speak, which on a request/response
 // stream is protocol corruption.
+//
+// Requests are decoded zero-copy: bulk payload fields (Write.Data, flush
+// block data, ...) alias the connection's pooled frame buffer, which the
+// server recycles as soon as Handle returns. A handler must therefore
+// consume payload bytes before returning (copy them, write them to a
+// store) and never retain them.
 type Handler interface {
 	Handle(req wire.Message) wire.Message
 }
@@ -133,12 +139,16 @@ func (s *Server) serveConn(conn transport.Conn) {
 	defer workers.Wait()
 	defer conn.Close()
 	for {
-		tag, tagged, msg, err := wire.ReadFrame(conn)
+		// Zero-copy request decode: the message's payload fields alias
+		// payload, released as soon as the handler has consumed them (the
+		// Handler contract forbids retaining request bytes past Handle).
+		tag, tagged, msg, payload, err := wire.ReadFrameAliased(conn)
 		if err != nil {
 			return
 		}
 		if !tagged {
 			resp := s.h.Handle(msg)
+			wire.ReleasePayload(payload)
 			if resp == nil {
 				return
 			}
@@ -158,10 +168,11 @@ func (s *Server) serveConn(conn transport.Conn) {
 		}
 		sem <- struct{}{}
 		workers.Add(1)
-		go func(tag uint64, msg wire.Message) {
+		go func(tag uint64, msg wire.Message, payload []byte) {
 			defer workers.Done()
 			defer func() { <-sem }()
 			resp := s.h.Handle(msg)
+			wire.ReleasePayload(payload)
 			if resp == nil {
 				conn.Close() // protocol error: unblock the read loop
 				return
@@ -176,6 +187,6 @@ func (s *Server) serveConn(conn transport.Conn) {
 			if s.cfg.AfterWrite != nil {
 				s.cfg.AfterWrite(resp)
 			}
-		}(tag, msg)
+		}(tag, msg, payload)
 	}
 }

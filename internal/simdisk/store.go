@@ -46,6 +46,9 @@ func (s *Store) file(id blockio.FileID, create bool) *fileData {
 }
 
 // WriteAt stores p at offset off of the file, growing it as needed.
+// Growth doubles capacity, so a sequential stream of extending writes —
+// the flusher's steady state — costs amortized O(1) reallocations rather
+// than re-copying the whole file per write.
 func (s *Store) WriteAt(id blockio.FileID, off int64, p []byte) {
 	if len(p) == 0 {
 		return
@@ -55,9 +58,21 @@ func (s *Store) WriteAt(id blockio.FileID, off int64, p []byte) {
 	defer f.mu.Unlock()
 	end := off + int64(len(p))
 	if int64(len(f.data)) < end {
-		grown := make([]byte, end)
-		copy(grown, f.data)
-		f.data = grown
+		if int64(cap(f.data)) >= end {
+			// Capacity reserved by an earlier growth: the extension bytes
+			// were zeroed when the backing array was allocated and are
+			// untouched since (data never shrinks), so sparse reads of the
+			// gap stay zero.
+			f.data = f.data[:end]
+		} else {
+			newCap := int64(2 * cap(f.data))
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.data)
+			f.data = grown
+		}
 	}
 	copy(f.data[off:end], p)
 }

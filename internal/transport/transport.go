@@ -186,16 +186,23 @@ func Pipe() (Conn, Conn) {
 
 const pipeBufSize = 64 << 10
 
-// half is one direction of a pipe: a bounded byte queue.
+// half is one direction of a pipe: a bounded byte queue over a single
+// fixed backing array. buf is the window of unread bytes within arr; it
+// slides forward as the reader drains and snaps back to the start of arr
+// whenever it empties (or is compacted when a write needs the freed
+// prefix), so steady-state traffic never allocates — one 64 KB array
+// serves the connection for its lifetime, like a real socket buffer.
 type half struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    []byte
+	arr    []byte // backing storage, allocated once
+	buf    []byte // unread bytes: a subslice of arr
 	closed bool
 }
 
 func newHalf() *half {
-	h := &half{}
+	h := &half{arr: make([]byte, pipeBufSize)}
+	h.buf = h.arr[:0]
 	h.cond = sync.NewCond(&h.mu)
 	return h
 }
@@ -215,6 +222,12 @@ func (h *half) write(p []byte) (int, error) {
 		n := len(p)
 		if n > room {
 			n = room
+		}
+		if cap(h.buf)-len(h.buf) < n {
+			// The unread window sits too far into arr to hold n more
+			// bytes: slide it back to the start (overlap-safe copy).
+			m := copy(h.arr, h.buf)
+			h.buf = h.arr[:m]
 		}
 		h.buf = append(h.buf, p[:n]...)
 		h.cond.Broadcast()
@@ -236,6 +249,9 @@ func (h *half) read(p []byte) (int, error) {
 	}
 	n := copy(p, h.buf)
 	h.buf = h.buf[n:]
+	if len(h.buf) == 0 {
+		h.buf = h.arr[:0] // empty: recycle the array from the top
+	}
 	h.cond.Broadcast()
 	return n, nil
 }

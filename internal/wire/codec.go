@@ -10,10 +10,16 @@ import (
 // errTruncated reports a payload shorter than its declared fields.
 var errTruncated = errors.New("truncated payload")
 
-// reader is a cursor over a message payload.
+// reader is a cursor over a message payload. In alias mode (zero-copy
+// decode, see ReadFrameAliased) bulk byte fields are returned as subslices
+// of buf instead of copies, and aliased records whether any such subslice
+// was actually handed out — if none was, the payload buffer can be
+// recycled immediately.
 type reader struct {
-	buf []byte
-	pos int
+	buf     []byte
+	pos     int
+	alias   bool
+	aliased bool
 }
 
 func (r *reader) u8() (byte, error) {
@@ -81,15 +87,33 @@ func (r *reader) bytes() ([]byte, error) {
 	if r.pos+int(n) > len(r.buf) {
 		return nil, errTruncated
 	}
+	if r.alias && n > 0 {
+		// Zero-copy: alias the payload buffer. Full slice expression so an
+		// append by the consumer cannot scribble over the next field.
+		v := r.buf[r.pos : r.pos+int(n) : r.pos+int(n)]
+		r.pos += int(n)
+		r.aliased = true
+		return v, nil
+	}
 	v := make([]byte, n)
 	copy(v, r.buf[r.pos:r.pos+int(n)])
 	r.pos += int(n)
 	return v, nil
 }
 
+// str reads a length-prefixed string. The string conversion always copies,
+// so it never aliases the payload buffer even in alias mode.
 func (r *reader) str() (string, error) {
-	b, err := r.bytes()
-	return string(b), err
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+int(n) > len(r.buf) {
+		return "", errTruncated
+	}
+	v := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return v, nil
 }
 
 func (r *reader) bool() (bool, error) {
@@ -322,10 +346,14 @@ func (m *Read) decode(r *reader) error {
 	return err
 }
 
-func (m *ReadResp) append(b []byte) []byte {
+func (m *ReadResp) appendHead(b []byte) []byte {
 	b = apU16(b, uint16(m.Status))
-	return apBytes(b, m.Data)
+	return apU32(b, uint32(len(m.Data)))
 }
+
+func (m *ReadResp) tail() []byte { return m.Data }
+
+func (m *ReadResp) append(b []byte) []byte { return append(m.appendHead(b), m.Data...) }
 
 func (m *ReadResp) decode(r *reader) error {
 	s, err := r.u16()
@@ -337,12 +365,16 @@ func (m *ReadResp) decode(r *reader) error {
 	return err
 }
 
-func (m *Write) append(b []byte) []byte {
+func (m *Write) appendHead(b []byte) []byte {
 	b = apU32(b, m.Client)
 	b = apU64(b, uint64(m.File))
 	b = apI64(b, m.Offset)
-	return apBytes(b, m.Data)
+	return apU32(b, uint32(len(m.Data)))
 }
+
+func (m *Write) tail() []byte { return m.Data }
+
+func (m *Write) append(b []byte) []byte { return append(m.appendHead(b), m.Data...) }
 
 func (m *Write) decode(r *reader) error {
 	var err error
@@ -369,12 +401,16 @@ func (m *WriteAck) decode(r *reader) error {
 	return err
 }
 
-func (m *SyncWrite) append(b []byte) []byte {
+func (m *SyncWrite) appendHead(b []byte) []byte {
 	b = apU32(b, m.Client)
 	b = apU64(b, uint64(m.File))
 	b = apI64(b, m.Offset)
-	return apBytes(b, m.Data)
+	return apU32(b, uint32(len(m.Data)))
 }
+
+func (m *SyncWrite) tail() []byte { return m.Data }
+
+func (m *SyncWrite) append(b []byte) []byte { return append(m.appendHead(b), m.Data...) }
 
 func (m *SyncWrite) decode(r *reader) error {
 	var err error
@@ -512,10 +548,14 @@ func (m *PeerGet) decode(r *reader) error {
 	return err
 }
 
-func (m *PeerGetResp) append(b []byte) []byte {
+func (m *PeerGetResp) appendHead(b []byte) []byte {
 	b = apU16(b, uint16(m.Status))
-	return apBytes(b, m.Data)
+	return apU32(b, uint32(len(m.Data)))
 }
+
+func (m *PeerGetResp) tail() []byte { return m.Data }
+
+func (m *PeerGetResp) append(b []byte) []byte { return append(m.appendHead(b), m.Data...) }
 
 func (m *PeerGetResp) decode(r *reader) error {
 	s, err := r.u16()

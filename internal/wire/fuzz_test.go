@@ -94,12 +94,30 @@ func FuzzDecode(f *testing.F) {
 		0, 0, 0, 0, 0, 0, 0, 7, 0xFF, 0xFF, 0xFF, 0xFF}) // count 2^32-1
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tag, tagged, m, err := ReadFrame(bytes.NewReader(data))
+		// The zero-copy decoder must accept and reject exactly the same
+		// frames as the copying one, and decode to the same message.
+		ztag, ztagged, zm, payload, zerr := ReadFrameAliased(bytes.NewReader(data))
+		if (err == nil) != (zerr == nil) {
+			t.Fatalf("decode modes disagree: copying err %v, aliased err %v", err, zerr)
+		}
 		if err != nil {
 			return // rejected cleanly; not panicking is the property
 		}
+		if ztag != tag || ztagged != tagged || zm.WireType() != m.WireType() {
+			t.Fatalf("aliased decode header diverged: %d/%v/%v vs %d/%v/%v",
+				tag, tagged, m.WireType(), ztag, ztagged, zm.WireType())
+		}
+		zenc, err := encodeFrame(ztag, ztagged, zm)
+		if err != nil {
+			t.Fatalf("aliased-decoded %v does not re-encode: %v", zm.WireType(), err)
+		}
+		ReleasePayload(payload)
 		enc1, err := encodeFrame(tag, tagged, m)
 		if err != nil {
 			t.Fatalf("decoded %v does not re-encode: %v", m.WireType(), err)
+		}
+		if !bytes.Equal(enc1, zenc) {
+			t.Fatalf("%v: aliased decode diverged from copying decode", m.WireType())
 		}
 		tag2, tagged2, m2, err := ReadFrame(bytes.NewReader(enc1))
 		if err != nil {

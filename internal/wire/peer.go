@@ -27,12 +27,16 @@ const (
 func (*PeerPut) WireType() Type    { return TPeerPut }
 func (*PeerPutAck) WireType() Type { return TPeerPutAck }
 
-func (m *PeerPut) append(b []byte) []byte {
+func (m *PeerPut) appendHead(b []byte) []byte {
 	b = apU64(b, uint64(m.File))
 	b = apI64(b, m.Index)
 	b = apU32(b, m.Owner)
-	return apBytes(b, m.Data)
+	return apU32(b, uint32(len(m.Data)))
 }
+
+func (m *PeerPut) tail() []byte { return m.Data }
+
+func (m *PeerPut) append(b []byte) []byte { return append(m.appendHead(b), m.Data...) }
 
 func (m *PeerPut) decode(r *reader) error {
 	f, err := r.u64()

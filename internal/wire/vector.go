@@ -107,14 +107,18 @@ func (m *ReadBlocks) decode(r *reader) error {
 	return nil
 }
 
-func (m *ReadBlocksResp) append(b []byte) []byte {
+func (m *ReadBlocksResp) appendHead(b []byte) []byte {
 	b = apU16(b, uint16(m.Status))
 	b = apU32(b, uint32(len(m.Lens)))
 	for _, n := range m.Lens {
 		b = apU32(b, n)
 	}
-	return apBytes(b, m.Data)
+	return apU32(b, uint32(len(m.Data)))
 }
+
+func (m *ReadBlocksResp) tail() []byte { return m.Data }
+
+func (m *ReadBlocksResp) append(b []byte) []byte { return append(m.appendHead(b), m.Data...) }
 
 func (m *ReadBlocksResp) decode(r *reader) error {
 	s, err := r.u16()

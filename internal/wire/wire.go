@@ -30,7 +30,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+	"sync/atomic"
 
 	"pvfscache/internal/blockio"
 )
@@ -491,6 +493,36 @@ func putPayloadBuf(b []byte) {
 	}
 }
 
+// poisonPayloads, when set, overwrites every payload buffer released via
+// ReleasePayload with PoisonByte before recycling it. Tests enable it so
+// an alias that outlives its lease reads an obvious poison pattern (and
+// trips the race detector on concurrent reuse) instead of silently reading
+// stale-but-plausible bytes.
+var poisonPayloads atomic.Bool
+
+// PoisonByte is the fill pattern SetPoisonReleased stamps over released
+// payload buffers.
+const PoisonByte = 0xDB
+
+// SetPoisonReleased toggles poison-on-release for payload buffers (debug
+// mode for the zero-copy lease protocol; see rpc.Lease).
+func SetPoisonReleased(on bool) { poisonPayloads.Store(on) }
+
+// ReleasePayload recycles a payload buffer obtained from ReadFrameAliased.
+// It must be called exactly once, after every alias into the buffer is
+// dead. Nil is a no-op.
+func ReleasePayload(b []byte) {
+	if b == nil {
+		return
+	}
+	if poisonPayloads.Load() {
+		for i := range b {
+			b[i] = PoisonByte
+		}
+	}
+	putPayloadBuf(b)
+}
+
 // appendFrame encodes a frame (tagged when tagged is true) onto b.
 func appendFrame(b []byte, tag uint64, tagged bool, m Message) ([]byte, error) {
 	start := len(b)
@@ -512,7 +544,32 @@ func appendFrame(b []byte, tag uint64, tagged bool, m Message) ([]byte, error) {
 	return b, nil
 }
 
+// dataTail is implemented by messages whose encoding is a fixed head
+// followed by one bulk payload as the final field (ReadResp,
+// ReadBlocksResp, Write, SyncWrite, PeerGet/PeerPut responses). writeFrame
+// writes the tail straight from the message's own buffer — a writev on
+// TCP, two pipe writes in memory — instead of copying it into the frame
+// buffer first.
+type dataTail interface {
+	Message
+	// appendHead encodes the payload up to and including the tail's length
+	// prefix.
+	appendHead(b []byte) []byte
+	// tail returns the bulk payload written after the head.
+	tail() []byte
+}
+
+// minVecTail is the smallest payload tail worth a scatter-gather write;
+// below it, one copy into the frame buffer is cheaper than a second write
+// on the transport.
+const minVecTail = 1 << 10
+
 func writeFrame(w io.Writer, tag uint64, tagged bool, m Message) error {
+	if dt, ok := m.(dataTail); ok {
+		if t := dt.tail(); len(t) >= minVecTail {
+			return writeFrameVec(w, tag, tagged, dt, t)
+		}
+	}
 	buf := framePool.Get().([]byte)
 	frame, err := appendFrame(buf, tag, tagged, m)
 	if err != nil {
@@ -521,6 +578,35 @@ func writeFrame(w io.Writer, tag uint64, tagged bool, m Message) error {
 	}
 	_, err = w.Write(frame)
 	putFrameBuf(frame)
+	return err
+}
+
+// writeFrameVec writes header+head from a small pooled buffer and the bulk
+// tail directly from the message's buffer, so a response's payload is
+// never copied into a frame. Callers serialize writes per connection
+// (rpc's per-connection write locks), so the two segments cannot
+// interleave with another frame.
+func writeFrameVec(w io.Writer, tag uint64, tagged bool, m dataTail, tail []byte) error {
+	buf := framePool.Get().([]byte)
+	b := append(buf, 0, 0, 0, 0) // length placeholder
+	b = apU16(b, uint16(m.WireType()))
+	if tagged {
+		b = apU64(b, tag)
+	}
+	b = m.appendHead(b)
+	size := len(b) - 4 + len(tail)
+	if size > MaxMessageSize {
+		putFrameBuf(b)
+		return ErrTooLarge
+	}
+	word := uint32(size)
+	if tagged {
+		word |= tagBit
+	}
+	binary.BigEndian.PutUint32(b[0:4], word)
+	bufs := net.Buffers{b, tail}
+	_, err := bufs.WriteTo(w)
+	putFrameBuf(b)
 	return err
 }
 
@@ -549,11 +635,27 @@ func ReadMessage(r io.Reader) (Message, error) {
 }
 
 // ReadFrame reads one framed message from r, accepting both the untagged
-// and the tagged format, and reports which one arrived.
+// and the tagged format, and reports which one arrived. Every
+// variable-length field of the returned message is an independent copy.
 func ReadFrame(r io.Reader) (tag uint64, tagged bool, m Message, err error) {
+	tag, tagged, m, _, err = readFrame(r, false)
+	return tag, tagged, m, err
+}
+
+// ReadFrameAliased is ReadFrame in zero-copy mode: bulk payload fields of
+// the decoded message (ReadResp.Data, Write.Data, flush block data, peer
+// block data, ...) alias the returned payload buffer instead of being
+// copied out of it. The caller owns payload and must pass it to
+// ReleasePayload exactly once, after every alias is dead; payload is nil
+// when the message kept no alias (the buffer was recycled internally).
+func ReadFrameAliased(r io.Reader) (tag uint64, tagged bool, m Message, payload []byte, err error) {
+	return readFrame(r, true)
+}
+
+func readFrame(r io.Reader, alias bool) (tag uint64, tagged bool, m Message, retained []byte, err error) {
 	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, false, nil, err
+		return 0, false, nil, nil, err
 	}
 	word := binary.BigEndian.Uint32(hdr[0:4])
 	tagged = word&tagBit != 0
@@ -563,13 +665,13 @@ func ReadFrame(r io.Reader) (tag uint64, tagged bool, m Message, err error) {
 		min = 2 + 8
 	}
 	if size < min || size > MaxMessageSize {
-		return 0, false, nil, ErrTooLarge
+		return 0, false, nil, nil, ErrTooLarge
 	}
 	t := Type(binary.BigEndian.Uint16(hdr[4:6]))
 	if tagged {
 		var tb [8]byte
 		if _, err := io.ReadFull(r, tb[:]); err != nil {
-			return 0, false, nil, err
+			return 0, false, nil, nil, err
 		}
 		tag = binary.BigEndian.Uint64(tb[:])
 	}
@@ -581,24 +683,29 @@ func ReadFrame(r io.Reader) (tag uint64, tagged bool, m Message, err error) {
 	payload = payload[:plen]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		putPayloadBuf(payload)
-		return 0, false, nil, err
+		return 0, false, nil, nil, err
 	}
 	m = New(t)
 	if m == nil {
 		putPayloadBuf(payload)
-		return 0, false, nil, fmt.Errorf("wire: unknown message type 0x%04x", uint16(t))
+		return 0, false, nil, nil, fmt.Errorf("wire: unknown message type 0x%04x", uint16(t))
 	}
-	rd := &reader{buf: payload}
+	rd := &reader{buf: payload, alias: alias}
 	derr := m.decode(rd)
 	trailing := len(rd.buf) - rd.pos
-	putPayloadBuf(payload) // decode copies all variable-length fields
+	if derr != nil || trailing != 0 || !rd.aliased {
+		// Nothing in the message aliases the buffer (or the message is
+		// rejected): recycle it now.
+		putPayloadBuf(payload)
+		payload = nil
+	}
 	if derr != nil {
-		return 0, false, nil, fmt.Errorf("wire: decoding %v: %w", t, derr)
+		return 0, false, nil, nil, fmt.Errorf("wire: decoding %v: %w", t, derr)
 	}
 	if trailing != 0 {
-		return 0, false, nil, fmt.Errorf("wire: %d trailing bytes after %v", trailing, t)
+		return 0, false, nil, nil, fmt.Errorf("wire: %d trailing bytes after %v", trailing, t)
 	}
-	return tag, tagged, m, nil
+	return tag, tagged, m, payload, nil
 }
 
 // Marshal returns the framed encoding of m (header plus payload). It is

@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"pvfscache/internal/blockio"
+)
+
+// TestVectoredEncodeMatchesCopyingEncode checks that the scatter-gather
+// frame writer (head + payload tail) produces byte-identical frames to
+// the copying encoder for every dataTail message, at sizes straddling the
+// minVecTail threshold.
+func TestVectoredEncodeMatchesCopyingEncode(t *testing.T) {
+	sizes := []int{0, 1, minVecTail - 1, minVecTail, minVecTail + 1, 64 << 10}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 31)
+		}
+		msgs := []Message{
+			&ReadResp{Status: StatusOK, Data: data},
+			&ReadBlocksResp{Status: StatusOK, Lens: []uint32{uint32(n)}, Data: data},
+			&Write{Client: 7, File: 3, Offset: 99, Data: data},
+			&SyncWrite{Client: 7, File: 3, Offset: 99, Data: data},
+			&PeerGetResp{Status: StatusOK, Data: data},
+			&PeerPut{File: 3, Index: 5, Owner: 2, Data: data},
+		}
+		for _, m := range msgs {
+			var vec bytes.Buffer
+			if err := WriteTagged(&vec, 42, m); err != nil {
+				t.Fatalf("%v (%d bytes): %v", m.WireType(), n, err)
+			}
+			// Reference: the copying encoder via appendFrame.
+			ref, err := appendFrame(nil, 42, true, m)
+			if err != nil {
+				t.Fatalf("%v (%d bytes): %v", m.WireType(), n, err)
+			}
+			if !bytes.Equal(vec.Bytes(), ref) {
+				t.Fatalf("%v (%d bytes): vectored frame differs from copying frame", m.WireType(), n)
+			}
+		}
+	}
+}
+
+// TestAliasedDecodeMatchesCopyingDecode round-trips every data-carrying
+// message through both decode modes and checks they agree, that the
+// aliased form really aliases the returned payload buffer, and that
+// payload-free messages retain nothing.
+func TestAliasedDecodeMatchesCopyingDecode(t *testing.T) {
+	data := bytes.Repeat([]byte{0xC4, 0x11, 0x7E}, 1500)
+	aliasing := []Message{
+		&ReadResp{Status: StatusOK, Data: data},
+		&ReadBlocksResp{Status: StatusOK, Lens: []uint32{uint32(len(data))}, Data: data},
+		&Write{Client: 1, File: 2, Offset: 3, Data: data},
+		&SyncWrite{Client: 1, File: 2, Offset: 3, Data: data},
+		&PeerGetResp{Status: StatusOK, Data: data},
+		&PeerPut{File: 2, Index: 9, Owner: 1, Data: data},
+		&Flush{Client: 1, File: 2, Blocks: []FlushBlock{{Index: 4, Off: 8, Data: data}}},
+	}
+	for _, m := range aliasing {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		frame := buf.Bytes()
+
+		_, _, copied, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%v: copying decode: %v", m.WireType(), err)
+		}
+		_, _, aliased, payload, err := ReadFrameAliased(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%v: aliased decode: %v", m.WireType(), err)
+		}
+		if payload == nil {
+			t.Fatalf("%v: aliased decode retained no payload", m.WireType())
+		}
+		cData, aData := payloadOf(t, copied), payloadOf(t, aliased)
+		if !bytes.Equal(cData, aData) || !bytes.Equal(cData, data) {
+			t.Fatalf("%v: decode modes disagree", m.WireType())
+		}
+		if !aliasesInto(aData, payload) {
+			t.Fatalf("%v: aliased Data does not point into the payload buffer", m.WireType())
+		}
+		// Poison-on-release must be visible through the live alias: that
+		// is exactly how the lease tests catch use-after-release.
+		SetPoisonReleased(true)
+		ReleasePayload(payload)
+		SetPoisonReleased(false)
+		if aData[0] != PoisonByte || aData[len(aData)-1] != PoisonByte {
+			t.Fatalf("%v: released payload was not poisoned", m.WireType())
+		}
+	}
+
+	// A message with no bulk payload must not retain the buffer.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Open{Name: "some/file"}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, m, payload, err := ReadFrameAliased(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload != nil {
+		t.Fatalf("payload-free %v retained a payload buffer", m.WireType())
+	}
+	if m.(*Open).Name != "some/file" {
+		t.Fatal("string field corrupted by aliased decode")
+	}
+}
+
+// payloadOf extracts the bulk Data field of a data-carrying message.
+func payloadOf(t *testing.T, m Message) []byte {
+	t.Helper()
+	switch v := m.(type) {
+	case *ReadResp:
+		return v.Data
+	case *ReadBlocksResp:
+		return v.Data
+	case *Write:
+		return v.Data
+	case *SyncWrite:
+		return v.Data
+	case *PeerGetResp:
+		return v.Data
+	case *PeerPut:
+		return v.Data
+	case *Flush:
+		return v.Blocks[0].Data
+	default:
+		t.Fatalf("no payload accessor for %v", m.WireType())
+		return nil
+	}
+}
+
+// aliasesInto reports whether sub's backing array lies within buf's.
+func aliasesInto(sub, buf []byte) bool {
+	if len(sub) == 0 || len(buf) == 0 {
+		return false
+	}
+	for i := range buf {
+		if &buf[i] == &sub[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAliasedDecodeHostileInput replays the copying decoder's hostile
+// cases through the aliased decoder: truncated payloads and counts must
+// be rejected without retaining (or leaking) the buffer.
+func TestAliasedDecodeHostileInput(t *testing.T) {
+	good := Marshal(&ReadResp{Status: StatusOK, Data: bytes.Repeat([]byte{1}, 64)})
+	for cut := 7; cut < len(good); cut += 11 {
+		if _, _, _, payload, err := ReadFrameAliased(bytes.NewReader(good[:cut])); err == nil || payload != nil {
+			t.Fatalf("truncated frame at %d accepted (payload=%v)", cut, payload != nil)
+		}
+	}
+}
+
+func TestAliasedFlushBlockKeys(t *testing.T) {
+	m := &Flush{Client: 1, File: blockio.FileID(9)}
+	for i := 0; i < 4; i++ {
+		m.Blocks = append(m.Blocks, FlushBlock{Index: int64(i), Data: bytes.Repeat([]byte{byte(i)}, 2048)})
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	_, _, got, payload, err := ReadFrameAliased(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleasePayload(payload)
+	f := got.(*Flush)
+	if len(f.Blocks) != 4 {
+		t.Fatalf("decoded %d blocks", len(f.Blocks))
+	}
+	for i, blk := range f.Blocks {
+		if blk.Index != int64(i) || len(blk.Data) != 2048 || blk.Data[0] != byte(i) {
+			t.Fatalf("block %d corrupt after aliased decode", i)
+		}
+		if !aliasesInto(blk.Data, payload) {
+			t.Fatalf("block %d does not alias the payload", i)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 package pvfscache_test
 
-// One benchmark per table/figure of the paper (see DESIGN.md §7 for the
+// One benchmark per table/figure of the paper (see DESIGN.md §8 for the
 // experiment index):
 //
 //	BenchmarkFigure4ReadOverhead / BenchmarkFigure4WriteOverhead  — Fig 4(a,b)
@@ -645,6 +645,63 @@ func BenchmarkGlobalCacheRemoteRead(b *testing.B) {
 	}
 	b.SetBytes(64 << 10)
 }
+
+// benchLiveWriteStorm measures a write storm through the full live
+// stack: fill 2 MB of dirty blocks through the cache module (striped
+// over 4 iods), then drain them with FlushAll. Only the drain is timed.
+// The pair isolates the pipelined write-behind engine on the real data
+// path — over the in-memory transport the win is mostly in wire framing
+// and fewer round trips (runs coalesce into contiguous frames); the
+// latency-overlap win is measured by internal/cachemod's
+// BenchmarkFlushDrain pair, whose flush ports model disk service time.
+func benchLiveWriteStorm(b *testing.B, streams, window int) {
+	c, err := cluster.Start(cluster.Config{
+		IODs:         4,
+		ClientNodes:  1,
+		Caching:      true,
+		CacheBlocks:  1024, // 4 MB: the 2 MB storm fits without pressure
+		FlushPeriod:  time.Hour,
+		FlushStreams: streams,
+		FlushWindow:  window,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	p, err := c.NewProcess(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	f, err := p.Create("writestorm.dat", pvfs.StripeSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const storm = 2 << 20
+	buf := make([]byte, 256<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for off := int64(0); off < storm; off += int64(len(buf)) {
+			if _, err := f.WriteAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := c.Module(0).FlushAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(storm)
+}
+
+// BenchmarkLiveWriteStormDrain: the pipelined engine (all iod streams in
+// parallel, default window).
+func BenchmarkLiveWriteStormDrain(b *testing.B) { benchLiveWriteStorm(b, 0, 0) }
+
+// BenchmarkLiveWriteStormDrainSerial is the seed-shape ablation: one
+// stream, one blocking frame at a time.
+func BenchmarkLiveWriteStormDrainSerial(b *testing.B) { benchLiveWriteStorm(b, 1, 1) }
 
 // BenchmarkLiveWriteDirect measures the same write through original PVFS.
 func BenchmarkLiveWriteDirect(b *testing.B) {

@@ -1,0 +1,94 @@
+// Command mdlint is a dependency-free markdown link checker: it walks
+// the repository's *.md files (root, docs/, examples/, bench/, and any
+// other tracked directory), extracts inline links and code-span file
+// references, and verifies that every relative link target exists on
+// disk. External links (http/https/mailto) are not fetched — CI must
+// not flake on the network — and pure fragments (#section) are skipped.
+//
+// It exists so the documentation pass cannot rot silently: a renamed
+// file or section breaks the docs CI job, not a future reader.
+//
+//	go run ./cmd/mdlint [root]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and intentionally out of scope.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			// Skip VCS internals and build droppings.
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".md") {
+			return nil
+		}
+		broken += checkFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlint:", err)
+		os.Exit(2)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the number of broken relative links in one file.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdlint: %s: %v\n", path, err)
+		return 1
+	}
+	broken := 0
+	dir := filepath.Dir(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external: not fetched
+			case strings.HasPrefix(target, "#"):
+				continue // in-page fragment
+			}
+			// Strip a trailing fragment from a file link.
+			file, _, _ := strings.Cut(target, "#")
+			if file == "" {
+				continue
+			}
+			resolved := filepath.Join(dir, file)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: broken link: %s (resolved %s)\n", path, i+1, target, resolved)
+				broken++
+			}
+		}
+	}
+	return broken
+}

@@ -15,9 +15,11 @@
 // The tool reports per-request latency, total completion time per
 // instance, and the cache-module counters. The -cpuprofile/-memprofile
 // flags write standard pprof profiles (see examples/README.md), and the
-// ablation flags -nozerocopy, -novector and -shards select the copying
-// data path, the per-run miss engine and the buffer manager's stripe
-// count respectively.
+// ablation flags -nozerocopy, -novector, -shards, -flushstreams and
+// -flushwindow select the copying data path, the per-run miss engine,
+// the buffer manager's stripe count, and the write-behind engine's
+// stream/window shape (-flushstreams 1 -flushwindow 1 is the serial
+// pre-pipeline drain). See docs/TUNING.md for the full knob table.
 package main
 
 import (
@@ -56,13 +58,16 @@ func main() {
 		sharing    = flag.Float64("s", 0, "degree of inter-instance sharing in [0,1]")
 		write      = flag.Bool("write", false, "issue writes instead of reads")
 		seed       = flag.Int64("seed", 1, "workload seed")
-		readahead  = flag.Int("readahead", 0, "sequential-readahead window in blocks (0 = default, negative disables)")
-		novector   = flag.Bool("novector", false, "use the legacy one-Read-per-run miss path (ablation)")
-		nozerocopy = flag.Bool("nozerocopy", false, "use the copying data path (ablation: per-request response buffers, no pooled leases)")
-		shards     = flag.Int("shards", 0, "cache lock stripes (0 = power of two >= GOMAXPROCS, 1 = single-mutex ablation)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
+	var mods modFlags
+	flag.IntVar(&mods.readahead, "readahead", 0, "sequential-readahead window in blocks (0 = default, negative disables)")
+	flag.BoolVar(&mods.novector, "novector", false, "use the legacy one-Read-per-run miss path (ablation)")
+	flag.BoolVar(&mods.nozerocopy, "nozerocopy", false, "use the copying data path (ablation: per-request response buffers, no pooled leases)")
+	flag.IntVar(&mods.shards, "shards", 0, "cache lock stripes (0 = power of two >= GOMAXPROCS, 1 = single-mutex ablation)")
+	flag.IntVar(&mods.flushStreams, "flushstreams", 0, "concurrent per-iod flush streams (0 = all iods in parallel, 1 = serial ablation)")
+	flag.IntVar(&mods.flushWindow, "flushwindow", 0, "in-flight flush frames per stream (0 = default 4, 1 = blocking ablation)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -105,7 +110,7 @@ func main() {
 	}
 
 	if *mgrAddr == "" {
-		runInProcess(mb, *caching, *readahead, *novector, *nozerocopy, *shards)
+		runInProcess(mb, *caching, mods)
 		return
 	}
 	iods := splitList(*iodList)
@@ -113,7 +118,18 @@ func main() {
 	if len(iods) == 0 {
 		log.Fatal("-iods is required with -mgr")
 	}
-	runAgainst(mb, *caching, *readahead, *novector, *nozerocopy, *shards, transport.NewTCP(), *mgrAddr, iods, flushes)
+	runAgainst(mb, *caching, mods, transport.NewTCP(), *mgrAddr, iods, flushes)
+}
+
+// modFlags collects the cache-module tuning/ablation flags (see
+// docs/TUNING.md for what each one restores or enables).
+type modFlags struct {
+	readahead    int
+	novector     bool
+	nozerocopy   bool
+	shards       int
+	flushStreams int
+	flushWindow  int
 }
 
 func splitList(s string) []string {
@@ -132,7 +148,7 @@ func splitList(s string) []string {
 
 // runInProcess boots a full in-memory cluster and runs the benchmark with
 // and without caching for comparison.
-func runInProcess(mb microbench.Params, caching bool, readahead int, novector, nozerocopy bool, shards int) {
+func runInProcess(mb microbench.Params, caching bool, mods modFlags) {
 	modes := []bool{caching}
 	if caching {
 		modes = []bool{true, false}
@@ -143,10 +159,12 @@ func runInProcess(mb microbench.Params, caching bool, readahead int, novector, n
 			ClientNodes:     mb.Nodes,
 			Caching:         withCache,
 			FlushPeriod:     100 * time.Millisecond,
-			ReadaheadWindow: readahead,
-			DisableVector:   novector,
-			DisableZeroCopy: nozerocopy,
-			CacheShards:     shards,
+			ReadaheadWindow: mods.readahead,
+			DisableVector:   mods.novector,
+			DisableZeroCopy: mods.nozerocopy,
+			CacheShards:     mods.shards,
+			FlushStreams:    mods.flushStreams,
+			FlushWindow:     mods.flushWindow,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -164,7 +182,7 @@ func runInProcess(mb microbench.Params, caching bool, readahead int, novector, n
 }
 
 // runAgainst executes the benchmark against external daemons.
-func runAgainst(mb microbench.Params, caching bool, readahead int, novector, nozerocopy bool, shards int, net transport.Network, mgrAddr string, iods, flushes []string) {
+func runAgainst(mb microbench.Params, caching bool, mods modFlags, net transport.Network, mgrAddr string, iods, flushes []string) {
 	var modules []*cachemod.Module
 	if caching {
 		for node := 0; node < mb.Nodes; node++ {
@@ -173,10 +191,12 @@ func runAgainst(mb microbench.Params, caching bool, readahead int, novector, noz
 				ClientID:        uint32(node + 1),
 				IODDataAddrs:    iods,
 				IODFlushAddrs:   flushes,
-				Buffer:          buffer.Config{Shards: shards},
-				ReadaheadWindow: readahead,
-				DisableVector:   novector,
-				DisableZeroCopy: nozerocopy,
+				Buffer:          buffer.Config{Shards: mods.shards},
+				ReadaheadWindow: mods.readahead,
+				DisableVector:   mods.novector,
+				DisableZeroCopy: mods.nozerocopy,
+				FlushStreams:    mods.flushStreams,
+				FlushWindow:     mods.flushWindow,
 			})
 			if err != nil {
 				log.Fatalf("cache module for node %d: %v", node, err)

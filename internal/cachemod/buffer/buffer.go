@@ -416,13 +416,43 @@ type dirtyCand struct {
 // nor makes the flusher's round quadratic in the dirty count. A block
 // that a concurrent TakeDirty claims between the passes is simply skipped;
 // the next round picks up whatever this one under-returned.
+//
+// Ownership contract: every returned item is in flight — the block is
+// marked so no concurrent round can take it again — and MUST be handed
+// back exactly once, to FlushDone (the iod acknowledged the bytes) or
+// FlushFailed (it did not). An item that is never handed back wedges its
+// block: still dirty, never evictable, never flushable again.
 func (m *Manager) TakeDirty(max int) []FlushItem {
 	if len(m.shards) == 1 {
 		return m.shards[0].takeDirty(max)
 	}
+	return m.takeDirtyMerged(anyOwner, max, false)
+}
+
+// anyOwner disables the owner filter in the candidate collection.
+const anyOwner = -1
+
+// TakeDirtyOwned is TakeDirty restricted to the blocks stored by iod
+// owner — the pipelined write-behind engine runs one flush stream per
+// iod, and each stream drains its own daemon's share of the dirty list
+// independently of the others. Selection keeps the manager-wide
+// oldest-first priority, but the returned batch is ordered by (file,
+// block index) rather than by age ("run-aware ordering"): adjacent dirty
+// blocks of a file arrive adjacent, so the flusher can coalesce them
+// into contiguous wire runs without re-sorting. The TakeDirty ownership
+// contract applies unchanged: every item must reach FlushDone or
+// FlushFailed exactly once.
+func (m *Manager) TakeDirtyOwned(owner, max int) []FlushItem {
+	return m.takeDirtyMerged(owner, max, true)
+}
+
+// takeDirtyMerged is the two-pass collect/merge/snapshot body shared by
+// TakeDirty (sharded) and TakeDirtyOwned. runOrder re-sorts the final
+// batch by (file, index) for the per-iod flush streams.
+func (m *Manager) takeDirtyMerged(owner, max int, runOrder bool) []FlushItem {
 	var cands []dirtyCand
 	for i, s := range m.shards {
-		cands = s.collectDirtyCandidates(max, i, cands)
+		cands = s.collectDirtyCandidates(max, i, owner, cands)
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
 	if max > 0 && len(cands) > max {
@@ -435,7 +465,7 @@ func (m *Manager) TakeDirty(max int) []FlushItem {
 	taken := make(map[blockio.BlockKey]FlushItem, len(cands))
 	for i, keys := range perShard {
 		if len(keys) > 0 {
-			m.shards[i].takeKeys(keys, taken)
+			m.shards[i].takeKeys(keys, owner, taken)
 		}
 	}
 	items := make([]FlushItem, 0, len(taken))
@@ -444,20 +474,51 @@ func (m *Manager) TakeDirty(max int) []FlushItem {
 			items = append(items, it)
 		}
 	}
+	if runOrder {
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Key.File != items[j].Key.File {
+				return items[i].Key.File < items[j].Key.File
+			}
+			return items[i].Key.Index < items[j].Key.Index
+		})
+	}
 	return items
 }
 
-// FlushDone marks the snapshot's blocks clean. A block whose flushGen
-// advanced since TakeDirty was re-dirtied concurrently and stays on the
-// dirty list (its next flush will carry the new data).
+// OldestDirtyOwner reports the iod storing the oldest eligible (not
+// in-flight) dirty block. Eviction pressure uses it to kick the one
+// flush stream whose drain frees the blocks the replacement policy wants
+// next, instead of waking every stream for a global batch. ok is false
+// when nothing is eligible (clean cache, or every dirty block already in
+// flight).
+func (m *Manager) OldestDirtyOwner() (owner int, ok bool) {
+	var best uint64
+	for _, s := range m.shards {
+		if o, seq, sok := s.oldestDirty(); sok && (!ok || seq < best) {
+			owner, best, ok = o, seq, true
+		}
+	}
+	return owner, ok
+}
+
+// FlushDone marks the snapshot's blocks clean: the iod has acknowledged
+// the snapshotted bytes. A block whose flushGen advanced since TakeDirty
+// was re-dirtied concurrently and stays on the dirty list (its next
+// flush will carry the new data). Each TakeDirty item must reach exactly
+// one of FlushDone or FlushFailed; a chunked flusher may split one take
+// into several calls, as long as every item lands in one of them.
 func (m *Manager) FlushDone(items []FlushItem) {
 	for _, it := range items {
 		m.shardFor(it.Key).flushDone(it)
 	}
 }
 
-// FlushFailed clears the in-flight mark without cleaning, so the blocks are
-// retried on the next flusher round.
+// FlushFailed re-queues the snapshot's blocks: the in-flight mark is
+// cleared without cleaning, and each block keeps both its dirty-FIFO
+// position and its manager-wide age stamp — a failed block is retried
+// with its original oldest-first priority, never demoted behind younger
+// writes. No retry timing lives here: the flusher owns backoff, the
+// manager only guarantees the block stays flushable and unevictable.
 func (m *Manager) FlushFailed(items []FlushItem) {
 	for _, it := range items {
 		m.shardFor(it.Key).flushFailed(it)

@@ -178,14 +178,15 @@ func (s *shard) takeDirty(max int) []FlushItem {
 
 // collectDirtyCandidates appends up to max (seq, key) pairs for this
 // shard's oldest eligible (non-flushing) dirty blocks onto out, in FIFO
-// order, without copying any data. max <= 0 collects them all.
-func (s *shard) collectDirtyCandidates(max, shardIdx int, out []dirtyCand) []dirtyCand {
+// order, without copying any data. max <= 0 collects them all; owner
+// filters to blocks stored by one iod (anyOwner disables the filter).
+func (s *shard) collectDirtyCandidates(max, shardIdx, owner int, out []dirtyCand) []dirtyCand {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
 	for el := s.dirtyFIFO.Front(); el != nil && (max <= 0 || n < max); el = el.Next() {
 		b := el.Value.(*block)
-		if b.flushing {
+		if b.flushing || (owner != anyOwner && b.owner != owner) {
 			continue
 		}
 		out = append(out, dirtyCand{seq: b.dirtySeq, key: b.key, shard: shardIdx})
@@ -194,15 +195,32 @@ func (s *shard) collectDirtyCandidates(max, shardIdx int, out []dirtyCand) []dir
 	return out
 }
 
+// oldestDirty returns the owner and age stamp of this shard's oldest
+// eligible (non-flushing) dirty block.
+func (s *shard) oldestDirty() (owner int, seq uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.dirtyFIFO.Front(); el != nil; el = el.Next() {
+		b := el.Value.(*block)
+		if b.flushing {
+			continue
+		}
+		return b.owner, b.dirtySeq, true
+	}
+	return 0, 0, false
+}
+
 // takeKeys snapshots the listed blocks for flushing, skipping any that
-// were cleaned, invalidated, or claimed by a concurrent round since they
-// were collected. Snapshots land in sink keyed by block.
-func (s *shard) takeKeys(keys []blockio.BlockKey, sink map[blockio.BlockKey]FlushItem) {
+// were cleaned, invalidated, re-owned (invalidated and re-written from a
+// different iod — an owner-filtered take must not route a block to the
+// wrong flush port), or claimed by a concurrent round since they were
+// collected. Snapshots land in sink keyed by block.
+func (s *shard) takeKeys(keys []blockio.BlockKey, owner int, sink map[blockio.BlockKey]FlushItem) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, key := range keys {
 		b, ok := s.table[key]
-		if !ok || b.flushing || !b.dirty() {
+		if !ok || b.flushing || !b.dirty() || (owner != anyOwner && b.owner != owner) {
 			continue
 		}
 		sink[key] = s.snapshotForFlush(b)

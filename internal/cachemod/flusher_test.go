@@ -1,0 +1,535 @@
+package cachemod
+
+// Tests for the pipelined write-behind engine (flusher.go): run
+// coalescing, failure isolation between streams, and a -race storm of
+// concurrent writers against the windowed drain.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/iod"
+	"pvfscache/internal/metrics"
+	"pvfscache/internal/pvfs"
+	"pvfscache/internal/rpc"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/wire"
+)
+
+// item builds a FlushItem for buildFlushChunks tests.
+func item(file, idx, off, n int) buffer.FlushItem {
+	return buffer.FlushItem{
+		Key:  blockio.BlockKey{File: blockio.FileID(file), Index: int64(idx)},
+		Off:  off,
+		Data: bytes.Repeat([]byte{byte(idx + 1)}, n),
+	}
+}
+
+func TestBuildFlushChunksCoalescesRuns(t *testing.T) {
+	const bs = 4096
+	items := []buffer.FlushItem{
+		// Blocks 0-2 of file 1: full, full, head-partial — one run.
+		item(1, 0, 0, bs), item(1, 1, 0, bs), item(1, 2, 0, 100),
+		// Block 4 (gap after 2) is full and block 5 starts at 0, so the
+		// 4|5 boundary tiles and they merge; block 5's span stops short
+		// of its block end, so the 5|6 boundary does not.
+		item(1, 4, 0, bs), item(1, 5, 0, bs-1),
+		item(1, 6, 0, bs),
+		// Block 7 starts at off 8 — the left boundary tiles only when the
+		// right block starts at 0, so 6|7 must not merge.
+		item(1, 7, 8, 100),
+		// File 2 always opens a new chunk (one file per Flush frame).
+		item(2, 0, 0, bs),
+	}
+	chunks := buildFlushChunks(9, items, bs)
+	if len(chunks) != 2 {
+		t.Fatalf("chunks = %d, want 2 (one per file)", len(chunks))
+	}
+	c0 := chunks[0]
+	if c0.msg.File != 1 || c0.msg.Client != 9 || len(c0.items) != 7 {
+		t.Fatalf("chunk 0: file=%v client=%d items=%d", c0.msg.File, c0.msg.Client, len(c0.items))
+	}
+	var got []string
+	for _, b := range c0.msg.Blocks {
+		got = append(got, fmt.Sprintf("%d+%d:%d", b.Index, b.Off, len(b.Data)))
+	}
+	want := []string{
+		fmt.Sprintf("0+0:%d", 2*bs+100), // blocks 0-2 coalesced
+		fmt.Sprintf("4+0:%d", 2*bs-1),   // blocks 4-5 coalesced
+		fmt.Sprintf("6+0:%d", bs),
+		"7+8:100",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("runs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run %d = %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	// The coalesced run's bytes are the blocks' bytes in order.
+	run := c0.msg.Blocks[0].Data
+	if !bytes.Equal(run[:bs], bytes.Repeat([]byte{1}, bs)) ||
+		!bytes.Equal(run[bs:2*bs], bytes.Repeat([]byte{2}, bs)) ||
+		!bytes.Equal(run[2*bs:], bytes.Repeat([]byte{3}, 100)) {
+		t.Fatal("coalesced run bytes out of order")
+	}
+	if chunks[1].msg.File != 2 || len(chunks[1].items) != 1 {
+		t.Fatalf("chunk 1: %+v", chunks[1].msg)
+	}
+}
+
+func TestBuildFlushChunksSplitsAtTarget(t *testing.T) {
+	const bs = 4096
+	// Enough full blocks of one file to exceed the chunk target twice.
+	n := 2*flushChunkTarget/bs + 3
+	items := make([]buffer.FlushItem, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, item(1, i, 0, bs))
+	}
+	chunks := buildFlushChunks(1, items, bs)
+	if len(chunks) < 3 {
+		t.Fatalf("chunks = %d, want >= 3 for %d bytes", len(chunks), n*bs)
+	}
+	total := 0
+	for _, c := range chunks {
+		accounted := 0
+		for _, b := range c.msg.Blocks {
+			accounted += len(b.Data) + wire.FlushBlockOverhead
+		}
+		if accounted > flushChunkTarget {
+			t.Fatalf("chunk accounted bytes %d exceed target %d", accounted, flushChunkTarget)
+		}
+		total += len(c.items)
+	}
+	if total != n {
+		t.Fatalf("items across chunks = %d, want %d", total, n)
+	}
+}
+
+// flushRig is a three-iod harness whose middle iod's flush port can be
+// taken down (connections drop) and brought back.
+type flushRig struct {
+	net   *transport.MemNetwork
+	reg   *metrics.Registry
+	iods  []*iod.Server
+	mod   *Module
+	down  atomic.Bool
+	calls atomic.Int64 // flush frames that reached iod 1's port
+}
+
+func newFlushRig(t *testing.T, cfgEdit func(*Config)) *flushRig {
+	t.Helper()
+	r := &flushRig{net: transport.NewMem(), reg: metrics.NewRegistry()}
+	var dataAddrs, flushAddrs []string
+	for i := 0; i < 3; i++ {
+		d := iod.New(i, 4096, r.net, r.reg)
+		r.iods = append(r.iods, d)
+		dl, err := r.net.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := r.net.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { dl.Close(); fl.Close() })
+		go d.ServeData(dl)
+		if i == 1 {
+			// iod 1's flush port: a gate in front of the real daemon.
+			// While down, frames kill their connection (the daemon is
+			// unreachable); when up, the write is applied like the real
+			// flush handler would.
+			d := d
+			srv := rpc.NewServer(rpc.HandlerFunc(func(msg wire.Message) wire.Message {
+				fm, ok := msg.(*wire.Flush)
+				if !ok {
+					return nil
+				}
+				r.calls.Add(1)
+				if r.down.Load() {
+					return nil // drop the connection: iod down
+				}
+				for _, blk := range fm.Blocks {
+					d.Store().WriteAt(fm.File, blk.Index*4096+int64(blk.Off), blk.Data)
+				}
+				return &wire.FlushAck{Status: wire.StatusOK}
+			}), rpc.ServerConfig{})
+			go srv.Serve(fl)
+			t.Cleanup(func() { srv.Close() })
+		} else {
+			go d.ServeFlush(fl)
+		}
+		dataAddrs = append(dataAddrs, dl.Addr())
+		flushAddrs = append(flushAddrs, fl.Addr())
+	}
+	cfg := Config{
+		Network:       r.net,
+		ClientID:      1,
+		IODDataAddrs:  dataAddrs,
+		IODFlushAddrs: flushAddrs,
+		Buffer:        buffer.Config{BlockSize: 4096, Capacity: 128},
+		FlushPeriod:   time.Hour, // only kicks and FlushAll drive the streams
+		Registry:      r.reg,
+	}
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
+	mod, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mod.Close() })
+	r.mod = mod
+	return r
+}
+
+// TestFlushStreamFailureIsolation is the failure-isolation regression:
+// with one iod's flush port down, the other streams must drain their
+// backlog, the down iod's chunks must re-queue (not be lost, not block
+// the others), and once the iod recovers FlushAll must succeed with every
+// byte durable.
+func TestFlushStreamFailureIsolation(t *testing.T) {
+	r := newFlushRig(t, nil)
+	r.down.Store(true)
+
+	const blocks = 16
+	tr := r.mod.NewTransport()
+	payload := func(iodIdx, blk int) []byte {
+		return bytes.Repeat([]byte{byte(1 + iodIdx*3 + blk*7)}, 4096)
+	}
+	// One file per iod, written whole-block through the cache.
+	for iodIdx := 0; iodIdx < 3; iodIdx++ {
+		file := blockio.FileID(10 + iodIdx)
+		for blk := 0; blk < blocks; blk++ {
+			resp := sendRecv(t, tr, iodIdx, &wire.Write{
+				File: file, Offset: int64(blk) * 4096, Data: payload(iodIdx, blk),
+			})
+			if ack := resp.(*wire.WriteAck); ack.Status != wire.StatusOK {
+				t.Fatalf("write ack %v", ack.Status)
+			}
+		}
+	}
+	if got := r.mod.Buffer().DirtyCount(); got != 3*blocks {
+		t.Fatalf("dirty = %d, want %d", got, 3*blocks)
+	}
+
+	// Kick everything; the healthy iods must drain while iod 1 is down.
+	deadline := time.Now().Add(10 * time.Second)
+	for r.mod.Buffer().DirtyCount() > blocks {
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy streams did not drain: %d dirty", r.mod.Buffer().DirtyCount())
+		}
+		r.mod.kickAllStreams()
+		time.Sleep(time.Millisecond)
+	}
+	// Only iod 1's blocks remain, re-queued and intact — repeated kicks
+	// must not lose them while the port stays down.
+	for i := 0; i < 20; i++ {
+		r.mod.kickAllStreams()
+		time.Sleep(time.Millisecond)
+	}
+	if got := r.mod.Buffer().DirtyCount(); got != blocks {
+		t.Fatalf("down iod's backlog = %d dirty, want %d (lost or leaked)", got, blocks)
+	}
+	for iodIdx := 0; iodIdx < 3; iodIdx += 2 {
+		got := make([]byte, 4096)
+		for blk := 0; blk < blocks; blk++ {
+			if n := r.iods[iodIdx].Store().ReadAt(blockio.FileID(10+iodIdx), int64(blk)*4096, got); n != 4096 ||
+				!bytes.Equal(got, payload(iodIdx, blk)) {
+				t.Fatalf("iod %d block %d not durable while iod 1 was down", iodIdx, blk)
+			}
+		}
+	}
+	snap := r.reg.Snapshot()
+	if snap.Counters["module.flush_errors"] == 0 {
+		t.Fatal("no flush errors counted for the down iod")
+	}
+	if snap.Counters["module.flush_requeued"] == 0 {
+		t.Fatal("no re-queued blocks counted for the down iod")
+	}
+
+	// Recovery: the backlog drains and every byte is durable.
+	r.down.Store(false)
+	if err := r.mod.FlushAll(); err != nil {
+		t.Fatalf("FlushAll after recovery: %v", err)
+	}
+	got := make([]byte, 4096)
+	for blk := 0; blk < blocks; blk++ {
+		if n := r.iods[1].Store().ReadAt(blockio.FileID(11), int64(blk)*4096, got); n != 4096 ||
+			!bytes.Equal(got, payload(1, blk)) {
+			t.Fatalf("recovered iod block %d not durable (n=%d)", blk, n)
+		}
+	}
+	if err := r.mod.Buffer().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPressureKickNotStarvedByFailingStream: the directed pressure kick
+// targets the stream owning the oldest dirty data — but when that
+// stream's iod is down, pinning every kick on it would let healthy
+// backlogs idle behind it (writers would stall the full WriteStall and
+// degrade to write-through even though draining the other iods frees
+// space immediately). Once the target stream is failing, kickFlusher
+// must fall back to waking every stream.
+func TestPressureKickNotStarvedByFailingStream(t *testing.T) {
+	r := newFlushRig(t, nil)
+	r.down.Store(true)
+	tr := r.mod.NewTransport()
+	block := bytes.Repeat([]byte{0x77}, 4096)
+
+	// iod 1's block is dirtied first: the oldest, so every directed kick
+	// resolves to stream 1.
+	sendRecv(t, tr, 1, &wire.Write{File: 11, Offset: 0, Data: block})
+	// Let stream 1 fail once so it is marked failing.
+	r.mod.streams[1].kickStream()
+	deadline := time.Now().Add(10 * time.Second)
+	for !r.mod.streams[1].failing.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("stream 1 never entered the failing state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Younger dirty data on the healthy iods.
+	sendRecv(t, tr, 0, &wire.Write{File: 10, Offset: 0, Data: block})
+	sendRecv(t, tr, 2, &wire.Write{File: 12, Offset: 0, Data: block})
+
+	// Only directed pressure kicks — the fallback must reach the healthy
+	// streams even though the oldest dirty block belongs to iod 1.
+	deadline = time.Now().Add(10 * time.Second)
+	for r.mod.Buffer().DirtyCount() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy streams starved behind the failing one: %d dirty",
+				r.mod.Buffer().DirtyCount())
+		}
+		r.mod.kickFlusher()
+		time.Sleep(time.Millisecond)
+	}
+	got := make([]byte, 4096)
+	if n := r.iods[0].Store().ReadAt(10, 0, got); n != 4096 || !bytes.Equal(got, block) {
+		t.Fatal("iod 0's block not durable")
+	}
+	if n := r.iods[2].Store().ReadAt(12, 0, got); n != 4096 || !bytes.Equal(got, block) {
+		t.Fatal("iod 2's block not durable")
+	}
+	// Bring iod 1 back so the Close-time FlushAll drains its block
+	// instead of riding the stall timeout.
+	r.down.Store(false)
+}
+
+// TestPressureKickWithStreamlessOwner: with mismatched data/flush
+// address lists (more data iods than flush ports), blocks owned by a
+// streamless iod can become the oldest dirty data. A pressure kick
+// resolving to that owner must fall back to waking every stream — the
+// flushable owners' backlog still frees space — rather than silently
+// dropping the kick and stalling writers into WriteStall.
+func TestPressureKickWithStreamlessOwner(t *testing.T) {
+	net := transport.NewMem()
+	reg := metrics.NewRegistry()
+	var dataAddrs []string
+	var flushAddr string
+	iods := make([]*iod.Server, 2)
+	for i := 0; i < 2; i++ {
+		d := iod.New(i, 4096, net, reg)
+		iods[i] = d
+		dl, err := net.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { dl.Close() })
+		go d.ServeData(dl)
+		dataAddrs = append(dataAddrs, dl.Addr())
+		if i == 0 {
+			fl, err := net.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { fl.Close() })
+			go d.ServeFlush(fl)
+			flushAddr = fl.Addr()
+		}
+	}
+	mod, err := New(Config{
+		Network:          net,
+		ClientID:         1,
+		IODDataAddrs:     dataAddrs,
+		IODFlushAddrs:    []string{flushAddr}, // iod 1 has no flush stream
+		Buffer:           buffer.Config{BlockSize: 4096, Capacity: 32},
+		FlushPeriod:      time.Hour, // only kicks drive the stream
+		DisableCoherence: true,
+		Registry:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := bytes.Repeat([]byte{0x21}, 4096)
+	tr := mod.NewTransport()
+	// iod 1's (streamless) block first: it is the oldest dirty data.
+	sendRecv(t, tr, 1, &wire.Write{File: 21, Offset: 0, Data: block})
+	sendRecv(t, tr, 0, &wire.Write{File: 20, Offset: 0, Data: block})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mod.kickFlusher()
+		got := make([]byte, 4096)
+		if n := iods[0].Store().ReadAt(20, 0, got); n == 4096 && bytes.Equal(got, block) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("streamless oldest owner swallowed the pressure kick; iod 0 never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// iod 1's block is permanently stuck (no flush port) — Close's
+	// FlushAll would ride the 30 s stall timeout, so drop the block
+	// first and close manually.
+	mod.Buffer().Invalidate(blockio.BlockKey{File: 21, Index: 0})
+	if err := mod.Close(); err != nil {
+		t.Fatalf("Close after draining the flushable owner: %v", err)
+	}
+}
+
+// TestPipelinedFlushStorm races concurrent writers (re-dirtying blocks
+// mid-flight), invalidations of blocks being flushed, and the windowed
+// multi-stream drain, then asserts the buffer manager's structural
+// invariants and a byte oracle: after FlushAll, every block's durable
+// bytes at its iod equal the last generation its writer wrote. Run under
+// -race in CI.
+func TestPipelinedFlushStorm(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Buffer = buffer.Config{BlockSize: 4096, Capacity: 96, Shards: 8}
+		c.FlushPeriod = time.Millisecond // streams churn constantly
+		c.FlushBatch = 8                 // small chunks: deep windows
+		c.FlushWindow = 4
+	})
+	mod := r.mod
+
+	const (
+		writers   = 4
+		blocksPer = 16
+		rounds    = 150
+	)
+	pattern := func(w, blk, gen int) byte { return byte(w*53 + blk*17 + gen*29 + 1) }
+	lastGen := make([][]int, writers)
+
+	// A sacrificial file whose blocks get invalidated while in flight:
+	// flushDone/flushFailed on evicted blocks must be no-ops, not
+	// corruption. Its bytes carry no oracle.
+	const invalFile = blockio.FileID(40)
+	invTr := mod.NewTransport()
+	for blk := 0; blk < 8; blk++ {
+		sendRecv(t, invTr, 0, &wire.Write{
+			File: invalFile, Offset: int64(blk) * 4096, Data: bytes.Repeat([]byte{0xEE}, 4096),
+		})
+	}
+
+	var writersWG, auxWG sync.WaitGroup
+	stopInval := make(chan struct{})
+	auxWG.Add(1)
+	go func() { // invalidator: races Invalidate against in-flight flushes
+		defer auxWG.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stopInval:
+				return
+			default:
+			}
+			blk := int64(rng.Intn(8))
+			mod.Buffer().Invalidate(blockio.BlockKey{File: invalFile, Index: blk})
+			// Re-dirty it so there is always something in flight to race.
+			sendRecvNoT(invTr, 0, &wire.Write{
+				File: invalFile, Offset: blk * 4096, Data: bytes.Repeat([]byte{0xEE}, 4096),
+			})
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		lastGen[w] = make([]int, blocksPer)
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			tr := mod.NewTransport()
+			rng := rand.New(rand.NewSource(int64(w)))
+			file := blockio.FileID(20 + w)
+			iodIdx := w % 2
+			for g := 1; g <= rounds; g++ {
+				blk := rng.Intn(blocksPer)
+				data := bytes.Repeat([]byte{pattern(w, blk, g)}, 4096)
+				if err := sendRecvNoT(tr, iodIdx, &wire.Write{
+					File: file, Offset: int64(blk) * 4096, Data: data,
+				}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				lastGen[w][blk] = g
+			}
+		}(w)
+	}
+	// Writers finish first so lastGen is final before the oracle reads
+	// it; the invalidator keeps racing until they do.
+	done := make(chan struct{})
+	go func() {
+		writersWG.Wait()
+		close(stopInval)
+		auxWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("storm did not finish")
+	}
+
+	if err := mod.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := mod.Buffer().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	for w := 0; w < writers; w++ {
+		file := blockio.FileID(20 + w)
+		iodIdx := w % 2
+		for blk := 0; blk < blocksPer; blk++ {
+			g := lastGen[w][blk]
+			if g == 0 {
+				continue // never written
+			}
+			want := bytes.Repeat([]byte{pattern(w, blk, g)}, 4096)
+			if n := r.iods[iodIdx].Store().ReadAt(file, int64(blk)*4096, got); n != 4096 || !bytes.Equal(got, want) {
+				t.Fatalf("writer %d block %d: durable bytes are not generation %d", w, blk, g)
+			}
+		}
+	}
+	snap := r.reg.Snapshot()
+	if snap.Counters["module.flushed_blocks"] == 0 {
+		t.Fatal("storm flushed nothing")
+	}
+}
+
+// sendRecvNoT is sendRecv without the test helper (usable from goroutines
+// that must not call t.Fatal).
+func sendRecvNoT(tr pvfs.Transport, iodIdx int, req wire.Message) error {
+	id, err := tr.Send(iodIdx, req)
+	if err != nil {
+		return err
+	}
+	resp, err := tr.Recv(id)
+	if err != nil {
+		return err
+	}
+	if ack, ok := resp.(*wire.WriteAck); ok && ack.Status != wire.StatusOK {
+		return fmt.Errorf("write ack status %v", ack.Status)
+	}
+	return nil
+}

@@ -20,7 +20,9 @@
 //     (sequential readahead; see readahead.go), never displacing dirty
 //     data;
 //   - performs writes into the cache and returns immediately, leaving the
-//     propagation to the background flusher thread;
+//     propagation to the pipelined write-behind engine: one flush stream
+//     per iod, each keeping a bounded window of coalesced-run Flush
+//     frames in flight, all iods draining in parallel (see flusher.go);
 //   - runs a harvester thread that refills the free list between a low and
 //     a high watermark so allocations do not pay eviction latency;
 //   - moves read bytes zero-copy: libpvfs hands down the caller's buffer
@@ -67,10 +69,22 @@ type Config struct {
 	// Buffer sizes the block cache (see buffer.Config for defaults: 300
 	// blocks of 4 KB — the paper's 1.2 MB cache).
 	Buffer buffer.Config
-	// FlushPeriod is the flusher thread's wake-up interval (default 1s).
+	// FlushPeriod is each flush stream's wake-up interval (default 1s).
 	FlushPeriod time.Duration
-	// FlushBatch bounds the dirty blocks taken per flush round (default 64).
+	// FlushBatch is the write-behind engine's take granularity: each
+	// stream pulls up to FlushBatch×FlushWindow dirty blocks per burst
+	// (default 64 — with 4 KB blocks one batch is one ~256 KB frame).
 	FlushBatch int
+	// FlushStreams bounds how many per-iod flush streams may drain
+	// concurrently. Default (0): one stream per iod, all iods draining
+	// in parallel. 1 serializes the drains across iods — combined with
+	// FlushWindow=1 this is the seed's serial write-behind shape, kept
+	// as the ablation baseline.
+	FlushStreams int
+	// FlushWindow is each stream's bound on concurrent Flush frames in
+	// flight to its iod (default 4). 1 restores one blocking round trip
+	// at a time (ablation baseline).
+	FlushWindow int
 	// WriteStall bounds how long a write blocks waiting for cache space
 	// before falling back to write-through (default 2s).
 	WriteStall time.Duration
@@ -128,6 +142,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.FlushBatch <= 0 {
 		c.FlushBatch = 64
+	}
+	if c.FlushStreams <= 0 || c.FlushStreams > len(c.IODFlushAddrs) {
+		c.FlushStreams = len(c.IODFlushAddrs)
+	}
+	if c.FlushWindow <= 0 {
+		c.FlushWindow = 4
 	}
 	if c.WriteStall <= 0 {
 		c.WriteStall = 2 * time.Second
@@ -253,7 +273,11 @@ type Module struct {
 	gcService *globalcache.Service
 	gcClient  *globalcache.Client
 
-	flushKick   chan struct{}
+	// streams is the pipelined write-behind engine: one flush stream per
+	// iod (see flusher.go), gated by streamSem (capacity FlushStreams).
+	streams   []*flushStream
+	streamSem chan struct{}
+
 	harvestKick chan struct{}
 	stop        chan struct{}
 	stopOnce    sync.Once
@@ -274,7 +298,6 @@ func New(cfg Config) (*Module, error) {
 		stripes:     make(map[blockio.FileID]stripeHint),
 		ra:          make(map[blockio.FileID]*raState),
 		prefetched:  make(map[blockio.BlockKey]struct{}),
-		flushKick:   make(chan struct{}, 1),
 		harvestKick: make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 	}
@@ -335,8 +358,13 @@ func New(cfg Config) (*Module, error) {
 	}
 
 	if len(m.flush) > 0 {
-		m.wg.Add(1)
-		go m.flusherLoop()
+		m.streamSem = make(chan struct{}, cfg.FlushStreams)
+		for i, rc := range m.flush {
+			s := &flushStream{m: m, iod: i, client: rc, kick: make(chan struct{}, 1)}
+			m.streams = append(m.streams, s)
+			m.wg.Add(1)
+			go s.loop()
+		}
 	}
 	m.wg.Add(1)
 	go m.harvesterLoop()
@@ -389,85 +417,6 @@ func (m *Module) Close() error {
 
 // --- background threads ---
 
-// flusherLoop is the paper's flusher kernel thread: it periodically drains
-// the dirty list to the iods' flush ports.
-func (m *Module) flusherLoop() {
-	defer m.wg.Done()
-	ticker := time.NewTicker(m.cfg.FlushPeriod)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-m.stop:
-			return
-		case <-ticker.C:
-		case <-m.flushKick:
-		}
-		m.flushOnce(m.cfg.FlushBatch)
-	}
-}
-
-// flushOnce pushes up to batch dirty blocks out, grouped per (iod, file).
-func (m *Module) flushOnce(batch int) {
-	items := m.buf.TakeDirty(batch)
-	if len(items) == 0 {
-		return
-	}
-	type groupKey struct {
-		owner int
-		file  blockio.FileID
-	}
-	groups := make(map[groupKey][]buffer.FlushItem)
-	for _, it := range items {
-		gk := groupKey{owner: it.Owner, file: it.Key.File}
-		groups[gk] = append(groups[gk], it)
-	}
-	// Keep each Flush frame comfortably under wire.MaxMessageSize: a cache
-	// holding more dirty data for one (iod, file) than a frame can carry
-	// must split it, or every retry would fail with ErrTooLarge.
-	const maxFlushBytes = 4 << 20
-	for gk, group := range groups {
-		if gk.owner < 0 || gk.owner >= len(m.flush) {
-			m.buf.FlushFailed(group)
-			continue
-		}
-		for len(group) > 0 {
-			n := len(group)
-			bytes := 0
-			for i, it := range group {
-				sz := len(it.Data) + 16 // index + off + length prefix
-				if i > 0 && bytes+sz > maxFlushBytes {
-					n = i
-					break
-				}
-				bytes += sz
-			}
-			chunk := group[:n]
-			group = group[n:]
-			msg := &wire.Flush{Client: m.cfg.ClientID, File: gk.file}
-			for _, it := range chunk {
-				msg.Blocks = append(msg.Blocks, wire.FlushBlock{
-					Index: it.Key.Index,
-					Off:   uint32(it.Off),
-					Data:  it.Data,
-				})
-			}
-			res := m.flush[gk.owner].Call(msg)
-			if res.Err != nil {
-				m.buf.FlushFailed(chunk)
-				continue
-			}
-			if ack, ok := res.Msg.(*wire.FlushAck); !ok || ack.Status != wire.StatusOK {
-				m.buf.FlushFailed(chunk)
-				continue
-			}
-			m.buf.FlushDone(chunk)
-			m.cfg.Registry.Counter("module.flush_rounds").Inc()
-			m.cfg.Registry.Counter("module.flushed_blocks").Add(int64(len(chunk)))
-		}
-	}
-	m.signalSpace()
-}
-
 // flushAllTimeout bounds how long FlushAll tolerates a complete stall: no
 // drop in the dirty count at all. It is a deadline on progress, not a
 // retry budget — it resets every time the dirty count reaches a new low,
@@ -475,24 +424,36 @@ func (m *Module) flushOnce(batch int) {
 // than the timeout's worth of other rounds) never trips it.
 const flushAllTimeout = 30 * time.Second
 
-// FlushAll synchronously drains the entire dirty list (used on Close and by
-// tests needing durability). Blocks taken by a concurrent flusher round are
-// skipped by TakeDirty (they are already on their way to the iod), so
-// FlushAll waits for that round to land rather than failing; it errors only
-// after flushAllTimeout passes without the dirty count making any
-// progress — which means the flush ports are persistently failing, since
-// every failed round re-queues its blocks for the next attempt. (With
-// concurrent writers continuously re-dirtying the cache, "progress" means
-// a new low-water mark of the dirty count; a steady state that never
-// drains still errors after the timeout rather than blocking forever.)
+// FlushAll synchronously drains the entire dirty list (used on Close and
+// by tests needing durability): it kicks every flush stream and waits for
+// the dirty count to reach zero, so the drain runs at the full pipelined
+// width — all iods in parallel, FlushWindow frames each — rather than as
+// one serial sweep. Blocks already in flight on a stream are invisible to
+// TakeDirtyOwned, so FlushAll simply waits for those frames to land; it
+// errors only after flushAllTimeout passes without the dirty count making
+// any progress — which means a flush port is persistently failing, since
+// every failed chunk re-queues its blocks for the stream's next (backed
+// off) attempt. (With concurrent writers continuously re-dirtying the
+// cache, "progress" means a new low-water mark of the dirty count; a
+// steady state that never drains still errors after the timeout rather
+// than blocking forever.)
 func (m *Module) FlushAll() error {
+	if len(m.streams) == 0 {
+		return nil
+	}
 	minSeen := m.buf.DirtyCount()
 	if minSeen == 0 {
 		return nil
 	}
 	deadline := time.Now().Add(flushAllTimeout)
+	m.kickAllStreams()
+	lastKick := time.Now()
 	for {
-		m.flushOnce(0)
+		// Event-driven wait: every acked chunk broadcasts signalSpace, so
+		// the common case wakes on drain progress; the short deadline
+		// bounds the wait when no acks are flowing (chunks failing, or
+		// the tail of the backlog in flight on a slow port).
+		m.waitForSpace(time.Now().Add(5 * time.Millisecond))
 		n := m.buf.DirtyCount()
 		if n == 0 {
 			return nil
@@ -504,8 +465,17 @@ func (m *Module) FlushAll() error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("cachemod: %d dirty blocks remain after FlushAll stalled for %v", n, flushAllTimeout)
 		}
-		// In flight on a concurrent round: yield until it lands.
-		time.Sleep(time.Millisecond)
+		// Re-kick sparingly. A kicked stream drains its whole backlog and
+		// a failing stream re-kicks itself after backoff, so most
+		// wake-ups need no new kick — constant kicking would have every
+		// idle stream re-scanning all shards for nothing. But concurrent
+		// writers can dirty blocks after a stream's round ended, and a
+		// block re-dirtied while in flight becomes eligible only once its
+		// ack lands, so nudge the streams periodically.
+		if time.Since(lastKick) >= 50*time.Millisecond {
+			m.kickAllStreams()
+			lastKick = time.Now()
+		}
 	}
 }
 
@@ -555,10 +525,46 @@ func (m *Module) handleInvalidate(msg wire.Message) wire.Message {
 
 // --- helpers shared with the transport FSM ---
 
+// kickFlusher wakes the write-behind engine under space pressure. The
+// kick is directed: eviction pressure wants the blocks the replacement
+// policy will free next, so the stream owning the oldest dirty data is
+// kicked rather than every stream with a global batch — the other iods'
+// streams keep their period (or their own kicks) and the node does not
+// burst-flush young data that eviction does not need gone. Two escape
+// hatches keep the directed kick from starving writers: when the target
+// stream is failing (its iod is down, so waking it frees nothing —
+// FlushFailed keeps its old blocks eligible, which would pin the probe
+// on it forever), every stream is kicked instead; and when nothing is
+// eligible (clean cache, or every dirty block already in flight) no
+// kick is sent at all.
 func (m *Module) kickFlusher() {
-	select {
-	case m.flushKick <- struct{}{}:
-	default:
+	if len(m.streams) == 0 {
+		return
+	}
+	owner, ok := m.buf.OldestDirtyOwner()
+	if !ok {
+		return
+	}
+	if owner < 0 || owner >= len(m.streams) {
+		// A block owned by an iod with no flush stream (mismatched
+		// data/flush address lists) can never drain; waking everyone at
+		// least frees what the flushable owners hold, as the old global
+		// batch did.
+		m.kickAllStreams()
+		return
+	}
+	target := m.streams[owner]
+	if target.failing.Load() {
+		m.kickAllStreams()
+		return
+	}
+	target.kickStream()
+}
+
+// kickAllStreams wakes every flush stream (FlushAll's full-width drain).
+func (m *Module) kickAllStreams() {
+	for _, s := range m.streams {
+		s.kickStream()
 	}
 }
 

@@ -47,9 +47,18 @@ type Config struct {
 	// manager (see buffer.Config.Shards: 0 picks a power of two ≥
 	// GOMAXPROCS; 1 is the single-mutex ablation baseline).
 	CacheShards int
-	// FlushPeriod overrides the flusher interval (default 1s; tests use
-	// shorter).
+	// FlushPeriod overrides the flush streams' interval (default 1s;
+	// tests use shorter).
 	FlushPeriod time.Duration
+	// FlushStreams bounds how many per-iod flush streams drain
+	// concurrently in each cache module (default: all iods in parallel;
+	// 1 = the serial pre-pipeline drain, for ablation). See
+	// cachemod.Config.FlushStreams.
+	FlushStreams int
+	// FlushWindow is each flush stream's bound on concurrent Flush
+	// frames in flight (default 4; 1 = one blocking round trip at a
+	// time, for ablation). See cachemod.Config.FlushWindow.
+	FlushWindow int
 	// Policy selects the replacement policy (default clock).
 	Policy buffer.Policy
 	// DisableCoherence turns off invalidation listeners and registration.
@@ -174,6 +183,8 @@ func Start(cfg Config) (*Cluster, error) {
 					Policy:    cfg.Policy,
 				},
 				FlushPeriod:      cfg.FlushPeriod,
+				FlushStreams:     cfg.FlushStreams,
+				FlushWindow:      cfg.FlushWindow,
 				DisableCoherence: cfg.DisableCoherence,
 				Registry:         cfg.Registry,
 			})

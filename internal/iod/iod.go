@@ -249,21 +249,47 @@ func (s *Server) write(m *wire.Write) *wire.WriteAck {
 	return &wire.WriteAck{Status: wire.StatusOK}
 }
 
+// flush applies one Flush frame. Each FlushBlock is a contiguous dirty
+// run that may span several cache blocks (the client flusher coalesces
+// adjacent dirty blocks before framing), written with a single store
+// call; the coherence directory records the flusher as a holder of every
+// covered block — the flushed blocks stay resident (clean) in its cache.
+//
+// Concurrency: the pipelined write-behind engine keeps several Flush
+// frames from one client in flight concurrently, and rpc.Server serves
+// them on parallel goroutines. Within one window that is safe: the runs
+// are disjoint (the buffer manager's in-flight mark prevents a block
+// from being taken twice), simdisk.Store serializes per-file writes
+// internally, and the directory update takes s.mu. Delivery is
+// at-least-once — a frame whose ack is lost is re-sent after its blocks
+// re-queue — and re-applying a frame is idempotent. The retry boundary
+// is where a residual ordering race lives (inherited from the seed's
+// serial retry loop, not introduced by the window): a frame whose
+// connection died after delivery can still be executing here when the
+// retried frame carrying newer bytes lands, and nothing orders the two
+// stores. Closing that hole needs per-block generations on the wire so
+// stale frames can be rejected; until then the client's backoff merely
+// narrows the window.
 func (s *Server) flush(m *wire.Flush) *wire.FlushAck {
+	bs := int64(s.blockSize)
+	blocks := int64(0)
 	for _, blk := range m.Blocks {
-		s.store.WriteAt(m.File, blk.Index*int64(s.blockSize)+int64(blk.Off), blk.Data)
-		// Flushed blocks stay resident (clean) in the flusher's cache.
-		if m.Client != 0 {
-			s.addHolder(m.Client, blockio.BlockKey{File: m.File, Index: blk.Index})
+		off := blk.Index*bs + int64(blk.Off)
+		s.store.WriteAt(m.File, off, blk.Data)
+		first, count := blockio.BlockRange(off, int64(len(blk.Data)), s.blockSize)
+		blocks += count
+		for i := int64(0); i < count; i++ {
+			if m.Client != 0 {
+				s.addHolder(m.Client, blockio.BlockKey{File: m.File, Index: first + i})
+			}
+			if s.observer != nil && m.Client != 0 {
+				s.observer(m.Client, m.File, first+i, true)
+			}
 		}
 	}
 	s.reg.Counter("iod.flushes").Inc()
-	s.reg.Counter("iod.flush_blocks").Add(int64(len(m.Blocks)))
-	if s.observer != nil && m.Client != 0 {
-		for _, blk := range m.Blocks {
-			s.observer(m.Client, m.File, blk.Index, true)
-		}
-	}
+	s.reg.Counter("iod.flush_blocks").Add(blocks)
+	s.reg.Counter("iod.flush_runs").Add(int64(len(m.Blocks)))
 	return &wire.FlushAck{Status: wire.StatusOK}
 }
 

@@ -219,14 +219,42 @@ type FileMeta struct {
 	SSize  uint32 // strip size in bytes
 }
 
-// FlushBlock is one dirty block carried by a flush message. Off is the
-// offset of Data within the block: the flusher sends only the dirty span
-// of a partially written block.
+// FlushBlock is one dirty run carried by a flush message. Index names the
+// first cache block of the run and Off is the offset of Data within that
+// block: the flusher sends only the dirty span of a partially written
+// block. Data may extend past the end of block Index into the following
+// blocks — the flusher coalesces adjacent dirty blocks of one file into a
+// single contiguous run, and the iod writes the whole run with one store
+// call, recording every covered block in its coherence directory.
+//
+// Ownership: on the encode side Data is borrowed from the sender for the
+// duration of the write (the flusher's snapshot buffers); on the decode
+// side it aliases the connection's pooled frame buffer and must be
+// consumed before the server handler returns (see rpc.Server).
 type FlushBlock struct {
 	Index int64
 	Off   uint32
 	Data  []byte
 }
+
+// Flush frame capacity, derived from the codec so a flusher's chunk
+// budget cannot drift from what a frame can actually carry (a chunk
+// framed over the limit would fail WriteTagged with ErrTooLarge and
+// retry forever, since retrying never shrinks it):
+const (
+	// flushHeaderBytes is the fixed Flush encoding head:
+	// Client (u32) + File (u64) + block count (u32).
+	flushHeaderBytes = 4 + 8 + 4
+	// FlushBlockOverhead is the per-run encoding overhead in a Flush
+	// message: Index (i64) + Off (u32) + the Data length prefix (u32).
+	FlushBlockOverhead = 8 + 4 + 4
+	// MaxFlushPayload is the largest sum of
+	// len(FlushBlock.Data) + FlushBlockOverhead that a single Flush frame
+	// can carry: MaxMessageSize minus the frame's type word, the request
+	// tag, and the Flush head. A flusher that keeps each chunk's
+	// accounted bytes at or under this bound can never hit ErrTooLarge.
+	MaxFlushPayload = MaxMessageSize - 2 - 8 - flushHeaderBytes
+)
 
 // --- mgr messages ---
 
@@ -337,8 +365,16 @@ type SyncWriteAck struct {
 
 // --- flush-port messages ---
 
-// Flush carries a batch of dirty blocks from a node's flusher thread to the
-// iod-side flusher peer, which writes them with local file-system calls.
+// Flush carries a batch of dirty runs of ONE file from a node's flusher
+// to the iod-side flusher peer, which writes them with local file-system
+// calls. A cache module may have several Flush frames in flight to one
+// iod concurrently (the pipelined write-behind engine); the runs of the
+// frames of one round are disjoint, so the iod may apply concurrent
+// frames in any order. Delivery is at-least-once: a frame whose ack is
+// lost is re-sent by the flusher after re-queuing its blocks, and the
+// iod applies it again idempotently. (Re-sends are not ordered against
+// the original: a lost-ack frame still executing at the iod can race a
+// retry carrying newer bytes — see iod.flush for the residual race.)
 type Flush struct {
 	Client uint32
 	File   blockio.FileID

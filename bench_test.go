@@ -1,6 +1,6 @@
 package pvfscache_test
 
-// One benchmark per table/figure of the paper (see DESIGN.md §8 for the
+// One benchmark per table/figure of the paper (see DESIGN.md §9 for the
 // experiment index):
 //
 //	BenchmarkFigure4ReadOverhead / BenchmarkFigure4WriteOverhead  — Fig 4(a,b)
@@ -518,6 +518,94 @@ func BenchmarkLiveReadSequentialReadahead(b *testing.B) { benchSequentialScan(b,
 // BenchmarkLiveReadSequentialNoReadahead is the same scan with readahead
 // disabled: every request pays its own fetch round trip.
 func BenchmarkLiveReadSequentialNoReadahead(b *testing.B) { benchSequentialScan(b, -1) }
+
+// benchScanVsWorkingSet interleaves a streaming scan four times the
+// cache's size with round-robin re-reads of a warm 128-block working
+// set, then reports what fraction of the working set is still resident
+// ("wsresident", 0..1). Under the ghost policy the scan can only churn
+// the probation segment, so the working set stays near fully resident
+// and its reads stay hits; under the exact-LRU ablation one list serves
+// both, and the scan flushes the working set as fast as it is re-read.
+func benchScanVsWorkingSet(b *testing.B, pol buffer.Policy) {
+	const blockSize = 4096
+	const wsBlocks = 128    // 512 KB working set: fits the protected segment
+	const scanBlocks = 1024 // 4 MB scan: four times the whole cache
+	c, err := cluster.Start(cluster.Config{
+		IODs:            4,
+		ClientNodes:     1,
+		Caching:         true,
+		CacheBlocks:     256,
+		CacheShards:     1, // one stripe: deterministic replacement order
+		Policy:          pol,
+		ReadaheadWindow: -1, // block-by-block reads isolate admission
+		FlushPeriod:     time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	p, err := c.NewProcess(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	create := func(name string, blocks int) *pvfs.File {
+		f, err := p.Create(name, pvfs.StripeSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.WriteAt(make([]byte, blocks*blockSize), 0); err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	ws := create("wsbench.dat", wsBlocks)
+	scan := create("scanbench.dat", scanBlocks)
+	if err := c.Module(0).FlushAll(); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, blockSize)
+	readBlock := func(f *pvfs.File, idx int) {
+		if _, err := f.ReadAt(buf, int64(idx)*blockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the working set (the second pass promotes it to protected
+	// under the ghost policy), then run one full untimed scan so the
+	// residency outcome is established even at b.N == 1.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < wsBlocks; i++ {
+			readBlock(ws, i)
+		}
+	}
+	for i := 0; i < scanBlocks; i++ {
+		readBlock(scan, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 4; k++ {
+			readBlock(scan, (i*4+k)%scanBlocks)
+		}
+		readBlock(ws, i%wsBlocks)
+	}
+	b.StopTimer()
+	resident := 0
+	for i := 0; i < wsBlocks; i++ {
+		if c.Module(0).Buffer().Contains(blockio.BlockKey{File: ws.ID(), Index: int64(i)}, 0, blockSize) {
+			resident++
+		}
+	}
+	b.ReportMetric(float64(resident)/wsBlocks, "wsresident")
+	b.SetBytes(5 * blockSize)
+}
+
+// BenchmarkLiveScanVsWorkingSet runs the scan-vs-working-set storm under
+// the scan-resistant ghost policy.
+func BenchmarkLiveScanVsWorkingSet(b *testing.B) { benchScanVsWorkingSet(b, buffer.PolicyGhost) }
+
+// BenchmarkLiveScanVsWorkingSetLRU is the single-list ablation: the same
+// storm under exact LRU, where the scan displaces the working set.
+func BenchmarkLiveScanVsWorkingSetLRU(b *testing.B) { benchScanVsWorkingSet(b, buffer.PolicyLRU) }
 
 // BenchmarkLiveReadMultiClientMisses measures aggregate read throughput of
 // eight application processes sharing one node's cache module while their

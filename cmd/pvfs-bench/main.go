@@ -19,7 +19,10 @@
 // -flushwindow select the copying data path, the per-run miss engine,
 // the buffer manager's stripe count, and the write-behind engine's
 // stream/window shape (-flushstreams 1 -flushwindow 1 is the serial
-// pre-pipeline drain). See docs/TUNING.md for the full knob table.
+// pre-pipeline drain). The admission knobs -policy, -ghostfrac and
+// -bypass pick the replacement policy (clock, lru, or the
+// scan-resistant ghost policy), size its ghost history, and enable the
+// streaming read-around. See docs/TUNING.md for the full knob table.
 package main
 
 import (
@@ -68,7 +71,16 @@ func main() {
 	flag.IntVar(&mods.shards, "shards", 0, "cache lock stripes (0 = power of two >= GOMAXPROCS, 1 = single-mutex ablation)")
 	flag.IntVar(&mods.flushStreams, "flushstreams", 0, "concurrent per-iod flush streams (0 = all iods in parallel, 1 = serial ablation)")
 	flag.IntVar(&mods.flushWindow, "flushwindow", 0, "in-flight flush frames per stream (0 = default 4, 1 = blocking ablation)")
+	policyName := flag.String("policy", "clock", "replacement policy: clock, lru, or ghost (scan-resistant)")
+	flag.Float64Var(&mods.ghostFrac, "ghostfrac", 0, "ghost-list size as a fraction of cache capacity under -policy ghost (0 = default 1.0, negative disables)")
+	flag.IntVar(&mods.bypass, "bypass", 0, "sequential streak at which streaming reads bypass the cache (0 = disabled)")
 	flag.Parse()
+
+	pol, err := buffer.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatalf("-policy: %v", err)
+	}
+	mods.policy = pol
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -130,6 +142,9 @@ type modFlags struct {
 	shards       int
 	flushStreams int
 	flushWindow  int
+	policy       buffer.Policy
+	ghostFrac    float64
+	bypass       int
 }
 
 func splitList(s string) []string {
@@ -160,9 +175,12 @@ func runInProcess(mb microbench.Params, caching bool, mods modFlags) {
 			Caching:         withCache,
 			FlushPeriod:     100 * time.Millisecond,
 			ReadaheadWindow: mods.readahead,
+			BypassThreshold: mods.bypass,
 			DisableVector:   mods.novector,
 			DisableZeroCopy: mods.nozerocopy,
 			CacheShards:     mods.shards,
+			Policy:          mods.policy,
+			GhostFrac:       mods.ghostFrac,
 			FlushStreams:    mods.flushStreams,
 			FlushWindow:     mods.flushWindow,
 		})
@@ -187,12 +205,17 @@ func runAgainst(mb microbench.Params, caching bool, mods modFlags, net transport
 	if caching {
 		for node := 0; node < mb.Nodes; node++ {
 			mod, err := cachemod.New(cachemod.Config{
-				Network:         net,
-				ClientID:        uint32(node + 1),
-				IODDataAddrs:    iods,
-				IODFlushAddrs:   flushes,
-				Buffer:          buffer.Config{Shards: mods.shards},
+				Network:       net,
+				ClientID:      uint32(node + 1),
+				IODDataAddrs:  iods,
+				IODFlushAddrs: flushes,
+				Buffer: buffer.Config{
+					Shards:    mods.shards,
+					Policy:    mods.policy,
+					GhostFrac: mods.ghostFrac,
+				},
 				ReadaheadWindow: mods.readahead,
+				BypassThreshold: mods.bypass,
 				DisableVector:   mods.novector,
 				DisableZeroCopy: mods.nozerocopy,
 				FlushStreams:    mods.flushStreams,

@@ -6,7 +6,10 @@
 // blocks over dirty ones. An exact-LRU policy is also provided for the
 // ablation study — the paper explicitly chose approximate LRU because
 // "exact LRU can result in a significant overhead at each read/write
-// invocation".
+// invocation". A third, scan-resistant policy (PolicyGhost, see ghost.go)
+// implements the paper's discretionary-admission idea: blocks must prove
+// reuse against a bounded ghost list of evicted keys before they may
+// displace the protected working set.
 //
 // The manager is pure policy: every method is non-blocking and returns an
 // explicit outcome. The live cache module wraps it with goroutines and
@@ -52,6 +55,14 @@ const (
 	PolicyClock Policy = iota
 	// PolicyLRU is exact LRU (ablation baseline).
 	PolicyLRU
+	// PolicyGhost is the scan-resistant discretionary-admission policy
+	// (2Q/ARC-flavoured, see ghost.go): residents are segmented into a
+	// probationary queue and a protected working set, and each shard keeps
+	// a bounded metadata-only ghost list of recently evicted keys. A block
+	// must prove reuse — a hit while resident, or a ghost hit on
+	// re-admission — before it may occupy or displace protected frames, so
+	// one large scan can no longer flush a node's working set.
+	PolicyGhost
 )
 
 // String names the policy.
@@ -61,8 +72,25 @@ func (p Policy) String() string {
 		return "clock"
 	case PolicyLRU:
 		return "lru"
+	case PolicyGhost:
+		return "ghost"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a policy name ("clock", "lru", "ghost") to its Policy,
+// for command-line flags.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "clock":
+		return PolicyClock, nil
+	case "lru":
+		return PolicyLRU, nil
+	case "ghost":
+		return PolicyGhost, nil
+	default:
+		return 0, fmt.Errorf("buffer: unknown policy %q (want clock, lru or ghost)", s)
 	}
 }
 
@@ -118,6 +146,14 @@ type Config struct {
 	Shards int
 	// Policy selects the replacement algorithm (default PolicyClock).
 	Policy Policy
+	// GhostFrac sizes PolicyGhost's per-shard ghost list as a fraction of
+	// the shard's frame count (entries are metadata only: one key plus two
+	// pointers). 0 takes the default of 1.0 — remember as many evicted
+	// keys as there are frames, the classic ARC history budget. Negative
+	// disables ghost memory entirely (a segmented-LRU ablation: nothing
+	// ever proves reuse after eviction); values above 4 are clamped.
+	// Ignored by the other policies.
+	GhostFrac float64
 	// Registry receives hit/miss/eviction counters; nil uses a private one.
 	Registry *metrics.Registry
 }
@@ -152,6 +188,14 @@ func (c *Config) fillDefaults() {
 	for c.Shards > 1 && c.Shards > c.Capacity {
 		c.Shards >>= 1
 	}
+	switch {
+	case c.GhostFrac == 0:
+		c.GhostFrac = 1.0
+	case c.GhostFrac < 0:
+		c.GhostFrac = -1 // normalized "no ghost memory" ablation
+	case c.GhostFrac > 4:
+		c.GhostFrac = 4
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -180,6 +224,11 @@ type block struct {
 
 	ref bool // clock referenced bit
 
+	// PolicyGhost segment state: which queue the block sits on and where.
+	// segEl is nil under the other policies.
+	protected bool
+	segEl     *list.Element
+
 	lruEl   *list.Element // position in lru list (front = most recent)
 	clockEl *list.Element // position in clock ring
 	dirtyEl *list.Element // position in dirty FIFO, nil when clean
@@ -204,9 +253,17 @@ type Stats struct {
 	Resident  int
 	Free      int
 	Dirty     int
+	Ghosts    int // PolicyGhost: remembered evicted keys across shards
 	Hits      int64
 	Misses    int64
 	Evictions int64
+
+	// PolicyGhost admission/eviction activity (see shard.go); BypassReads
+	// counts blocks the module intentionally served around the cache.
+	GhostHits          int64
+	AdmissionRejects   int64
+	ProtectedEvictions int64
+	BypassReads        int64
 }
 
 // counters caches the registry counter pointers so the per-operation hot
@@ -219,6 +276,11 @@ type counters struct {
 	writeNoSpace  *metrics.Counter
 	insertNoSpace *metrics.Counter
 	writeRMW      *metrics.Counter
+
+	ghostHits          *metrics.Counter
+	admissionRejects   *metrics.Counter
+	protectedEvictions *metrics.Counter
+	bypassReads        *metrics.Counter
 }
 
 // Manager is the buffer manager. All methods are safe for concurrent use;
@@ -243,6 +305,11 @@ func New(cfg Config) *Manager {
 		writeNoSpace:  cfg.Registry.Counter("cache.write_nospace"),
 		insertNoSpace: cfg.Registry.Counter("cache.insert_nospace"),
 		writeRMW:      cfg.Registry.Counter("cache.write_rmw"),
+
+		ghostHits:          cfg.Registry.Counter("cache.ghost_hits"),
+		admissionRejects:   cfg.Registry.Counter("cache.admission_rejects"),
+		protectedEvictions: cfg.Registry.Counter("cache.protected_evictions"),
+		bypassReads:        cfg.Registry.Counter("cache.bypass_reads"),
 	}
 	// Pre-allocate every frame in one slab, as the kernel module does:
 	// allocation at request time only pops a shard's free list. Frames are
@@ -285,6 +352,21 @@ func New(cfg Config) *Manager {
 		if low > high {
 			low = high
 		}
+		// PolicyGhost sizing: the probation segment keeps at least a
+		// quarter of the shard's frames (so there is always somewhere for
+		// unproven blocks to live and be evicted from); the ghost list
+		// remembers GhostFrac × capacity evicted keys.
+		probTarget := capacity / 4
+		if probTarget < 1 {
+			probTarget = 1
+		}
+		ghostCap := 0
+		if cfg.GhostFrac > 0 {
+			ghostCap = int(cfg.GhostFrac*float64(capacity) + 0.5)
+			if ghostCap < 1 {
+				ghostCap = 1
+			}
+		}
 		s := &shard{
 			cfg:       &m.cfg,
 			ctrs:      ctrs,
@@ -292,11 +374,17 @@ func New(cfg Config) *Manager {
 			capacity:  capacity,
 			lowWater:  low,
 			highWater: high,
+			protCap:   capacity - probTarget,
+			ghostCap:  ghostCap,
 			table:     make(map[blockio.BlockKey]*block, capacity),
 			free:      make([]*block, 0, capacity),
 			lru:       list.New(),
 			clockRing: list.New(),
 			dirtyFIFO: list.New(),
+			probList:  list.New(),
+			protList:  list.New(),
+			ghost:     list.New(),
+			ghostIdx:  make(map[blockio.BlockKey]*list.Element),
 		}
 		for j := 0; j < capacity; j++ {
 			s.free = append(s.free, &block{data: backing[next*cfg.BlockSize : (next+1)*cfg.BlockSize]})
@@ -369,7 +457,7 @@ func (m *Manager) InsertClean(key blockio.BlockKey, owner int, data []byte) Outc
 	if len(data) > m.cfg.BlockSize {
 		panic("buffer: InsertClean data exceeds block size")
 	}
-	return m.shardFor(key).insertClean(key, owner, data)
+	return m.shardFor(key).insertClean(key, owner, data, false)
 }
 
 // InstallFetched installs a freshly fetched whole-block image and patches
@@ -393,7 +481,43 @@ func (m *Manager) InstallFetched(key blockio.BlockKey, owner int, data []byte) O
 	if len(data) != m.cfg.BlockSize {
 		panic("buffer: InstallFetched requires a whole-block image")
 	}
-	return m.shardFor(key).installFetched(key, owner, data)
+	return m.shardFor(key).installFetched(key, owner, data, false)
+}
+
+// InstallFetchedAdmit is InstallFetched with the discretionary-admission
+// override: must set means the caller carries a must-cache hint, so under
+// PolicyGhost the block is admitted into the protected segment directly
+// (its reuse is asserted by the application, not proven by history) and is
+// never rejected by the admission gate. Under the other policies must has
+// no effect.
+func (m *Manager) InstallFetchedAdmit(key blockio.BlockKey, owner int, data []byte, must bool) Outcome {
+	if len(data) != m.cfg.BlockSize {
+		panic("buffer: InstallFetchedAdmit requires a whole-block image")
+	}
+	return m.shardFor(key).installFetched(key, owner, data, must)
+}
+
+// PatchResident overlays the block's resident valid bytes onto data (a
+// whole-block image) without admitting anything: the read-around path's
+// half of InstallFetched's resident-wins patch. A bypassed fetch must
+// still serve this node's newest view of the block — resident bytes may be
+// dirtier or newer than what the iod returned — even though the fetched
+// image is never installed.
+func (m *Manager) PatchResident(key blockio.BlockKey, data []byte) {
+	if len(data) != m.cfg.BlockSize {
+		panic("buffer: PatchResident requires a whole-block image")
+	}
+	m.shardFor(key).patchResident(key, data)
+}
+
+// NoteBypass counts one block intentionally served around the cache (the
+// streaming-bypass and don't-cache read paths). The count lands on the
+// shard the block would have occupied, so per-shard bypass pressure is
+// visible in the folded stats.
+func (m *Manager) NoteBypass(key blockio.BlockKey) {
+	s := m.shardFor(key)
+	s.bypassReads.Add(1)
+	s.ctrs.bypassReads.Inc()
 }
 
 // dirtyCand is one shard's dirty block offered to a cross-shard TakeDirty
@@ -579,10 +703,15 @@ func (m *Manager) Stats() Stats {
 		st.Resident += len(s.table)
 		st.Free += len(s.free)
 		st.Dirty += s.dirtyFIFO.Len()
+		st.Ghosts += s.ghost.Len()
 		s.mu.Unlock()
 		st.Hits += s.hits.Load()
 		st.Misses += s.misses.Load()
 		st.Evictions += s.evictions.Load()
+		st.GhostHits += s.ghostHits.Load()
+		st.AdmissionRejects += s.admissionRejects.Load()
+		st.ProtectedEvictions += s.protectedEvictions.Load()
+		st.BypassReads += s.bypassReads.Load()
 	}
 	return st
 }

@@ -1,0 +1,229 @@
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"pvfscache/internal/blockio"
+)
+
+// PolicyGhost — scan-resistant discretionary admission.
+//
+// Residents are split into two LRU segments per shard:
+//
+//	probation: blocks seen once. Inserted at the front, evicted from the
+//	           back. Every unproven newcomer lands here and every victim
+//	           is taken from here first, so a scan only ever fights other
+//	           scan blocks for frames.
+//	protected: blocks that proved reuse — a second access while resident
+//	           (touch promotes), a ghost hit on re-admission, or a
+//	           must-cache hint. Bounded by protCap; overflow demotes the
+//	           protected tail back to probation rather than evicting it,
+//	           so proven blocks get one more chance to re-prove.
+//
+// The ghost list is the admission filter's memory: a bounded FIFO-ish LRU
+// of recently *evicted* keys (metadata only — one key, no data). A miss
+// whose key is still remembered is re-admitted straight into the protected
+// segment: it was evicted while still being used, the classic sign that
+// the scan working through probation is bigger than the cache but this
+// block is not part of it. Invalidation (coherence or truncation) forgets
+// the key instead of remembering it — an invalidated block's history must
+// never count as proof.
+//
+// The admission gate is the discretionary part: when the only victims left
+// are protected blocks, an unproven newcomer is refused admission
+// (OutcomeNoSpace to the caller, which every fetch path already tolerates
+// by serving the data uncached) rather than allowed to displace the
+// working set. Writes and must-cache opens override the gate.
+//
+// State diagram (DESIGN.md §7 reproduces this with the bypass path):
+//
+//	            miss, admit                     touch
+//	  absent ────────────────▶ probation ────────────────▶ protected
+//	    ▲                         │  ▲                        │ │
+//	    │ ghost LRU overflow      │  │ protCap overflow       │ │
+//	    │ or invalidate           │  └────────────────────────┘ │
+//	    │                  evict  │                      evict  │
+//	  ghost ◀─────────────────────┴─────────────────────────────┘
+//	    │
+//	    └── miss on remembered key ──▶ protected (ghost hit)
+
+// segInsert places a newly allocated block on its segment (s.mu held).
+func (s *shard) segInsert(b *block, protected bool) {
+	if protected && s.protCap > 0 {
+		b.protected = true
+		b.segEl = s.protList.PushFront(b)
+		s.demoteOverflow()
+		return
+	}
+	b.protected = false
+	b.segEl = s.probList.PushFront(b)
+}
+
+// segTouch refreshes a block's segment position on re-access, promoting
+// probationary blocks that just proved reuse (s.mu held).
+func (s *shard) segTouch(b *block) {
+	if b.protected {
+		s.protList.MoveToFront(b.segEl)
+		return
+	}
+	s.probList.Remove(b.segEl)
+	b.protected = true
+	b.segEl = s.protList.PushFront(b)
+	s.demoteOverflow()
+}
+
+// segRemove detaches a block from its segment (s.mu held).
+func (s *shard) segRemove(b *block) {
+	if b.segEl == nil {
+		return
+	}
+	if b.protected {
+		s.protList.Remove(b.segEl)
+	} else {
+		s.probList.Remove(b.segEl)
+	}
+	b.segEl = nil
+	b.protected = false
+}
+
+// demoteOverflow keeps the protected segment within protCap by demoting
+// its tail to the probation front (s.mu held). Demotion is pure list
+// bookkeeping — a dirty or flushing block may demote freely, eviction
+// still skips it.
+func (s *shard) demoteOverflow() {
+	for s.protList.Len() > s.protCap {
+		el := s.protList.Back()
+		b := el.Value.(*block)
+		s.protList.Remove(el)
+		b.protected = false
+		b.segEl = s.probList.PushFront(b)
+	}
+}
+
+// pickVictimGhost chooses a clean, non-flushing victim: probation back to
+// front first, the protected tail only when probation has nothing to give
+// (s.mu held). The caller's admission gate decides whether a protected
+// victim may actually be taken.
+func (s *shard) pickVictimGhost() *block {
+	for el := s.probList.Back(); el != nil; el = el.Prev() {
+		b := el.Value.(*block)
+		if !b.dirty() && !b.flushing {
+			return b
+		}
+	}
+	for el := s.protList.Back(); el != nil; el = el.Prev() {
+		b := el.Value.(*block)
+		if !b.dirty() && !b.flushing {
+			return b
+		}
+	}
+	return nil
+}
+
+// ghostRecord remembers an evicted key, evicting the ghost list's own LRU
+// tail when full (s.mu held).
+func (s *shard) ghostRecord(key blockio.BlockKey) {
+	if s.ghostCap <= 0 {
+		return
+	}
+	if el, ok := s.ghostIdx[key]; ok {
+		s.ghost.MoveToFront(el)
+		return
+	}
+	for s.ghost.Len() >= s.ghostCap {
+		old := s.ghost.Back()
+		delete(s.ghostIdx, old.Value.(blockio.BlockKey))
+		s.ghost.Remove(old)
+	}
+	s.ghostIdx[key] = s.ghost.PushFront(key)
+}
+
+// ghostTake consumes the ghost entry for key, reporting whether one
+// existed (s.mu held). Consuming keeps the list an eviction history: once
+// a key is re-admitted its old eviction no longer argues for anything.
+func (s *shard) ghostTake(key blockio.BlockKey) bool {
+	el, ok := s.ghostIdx[key]
+	if !ok {
+		return false
+	}
+	delete(s.ghostIdx, key)
+	s.ghost.Remove(el)
+	return true
+}
+
+// ghostForget drops any ghost memory of key (s.mu held).
+func (s *shard) ghostForget(key blockio.BlockKey) {
+	if el, ok := s.ghostIdx[key]; ok {
+		delete(s.ghostIdx, key)
+		s.ghost.Remove(el)
+	}
+}
+
+// ghostForgetFile drops every ghost entry of a file (s.mu held).
+func (s *shard) ghostForgetFile(file blockio.FileID) {
+	var next *list.Element
+	for el := s.ghost.Front(); el != nil; el = next {
+		next = el.Next()
+		if key := el.Value.(blockio.BlockKey); key.File == file {
+			delete(s.ghostIdx, key)
+			s.ghost.Remove(el)
+		}
+	}
+}
+
+// checkGhostConsistency verifies the PolicyGhost invariants (s.mu held):
+// the two segments partition exactly the residents, every block's
+// protected flag matches its list, the protected segment respects protCap,
+// and the ghost list is a bounded, indexed set of non-resident keys that
+// route to this shard.
+func (s *shard) checkGhostConsistency(shardIdx int, mask uint64) error {
+	if s.cfg.Policy != PolicyGhost {
+		if s.probList.Len() != 0 || s.protList.Len() != 0 || s.ghost.Len() != 0 {
+			return fmt.Errorf("shard %d: ghost-policy state populated under %v",
+				shardIdx, s.cfg.Policy)
+		}
+		return nil
+	}
+	if got := s.probList.Len() + s.protList.Len(); got != len(s.table) {
+		return fmt.Errorf("shard %d: probation(%d)+protected(%d) = %d, want resident %d",
+			shardIdx, s.probList.Len(), s.protList.Len(), got, len(s.table))
+	}
+	if s.protList.Len() > s.protCap {
+		return fmt.Errorf("shard %d: protected segment %d exceeds cap %d",
+			shardIdx, s.protList.Len(), s.protCap)
+	}
+	for el := s.probList.Front(); el != nil; el = el.Next() {
+		b := el.Value.(*block)
+		if b.protected || b.segEl != el || s.table[b.key] != b {
+			return fmt.Errorf("shard %d: probation entry %v inconsistent", shardIdx, b.key)
+		}
+	}
+	for el := s.protList.Front(); el != nil; el = el.Next() {
+		b := el.Value.(*block)
+		if !b.protected || b.segEl != el || s.table[b.key] != b {
+			return fmt.Errorf("shard %d: protected entry %v inconsistent", shardIdx, b.key)
+		}
+	}
+	if s.ghost.Len() != len(s.ghostIdx) {
+		return fmt.Errorf("shard %d: ghost list %d entries but index has %d",
+			shardIdx, s.ghost.Len(), len(s.ghostIdx))
+	}
+	if s.ghostCap >= 0 && s.ghost.Len() > s.ghostCap {
+		return fmt.Errorf("shard %d: ghost list %d exceeds cap %d",
+			shardIdx, s.ghost.Len(), s.ghostCap)
+	}
+	for el := s.ghost.Front(); el != nil; el = el.Next() {
+		key := el.Value.(blockio.BlockKey)
+		if s.ghostIdx[key] != el {
+			return fmt.Errorf("shard %d: ghost key %v not indexed to its element", shardIdx, key)
+		}
+		if (key.Mix()>>32)&mask != uint64(shardIdx) {
+			return fmt.Errorf("shard %d: ghost key %v routed to wrong shard", shardIdx, key)
+		}
+		if _, resident := s.table[key]; resident {
+			return fmt.Errorf("shard %d: ghost key %v is still resident", shardIdx, key)
+		}
+	}
+	return nil
+}

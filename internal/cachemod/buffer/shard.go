@@ -23,6 +23,8 @@ type shard struct {
 	capacity  int
 	lowWater  int
 	highWater int
+	protCap   int // PolicyGhost: max protected residents before demotion
+	ghostCap  int // PolicyGhost: max remembered evicted keys
 
 	mu        sync.Mutex
 	table     map[blockio.BlockKey]*block
@@ -32,9 +34,19 @@ type shard struct {
 	clockHand *list.Element
 	dirtyFIFO *list.List // blocks awaiting flush, front = oldest
 
+	// PolicyGhost state (see ghost.go): the resident segments and the
+	// bounded metadata-only history of evicted keys. Always allocated,
+	// only populated under that policy.
+	probList *list.List // unproven residents, front = most recent
+	protList *list.List // proven working set, front = most recent
+	ghost    *list.List // evicted keys, front = most recently evicted
+	ghostIdx map[blockio.BlockKey]*list.Element
+
 	// Activity counters are per-shard atomics folded by Manager.Stats, so
 	// the hot paths never touch shared cache lines of other shards.
 	hits, misses, evictions atomic.Int64
+
+	ghostHits, admissionRejects, protectedEvictions, bypassReads atomic.Int64
 }
 
 // readSpan is ReadSpan for keys routed to this shard.
@@ -69,7 +81,10 @@ func (s *shard) writeSpan(key blockio.BlockKey, owner, off int, src []byte, mark
 	defer s.mu.Unlock()
 	b, ok := s.table[key]
 	if !ok {
-		b = s.allocate(key, owner)
+		// Writes always admit (must): rejecting one would stall the writer
+		// behind the write-through escape hatch for no memory saved — the
+		// dirty data has to live somewhere until it reaches the iod.
+		b = s.allocate(key, owner, true, false)
 		if b == nil {
 			s.ctrs.writeNoSpace.Inc()
 			return OutcomeNoSpace
@@ -79,7 +94,7 @@ func (s *shard) writeSpan(key blockio.BlockKey, owner, off int, src []byte, mark
 		if markDirty {
 			s.markDirty(b, off, len(src))
 		}
-		s.touch(b)
+		s.touchInsert(b)
 		return OutcomeOK
 	}
 	// Merging with resident data: the write must touch the valid interval,
@@ -98,17 +113,17 @@ func (s *shard) writeSpan(key blockio.BlockKey, owner, off int, src []byte, mark
 }
 
 // insertClean is InsertClean for keys routed to this shard.
-func (s *shard) insertClean(key blockio.BlockKey, owner int, data []byte) Outcome {
+func (s *shard) insertClean(key blockio.BlockKey, owner int, data []byte, must bool) Outcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.insertCleanLocked(key, owner, data)
+	return s.insertCleanLocked(key, owner, data, must)
 }
 
 // installFetched is InstallFetched for keys routed to this shard: patch
 // the caller's image with the resident valid bytes, then install it, all
 // under one lock so the installed copy and the handed-out copy cannot
 // diverge in between.
-func (s *shard) installFetched(key blockio.BlockKey, owner int, data []byte) Outcome {
+func (s *shard) installFetched(key blockio.BlockKey, owner int, data []byte, must bool) Outcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// data is a whole block (Manager.InstallFetched enforces it), so the
@@ -116,14 +131,23 @@ func (s *shard) installFetched(key blockio.BlockKey, owner int, data []byte) Out
 	if b, ok := s.table[key]; ok && b.validLen > 0 {
 		copy(data[b.validOff:], b.data[b.validOff:b.validOff+b.validLen])
 	}
-	return s.insertCleanLocked(key, owner, data)
+	return s.insertCleanLocked(key, owner, data, must)
+}
+
+// patchResident is PatchResident for keys routed to this shard.
+func (s *shard) patchResident(key blockio.BlockKey, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.table[key]; ok && b.validLen > 0 {
+		copy(data[b.validOff:], b.data[b.validOff:b.validOff+b.validLen])
+	}
 }
 
 // insertCleanLocked is insertClean's body (s.mu held).
-func (s *shard) insertCleanLocked(key blockio.BlockKey, owner int, data []byte) Outcome {
+func (s *shard) insertCleanLocked(key blockio.BlockKey, owner int, data []byte, must bool) Outcome {
 	b, ok := s.table[key]
 	if !ok {
-		b = s.allocate(key, owner)
+		b = s.allocate(key, owner, must, must)
 		if b == nil {
 			s.ctrs.insertNoSpace.Inc()
 			return OutcomeNoSpace
@@ -131,7 +155,7 @@ func (s *shard) insertCleanLocked(key blockio.BlockKey, owner int, data []byte) 
 		n := copy(b.data, data)
 		zero(b.data[n:])
 		b.validOff, b.validLen = 0, s.cfg.BlockSize
-		s.touch(b)
+		s.touchInsert(b)
 		return OutcomeOK
 	}
 	// Merge: resident valid bytes win — they are this node's newest view
@@ -265,10 +289,13 @@ func (s *shard) flushFailed(it FlushItem) {
 	}
 }
 
-// invalidate drops one block of this shard.
+// invalidate drops one block of this shard. Any ghost memory of the key is
+// dropped too — an invalidated block's history must not later count as
+// proof of reuse (no resurrection of invalidated keys).
 func (s *shard) invalidate(key blockio.BlockKey) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ghostForget(key)
 	b, ok := s.table[key]
 	if !ok {
 		return false
@@ -278,10 +305,12 @@ func (s *shard) invalidate(key blockio.BlockKey) bool {
 	return true
 }
 
-// invalidateFile drops every resident block of a file from this shard.
+// invalidateFile drops every resident block of a file from this shard,
+// along with the file's ghost entries (see invalidate).
 func (s *shard) invalidateFile(file blockio.FileID) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ghostForgetFile(file)
 	var victims []*block
 	for key, b := range s.table {
 		if key.File == file {
@@ -319,9 +348,7 @@ func (s *shard) harvest() int {
 		if v == nil {
 			break
 		}
-		s.removeBlock(v)
-		s.evictions.Add(1)
-		s.ctrs.evictions.Inc()
+		s.evictBlock(v)
 		freed++
 	}
 	return freed
@@ -330,8 +357,22 @@ func (s *shard) harvest() int {
 // --- internal (s.mu held) ---
 
 // allocate pops a free frame or inline-evicts a clean block. It returns nil
-// when neither is possible (everything resident is dirty or flushing).
-func (s *shard) allocate(key blockio.BlockKey, owner int) *block {
+// when neither is possible (everything resident is dirty or flushing) —
+// or, under PolicyGhost, when the admission gate turns the newcomer away:
+// an unproven block (no ghost hit, no must override) may only displace
+// probationary frames, never the protected working set. must forces
+// admission (writes, must-cache hints); pin additionally admits straight
+// into the protected segment (must-cache: reuse asserted, not proven).
+func (s *shard) allocate(key blockio.BlockKey, owner int, must, pin bool) *block {
+	ghostPolicy := s.cfg.Policy == PolicyGhost
+	proven := false
+	if ghostPolicy {
+		proven = s.ghostTake(key)
+		if proven {
+			s.ghostHits.Add(1)
+			s.ctrs.ghostHits.Inc()
+		}
+	}
 	var b *block
 	if n := len(s.free); n > 0 {
 		b = s.free[n-1]
@@ -341,9 +382,12 @@ func (s *shard) allocate(key blockio.BlockKey, owner int) *block {
 		if v == nil {
 			return nil
 		}
-		s.removeBlock(v)
-		s.evictions.Add(1)
-		s.ctrs.evictions.Inc()
+		if ghostPolicy && v.protected && !must && !proven {
+			s.admissionRejects.Add(1)
+			s.ctrs.admissionRejects.Inc()
+			return nil
+		}
+		s.evictBlock(v)
 		b = s.free[len(s.free)-1]
 		s.free = s.free[:len(s.free)-1]
 	}
@@ -357,7 +401,26 @@ func (s *shard) allocate(key blockio.BlockKey, owner int) *block {
 	s.table[key] = b
 	b.lruEl = s.lru.PushFront(b)
 	b.clockEl = s.clockRing.PushBack(b)
+	if ghostPolicy {
+		s.segInsert(b, proven || pin)
+	}
 	return b
+}
+
+// evictBlock counts and performs one eviction, recording the key in the
+// ghost list under PolicyGhost (eviction is the only way into the ghost
+// list: invalidated blocks are forgotten, not remembered).
+func (s *shard) evictBlock(v *block) {
+	if s.cfg.Policy == PolicyGhost {
+		if v.protected {
+			s.protectedEvictions.Add(1)
+			s.ctrs.protectedEvictions.Inc()
+		}
+		s.ghostRecord(v.key)
+	}
+	s.removeBlock(v)
+	s.evictions.Add(1)
+	s.ctrs.evictions.Inc()
 }
 
 // removeBlock detaches a block from every structure and returns its frame
@@ -379,13 +442,27 @@ func (s *shard) removeBlock(b *block) {
 		s.dirtyFIFO.Remove(b.dirtyEl)
 		b.dirtyEl = nil
 	}
+	s.segRemove(b)
 	b.dirtyOff, b.dirtyLen = 0, 0
 	b.validOff, b.validLen = 0, 0
 	s.free = append(s.free, b)
 }
 
-// touch refreshes replacement state after an access.
+// touch refreshes replacement state after a genuine re-access of a
+// resident block. Under PolicyGhost that re-access is the proof of reuse
+// that promotes a probationary block into the protected segment.
 func (s *shard) touch(b *block) {
+	b.ref = true
+	s.lru.MoveToFront(b.lruEl)
+	if b.segEl != nil {
+		s.segTouch(b)
+	}
+}
+
+// touchInsert refreshes replacement state for the access that installed
+// the block. It deliberately skips segment promotion: the installing
+// access is the block's first, not a reuse.
+func (s *shard) touchInsert(b *block) {
 	b.ref = true
 	s.lru.MoveToFront(b.lruEl)
 }
@@ -414,6 +491,9 @@ func (s *shard) markClean(b *block) {
 // pickVictim chooses a clean, non-flushing resident block according to the
 // policy, or nil if none exists.
 func (s *shard) pickVictim() *block {
+	if s.cfg.Policy == PolicyGhost {
+		return s.pickVictimGhost()
+	}
 	if s.cfg.Policy == PolicyLRU {
 		for el := s.lru.Back(); el != nil; el = el.Prev() {
 			b := el.Value.(*block)
@@ -505,6 +585,9 @@ func (s *shard) checkConsistency(shardIdx int, mask uint64) error {
 		if b.dirtyLen != 0 || b.dirtyEl != nil || b.lruEl != nil || b.clockEl != nil {
 			return fmt.Errorf("shard %d: free frame retains list state", shardIdx)
 		}
+		if b.segEl != nil || b.protected {
+			return fmt.Errorf("shard %d: free frame retains segment state", shardIdx)
+		}
 	}
-	return nil
+	return s.checkGhostConsistency(shardIdx, mask)
 }

@@ -50,6 +50,7 @@ import (
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/globalcache"
 	"pvfscache/internal/metrics"
+	"pvfscache/internal/pvfs"
 	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
@@ -92,9 +93,9 @@ type Config struct {
 	// rpc.DefaultConns). More connections let more of the node's
 	// processes keep requests in flight against one iod concurrently.
 	RPCConns int
-	// ReadaheadWindow is how many blocks the sequential-readahead
-	// prefetcher keeps in flight ahead of a detected ascending scan
-	// (default 8, capped at 1024; negative disables readahead).
+	// ReadaheadWindow is how many blocks the scan-readahead prefetcher
+	// keeps in flight ahead of a detected scan — ascending, strided or
+	// backward (default 8, capped at 1024; negative disables readahead).
 	// Prefetches travel the same vectored read path as demand misses and
 	// never displace dirty data: insertion only evicts clean blocks, and
 	// a prefetched copy of a partially dirty block preserves the dirty
@@ -102,6 +103,15 @@ type Config struct {
 	// StripeHint) to know which iod holds each upcoming block; files
 	// without a hint are never prefetched.
 	ReadaheadWindow int
+	// BypassThreshold is the streaming-bypass trigger: once a file's
+	// detected scan streak (ascending, strided or backward — the same
+	// state machine that drives readahead) reaches this many requests,
+	// its demand reads and prefetches are served read-around — pooled
+	// transient buffers, never admitted, never evicting dirty or
+	// protected frames — until the pattern breaks. 0 (the default)
+	// disables the bypass; per-open hints (CacheNone/CacheMust) override
+	// it either way.
+	BypassThreshold int
 	// DisableVector reverts the miss engine to the legacy shape: one
 	// Read per run of consecutive missing blocks instead of one
 	// ReadBlocks covering every run. Kept for the ablation benchmarks
@@ -160,6 +170,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.ReadaheadWindow > 1024 {
 		c.ReadaheadWindow = 1024
+	}
+	if c.BypassThreshold < 0 {
+		c.BypassThreshold = 0 // disabled
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
@@ -259,6 +272,14 @@ type Module struct {
 	ra         map[blockio.FileID]*raState
 	prefetched map[blockio.BlockKey]struct{} // resident blocks not yet hit
 
+	// policies holds the per-file cache-policy hints (pvfs open flags →
+	// CachePolicyHint). polCount mirrors the non-default entry count so
+	// the per-request lookup skips the mutex when no hints are set — the
+	// common case.
+	polMu    sync.Mutex
+	policies map[blockio.FileID]pvfs.CachePolicy
+	polCount atomic.Int64
+
 	// prefetchMarks mirrors len(prefetched) (updated under raMu) so the
 	// per-span hit path can skip the mutex entirely when no marks are
 	// outstanding — the common case for non-scan workloads.
@@ -298,6 +319,7 @@ func New(cfg Config) (*Module, error) {
 		stripes:     make(map[blockio.FileID]stripeHint),
 		ra:          make(map[blockio.FileID]*raState),
 		prefetched:  make(map[blockio.BlockKey]struct{}),
+		policies:    make(map[blockio.FileID]pvfs.CachePolicy),
 		harvestKick: make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 	}
@@ -650,12 +672,82 @@ func (m *Module) publishFetched(st *fetchState, key blockio.BlockKey, data []byt
 	close(st.done)
 }
 
+// SetCachePolicy records a file's per-open cache-policy hint (the
+// discretionary knob; see pvfs.CachePolicy). CacheDefault clears the
+// entry. The table is bounded like the hint tables: hints re-arrive on
+// the next open, so resetting a full table costs a brief lapse, not
+// correctness.
+func (m *Module) SetCachePolicy(file blockio.FileID, policy pvfs.CachePolicy) {
+	m.polMu.Lock()
+	if policy == pvfs.CacheDefault {
+		if _, ok := m.policies[file]; ok {
+			delete(m.policies, file)
+			m.polCount.Add(-1)
+		}
+	} else {
+		if len(m.policies) >= maxHintedFiles {
+			m.policies = make(map[blockio.FileID]pvfs.CachePolicy)
+			m.polCount.Store(0)
+		}
+		if _, ok := m.policies[file]; !ok {
+			m.polCount.Add(1)
+		}
+		m.policies[file] = policy
+	}
+	m.polMu.Unlock()
+}
+
+// cachePolicy returns a file's hinted policy (CacheDefault when none).
+// The racy polCount fast path is safe: hints are advisory, and a request
+// racing a hint change may legitimately see either side of it.
+func (m *Module) cachePolicy(file blockio.FileID) pvfs.CachePolicy {
+	if m.polCount.Load() == 0 {
+		return pvfs.CacheDefault
+	}
+	m.polMu.Lock()
+	p := m.policies[file]
+	m.polMu.Unlock()
+	return p
+}
+
+// admitMode is a read request's admission decision, fixed once per
+// request so every block of the request is treated alike.
+type admitMode uint8
+
+const (
+	admitDefault admitMode = iota // normal install (policy decides eviction)
+	admitMust                     // always admit, pinned protected
+	admitNever                    // read-around: serve, never install
+)
+
+// readAdmitMode decides how a file's fetched blocks enter the cache:
+// per-open hints first (must-cache always admits, don't-cache never
+// does), then the streaming bypass — a file whose detected scan streak
+// has reached BypassThreshold reads around the cache until the pattern
+// breaks.
+func (m *Module) readAdmitMode(file blockio.FileID) admitMode {
+	switch m.cachePolicy(file) {
+	case pvfs.CacheMust:
+		return admitMust
+	case pvfs.CacheNone:
+		return admitNever
+	}
+	if t := m.cfg.BypassThreshold; t > 0 && m.streamStreak(file) >= t {
+		m.cfg.Registry.Counter("module.stream_bypasses").Inc()
+		return admitNever
+	}
+	return admitDefault
+}
+
 // fetchBlockSpan fetches one whole block from its iod, installs it in the
 // cache, and — when dst is non-nil — copies [off, off+len(dst)) of the
 // installed (resident-wins patched) image into dst. Used for
-// read-modify-write and for stragglers whose fetch owner failed. The
-// fetched image lives in a pooled block buffer for exactly the duration of
-// the call.
+// read-modify-write and for stragglers whose fetch owner failed; both
+// need the block resident afterwards (the write path retries its merge
+// against it), so this path always admits — don't-cache and bypassed
+// files only reach it through read-modify-write, where admission is what
+// makes the merge converge. The fetched image lives in a pooled block
+// buffer for exactly the duration of the call.
 func (m *Module) fetchBlockSpan(iod int, key blockio.BlockKey, off int, dst []byte) error {
 	bs := int64(m.buf.BlockSize())
 	res := m.data[iod].Call(&wire.Read{
@@ -681,7 +773,8 @@ func (m *Module) fetchBlockSpan(iod int, key blockio.BlockKey, off int, dst []by
 	if mem != nil {
 		zeroFill(data[n:]) // pooled buffers carry the previous tenant's bytes
 	}
-	m.buf.InstallFetched(key, iod, data) // resident bytes outrank the fetch
+	must := m.cachePolicy(key.File) == pvfs.CacheMust
+	m.buf.InstallFetchedAdmit(key, iod, data, must) // resident bytes outrank the fetch
 	if dst != nil {
 		copy(dst, data[off:off+len(dst)])
 	}

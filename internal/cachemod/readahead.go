@@ -22,11 +22,13 @@ package cachemod
 // owning iod with the same round-robin arithmetic libpvfs uses.
 
 import (
+	"sort"
+
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/wire"
 )
 
-// raMinStreak is how many gap-free ascending requests must be observed on
+// raMinStreak is how many pattern-consistent requests must be observed on
 // a file before prefetching starts. High enough that workloads which only
 // occasionally chain two requests (e.g. 50% locality re-read patterns)
 // never engage the prefetcher — prefetching into a cache that locality is
@@ -39,11 +41,28 @@ type stripeHint struct {
 	total int
 }
 
-// raState tracks one file's sequential-access detector.
+// Detected stream kinds. Dense ascending scans keep their own kind (their
+// window logic tracks coverage, not starts); everything with a constant
+// start-to-start delta — forward with gaps, or backward (negative stride)
+// — shares raStrided.
+const (
+	raNone    = iota // no established pattern
+	raAscend         // dense ascending scan
+	raStrided        // constant-stride scan; stride < 0 is a backward scan
+)
+
+// raState tracks one file's access-pattern detector: the shared streak
+// machine behind both readahead and the streaming-bypass decision.
 type raState struct {
-	next   int64 // block index a continuing scan would start at
-	streak int   // consecutive gap-free ascending requests seen
-	issued int64 // exclusive high-water mark of blocks already prefetched
+	next   int64 // block index a continuing dense ascending scan would start at
+	streak int   // consecutive requests following the detected pattern
+	issued int64 // raAscend: exclusive high-water mark of blocks already prefetched
+
+	kind      int   // raNone, raAscend or raStrided
+	stride    int64 // raStrided: the constant start-to-start delta
+	prevFirst int64 // previous request's first block
+	farthest  int64 // raStrided: farthest predicted start already prefetched
+	hasFar    bool  // farthest is meaningful
 }
 
 // SetStripeHint records a file's striping geometry so the prefetcher can
@@ -70,12 +89,13 @@ func (m *Module) SetStripeHint(file blockio.FileID, meta wire.FileMeta, totalIOD
 const maxHintedFiles = 4096
 
 // noteAccess feeds one read request's block range [first, last] to the
-// file's sequential detector and returns the half-open block range
-// [lo, hi) to prefetch now (empty when the access is not part of an
-// established ascending scan, or when the window is already in flight).
-func (m *Module) noteAccess(file blockio.FileID, first, last int64) (lo, hi int64) {
-	if m.cfg.ReadaheadWindow == 0 {
-		return 0, 0
+// file's pattern detector and returns the sorted block indices to
+// prefetch now (empty when the access is not part of an established
+// scan, or when the window is already in flight). The detector runs even
+// with prefetching disabled when the streaming bypass needs its streaks.
+func (m *Module) noteAccess(file blockio.FileID, first, last int64) []int64 {
+	if m.cfg.ReadaheadWindow == 0 && m.cfg.BypassThreshold <= 0 {
+		return nil
 	}
 	m.raMu.Lock()
 	defer m.raMu.Unlock()
@@ -88,7 +108,8 @@ func (m *Module) noteAccess(file blockio.FileID, first, last int64) (lo, hi int6
 		m.ra[file] = st
 		st.next = last + 1
 		st.streak = 1
-		return 0, 0
+		st.prevFirst = first
+		return nil
 	}
 	// A continuation starts exactly where the scan left off, or one block
 	// earlier with new ground covered: an unaligned scan (request size
@@ -97,42 +118,124 @@ func (m *Module) noteAccess(file blockio.FileID, first, last int64) (lo, hi int6
 	// the tail block (a sub-block-request scan still filling it) is
 	// neutral — neither progress nor a reset — so 1 KB sequential reads
 	// build their streak on block crossings instead of resetting on
-	// every request.
+	// every request. Anything else is judged by its start-to-start delta:
+	// a delta repeating the established stride continues a strided or
+	// backward scan, and any nonzero delta seeds a new strided candidate
+	// at streak 2 (two points define a stride) instead of collapsing to 1
+	// — the old detector's bug, which made every non-ascending pattern
+	// permanently undetectable.
 	switch {
 	case first == st.next || (first == st.next-1 && last >= st.next):
+		if st.kind == raStrided {
+			// Pattern change: stride evidence does not carry over, but
+			// the previous request and this one already form a pair.
+			st.streak = 1
+			st.issued = 0
+			st.hasFar = false
+		}
+		st.kind = raAscend
 		st.streak++
 		st.next = last + 1
 	case first >= st.next-1 && last < st.next:
-		return 0, 0 // neutral: still inside the covered tail block
+		return nil // neutral: still inside the covered tail block
 	default:
-		if st.streak >= raMinStreak {
-			m.cfg.Registry.Counter("module.readahead_resets").Inc()
+		delta := first - st.prevFirst
+		if st.kind == raStrided && delta == st.stride {
+			st.streak++
+			st.next = last + 1
+		} else {
+			if st.streak >= raMinStreak {
+				m.cfg.Registry.Counter("module.readahead_resets").Inc()
+			}
+			st.issued = 0
+			st.hasFar = false
+			st.next = last + 1
+			if delta != 0 {
+				st.kind = raStrided
+				st.stride = delta
+				st.streak = 2
+			} else {
+				st.kind = raNone
+				st.streak = 1
+			}
 		}
-		st.streak = 1
-		st.issued = 0
-		st.next = last + 1
 	}
-	if st.streak < raMinStreak {
-		return 0, 0
+	st.prevFirst = first
+	if st.streak < raMinStreak || m.cfg.ReadaheadWindow == 0 {
+		return nil
 	}
-	// Batched refill: issue nothing while more than half the window is
-	// still ahead of the scan, then top the window up in one piece. One
-	// prefetch round trip thus covers several demand requests instead of
-	// trickling a few blocks per request.
 	window := int64(m.cfg.ReadaheadWindow)
-	if remaining := st.issued - (last + 1); remaining > window/2 {
-		return 0, 0
+	if st.kind == raAscend {
+		// Batched refill: issue nothing while more than half the window
+		// is still ahead of the scan, then top the window up in one
+		// piece. One prefetch round trip thus covers several demand
+		// requests instead of trickling a few blocks per request.
+		if remaining := st.issued - (last + 1); remaining > window/2 {
+			return nil
+		}
+		lo := last + 1
+		if st.issued > lo {
+			lo = st.issued
+		}
+		hi := last + 1 + window
+		if hi <= lo {
+			return nil
+		}
+		st.issued = hi
+		pred := make([]int64, 0, hi-lo)
+		for idx := lo; idx < hi; idx++ {
+			pred = append(pred, idx)
+		}
+		return pred
 	}
-	lo = last + 1
-	if st.issued > lo {
-		lo = st.issued
+	// Strided or backward: replay the stride ahead of the scan, one
+	// request's span per step, up to a window's worth of blocks. farthest
+	// remembers the last predicted start so the steady state issues one
+	// step per access instead of re-predicting the whole window.
+	span := last - first + 1
+	if span <= 0 {
+		return nil
 	}
-	hi = last + 1 + window
-	if hi <= lo {
-		return 0, 0
+	maxSteps := window / span
+	if maxSteps < 1 {
+		maxSteps = 1
 	}
-	st.issued = hi
-	return lo, hi
+	var pred []int64
+	for k := int64(1); k <= maxSteps; k++ {
+		start := first + k*st.stride
+		if start < 0 {
+			break // a backward scan ran off the file's front
+		}
+		if st.hasFar &&
+			((st.stride > 0 && start <= st.farthest) ||
+				(st.stride < 0 && start >= st.farthest)) {
+			continue // already predicted on an earlier access
+		}
+		for j := int64(0); j < span; j++ {
+			pred = append(pred, start+j)
+		}
+		st.farthest = start
+		st.hasFar = true
+	}
+	if st.stride < 0 {
+		// Backward predictions come out descending; the per-iod extent
+		// grouping downstream assumes ascending indices.
+		sort.Slice(pred, func(i, j int) bool { return pred[i] < pred[j] })
+	}
+	return pred
+}
+
+// streamStreak reports the current detector streak for a file — the
+// bypass decision's input. Zero when the file has no established pattern.
+func (m *Module) streamStreak(file blockio.FileID) int {
+	m.raMu.Lock()
+	st := m.ra[file]
+	streak := 0
+	if st != nil && st.kind != raNone {
+		streak = st.streak
+	}
+	m.raMu.Unlock()
+	return streak
 }
 
 // maybeReadahead runs the detector for one application-level read (via
@@ -145,8 +248,8 @@ func (m *Module) noteAccess(file blockio.FileID, first, last int64) (lo, hi int6
 // place, a demand read that catches up simply joins the in-flight
 // prefetch. Only the network round trips run asynchronously.
 func (m *Module) maybeReadahead(file blockio.FileID, first, last int64) {
-	lo, hi := m.noteAccess(file, first, last)
-	if hi <= lo {
+	pred := m.noteAccess(file, first, last)
+	if len(pred) == 0 {
 		return
 	}
 	m.stripeMu.Lock()
@@ -155,7 +258,7 @@ func (m *Module) maybeReadahead(file blockio.FileID, first, last int64) {
 	if !ok {
 		return // no geometry: cannot route blocks to iods safely
 	}
-	m.prefetchRange(file, hint, lo, hi)
+	m.prefetchRange(file, hint, pred)
 }
 
 // iodForBlock maps one block to the iod storing it, or -1 when the block
@@ -178,17 +281,21 @@ func (m *Module) iodForBlock(hint stripeHint, idx int64) int {
 	return iod
 }
 
-// prefetchRange claims the uncached, un-inflight blocks of [lo, hi)
-// synchronously, groups them per owning iod, and issues one asynchronous
-// vectored read per iod.
-func (m *Module) prefetchRange(file blockio.FileID, hint stripeHint, lo, hi int64) {
+// prefetchRange claims the uncached, un-inflight blocks of the predicted
+// index list (sorted ascending, duplicates tolerated) synchronously,
+// groups them per owning iod, and issues one asynchronous vectored read
+// per iod. Prefetches inherit the file's admission mode: a stream being
+// bypassed keeps its readahead pipelining, but the prefetched blocks are
+// served around the cache like its demand reads.
+func (m *Module) prefetchRange(file blockio.FileID, hint stripeHint, idxs []int64) {
 	bs := m.buf.BlockSize()
+	mode := m.readAdmitMode(file)
 	type claim struct {
 		key blockio.BlockKey
 		st  *fetchState
 	}
 	perIOD := make(map[int][]claim)
-	for idx := lo; idx < hi; idx++ {
+	for _, idx := range idxs {
 		iod := m.iodForBlock(hint, idx)
 		if iod < 0 {
 			continue
@@ -224,14 +331,15 @@ func (m *Module) prefetchRange(file blockio.FileID, hint stripeHint, lo, hi int6
 				keys[i] = c.key
 				states[i] = c.st
 			}
-			go m.prefetchIOD(iod, file, keys, states)
+			go m.prefetchIOD(iod, file, keys, states, mode)
 		}
 	}
 }
 
 // prefetchIOD fetches the claimed blocks (ascending, possibly with gaps)
-// from one iod in a single vectored round trip and installs the results.
-func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockKey, states []*fetchState) {
+// from one iod in a single vectored round trip and installs the results
+// (or, for a bypassed stream, serves them to joiners without admission).
+func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockKey, states []*fetchState, mode admitMode) {
 	bs := m.buf.BlockSize()
 	// Group consecutive block indices into extents.
 	var exts []wire.ReadExtent
@@ -268,7 +376,7 @@ func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockK
 	res := m.data[iod].Call(&wire.ReadBlocks{
 		Client: m.cfg.ClientID,
 		File:   file,
-		Track:  true,
+		Track:  mode != admitNever, // bypassed blocks never enter the cache
 		Exts:   exts,
 	})
 	if res.Err != nil {
@@ -324,21 +432,33 @@ func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockK
 			blockData, mem := m.getBlock()
 			n := copy(blockData, data[start:served])
 			zeroFill(blockData[n:])
-			m.buf.InstallFetched(key, iod, blockData) // resident bytes outrank the prefetch
+			switch mode {
+			case admitNever:
+				// Read-around: the stream's blocks never enter the
+				// cache, but any newer resident bytes still outrank the
+				// fetched image before joiners see it.
+				m.buf.PatchResident(key, blockData)
+			case admitMust:
+				m.buf.InstallFetchedAdmit(key, iod, blockData, true)
+			default:
+				m.buf.InstallFetched(key, iod, blockData) // resident bytes outrank the prefetch
+			}
 			m.publishFetched(st, key, blockData, mem)
-			m.raMu.Lock()
-			// The marks are accounting only; evicted-before-hit blocks
-			// leave stale entries behind, so reset rather than grow
-			// without bound.
-			if len(m.prefetched) >= 2*m.buf.Capacity() {
-				m.prefetched = make(map[blockio.BlockKey]struct{})
-				m.prefetchMarks.Store(0)
+			if mode != admitNever {
+				m.raMu.Lock()
+				// The marks are accounting only; evicted-before-hit
+				// blocks leave stale entries behind, so reset rather
+				// than grow without bound.
+				if len(m.prefetched) >= 2*m.buf.Capacity() {
+					m.prefetched = make(map[blockio.BlockKey]struct{})
+					m.prefetchMarks.Store(0)
+				}
+				if _, dup := m.prefetched[key]; !dup {
+					m.prefetched[key] = struct{}{}
+					m.prefetchMarks.Add(1)
+				}
+				m.raMu.Unlock()
 			}
-			if _, dup := m.prefetched[key]; !dup {
-				m.prefetched[key] = struct{}{}
-				m.prefetchMarks.Add(1)
-			}
-			m.raMu.Unlock()
 			st.decref() // the prefetcher's hold; joiners keep the block alive
 			if mem != nil {
 				mem.release() // the creator's hold

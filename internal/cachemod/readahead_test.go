@@ -10,7 +10,7 @@ import (
 	"pvfscache/internal/wire"
 )
 
-// raModule builds a bare module sufficient for driving the sequential
+// raModule builds a bare module sufficient for driving the pattern
 // detector directly (no network, no background threads).
 func raModule(window int) *Module {
 	return &Module{
@@ -19,33 +19,48 @@ func raModule(window int) *Module {
 	}
 }
 
+// window collapses a contiguous prediction list to its [lo, hi) range —
+// the shape the ascending-scan tests reason in. Gaps are a test failure.
+func window(t *testing.T, pred []int64) (lo, hi int64) {
+	t.Helper()
+	if len(pred) == 0 {
+		return 0, 0
+	}
+	for i := 1; i < len(pred); i++ {
+		if pred[i] != pred[i-1]+1 {
+			t.Fatalf("prediction %v not contiguous", pred)
+		}
+	}
+	return pred[0], pred[len(pred)-1] + 1
+}
+
 func TestNoteAccessWindowAdvances(t *testing.T) {
 	m := raModule(8)
 
 	// The first raMinStreak-1 gap-free requests only establish the scan:
 	// short chains (common under re-read locality) never prefetch.
 	for i := int64(0); i < raMinStreak-1; i++ {
-		if lo, hi := m.noteAccess(1, 2*i, 2*i+1); hi > lo {
-			t.Fatalf("request %d prefetched [%d,%d)", i, lo, hi)
+		if pred := m.noteAccess(1, 2*i, 2*i+1); len(pred) != 0 {
+			t.Fatalf("request %d prefetched %v", i, pred)
 		}
 	}
 	// Request raMinStreak opens the window after the scan's last block.
-	lo, hi := m.noteAccess(1, 6, 7)
+	lo, hi := window(t, m.noteAccess(1, 6, 7))
 	if lo != 8 || hi != 16 {
 		t.Fatalf("window = [%d,%d), want [8,16)", lo, hi)
 	}
 	// Batched refill: with blocks 8..15 in flight and the scan at 9, more
 	// than half the window is still ahead — no new prefetch yet.
-	if lo, hi = m.noteAccess(1, 8, 9); hi > lo {
-		t.Fatalf("refilled too early: [%d,%d)", lo, hi)
+	if pred := m.noteAccess(1, 8, 9); len(pred) != 0 {
+		t.Fatalf("refilled too early: %v", pred)
 	}
 	// Once the scan eats through half the window, it tops up in one piece.
-	lo, hi = m.noteAccess(1, 10, 11)
+	lo, hi = window(t, m.noteAccess(1, 10, 11))
 	if lo != 16 || hi != 20 {
 		t.Fatalf("refill window = [%d,%d), want [16,20)", lo, hi)
 	}
 	// A scan that catches up to its window keeps the full depth ahead.
-	lo, hi = m.noteAccess(1, 12, 19)
+	lo, hi = window(t, m.noteAccess(1, 12, 19))
 	if lo != 20 || hi != 28 {
 		t.Fatalf("caught-up window = [%d,%d), want [20,28)", lo, hi)
 	}
@@ -57,7 +72,7 @@ func TestNoteAccessResetsOnRandomAccess(t *testing.T) {
 		t.Helper()
 		opened := false
 		for i := int64(0); i < raMinStreak; i++ {
-			if lo, hi := m.noteAccess(1, base+2*i, base+2*i+1); hi > lo {
+			if len(m.noteAccess(1, base+2*i, base+2*i+1)) != 0 {
 				opened = true
 			}
 		}
@@ -68,8 +83,8 @@ func TestNoteAccessResetsOnRandomAccess(t *testing.T) {
 	establish(0)
 	// A jump breaks the streak: no prefetch, and the issued high-water
 	// clears so a new scan starts from scratch.
-	if lo, hi := m.noteAccess(1, 100, 101); hi > lo {
-		t.Fatalf("random access prefetched [%d,%d)", lo, hi)
+	if pred := m.noteAccess(1, 100, 101); len(pred) != 0 {
+		t.Fatalf("random access prefetched %v", pred)
 	}
 	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 1 {
 		t.Fatalf("readahead_resets = %d, want 1", got)
@@ -86,10 +101,10 @@ func TestNoteAccessPerFileIndependent(t *testing.T) {
 		m.noteAccess(2, 50+i, 50+i)
 	}
 	n := int64(raMinStreak)
-	if lo, hi := m.noteAccess(1, n-1, n-1); lo != n || hi != n+4 {
+	if lo, hi := window(t, m.noteAccess(1, n-1, n-1)); lo != n || hi != n+4 {
 		t.Fatalf("file 1 window = [%d,%d), want [%d,%d)", lo, hi, n, n+4)
 	}
-	if lo, hi := m.noteAccess(2, 50+n-1, 50+n-1); lo != 50+n || hi != 50+n+4 {
+	if lo, hi := window(t, m.noteAccess(2, 50+n-1, 50+n-1)); lo != 50+n || hi != 50+n+4 {
 		t.Fatalf("file 2 window = [%d,%d), want [%d,%d)", lo, hi, 50+n, 50+n+4)
 	}
 }
@@ -100,21 +115,20 @@ func TestNoteAccessPerFileIndependent(t *testing.T) {
 func TestNoteAccessUnalignedScan(t *testing.T) {
 	m := raModule(8)
 	// 6 KB requests over 4 KB blocks: block ranges [0,1], [1,2], [2,3]...
-	var lo, hi int64
+	opened := false
 	for i := int64(0); i < raMinStreak+1; i++ {
-		l, h := m.noteAccess(1, i, i+1)
-		if h > hi {
-			lo, hi = l, h
+		if len(m.noteAccess(1, i, i+1)) != 0 {
+			opened = true
 		}
 	}
-	if hi <= lo {
+	if !opened {
 		t.Fatal("unaligned sequential scan never opened a window")
 	}
 	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 0 {
 		t.Fatalf("unaligned scan counted %d resets", got)
 	}
 	// A genuine re-read of an old range still resets.
-	if l, h := m.noteAccess(1, 0, 1); h > l {
+	if pred := m.noteAccess(1, 0, 1); len(pred) != 0 {
 		t.Fatal("backward jump prefetched")
 	}
 }
@@ -125,17 +139,16 @@ func TestNoteAccessUnalignedScan(t *testing.T) {
 // crossings and the scan still engages readahead.
 func TestNoteAccessSubBlockScan(t *testing.T) {
 	m := raModule(8)
-	var lo, hi int64
+	opened := false
 	// 1 KB reads over 4 KB blocks: four requests per block, block range
 	// (b,b) each, advancing one block every fourth request.
 	for req := 0; req < 4*(raMinStreak+1); req++ {
 		b := int64(req / 4)
-		l, h := m.noteAccess(1, b, b)
-		if h > hi {
-			lo, hi = l, h
+		if len(m.noteAccess(1, b, b)) != 0 {
+			opened = true
 		}
 	}
-	if hi <= lo {
+	if !opened {
 		t.Fatal("sub-block sequential scan never opened a window")
 	}
 	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 0 {
@@ -146,9 +159,152 @@ func TestNoteAccessSubBlockScan(t *testing.T) {
 func TestNoteAccessDisabled(t *testing.T) {
 	m := raModule(0) // fillDefaults maps negative config here
 	for i := int64(0); i < 2*raMinStreak; i++ {
-		if lo, hi := m.noteAccess(1, i, i); hi > lo {
+		if pred := m.noteAccess(1, i, i); len(pred) != 0 {
 			t.Fatal("disabled readahead still prefetched")
 		}
+	}
+}
+
+// TestNoteAccessStridedScan: the regression test for the detector reset
+// bug — the old machine reset to streak=1 on every non-ascending access,
+// so a constant-stride scan (e.g. reading one column of a row-major
+// matrix) could never establish itself. Strides now share the streak
+// machine: the streak builds delta by delta and predictions replay the
+// stride ahead of the scan.
+func TestNoteAccessStridedScan(t *testing.T) {
+	m := raModule(8)
+	const stride = 10
+	// Single-block reads at 0, 10, 20, ...: the second access seeds the
+	// stride (two points), so the streak hits raMinStreak one access
+	// earlier than an ascending scan's would.
+	var pred []int64
+	for i := int64(0); i < raMinStreak; i++ {
+		pred = m.noteAccess(1, i*stride, i*stride)
+		if i+2 <= raMinStreak && len(pred) != 0 {
+			t.Fatalf("access %d predicted %v before the streak was proven", i, pred)
+		}
+	}
+	if len(pred) == 0 {
+		t.Fatal("strided scan never predicted")
+	}
+	last := (raMinStreak - 1) * int64(stride)
+	for i, idx := range pred {
+		if want := last + int64(i+1)*stride; idx != want {
+			t.Fatalf("prediction[%d] = %d, want %d (pred %v)", i, idx, want, pred)
+		}
+	}
+	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 0 {
+		t.Fatalf("strided scan counted %d resets", got)
+	}
+	// Steady state: each further access predicts one stride step beyond
+	// the farthest already issued — no re-predictions, no stalls.
+	next := m.noteAccess(1, raMinStreak*stride, raMinStreak*stride)
+	if len(next) != 1 || next[0] != pred[len(pred)-1]+stride {
+		t.Fatalf("steady-state prediction = %v, want [%d]", next, pred[len(pred)-1]+stride)
+	}
+}
+
+// TestNoteAccessBackwardScan: a descending scan is a strided scan with a
+// negative delta. Predictions run toward the file's front, stop at block
+// zero, and come back sorted ascending (the fetch path requires it).
+func TestNoteAccessBackwardScan(t *testing.T) {
+	m := raModule(4)
+	// Single-block reads at 100, 99, 98, 97: stride -1.
+	var pred []int64
+	for i := int64(0); i < raMinStreak; i++ {
+		pred = m.noteAccess(1, 100-i, 100-i)
+	}
+	if len(pred) == 0 {
+		t.Fatal("backward scan never predicted")
+	}
+	for i := 1; i < len(pred); i++ {
+		if pred[i] <= pred[i-1] {
+			t.Fatalf("backward predictions not sorted ascending: %v", pred)
+		}
+	}
+	lowest := 100 - (raMinStreak - 1) // the scan's current position
+	for _, idx := range pred {
+		if idx >= int64(lowest) {
+			t.Fatalf("prediction %d not ahead of the backward scan (at %d)", idx, lowest)
+		}
+	}
+	if got := m.cfg.Registry.Counter("module.readahead_resets").Value(); got != 0 {
+		t.Fatalf("backward scan counted %d resets", got)
+	}
+
+	// Near the file's front the predictions clip at block zero instead of
+	// going negative.
+	m2 := raModule(4)
+	var p2 []int64
+	for i := int64(0); i < raMinStreak; i++ {
+		p2 = m2.noteAccess(1, raMinStreak-1-i, raMinStreak-1-i)
+	}
+	for _, idx := range p2 {
+		if idx < 0 {
+			t.Fatalf("backward scan predicted negative block %d (%v)", idx, p2)
+		}
+	}
+}
+
+// TestNoteAccessStridedToAscending: a pattern change from strided to
+// dense ascending re-proves itself through the shared machine rather
+// than being stuck with stale stride evidence.
+func TestNoteAccessStridedToAscending(t *testing.T) {
+	m := raModule(8)
+	for i := int64(0); i < raMinStreak; i++ {
+		m.noteAccess(1, i*7, i*7)
+	}
+	base := int64((raMinStreak - 1) * 7)
+	opened := false
+	// The first access after the strided run continues densely; the
+	// ascending streak must rebuild and eventually predict again.
+	for i := int64(1); i < raMinStreak+2; i++ {
+		if len(m.noteAccess(1, base+i, base+i)) != 0 {
+			opened = true
+		}
+	}
+	if !opened {
+		t.Fatal("ascending continuation after a strided run never predicted")
+	}
+}
+
+// TestStreamStreak: the bypass decision's input tracks the detector.
+func TestStreamStreak(t *testing.T) {
+	m := raModule(8)
+	m.cfg.BypassThreshold = raMinStreak
+	if got := m.streamStreak(1); got != 0 {
+		t.Fatalf("streak = %d before any access", got)
+	}
+	for i := int64(0); i < raMinStreak; i++ {
+		m.noteAccess(1, i, i)
+	}
+	if got := m.streamStreak(1); got < raMinStreak {
+		t.Fatalf("streak = %d after %d ascending reads", got, raMinStreak)
+	}
+	if mode := m.readAdmitMode(1); mode != admitNever {
+		t.Fatalf("admit mode = %v over threshold, want bypass", mode)
+	}
+	// A random jump (delta seeds a new stride candidate) drops below the
+	// threshold again.
+	m.noteAccess(1, 1000, 1000)
+	if mode := m.readAdmitMode(1); mode != admitDefault {
+		t.Fatalf("admit mode = %v after pattern break, want default", mode)
+	}
+}
+
+// TestNoteAccessDetectorRunsForBypass: with readahead disabled but a
+// bypass threshold set, the detector still tracks streaks (it must — the
+// bypass keys on them) while predicting nothing.
+func TestNoteAccessDetectorRunsForBypass(t *testing.T) {
+	m := raModule(0)
+	m.cfg.BypassThreshold = raMinStreak
+	for i := int64(0); i < 2*raMinStreak; i++ {
+		if pred := m.noteAccess(1, i, i); len(pred) != 0 {
+			t.Fatal("disabled readahead still predicted")
+		}
+	}
+	if got := m.streamStreak(1); got < raMinStreak {
+		t.Fatalf("streak = %d, want >= %d with bypass enabled", got, raMinStreak)
 	}
 }
 

@@ -53,6 +53,13 @@ func (t *CachedTransport) NoteRead(file blockio.FileID, offset, length int64) {
 	t.m.maybeReadahead(file, first, first+count-1)
 }
 
+// CachePolicyHint implements pvfs.CachePolicyHinter: libpvfs forwards a
+// file's per-open cache-policy hint (don't-cache / must-cache / default)
+// and the module applies it to every admission decision for the file.
+func (t *CachedTransport) CachePolicyHint(file blockio.FileID, policy pvfs.CachePolicy) {
+	t.m.SetCachePolicy(file, policy)
+}
+
 // pendingOp is the per-request FSM state between Send and Recv.
 type pendingOp struct {
 	ready wire.Message      // response already known (fake ack, full cache hit)
@@ -73,6 +80,7 @@ type pendingRead struct {
 	waits   []spanWait
 	vector  bool
 	lens    []uint32
+	admit   admitMode // admission decision, fixed once per request
 }
 
 // tgtSpan is one block span of the request together with the destination
@@ -260,8 +268,10 @@ func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, dst []byte, pr 
 	t.m.fetches[sp.Key] = st
 	t.m.fetchMu.Unlock()
 	// Global-cache extension: probe the block's home node before
-	// resorting to the iod.
-	if t.m.gcClient != nil {
+	// resorting to the iod. A read-around request skips the probe: its
+	// blocks must not be installed here, and a stream hammering the peer
+	// ring would displace exactly the shared blocks the ring exists for.
+	if t.m.gcClient != nil && pr.admit != admitNever {
 		bs := t.m.buf.BlockSize()
 		data, mem := t.m.getBlock()
 		// A healthy peer always serves a whole block; anything else is a
@@ -271,7 +281,8 @@ func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, dst []byte, pr 
 		if n, ok := t.m.gcClient.Get(sp.Key, data); ok && n != bs {
 			t.m.cfg.Registry.Counter("module.gcache_bad_resp").Inc()
 		} else if ok {
-			t.m.buf.InstallFetched(sp.Key, iod, data) // resident bytes outrank the peer copy
+			// resident bytes outrank the peer copy
+			t.m.buf.InstallFetchedAdmit(sp.Key, iod, data, pr.admit == admitMust)
 			copy(dst, data[sp.Off:sp.Off+sp.Len])
 			t.m.publishFetched(st, sp.Key, data, mem)
 			st.decref() // the owner's hold; joiners keep the block alive
@@ -328,7 +339,7 @@ func (t *CachedTransport) issueFetches(iod int, file blockio.FileID, owned []own
 				File:   file,
 				Offset: run.firstIdx * int64(bs),
 				Length: int64(len(run.keys)) * int64(bs),
-				Track:  true,
+				Track:  pr.admit != admitNever,
 			}
 			ch, err := t.m.data[iod].Go(sub)
 			if err != nil {
@@ -362,7 +373,7 @@ func (t *CachedTransport) issueFetches(iod int, file blockio.FileID, owned []own
 		ch, err := t.m.data[iod].Go(&wire.ReadBlocks{
 			Client: t.m.cfg.ClientID,
 			File:   file,
-			Track:  true,
+			Track:  pr.admit != admitNever,
 			Exts:   exts,
 		})
 		if err != nil {
@@ -440,7 +451,7 @@ func (t *CachedTransport) sendRead(iod int, req *wire.Read, sink [][]byte) (*pen
 	}
 	bs := t.m.buf.BlockSize()
 	spans := blockio.Spans(req.File, req.Offset, req.Length, bs)
-	pr := &pendingRead{}
+	pr := &pendingRead{admit: t.m.readAdmitMode(req.File)}
 	var dstBase []byte
 	if sink != nil {
 		pr.sink = true
@@ -480,6 +491,7 @@ func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks, sink [][
 	pr := &pendingRead{
 		vector: true,
 		lens:   make([]uint32, len(req.Exts)),
+		admit:  t.m.readAdmitMode(req.File),
 	}
 	if sink != nil {
 		pr.sink = true
@@ -600,7 +612,7 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 		data := rr.Data
 		for i, run := range f.runs {
 			served := int(rr.Lens[i])
-			t.fillRun(f.iod, run, data[:served])
+			t.fillRun(f.iod, run, data[:served], pr.admit)
 			data = data[served:]
 		}
 		return nil
@@ -617,7 +629,7 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 			return fmt.Errorf("cachemod: fetch response overlong (%d bytes for %d blocks)",
 				len(rr.Data), len(f.runs[0].keys))
 		}
-		t.fillRun(f.iod, f.runs[0], rr.Data)
+		t.fillRun(f.iod, f.runs[0], rr.Data, pr.admit)
 		return nil
 	default:
 		return fmt.Errorf("cachemod: fetch failed: %v", msg.WireType())
@@ -631,8 +643,11 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 // buffer; this is the single copy of the miss path — frame to pooled slab
 // — and everything downstream (cache frame, waiters, global-cache push,
 // span destinations) reads from the slab, which returns to its pool when
-// the last published state's reference drains.
-func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte) {
+// the last published state's reference drains. A read-around run
+// (admitNever: don't-cache hint or streaming bypass) skips the install
+// and the global-cache push — the slab serves the request and any
+// joiners, then returns to its pool.
+func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte, admit admitMode) {
 	bs := t.m.buf.BlockSize()
 	// One zero-padded slab for the whole run; the published per-block
 	// buffers are read-only slices of it.
@@ -643,16 +658,27 @@ func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte) {
 	}
 	for i, key := range run.keys {
 		blockData := slab[i*bs : (i+1)*bs]
-		// InstallFetched patches the image with any newer resident bytes
-		// before it reaches the destinations, the waiters, or the global
-		// cache — a bare insert would let a partially valid block's
-		// unflushed writes be answered with the iod's stale bytes.
-		t.m.buf.InstallFetched(key, iod, blockData)
-		if t.m.gcClient != nil {
-			// Feed the global cache: the block's home node gets a copy
-			// (made before Push returns, so the slab's lifetime is not
-			// extended by the asynchronous push).
-			t.m.gcClient.Push(key, iod, blockData)
+		switch admit {
+		case admitNever:
+			// The image must still be patched with any newer resident
+			// bytes before the destinations or waiters see it — a
+			// partially valid block's unflushed writes outrank the iod's
+			// stale copy, bypass or not.
+			t.m.buf.PatchResident(key, blockData)
+			t.m.buf.NoteBypass(key)
+		default:
+			// InstallFetched patches the image with any newer resident
+			// bytes before it reaches the destinations, the waiters, or
+			// the global cache — a bare insert would let a partially valid
+			// block's unflushed writes be answered with the iod's stale
+			// bytes.
+			t.m.buf.InstallFetchedAdmit(key, iod, blockData, admit == admitMust)
+			if t.m.gcClient != nil {
+				// Feed the global cache: the block's home node gets a copy
+				// (made before Push returns, so the slab's lifetime is not
+				// extended by the asynchronous push).
+				t.m.gcClient.Push(key, iod, blockData)
+			}
 		}
 		t.m.publishFetched(run.states[i], key, blockData, mem)
 	}
@@ -718,6 +744,18 @@ func (t *CachedTransport) sendWrite(iod int, req *wire.Write) (*pendingOp, error
 		if err != nil {
 			return nil, err
 		}
+		return &pendingOp{call: ch}, nil
+	}
+	if t.m.cachePolicy(req.File) == pvfs.CacheNone {
+		// Write-around: a don't-cache file's writes go straight through —
+		// buffering them would dirty frames for data the application
+		// declared it will not reuse, and the flusher would pay to drain
+		// them anyway.
+		ch, err := t.m.data[iod].Go(req)
+		if err != nil {
+			return nil, err
+		}
+		t.m.cfg.Registry.Counter("module.write_around").Inc()
 		return &pendingOp{call: ch}, nil
 	}
 	bs := t.m.buf.BlockSize()
@@ -798,6 +836,9 @@ func (t *CachedTransport) writeThrough(iod int, sp blockio.Span, src []byte) err
 func (t *CachedTransport) sendSyncWrite(iod int, req *wire.SyncWrite) (*pendingOp, error) {
 	bs := t.m.buf.BlockSize()
 	spans := blockio.Spans(req.File, req.Offset, int64(len(req.Data)), bs)
+	if t.m.cachePolicy(req.File) == pvfs.CacheNone {
+		spans = nil // write-around: the iod gets the data, the cache does not
+	}
 	for _, sp := range spans {
 		src := req.Data[sp.Pos : sp.Pos+int64(sp.Len)]
 		switch t.m.buf.WriteSpan(sp.Key, iod, sp.Off, src, false) {

@@ -61,6 +61,15 @@ type Config struct {
 	FlushWindow int
 	// Policy selects the replacement policy (default clock).
 	Policy buffer.Policy
+	// GhostFrac sizes each cache shard's ghost list as a fraction of its
+	// capacity under the ghost policy (0 = default 1.0; negative disables
+	// the ghost history). See buffer.Config.GhostFrac.
+	GhostFrac float64
+	// BypassThreshold is the sequential-streak length at which detected
+	// streaming reads stop being admitted to the cache and are served
+	// read-around instead (0 = disabled; per-open cache-policy hints
+	// override it either way). See cachemod.Config.BypassThreshold.
+	BypassThreshold int
 	// DisableCoherence turns off invalidation listeners and registration.
 	DisableCoherence bool
 	// GlobalCache enables the cooperative global cache extension: node
@@ -174,6 +183,7 @@ func Start(cfg Config) (*Cluster, error) {
 				IODFlushAddrs:   c.IODFlushAddrs,
 				RPCConns:        cfg.RPCConns,
 				ReadaheadWindow: cfg.ReadaheadWindow,
+				BypassThreshold: cfg.BypassThreshold,
 				DisableVector:   cfg.DisableVector,
 				DisableZeroCopy: cfg.DisableZeroCopy,
 				Buffer: buffer.Config{
@@ -181,6 +191,7 @@ func Start(cfg Config) (*Cluster, error) {
 					Capacity:  cfg.CacheBlocks,
 					Shards:    cfg.CacheShards,
 					Policy:    cfg.Policy,
+					GhostFrac: cfg.GhostFrac,
 				},
 				FlushPeriod:      cfg.FlushPeriod,
 				FlushStreams:     cfg.FlushStreams,

@@ -4,7 +4,7 @@
 // the same series the paper plots; Render formats them as aligned text
 // tables for cmd/experiments.
 //
-// The experiment index lives in DESIGN.md §8. Absolute values are virtual
+// The experiment index lives in DESIGN.md §9. Absolute values are virtual
 // time on the calibrated model — the reproduction target is shape: who
 // wins, how the ordering moves with l and s, and where the
 // caching-versus-parallelism crossover falls.

@@ -121,6 +121,20 @@ func (c *Client) Open(name string) (*File, error) {
 	return c.newFile(name, or.File, or.Meta), nil
 }
 
+// OpenWithPolicy resolves an existing file and attaches a cache-policy
+// hint — the paper's discretionary-caching knob at the application
+// boundary. The hint reaches transports that implement CachePolicyHinter
+// (the cache module's); others ignore it. It is advisory and node-wide
+// per file: the last open's hint wins, like a POSIX advise.
+func (c *Client) OpenWithPolicy(name string, policy CachePolicy) (*File, error) {
+	f, err := c.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f.HintCachePolicy(policy)
+	return f, nil
+}
+
 func (c *Client) newFile(name string, id blockio.FileID, meta wire.FileMeta) *File {
 	f := &File{client: c, name: name, id: id, meta: meta}
 	c.files[id] = f
@@ -196,6 +210,14 @@ func (f *File) Meta() wire.FileMeta { return f.meta }
 // Size returns the file size as known locally (updated by this handle's
 // writes and by Refresh).
 func (f *File) Size() int64 { return f.meta.Size }
+
+// HintCachePolicy forwards a cache-policy hint for this file to the
+// transport (see CachePolicy). A no-op on transports without a cache.
+func (f *File) HintCachePolicy(policy CachePolicy) {
+	if h, ok := f.client.data.(CachePolicyHinter); ok {
+		h.CachePolicyHint(f.id, policy)
+	}
+}
 
 // Refresh re-reads the file's metadata from mgr.
 func (f *File) Refresh() error {

@@ -52,6 +52,47 @@ type ReadPatternHinter interface {
 	NoteRead(file blockio.FileID, offset, length int64)
 }
 
+// CachePolicy is a per-open caching hint — the paper's discretionary
+// knob exposed to applications. It travels from an open flag through the
+// transport (CachePolicyHinter) into the cache module's admission
+// decisions; DirectTransport has no cache, so the hint is meaningful only
+// on caching transports.
+type CachePolicy uint8
+
+const (
+	// CacheDefault leaves the decision to the cache: the replacement
+	// policy admits and the stream detector may bypass.
+	CacheDefault CachePolicy = iota
+	// CacheNone is don't-cache: reads are served around the cache
+	// (read-around) and buffered writes go straight through
+	// (write-around). For data the application knows it will not reuse.
+	CacheNone
+	// CacheMust is must-cache: blocks are always admitted — straight
+	// into the protected working set under the ghost policy — and the
+	// file is never stream-bypassed.
+	CacheMust
+)
+
+// String implements fmt.Stringer for logs and flag output.
+func (p CachePolicy) String() string {
+	switch p {
+	case CacheNone:
+		return "none"
+	case CacheMust:
+		return "must"
+	default:
+		return "default"
+	}
+}
+
+// CachePolicyHinter is an optional Transport extension: the library
+// forwards each file's per-open cache-policy hint so a caching transport
+// can apply it to admission decisions. Like the other hinter extensions,
+// transports without cross-request state simply do not implement it.
+type CachePolicyHinter interface {
+	CachePolicyHint(file blockio.FileID, policy CachePolicy)
+}
+
 // ReadSinker is an optional Transport extension: the zero-copy read path.
 // SendRead issues a read request (a *wire.Read or *wire.ReadBlocks) whose
 // response bytes the transport scatters directly into sink — one

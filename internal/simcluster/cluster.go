@@ -124,6 +124,7 @@ func New(env *sim.Env, p Params, nIODs, nNodes int, caching bool) *Cluster {
 				LowWater:  p.LowWater,
 				HighWater: p.HighWater,
 				Policy:    p.Policy,
+				GhostFrac: p.GhostFrac,
 				Registry:  c.Reg,
 			})
 			env.Go(fmt.Sprintf("node%d.flusher", n), node.flusherDaemon)

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"pvfscache/internal/chaos"
+	"pvfscache/internal/workload"
+)
+
+// chaosFlags selects and sizes a chaos run (-chaos mode). The workload
+// seed comes from the shared -seed flag; everything here is deterministic
+// given that seed, and a failing run prints the seed plus a saved trace
+// and the `go test` command that replays it.
+type chaosFlags struct {
+	enabled  bool
+	scenario string
+	fault    string
+	tcp      bool
+	clients  int
+	nodes    int
+	ops      int
+	fileSize int64
+	maxIO    int64
+	traceDir string
+}
+
+func registerChaosFlags(cf *chaosFlags) {
+	flag.BoolVar(&cf.enabled, "chaos", false, "run a seeded chaos scenario instead of the micro-benchmark")
+	flag.StringVar(&cf.scenario, "scenario", "sequential", "chaos workload scenario: sequential, strided, zipfian, prodcons, or metadata")
+	flag.StringVar(&cf.fault, "fault", "connkill", "chaos fault: none, connkill, crash, partition, or brownout")
+	flag.BoolVar(&cf.tcp, "tcp", false, "run the chaos cluster over loopback TCP instead of the in-memory fabric")
+	flag.IntVar(&cf.clients, "clients", 8, "chaos client processes")
+	flag.IntVar(&cf.nodes, "nodes", 2, "chaos client nodes (clients are spread across them)")
+	flag.IntVar(&cf.ops, "ops", 120, "chaos operations per client")
+	flag.Int64Var(&cf.fileSize, "filesize", 1<<20, "chaos workload file size in bytes")
+	flag.Int64Var(&cf.maxIO, "maxio", 16<<10, "chaos maximum request size in bytes")
+	flag.StringVar(&cf.traceDir, "tracedir", "", "always save the op trace here (failures save one regardless)")
+}
+
+// runChaos boots a fault-injected cluster, drives the scenario under the
+// consistency oracle, and reports the verdict. Exit status 1 means the
+// oracle rejected the run.
+func runChaos(cf chaosFlags, seed int64) {
+	if _, err := workload.Lookup(cf.scenario); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("chaos: %s/%s seed=%d clients=%d nodes=%d ops=%d tcp=%v",
+		cf.scenario, cf.fault, seed, cf.clients, cf.nodes, cf.ops, cf.tcp)
+	res, err := chaos.Run(chaos.RunConfig{
+		Scenario: cf.scenario,
+		Fault:    cf.fault,
+		Seed:     seed,
+		Params: workload.Params{
+			Clients:      cf.clients,
+			Nodes:        cf.nodes,
+			OpsPerClient: cf.ops,
+			FileSize:     cf.fileSize,
+			MaxIO:        cf.maxIO,
+		},
+		TCP:      cf.tcp,
+		TraceDir: cf.traceDir,
+		Log:      log.Printf,
+	})
+	if err != nil {
+		log.Printf("FAIL: %v", err)
+		os.Exit(1)
+	}
+	faultWindow := "fault never engaged"
+	if res.FaultStart > 0 {
+		faultWindow = (time.Duration(res.FaultEnd - res.FaultStart)).String() + " under fault"
+	}
+	log.Printf("PASS: %d ops, %d op errors (all within the fault window), %d unresolved writes, %s, %v total",
+		res.Ops, res.OpErrors, res.DoubtWrites, faultWindow, res.Elapsed)
+	if res.TracePath != "" {
+		log.Printf("trace: %s", res.TracePath)
+	}
+}

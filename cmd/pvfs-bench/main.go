@@ -23,6 +23,13 @@
 // -bypass pick the replacement policy (clock, lru, or the
 // scan-resistant ghost policy), size its ghost history, and enable the
 // streaming read-around. See docs/TUNING.md for the full knob table.
+//
+// With -chaos the tool instead runs a seeded fault-injection scenario
+// under the consistency oracle:
+//
+//	pvfs-bench -chaos -scenario zipfian -fault partition -seed 42
+//
+// See docs/TESTING.md for the scenario and fault catalogue.
 package main
 
 import (
@@ -74,7 +81,14 @@ func main() {
 	policyName := flag.String("policy", "clock", "replacement policy: clock, lru, or ghost (scan-resistant)")
 	flag.Float64Var(&mods.ghostFrac, "ghostfrac", 0, "ghost-list size as a fraction of cache capacity under -policy ghost (0 = default 1.0, negative disables)")
 	flag.IntVar(&mods.bypass, "bypass", 0, "sequential streak at which streaming reads bypass the cache (0 = disabled)")
+	var cf chaosFlags
+	registerChaosFlags(&cf)
 	flag.Parse()
+
+	if cf.enabled {
+		runChaos(cf, *seed)
+		return
+	}
 
 	pol, err := buffer.ParsePolicy(*policyName)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pvfscache/internal/blockio"
+	"pvfscache/internal/testseed"
 )
 
 // ghostMgr returns a single-shard PolicyGhost manager (deterministic
@@ -292,6 +293,10 @@ func TestParsePolicy(t *testing.T) {
 // The oracle is CheckConsistency (segment partition, protCap, ghost
 // bounds and non-residency) plus working-set data integrity.
 func TestGhostStorm(t *testing.T) {
+	// The storm has no PRNG of its own; the logged seed staggers the
+	// readers' walk phases so different seeds explore different
+	// interleavings against the scanner.
+	seed := testseed.Base(t)
 	m := New(Config{BlockSize: 64, Capacity: 128, Policy: PolicyGhost, Shards: 4})
 	ws := make([]blockio.BlockKey, 16)
 	for i := range ws {
@@ -308,7 +313,7 @@ func TestGhostStorm(t *testing.T) {
 	// proves itself), silent corruption is not.
 	for r := 0; r < 3; r++ {
 		wg.Add(1)
-		go func(seed int) {
+		go func(phase int) {
 			defer wg.Done()
 			dst := make([]byte, 64)
 			for n := 0; ; n++ {
@@ -317,7 +322,7 @@ func TestGhostStorm(t *testing.T) {
 					return
 				default:
 				}
-				i := (n + seed) % len(ws)
+				i := (n + phase) % len(ws)
 				if m.ReadSpan(ws[i], 0, dst) && !bytes.Equal(dst, fill(byte(i), 64)) {
 					fail <- fmt.Sprintf("working-set block %d corrupted", i)
 					return
@@ -326,7 +331,7 @@ func TestGhostStorm(t *testing.T) {
 					m.InsertClean(ws[i], 0, fill(byte(i), 64)) // re-prove via ghost
 				}
 			}
-		}(r)
+		}(r + int(seed%int64(len(ws))))
 	}
 	// Scanner: a huge one-pass stream of clean inserts.
 	wg.Add(1)

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"pvfscache/internal/blockio"
+	"pvfscache/internal/testseed"
 )
 
 func TestShardCountDefaults(t *testing.T) {
@@ -338,6 +339,7 @@ func TestShardedEquivalence(t *testing.T) {
 // blocks are never evictable — every block dirtied and not invalidated or
 // flushed is still present with its bytes intact.
 func TestShardedStorm(t *testing.T) {
+	seed := testseed.Base(t)
 	const capacity = 64
 	m := New(Config{BlockSize: 64, Capacity: capacity, Shards: 8})
 	var stop sync.WaitGroup
@@ -347,7 +349,7 @@ func TestShardedStorm(t *testing.T) {
 	stop.Add(1)
 	go func() {
 		defer stop.Done()
-		rng := rand.New(rand.NewSource(1))
+		rng := rand.New(rand.NewSource(seed + 1))
 		for {
 			select {
 			case <-done:
@@ -381,7 +383,7 @@ func TestShardedStorm(t *testing.T) {
 	stop.Add(1)
 	go func() {
 		defer stop.Done()
-		rng := rand.New(rand.NewSource(2))
+		rng := rand.New(rand.NewSource(seed + 2))
 		for {
 			select {
 			case <-done:
@@ -401,7 +403,7 @@ func TestShardedStorm(t *testing.T) {
 		work.Add(1)
 		go func(g int) {
 			defer work.Done()
-			rng := rand.New(rand.NewSource(int64(100 + g)))
+			rng := rand.New(rand.NewSource(seed + int64(100+g)))
 			dst := make([]byte, 64)
 			for i := 0; i < 3000; i++ {
 				k := key(1+rng.Intn(3), rng.Intn(256))

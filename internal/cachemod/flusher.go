@@ -72,6 +72,20 @@ type flushStream struct {
 	// waking every stream rather than letting healthy backlogs idle
 	// behind a down iod's old dirty data.
 	failing atomic.Bool
+
+	// errors counts failed drains and backoff holds the current retry
+	// delay in nanoseconds (0 while healthy) — the per-stream health the
+	// chaos harness and Module.StreamHealth expose.
+	errors  atomic.Int64
+	backoff atomic.Int64
+}
+
+// StreamHealth is one flush stream's externally visible state.
+type StreamHealth struct {
+	IOD     int
+	Failing bool          // last drain errored; stream is backing off
+	Errors  int64         // cumulative failed drains
+	Backoff time.Duration // current retry delay (0 while healthy)
 }
 
 // kickStream wakes the stream's loop if it is idle; kicks coalesce.
@@ -111,10 +125,13 @@ func (s *flushStream) loop() {
 		s.failing.Store(err != nil)
 		if err == nil {
 			backoff = 0
+			s.backoff.Store(0)
 			continue
 		}
 		m.cfg.Registry.Counter("module.flush_errors").Inc()
+		s.errors.Add(1)
 		backoff = min(max(2*backoff, flushBackoffMin), flushBackoffMax)
+		s.backoff.Store(int64(backoff))
 		t := time.NewTimer(backoff)
 		select {
 		case <-m.stop:

@@ -15,6 +15,7 @@ import (
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/chaos/waitfor"
 	"pvfscache/internal/iod"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/pvfs"
@@ -222,23 +223,16 @@ func TestFlushStreamFailureIsolation(t *testing.T) {
 	}
 
 	// Kick everything; the healthy iods must drain while iod 1 is down.
-	deadline := time.Now().Add(10 * time.Second)
-	for r.mod.Buffer().DirtyCount() > blocks {
-		if time.Now().After(deadline) {
-			t.Fatalf("healthy streams did not drain: %d dirty", r.mod.Buffer().DirtyCount())
-		}
+	waitfor.Until(t, 10*time.Second, func() bool {
 		r.mod.kickAllStreams()
-		time.Sleep(time.Millisecond)
-	}
+		return r.mod.Buffer().DirtyCount() <= blocks
+	}, "healthy streams draining around the down iod")
 	// Only iod 1's blocks remain, re-queued and intact — repeated kicks
-	// must not lose them while the port stays down.
-	for i := 0; i < 20; i++ {
+	// must not lose (or duplicate) them while the port stays down.
+	waitfor.Stable(t, 40*time.Millisecond, func() bool {
 		r.mod.kickAllStreams()
-		time.Sleep(time.Millisecond)
-	}
-	if got := r.mod.Buffer().DirtyCount(); got != blocks {
-		t.Fatalf("down iod's backlog = %d dirty, want %d (lost or leaked)", got, blocks)
-	}
+		return r.mod.Buffer().DirtyCount() == blocks
+	}, "down iod's backlog of %d dirty blocks surviving repeated kicks", blocks)
 	for iodIdx := 0; iodIdx < 3; iodIdx += 2 {
 		got := make([]byte, 4096)
 		for blk := 0; blk < blocks; blk++ {
@@ -291,13 +285,9 @@ func TestPressureKickNotStarvedByFailingStream(t *testing.T) {
 	sendRecv(t, tr, 1, &wire.Write{File: 11, Offset: 0, Data: block})
 	// Let stream 1 fail once so it is marked failing.
 	r.mod.streams[1].kickStream()
-	deadline := time.Now().Add(10 * time.Second)
-	for !r.mod.streams[1].failing.Load() {
-		if time.Now().After(deadline) {
-			t.Fatal("stream 1 never entered the failing state")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitfor.Until(t, 10*time.Second, func() bool {
+		return r.mod.streams[1].failing.Load()
+	}, "stream 1 entering the failing state")
 
 	// Younger dirty data on the healthy iods.
 	sendRecv(t, tr, 0, &wire.Write{File: 10, Offset: 0, Data: block})
@@ -305,15 +295,10 @@ func TestPressureKickNotStarvedByFailingStream(t *testing.T) {
 
 	// Only directed pressure kicks — the fallback must reach the healthy
 	// streams even though the oldest dirty block belongs to iod 1.
-	deadline = time.Now().Add(10 * time.Second)
-	for r.mod.Buffer().DirtyCount() > 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("healthy streams starved behind the failing one: %d dirty",
-				r.mod.Buffer().DirtyCount())
-		}
+	waitfor.Until(t, 10*time.Second, func() bool {
 		r.mod.kickFlusher()
-		time.Sleep(time.Millisecond)
-	}
+		return r.mod.Buffer().DirtyCount() <= 1
+	}, "healthy streams draining past the failing one")
 	got := make([]byte, 4096)
 	if n := r.iods[0].Store().ReadAt(10, 0, got); n != 4096 || !bytes.Equal(got, block) {
 		t.Fatal("iod 0's block not durable")
@@ -377,18 +362,12 @@ func TestPressureKickWithStreamlessOwner(t *testing.T) {
 	sendRecv(t, tr, 1, &wire.Write{File: 21, Offset: 0, Data: block})
 	sendRecv(t, tr, 0, &wire.Write{File: 20, Offset: 0, Data: block})
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	waitfor.Until(t, 10*time.Second, func() bool {
 		mod.kickFlusher()
 		got := make([]byte, 4096)
-		if n := iods[0].Store().ReadAt(20, 0, got); n == 4096 && bytes.Equal(got, block) {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("streamless oldest owner swallowed the pressure kick; iod 0 never drained")
-		}
-		time.Sleep(time.Millisecond)
-	}
+		n := iods[0].Store().ReadAt(20, 0, got)
+		return n == 4096 && bytes.Equal(got, block)
+	}, "iod 0 draining despite the streamless oldest owner")
 	// iod 1's block is permanently stuck (no flush port) — Close's
 	// FlushAll would ride the 30 s stall timeout, so drop the block
 	// first and close manually.

@@ -403,6 +403,23 @@ func (m *Module) Registry() *metrics.Registry { return m.cfg.Registry }
 // configured).
 func (m *Module) WriteBehind() bool { return len(m.flush) > 0 }
 
+// StreamHealth reports each flush stream's failure state, one entry per
+// iod in cluster order (empty without write-behind). Tests and the chaos
+// harness use it to watch a stream enter backoff when its daemon dies and
+// recover when the daemon returns.
+func (m *Module) StreamHealth() []StreamHealth {
+	out := make([]StreamHealth, len(m.streams))
+	for i, s := range m.streams {
+		out[i] = StreamHealth{
+			IOD:     s.iod,
+			Failing: s.failing.Load(),
+			Errors:  s.errors.Load(),
+			Backoff: time.Duration(s.backoff.Load()),
+		}
+	}
+	return out
+}
+
 // Close flushes all dirty blocks, stops the background threads and closes
 // every connection.
 func (m *Module) Close() error {

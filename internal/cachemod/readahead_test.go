@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pvfscache/internal/blockio"
+	"pvfscache/internal/chaos/waitfor"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/wire"
 )
@@ -312,13 +313,9 @@ func TestNoteAccessDetectorRunsForBypass(t *testing.T) {
 // asynchronous by design).
 func waitCounter(t *testing.T, reg *metrics.Registry, name string, want int64) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for reg.Counter(name).Value() < want {
-		if time.Now().After(deadline) {
-			t.Fatalf("%s = %d, want >= %d", name, reg.Counter(name).Value(), want)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitfor.Until(t, 5*time.Second, func() bool {
+		return reg.Counter(name).Value() >= want
+	}, "%s reaching %d (at %d)", name, want, reg.Counter(name).Value())
 }
 
 // hintAll routes every block of the file to iod 0 (one strip covering the
@@ -409,10 +406,9 @@ func TestReadaheadNeedsStripeHint(t *testing.T) {
 	for i := int64(0); i < raMinStreak+1; i++ {
 		readSeq(t, tr, file, i*4096, 4096)
 	}
-	time.Sleep(20 * time.Millisecond) // would be plenty for a prefetch to land
-	if got := r.reg.Counter("module.prefetch_issued").Value(); got != 0 {
-		t.Fatalf("prefetch_issued = %d without a stripe hint", got)
-	}
+	waitfor.Stable(t, 20*time.Millisecond, func() bool {
+		return r.reg.Counter("module.prefetch_issued").Value() == 0
+	}, "no prefetch issued without a stripe hint")
 }
 
 func TestReadaheadDisabledByConfig(t *testing.T) {
@@ -425,10 +421,9 @@ func TestReadaheadDisabledByConfig(t *testing.T) {
 	for i := int64(0); i < raMinStreak+1; i++ {
 		readSeq(t, tr, file, i*4096, 4096)
 	}
-	time.Sleep(20 * time.Millisecond)
-	if got := r.reg.Counter("module.prefetch_issued").Value(); got != 0 {
-		t.Fatalf("prefetch_issued = %d with readahead disabled", got)
-	}
+	waitfor.Stable(t, 20*time.Millisecond, func() bool {
+		return r.reg.Counter("module.prefetch_issued").Value() == 0
+	}, "no prefetch issued with readahead disabled")
 }
 
 // TestPrefetchJoinCountsAsHit covers the in-flight case: a demand read

@@ -19,6 +19,7 @@ import (
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/testseed"
 	"pvfscache/internal/wire"
 )
 
@@ -36,6 +37,7 @@ func stormPattern(file blockio.FileID, blk int, gen int) byte {
 }
 
 func TestModuleConcurrencyStorm(t *testing.T) {
+	seed := testseed.Base(t)
 	r := newRig(t, func(c *Config) {
 		c.Buffer = buffer.Config{BlockSize: stormBS, Capacity: stormCapacity, Shards: 8}
 		c.FlushPeriod = 2 * time.Millisecond // flusher + harvester churn constantly
@@ -75,7 +77,7 @@ func TestModuleConcurrencyStorm(t *testing.T) {
 			file := blockio.FileID(w + 1)
 			iodIdx := w % 2
 			tr := mod.NewTransport()
-			rng := rand.New(rand.NewSource(int64(w)))
+			rng := rand.New(rand.NewSource(seed + int64(w)))
 			for gen := 1; gen <= 400; gen++ {
 				blk := rng.Intn(stormWriterBlks)
 				data := bytes.Repeat([]byte{stormPattern(file, blk, gen)}, stormBS)
@@ -105,7 +107,7 @@ func TestModuleConcurrencyStorm(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			tr := mod.NewTransport()
-			rng := rand.New(rand.NewSource(int64(100 + g)))
+			rng := rand.New(rand.NewSource(seed + int64(100+g)))
 			for i := 0; i < 400; i++ {
 				w := rng.Intn(2)
 				file := blockio.FileID(w + 1)
@@ -184,7 +186,7 @@ func TestModuleConcurrencyStorm(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		rng := rand.New(rand.NewSource(9))
+		rng := rand.New(rand.NewSource(seed + 9))
 		for i := 0; i < 500; i++ {
 			blk := int64(rng.Intn(stormScanBlocks))
 			mod.handleInvalidate(&wire.Invalidate{File: scanFile, Indices: []int64{blk}})

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"pvfscache/internal/testseed"
+	"pvfscache/internal/workload"
+)
+
+// cellParams sizes a matrix cell: small enough that the full matrix
+// stays inside tier-1's budget, smaller still under -short.
+func cellParams(t *testing.T) workload.Params {
+	p := workload.Params{Clients: 4, Nodes: 2, OpsPerClient: 60, FileSize: 128 << 10, MaxIO: 8 << 10}
+	if testing.Short() {
+		p.Clients = 3
+		p.OpsPerClient = 36
+	}
+	return p
+}
+
+func runCell(t *testing.T, scenario, fault string, tcp bool) {
+	t.Helper()
+	seed := testseed.Base(t)
+	res, err := Run(RunConfig{
+		Scenario: scenario,
+		Fault:    fault,
+		Seed:     seed,
+		Params:   cellParams(t),
+		TCP:      tcp,
+		Log:      t.Logf,
+	})
+	if errors.Is(err, ErrTCPUnavailable) {
+		t.Skipf("%v", err)
+	}
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("run recorded no ops")
+	}
+	// Progress-triggered faults always engage (the threshold is passed at
+	// the latest when the run completes); only the traffic-triggered
+	// crash may legitimately sit out a run with no flush frames.
+	if fault == "partition" || fault == "brownout" || fault == "connkill" {
+		if res.FaultStart == 0 {
+			t.Fatalf("%s fault never engaged", fault)
+		}
+	}
+	if fault == "none" && res.OpErrors != 0 {
+		t.Fatalf("fault-free run had %d op errors", res.OpErrors)
+	}
+}
+
+// TestChaosMatrix is the tentpole entry point: every workload scenario ×
+// every fault kind, on the in-memory fabric, each an independently
+// runnable subtest (`-run 'TestChaosMatrix/zipfian/crash'`).
+func TestChaosMatrix(t *testing.T) {
+	for _, sc := range workload.Scenarios() {
+		for _, fault := range Faults() {
+			t.Run(sc.Name+"/"+fault, func(t *testing.T) {
+				runCell(t, sc.Name, fault, false)
+			})
+		}
+	}
+}
+
+// TestChaosMatrixTCP runs every fault kind over real sockets — the
+// acceptance criterion that the same fault plan serves both transports.
+// Two scenarios bracket the space (disjoint streaming writes; shared
+// hand-off); the full scenario set runs on the in-memory fabric above.
+func TestChaosMatrixTCP(t *testing.T) {
+	for _, sc := range []string{"sequential", "prodcons"} {
+		for _, fault := range Faults() {
+			t.Run(sc+"/"+fault, func(t *testing.T) {
+				runCell(t, sc, fault, true)
+			})
+		}
+	}
+}
+
+// TestChaosScaleStorm pushes client counts well past the per-node
+// handful the rest of the suite uses — the "thousands of clients" axis
+// scaled to CI budgets. Gated behind -short to keep tier-1 fast.
+func TestChaosScaleStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale storm skipped in -short mode")
+	}
+	seed := testseed.Base(t)
+	res, err := Run(RunConfig{
+		Scenario: "zipfian",
+		Fault:    "connkill",
+		Seed:     seed,
+		Params: workload.Params{
+			Clients: 64, Nodes: 2, OpsPerClient: 30,
+			FileSize: 512 << 10, MaxIO: 4 << 10,
+		},
+		Log: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("scale storm failed: %v", err)
+	}
+	t.Logf("storm: %d ops, %d errors, %v", res.Ops, res.OpErrors, res.Elapsed)
+}

@@ -1,0 +1,591 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pvfscache/internal/cachemod"
+	"pvfscache/internal/chaos/waitfor"
+	"pvfscache/internal/cluster"
+	"pvfscache/internal/pvfs"
+	"pvfscache/internal/transport"
+	"pvfscache/internal/workload"
+)
+
+// Faults lists the injectable fault kinds.
+//
+//   - none: baseline, zero tolerated op errors
+//   - connkill: every connection to one random iod is torn down once;
+//     the rpc pools must redial and no data may be lost
+//   - crash: an iod fail-stops mid-flush — a flush frame is cut short
+//     halfway, both daemon ports go down, and the daemon returns later;
+//     flush streams must back off, requeue, and drain after restore
+//   - partition: one iod becomes unreachable from every client node
+//     (directional blackhole, writes stall rather than fail) until heal
+//   - brownout: one iod serves with per-write latency injected (slow
+//     node); no errors tolerated, only slowness
+func Faults() []string {
+	return []string{"none", "connkill", "crash", "partition", "brownout"}
+}
+
+// ErrTCPUnavailable marks environments where TCP sockets cannot be used;
+// tests skip rather than fail on it.
+var ErrTCPUnavailable = errors.New("chaos: tcp unavailable in this environment")
+
+// errGrace is how long after a fault window closes op errors are still
+// attributed to it (in-flight requests surface their failures slightly
+// late; rpc pools redial on the next call).
+const errGrace = time.Second
+
+// RunConfig describes one chaos run.
+type RunConfig struct {
+	// Scenario names a workload scenario (workload.Scenarios).
+	Scenario string
+	// Fault names a fault kind (Faults). "" = none.
+	Fault string
+	// Seed drives the workload, the fault plan, and every payload.
+	Seed int64
+	// Params sizes the workload; zero fields take workload defaults.
+	Params workload.Params
+	// TCP runs over real sockets instead of the in-memory network.
+	TCP bool
+	// IODs is the daemon count (default 4).
+	IODs int
+	// FlushPeriod is the write-behind interval (default 5ms: fast enough
+	// that a crash lands mid-flush within the run).
+	FlushPeriod time.Duration
+	// TraceDir receives the run's trace file. Empty: the trace is saved
+	// only when the run fails, into CHAOS_ARTIFACT_DIR or the system
+	// temp directory.
+	TraceDir string
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+	// Meddle, when set, is invoked after the workload drains and before
+	// the durable check — a test hook for out-of-band interference (e.g.
+	// corrupting stored bytes behind the oracle's back) used to prove
+	// the harness catches and reproduces real failures.
+	Meddle func(c *cluster.Cluster)
+}
+
+// RunResult reports one run's outcome; valid even when Run errors.
+type RunResult struct {
+	Trace       *workload.Trace
+	TracePath   string        // saved trace ("" if not written)
+	Ops         int           // ops executed
+	OpErrors    int           // ops that returned an error (all must be fault-bounded)
+	DoubtWrites int           // failed writes unresolved at final check
+	DoubtBytes  int64         // bytes those may have changed
+	FaultStart  time.Duration // fault window relative to run start (0,0 = never fired)
+	FaultEnd    time.Duration
+	Elapsed     time.Duration
+}
+
+// Run executes one seeded chaos run: boot a live cluster behind a fault
+// controller, generate the scenario from the seed, drive every client
+// concurrently with all ops recorded, inject the fault plan, heal, drain
+// every cache, and judge the durable image with the oracle. Any oracle
+// violation, unbounded op error, or drain failure returns an error; the
+// trace is saved so the failure replays deterministically (see
+// TestChaosReplay).
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Fault == "" {
+		cfg.Fault = "none"
+	}
+	if !validFault(cfg.Fault) {
+		return nil, fmt.Errorf("chaos: unknown fault %q (have %v)", cfg.Fault, Faults())
+	}
+	if cfg.IODs <= 0 {
+		cfg.IODs = 4
+	}
+	if cfg.FlushPeriod <= 0 {
+		cfg.FlushPeriod = 5 * time.Millisecond
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	sc, err := workload.Lookup(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Params.Seed = cfg.Seed
+	spec, err := sc.Generate(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	// Network fabric behind the fault controller. Every client node dials
+	// through its own labeled view so partitions can target node traffic;
+	// servers and the harness's own setup/read-back clients use the raw
+	// fabric and are never faulted.
+	var base transport.Network = transport.NewMem()
+	if cfg.TCP {
+		probe, err := transport.NewTCP().Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTCPUnavailable, err)
+		}
+		probe.Close()
+		base = transport.NewTCP()
+	}
+	ctl := NewController(base)
+
+	cl, err := cluster.Start(cluster.Config{
+		Network:     base,
+		NodeNetwork: func(node int) transport.Network { return ctl.View(nodeOrigin(node)) },
+		IODs:        cfg.IODs,
+		ClientNodes: spec.Params.Nodes,
+		Caching:     true,
+		FlushPeriod: cfg.FlushPeriod,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	r := &runner{cfg: cfg, spec: spec, ctl: ctl, cl: cl}
+	res, err := r.run()
+	if err != nil && res != nil && res.TracePath != "" {
+		err = fmt.Errorf("%w\nreproduce: seed=%d trace=%s\n  go test ./internal/chaos -run TestChaosReplay -trace=%s",
+			err, cfg.Seed, res.TracePath, res.TracePath)
+	}
+	return res, err
+}
+
+func validFault(f string) bool {
+	for _, k := range Faults() {
+		if k == f {
+			return true
+		}
+	}
+	return false
+}
+
+func nodeOrigin(node int) string { return fmt.Sprintf("node%d", node) }
+
+type runner struct {
+	cfg  RunConfig
+	spec *workload.Spec
+	ctl  *Controller
+	cl   *cluster.Cluster
+
+	oracle *Oracle
+	rec    *workload.Recorder
+
+	violMu sync.Mutex
+	viols  []error
+}
+
+func (r *runner) violation(err error) {
+	r.violMu.Lock()
+	if len(r.viols) < 8 {
+		r.viols = append(r.viols, err)
+	}
+	r.violMu.Unlock()
+}
+
+func (r *runner) run() (*RunResult, error) {
+	spec, cfg := r.spec, r.cfg
+	r.oracle = NewOracle(cfg.Seed, spec.Files)
+
+	// Setup: create every file at full size with the deterministic
+	// initial pattern, through a direct (uncached) client on the raw
+	// fabric, so the cluster and the oracle's reference images agree
+	// before any client starts.
+	setup, err := pvfs.NewClient(pvfs.Config{
+		Network: r.cl.Network, MgrAddr: r.cl.MgrAddr, IODAddrs: r.cl.IODDataAddrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer setup.Close()
+	for fi, fs := range spec.Files {
+		f, err := setup.Create(fs.Name, pvfs.StripeSpec{SSize: uint32(fs.SSize), PCount: uint32(fs.PCount)})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: setup create %s: %w", fs.Name, err)
+		}
+		img := r.oracle.InitImage(fi)
+		for off := 0; off < len(img); off += 256 << 10 {
+			end := min(off+256<<10, len(img))
+			if _, err := f.WriteAt(img[off:end], int64(off)); err != nil {
+				return nil, fmt.Errorf("chaos: setup write %s @%d: %w", fs.Name, off, err)
+			}
+		}
+	}
+
+	// Per-client processes and open handles, placed per the spec.
+	type clientCtx struct {
+		proc  *pvfs.Client
+		files []*pvfs.File
+		mod   *cachemod.Module
+	}
+	clients := make([]clientCtx, len(spec.Ops))
+	for c := range clients {
+		node := spec.Placement[c]
+		proc, err := r.cl.NewProcess(node)
+		if err != nil {
+			return nil, err
+		}
+		defer proc.Close()
+		cc := clientCtx{proc: proc, mod: r.cl.Module(node)}
+		for _, fs := range spec.Files {
+			f, err := proc.Open(fs.Name)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: client %d open %s: %w", c, fs.Name, err)
+			}
+			cc.files = append(cc.files, f)
+		}
+		clients[c] = cc
+	}
+
+	r.rec = workload.NewRecorder()
+	plan := newFaultPlan(r)
+	go plan.run()
+
+	bar := newBarrier(len(clients))
+	var wg sync.WaitGroup
+	for c := range clients {
+		wg.Add(1)
+		go func(c int, cc clientCtx) {
+			defer wg.Done()
+			buf := make([]byte, spec.Params.MaxIO)
+			for _, op := range spec.Ops[c] {
+				op = r.rec.Begin(op)
+				switch op.Kind {
+				case workload.KindWrite:
+					data := r.oracle.BeginWrite(op)
+					_, err := cc.files[op.File].WriteAt(data, op.Off)
+					r.oracle.EndWrite(op, err)
+					r.rec.End(op, err)
+				case workload.KindRead:
+					snap := r.oracle.BeginRead(op)
+					n, err := cc.files[op.File].ReadAt(buf[:op.Len], op.Off)
+					if err == nil && int64(n) != op.Len {
+						err = fmt.Errorf("chaos: short read %d of %d", n, op.Len)
+					}
+					if err == nil {
+						if cerr := r.oracle.CheckRead(op, snap, buf[:op.Len]); cerr != nil {
+							r.violation(cerr)
+							err = cerr
+						}
+					}
+					r.rec.End(op, err)
+				case workload.KindFlush:
+					// A flush op must eventually succeed — faults heal well
+					// inside the deadline, and producer-consumer hand-offs
+					// depend on durability before the barrier.
+					var ferr error
+					waitfor.Poll(20*time.Second, func() bool {
+						ferr = cc.mod.FlushAll()
+						return ferr == nil
+					})
+					r.rec.End(op, ferr)
+				case workload.KindBarrier:
+					bar.wait()
+					r.rec.End(op, nil)
+				case workload.KindCreate:
+					f, err := cc.proc.Create(scratchName(c, op.File), pvfs.StripeSpec{})
+					if f != nil {
+						f.Close()
+					}
+					r.rec.End(op, err)
+				case workload.KindUnlink:
+					r.rec.End(op, cc.proc.Unlink(scratchName(c, op.File)))
+				case workload.KindList:
+					_, err := cc.proc.List()
+					r.rec.End(op, err)
+				default:
+					r.rec.End(op, fmt.Errorf("chaos: unexecutable op kind %v", op.Kind))
+				}
+			}
+		}(c, clients[c])
+	}
+	wg.Wait()
+	plan.finish()
+
+	// Heal everything that could still be in force, then drain every
+	// cache so the durable check sees the whole run.
+	r.ctl.Heal()
+	var drainErr error
+	waitfor.Poll(20*time.Second, func() bool {
+		drainErr = r.cl.FlushAll()
+		return drainErr == nil
+	})
+	if cfg.Meddle != nil {
+		cfg.Meddle(r.cl)
+	}
+
+	trace := r.rec.Trace(spec.Scenario, spec.Params)
+	res := &RunResult{
+		Trace:      trace,
+		Ops:        len(trace.Records),
+		FaultStart: time.Duration(plan.startNS.Load()),
+		FaultEnd:   time.Duration(plan.endNS.Load()),
+		Elapsed:    time.Duration(r.rec.Since()),
+	}
+
+	var failure error
+	fail := func(format string, args ...any) {
+		if failure == nil {
+			failure = fmt.Errorf(format, args...)
+		}
+	}
+	if drainErr != nil {
+		fail("chaos: final drain never succeeded: %v", drainErr)
+	}
+
+	// Durable image check through a fresh direct client.
+	if failure == nil {
+		final, err := pvfs.NewClient(pvfs.Config{
+			Network: r.cl.Network, MgrAddr: r.cl.MgrAddr, IODAddrs: r.cl.IODDataAddrs,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer final.Close()
+		handles := make([]*pvfs.File, len(spec.Files))
+		for fi, fs := range spec.Files {
+			if handles[fi], err = final.Open(fs.Name); err != nil {
+				return res, fmt.Errorf("chaos: final open %s: %w", fs.Name, err)
+			}
+		}
+		if err := r.oracle.FinalCheck(func(file int, off int64, p []byte) error {
+			n, err := handles[file].ReadAt(p, off)
+			if err == nil && n != len(p) {
+				err = fmt.Errorf("short read %d of %d", n, len(p))
+			}
+			return err
+		}); err != nil {
+			fail("%v", err)
+		}
+	}
+	res.DoubtWrites, res.DoubtBytes = r.oracle.DoubtStats()
+
+	// Bounded-error accounting: every op error must fall inside the
+	// fault window (plus grace), and a fault-free run tolerates none.
+	winStart, winEnd := plan.startNS.Load(), plan.endNS.Load()
+	for _, rec := range trace.Records {
+		if rec.Err == "" {
+			continue
+		}
+		res.OpErrors++
+		if winStart == 0 {
+			fail("chaos: op %d errored with no fault active: %s", rec.Seq, rec.Err)
+			continue
+		}
+		end := winEnd
+		if end == 0 {
+			end = r.rec.Since() // window forced open until run end
+		}
+		if rec.T < winStart-int64(10*time.Millisecond) || rec.T > end+int64(errGrace) {
+			fail("chaos: op %d errored at t=%v outside fault window [%v, %v]: %s",
+				rec.Seq, time.Duration(rec.T), time.Duration(winStart), time.Duration(end), rec.Err)
+		}
+	}
+	r.violMu.Lock()
+	for _, v := range r.viols {
+		fail("%v", v)
+	}
+	r.violMu.Unlock()
+
+	// Persist the trace: always when a directory was asked for, and on
+	// failure so the printed path reproduces the run.
+	if cfg.TraceDir != "" || failure != nil {
+		dir := cfg.TraceDir
+		if dir == "" {
+			dir = os.Getenv("CHAOS_ARTIFACT_DIR")
+		}
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			path := filepath.Join(dir, fmt.Sprintf("chaos-%s-%s-seed%d.trace",
+				spec.Scenario, cfg.Fault, cfg.Seed))
+			if err := trace.Save(path); err == nil {
+				res.TracePath = path
+			} else {
+				cfg.Log("chaos: saving trace: %v", err)
+			}
+		}
+	}
+	cfg.Log("chaos: %s/%s seed=%d: %d ops, %d errors, doubt %d writes/%d bytes, fault [%v,%v], %v",
+		spec.Scenario, cfg.Fault, cfg.Seed, res.Ops, res.OpErrors,
+		res.DoubtWrites, res.DoubtBytes, res.FaultStart, res.FaultEnd, res.Elapsed)
+	return res, failure
+}
+
+func scratchName(client, id int) string {
+	return fmt.Sprintf("wl/scratch-c%d-%d", client, id)
+}
+
+// barrier is a cyclic rendezvous for the client goroutines.
+type barrier struct {
+	mu      sync.Mutex
+	n       int
+	arrived int
+	ch      chan struct{}
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, ch: make(chan struct{})}
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		close(b.ch)
+		b.ch = make(chan struct{})
+		b.mu.Unlock()
+		return
+	}
+	ch := b.ch
+	b.mu.Unlock()
+	<-ch
+}
+
+// faultPlan schedules one seeded fault against the running workload. The
+// trigger is progress-based (a fraction of the run's ops completed)
+// rather than wall-clock, so the fault reliably lands mid-run however
+// fast the machine is; crash is traffic-triggered instead (the armed
+// short write fires on real flush frames).
+type faultPlan struct {
+	r    *runner
+	rng  *rand.Rand
+	stop chan struct{}
+	done chan struct{}
+
+	startNS, endNS atomic.Int64
+}
+
+func newFaultPlan(r *runner) *faultPlan {
+	return &faultPlan{
+		r: r,
+		// Offset the seed so the fault draw is independent of the
+		// workload's own draws.
+		rng:  rand.New(rand.NewSource(r.cfg.Seed ^ 0x6368616F73)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+func (p *faultPlan) markStart() { p.startNS.Store(p.r.rec.Since()) }
+func (p *faultPlan) markEnd()   { p.endNS.Store(p.r.rec.Since()) }
+
+// waitProgress blocks until the given fraction of the run's ops have
+// completed; it reports whether the threshold was hit. A finished run
+// has trivially passed any threshold, so the fault still engages (and
+// then exercises the drain) when the workload outruns the first poll.
+func (p *faultPlan) waitProgress(frac float64) bool {
+	total := p.r.spec.TotalOps()
+	want := int(frac * float64(total))
+	for {
+		if p.r.rec.Count() >= want {
+			return true
+		}
+		select {
+		case <-p.stop:
+			return p.r.rec.Count() >= want
+		case <-time.After(waitfor.Interval):
+		}
+	}
+}
+
+// hold keeps the fault in force for its full duration — even when the
+// ops finish first, so the final drain runs against the fault too (the
+// harness's drain loop retries until well past any heal).
+func (p *faultPlan) hold(d time.Duration) {
+	time.Sleep(d)
+}
+
+func (p *faultPlan) run() {
+	defer close(p.done)
+	r := p.r
+	kind := r.cfg.Fault
+	if kind == "none" {
+		return
+	}
+	iod := p.rng.Intn(len(r.cl.IODDataAddrs))
+	dataAddr := r.cl.IODDataAddrs[iod]
+	flushAddr := r.cl.IODFlushAddrs[iod]
+	startFrac := 0.1 + 0.25*p.rng.Float64()
+	dur := time.Duration(30+p.rng.Intn(60)) * time.Millisecond
+	origins := make([]string, r.spec.Params.Nodes)
+	for i := range origins {
+		origins[i] = nodeOrigin(i)
+	}
+
+	switch kind {
+	case "connkill":
+		if !p.waitProgress(startFrac) {
+			return
+		}
+		p.markStart()
+		r.ctl.KillConns(dataAddr, flushAddr)
+		p.markEnd()
+		r.cfg.Log("chaos: killed conns to iod %d", iod)
+
+	case "partition":
+		if !p.waitProgress(startFrac) {
+			return
+		}
+		p.markStart()
+		r.ctl.Partition(origins, []string{dataAddr, flushAddr})
+		r.cfg.Log("chaos: partitioned iod %d from %v", iod, origins)
+		p.hold(dur)
+		r.ctl.Heal()
+		p.markEnd()
+
+	case "brownout":
+		if !p.waitProgress(startFrac) {
+			return
+		}
+		p.markStart()
+		r.ctl.Brownout(2*time.Millisecond, dataAddr, flushAddr)
+		r.cfg.Log("chaos: brownout on iod %d", iod)
+		p.hold(dur)
+		r.ctl.Heal()
+		p.markEnd()
+
+	case "crash":
+		trig := make(chan struct{})
+		r.ctl.ArmShortWrite(flushAddr, p.rng.Intn(2), func() {
+			p.markStart()
+			r.ctl.Cut(dataAddr, flushAddr)
+			close(trig)
+		})
+		r.cfg.Log("chaos: armed crash of iod %d on its flush port", iod)
+		select {
+		case <-trig:
+			p.hold(dur)
+		case <-p.stop:
+			// Run finished before any flush frame tripped the arm. Dirty
+			// data (if any) still drains on the flush period — give the
+			// crash a last chance to fire before giving up on it.
+			select {
+			case <-trig:
+				p.hold(dur)
+			case <-time.After(2 * r.cfg.FlushPeriod):
+				if r.ctl.Disarm(flushAddr) {
+					return // never fired: fault skipped this run
+				}
+				<-trig // fired concurrently with the disarm race
+			}
+		}
+		r.ctl.Restore(dataAddr, flushAddr)
+		p.markEnd()
+		r.cfg.Log("chaos: restored iod %d", iod)
+	}
+}
+
+// finish ends the plan: signals the run is over, waits for the scheduler
+// to heal/restore whatever it applied, and leaves the window marks set.
+func (p *faultPlan) finish() {
+	close(p.stop)
+	<-p.done
+}

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"pvfscache/internal/workload"
+)
+
+// Oracle is the byte-for-byte consistency model of one chaos run,
+// generalized from the PR 3 consistency test with bounded-error
+// accounting for faults: every write's payload is a pure function of its
+// op record (workload.Fill), so the oracle maintains a reference image
+// per file and classifies every observed byte against it.
+//
+// Fault accounting: an op-level write failure does not mean the bytes
+// are absent — the failure may have struck after the data reached the
+// cache or the daemon (at-least-once semantics at the transport). Failed
+// writes therefore move to an *in-doubt* list: each affected byte may
+// durably read as either the old value or the doubted value, and nothing
+// else. A later successful write to the same bytes resolves the doubt
+// (write-behind keeps newest-wins ordering in the cache), so doubt
+// entries are clipped as successor writes complete. The bound: the
+// final image may differ from the reference only at bytes covered by
+// in-doubt writes, and only with those writes' values.
+//
+// Read acceptance is per byte against four sources — the reference
+// snapshot when the read began, the reference at check time, and any
+// pending (in-flight) or in-doubt write covering the byte. This accepts
+// every legal interleaving of concurrent writers (scenarios keep write
+// regions disjoint per client, so "legal" is well defined byte-wise)
+// while still catching lost updates, stale reads of flushed data, and
+// torn multi-block writes with wrong content.
+type Oracle struct {
+	seed int64
+
+	mu      sync.Mutex
+	files   [][]byte // reference images, index = Spec file index
+	pending map[uint64]writeRec
+	doubt   []writeRec
+}
+
+type writeRec struct {
+	seq  uint64
+	file int
+	off  int64
+	data []byte
+}
+
+// NewOracle builds reference images for the spec's files, initialized to
+// the deterministic setup pattern (Fill with seq 0). The harness writes
+// InitImage's bytes during setup so images and cluster agree from byte
+// zero.
+func NewOracle(seed int64, files []workload.FileSpec) *Oracle {
+	o := &Oracle{seed: seed, pending: make(map[uint64]writeRec)}
+	for i, fs := range files {
+		img := make([]byte, fs.Size)
+		workload.Fill(img, seed, i, 0, 0)
+		o.files = append(o.files, img)
+	}
+	return o
+}
+
+// InitImage returns a copy of file's initial reference image for the
+// setup writer.
+func (o *Oracle) InitImage(file int) []byte {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	img := make([]byte, len(o.files[file]))
+	copy(img, o.files[file])
+	return img
+}
+
+// BeginWrite registers op as in flight and returns the payload to write.
+// op must already carry its Seq stamp.
+func (o *Oracle) BeginWrite(op workload.Op) []byte {
+	data := make([]byte, op.Len)
+	workload.Fill(data, o.seed, op.File, op.Off, op.Seq)
+	o.mu.Lock()
+	o.pending[op.Seq] = writeRec{seq: op.Seq, file: op.File, off: op.Off, data: data}
+	o.mu.Unlock()
+	return data
+}
+
+// EndWrite resolves an in-flight write: success applies it to the
+// reference image and clips any older doubt it overwrote; failure moves
+// it to the in-doubt list.
+func (o *Oracle) EndWrite(op workload.Op, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rec, ok := o.pending[op.Seq]
+	if !ok {
+		return
+	}
+	delete(o.pending, op.Seq)
+	if err != nil {
+		o.doubt = append(o.doubt, rec)
+		return
+	}
+	copy(o.files[rec.file][rec.off:], rec.data)
+	o.clipDoubtLocked(rec.file, rec.off, rec.off+int64(len(rec.data)))
+}
+
+// clipDoubtLocked removes [start, end) of the given file from every
+// doubt entry, splitting entries the range lands inside.
+func (o *Oracle) clipDoubtLocked(file int, start, end int64) {
+	var out []writeRec
+	for _, d := range o.doubt {
+		dEnd := d.off + int64(len(d.data))
+		if d.file != file || dEnd <= start || d.off >= end {
+			out = append(out, d)
+			continue
+		}
+		if d.off < start {
+			out = append(out, writeRec{seq: d.seq, file: d.file, off: d.off, data: d.data[:start-d.off]})
+		}
+		if dEnd > end {
+			out = append(out, writeRec{seq: d.seq, file: d.file, off: end, data: d.data[end-d.off:]})
+		}
+	}
+	o.doubt = out
+}
+
+// BeginRead snapshots the reference bytes a read may legally observe
+// from the moment it starts.
+func (o *Oracle) BeginRead(op workload.Op) []byte {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	snap := make([]byte, op.Len)
+	copy(snap, o.files[op.File][op.Off:op.Off+op.Len])
+	return snap
+}
+
+// CheckRead validates the bytes a completed read returned. A nil error
+// means every byte matches an acceptable source; otherwise the first
+// offending byte is described. Failed reads (op error) are not checked —
+// the harness accounts them as fault-window errors instead.
+func (o *Oracle) CheckRead(op workload.Op, snap, got []byte) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ref := o.files[op.File]
+	for i := range got {
+		abs := op.Off + int64(i)
+		b := got[i]
+		if b == snap[i] || b == ref[abs] {
+			continue
+		}
+		if o.coveredLocked(op.File, abs, b) {
+			continue
+		}
+		return fmt.Errorf("chaos: read op %d (client %d, file %d) byte @%d = 0x%02x, want 0x%02x (begin) or 0x%02x (now), no in-flight write explains it",
+			op.Seq, op.Client, op.File, abs, b, snap[i], ref[abs])
+	}
+	return nil
+}
+
+// coveredLocked reports whether some pending or in-doubt write of file
+// covers abs with value b.
+func (o *Oracle) coveredLocked(file int, abs int64, b byte) bool {
+	match := func(d writeRec) bool {
+		return d.file == file && abs >= d.off && abs < d.off+int64(len(d.data)) &&
+			d.data[abs-d.off] == b
+	}
+	for _, d := range o.pending {
+		if match(d) {
+			return true
+		}
+	}
+	for _, d := range o.doubt {
+		if match(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// DoubtStats reports the bounded-error budget actually consumed: how
+// many failed writes remain unresolved and how many bytes they cover.
+func (o *Oracle) DoubtStats() (writes int, bytes int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, d := range o.doubt {
+		bytes += int64(len(d.data))
+	}
+	return len(o.doubt), bytes
+}
+
+// FinalCheck verifies the durable state after the run healed and every
+// cache drained: read re-fetches [off, off+len) of a file through an
+// independent, uncached path. Every byte must equal the reference, or an
+// in-doubt value covering it — the bounded-error acceptance. Remaining
+// pending entries (ops aborted mid-run) are treated as in-doubt.
+func (o *Oracle) FinalCheck(read func(file int, off int64, p []byte) error) error {
+	o.mu.Lock()
+	for _, d := range o.pending {
+		o.doubt = append(o.doubt, d)
+	}
+	o.pending = make(map[uint64]writeRec)
+	o.mu.Unlock()
+
+	const chunk = 256 << 10
+	buf := make([]byte, chunk)
+	for fi := range o.files {
+		size := int64(len(o.files[fi]))
+		for off := int64(0); off < size; off += chunk {
+			n := size - off
+			if n > chunk {
+				n = chunk
+			}
+			if err := read(fi, off, buf[:n]); err != nil {
+				return fmt.Errorf("chaos: final read-back of file %d @%d: %w", fi, off, err)
+			}
+			o.mu.Lock()
+			ref := o.files[fi]
+			for i := int64(0); i < n; i++ {
+				abs := off + i
+				b := buf[i]
+				if b == ref[abs] || o.coveredLocked(fi, abs, b) {
+					continue
+				}
+				o.mu.Unlock()
+				return fmt.Errorf("chaos: durable byte file %d @%d = 0x%02x, want 0x%02x and no in-doubt write explains it",
+					fi, abs, b, ref[abs])
+			}
+			o.mu.Unlock()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package waitfor replaces fixed-sleep test synchronization with
+// condition polling: wait until a predicate holds, with a deadline, and
+// fail loudly when it never does. Fixed sleeps are either too short
+// (flaky under load) or too long (slow suites); polling is both faster
+// on the common path and deterministic about what it was waiting for.
+package waitfor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Interval is the default polling granularity: coarse enough not to spin
+// a starved scheduler, fine enough that waits end promptly.
+const Interval = 2 * time.Millisecond
+
+// Poll runs cond every Interval until it returns true or timeout
+// elapses, and reports whether it ever held. cond runs at least once
+// even with a non-positive timeout.
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(Interval)
+	}
+}
+
+// Until fails the test when cond does not hold within timeout. The
+// message should name the condition being waited for.
+func Until(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !Poll(timeout, cond) {
+		t.Fatalf("waitfor: gave up after %v: %s", timeout, fmt.Sprintf(format, args...))
+	}
+}
+
+// Stable is the inverse guard: it polls cond for the whole window and
+// fails if it ever becomes false — for asserting that a state holds
+// steadily (e.g. a warm working set stays resident), where a plain sleep
+// both overshoots and hides when the violation happened.
+func Stable(t testing.TB, window time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		if !cond() {
+			t.Fatalf("waitfor: condition broke within %v window: %s", window, fmt.Sprintf(format, args...))
+		}
+		time.Sleep(Interval)
+	}
+}

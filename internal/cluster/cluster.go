@@ -29,6 +29,14 @@ var clusterSeq atomic.Int64
 type Config struct {
 	// Network carries all traffic. Nil uses a fresh in-memory network.
 	Network transport.Network
+	// NodeNetwork, when set, supplies the Network a given client node's
+	// traffic dials through (its cache module's iod connections and its
+	// processes' mgr connections). Server listeners and iod-originated
+	// dials keep using Network. The chaos harness uses this to give each
+	// node a labeled fault-injection view of one underlying fabric, so
+	// faults can partition node traffic directionally; outside of fault
+	// injection leave it nil.
+	NodeNetwork func(node int) transport.Network
 	// IODs is the number of I/O daemons (default 4).
 	IODs int
 	// ClientNodes is the number of compute nodes that may run application
@@ -108,6 +116,17 @@ type Cluster struct {
 
 	listeners []transport.Listener
 	nextProc  map[int]int
+	nodeNet   func(node int) transport.Network
+}
+
+// nodeNetwork resolves the Network a client node dials through.
+func (c *Cluster) nodeNetwork(node int) transport.Network {
+	if c.nodeNet != nil {
+		if n := c.nodeNet(node); n != nil {
+			return n
+		}
+	}
+	return c.Network
 }
 
 // Start boots the cluster.
@@ -126,6 +145,7 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		Network:  cfg.Network,
+		nodeNet:  cfg.NodeNetwork,
 		Reg:      cfg.Registry,
 		nextProc: make(map[int]int),
 	}
@@ -177,7 +197,7 @@ func Start(cfg Config) (*Cluster, error) {
 			}
 			mod, err := cachemod.New(cachemod.Config{
 				GlobalCache:     ring,
-				Network:         cfg.Network,
+				Network:         c.nodeNetwork(node),
 				ClientID:        uint32(node + 1),
 				IODDataAddrs:    c.IODDataAddrs,
 				IODFlushAddrs:   c.IODFlushAddrs,
@@ -220,7 +240,7 @@ func (c *Cluster) NewProcess(node int) (*pvfs.Client, error) {
 		return nil, fmt.Errorf("cluster: node %d out of range", node)
 	}
 	cfg := pvfs.Config{
-		Network:  c.Network,
+		Network:  c.nodeNetwork(node),
 		MgrAddr:  c.MgrAddr,
 		IODAddrs: c.IODDataAddrs,
 		ClientID: uint32(node + 1),

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"pvfscache/internal/chaos/waitfor"
 	"pvfscache/internal/pvfs"
 )
 
@@ -186,16 +187,9 @@ func TestDurabilityViaFlusher(t *testing.T) {
 	if _, err := f.WriteAt(data, 0); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if c.Module(0).Buffer().DirtyCount() == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("flusher never drained the dirty list")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitfor.Until(t, 5*time.Second, func() bool {
+		return c.Module(0).Buffer().DirtyCount() == 0
+	}, "flusher draining the dirty list")
 	// File was created with PCount=1 base 0: all data on iod 0.
 	got := make([]byte, len(data))
 	n := c.IODs[0].Store().ReadAt(f.ID(), 0, got)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pvfscache/internal/pvfs"
+	"pvfscache/internal/testseed"
 )
 
 const (
@@ -118,7 +119,7 @@ func runConsistencyOracle(t *testing.T, shards int, seed int64) []byte {
 }
 
 func TestConsistencyOracleShardedMatchesSingleShard(t *testing.T) {
-	const seed = 20260728
+	seed := testseed.Base(t)
 	single := runConsistencyOracle(t, 1, seed)
 	sharded := runConsistencyOracle(t, 8, seed)
 	if !bytes.Equal(single, sharded) {

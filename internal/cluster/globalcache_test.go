@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"pvfscache/internal/chaos/waitfor"
 	"pvfscache/internal/pvfs"
 )
 
@@ -50,21 +51,17 @@ func TestGlobalCacheServesRemoteMisses(t *testing.T) {
 	if _, err := f0.ReadAt(buf, 0); err != nil {
 		t.Fatal(err)
 	}
-	// Let the asynchronous pushes settle: wait until node 1's resident
-	// count has been stable for a while (the pushes arrive one by one).
-	deadline := time.Now().Add(5 * time.Second)
-	stableSince := time.Now()
-	last := -1
-	for time.Now().Before(deadline) {
+	// Let the asynchronous pushes settle: wait (best effort) until node
+	// 1's resident count is nonzero and has held still for a while — the
+	// pushes arrive one by one.
+	last, stableSince := -1, time.Now()
+	waitfor.Poll(5*time.Second, func() bool {
 		cur := c.Module(1).Buffer().Stats().Resident
 		if cur != last {
-			last = cur
-			stableSince = time.Now()
-		} else if cur > 0 && time.Since(stableSince) > 100*time.Millisecond {
-			break
+			last, stableSince = cur, time.Now()
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return cur > 0 && time.Since(stableSince) > 100*time.Millisecond
+	})
 
 	// Node 1's read: every block is either pushed into its own cache
 	// (home = node 1) or served by node 0 via peer-get (home = node 0).

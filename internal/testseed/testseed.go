@@ -1,0 +1,29 @@
+// Package testseed derives the PRNG seed for randomized tests: a
+// stable hash of the test's name, XORed with the optional CHAOS_SEED
+// environment base. Plain `go test` is therefore repeatable run to run,
+// while CI sets CHAOS_SEED per run to walk the whole randomized suite
+// through fresh seeds over time. The seed is logged, so a failure is
+// reproducible from its log line alone (CHAOS_SEED=<base> re-runs it).
+package testseed
+
+import (
+	"hash/fnv"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// Base returns (and logs) the seed for the calling test.
+func Base(t testing.TB) int64 {
+	var base int64 = 1
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+			base = v
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(t.Name()))
+	seed := (base ^ int64(h.Sum64())) & (1<<62 - 1)
+	t.Logf("prng seed=%d (rotate with CHAOS_SEED=<base>)", seed)
+	return seed
+}

@@ -116,12 +116,8 @@ func (n *MemNetwork) Listen(addr string) (Listener, error) {
 	if _, exists := n.listeners[addr]; exists {
 		return nil, fmt.Errorf("transport: address %q in use", addr)
 	}
-	l := &memListener{
-		net:    n,
-		addr:   addr,
-		accept: make(chan Conn, 16),
-		done:   make(chan struct{}),
-	}
+	l := &memListener{net: n, addr: addr}
+	l.cond = sync.NewCond(&l.mu)
 	n.listeners[addr] = l
 	return l, nil
 }
@@ -135,12 +131,10 @@ func (n *MemNetwork) Dial(addr string) (Conn, error) {
 		return nil, fmt.Errorf("transport: connection refused to %q", addr)
 	}
 	client, server := Pipe()
-	select {
-	case l.accept <- server:
-		return client, nil
-	case <-l.done:
-		return nil, ErrClosed
+	if err := l.enqueue(server); err != nil {
+		return nil, err
 	}
+	return client, nil
 }
 
 func (n *MemNetwork) remove(addr string) {
@@ -149,28 +143,65 @@ func (n *MemNetwork) remove(addr string) {
 	n.mu.Unlock()
 }
 
+// memBacklog bounds the pending-accept queue, like a socket backlog.
+const memBacklog = 16
+
 type memListener struct {
-	net       *MemNetwork
-	addr      string
-	accept    chan Conn
-	done      chan struct{}
-	closeOnce sync.Once
+	net    *MemNetwork
+	addr   string
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Conn
+	closed bool
 }
 
 func (l *memListener) Accept() (Conn, error) {
-	select {
-	case c := <-l.accept:
-		return c, nil
-	case <-l.done:
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
 		return nil, ErrClosed
 	}
+	c := l.queue[0]
+	l.queue = l.queue[1:]
+	l.cond.Broadcast() // room freed: wake dialers blocked on a full backlog
+	return c, nil
+}
+
+// enqueue hands a dialed server half to the accept queue, blocking while
+// the backlog is full. The closed check and the append happen under one
+// lock, so a conn is either queued before Close (which then resets it)
+// or refused — never orphaned.
+func (l *memListener) enqueue(server Conn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) >= memBacklog && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	l.queue = append(l.queue, server)
+	l.cond.Broadcast()
+	return nil
 }
 
 func (l *memListener) Close() error {
-	l.closeOnce.Do(func() {
-		close(l.done)
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		// Reset the backlog, as a TCP listener close does: dialers that
+		// already "connected" see errors on use rather than a silent hang.
+		for _, c := range l.queue {
+			c.Close()
+		}
+		l.queue = nil
 		l.net.remove(l.addr)
-	})
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
 	return nil
 }
 

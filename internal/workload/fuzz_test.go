@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode hammers the trace decoder with arbitrary bytes: it must
+// return an error or a structurally valid trace, never panic or
+// over-allocate, matching the hostile-input guarantees of the wire
+// decoders.
+func FuzzTraceDecode(f *testing.F) {
+	seed := func(tr *Trace) []byte {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&Trace{Scenario: "sequential", Params: Params{Clients: 2, Seed: 9}}))
+	f.Add(seed(&Trace{
+		Scenario: "zipfian",
+		Params:   Params{Clients: 3, Nodes: 2, OpsPerClient: 4, FileSize: 4096, MaxIO: 512, Seed: -1},
+		Records: []Record{
+			{Op: Op{Seq: 1, Client: 0, Kind: KindWrite, File: 0, Off: 0, Len: 512}},
+			{Op: Op{Seq: 2, Client: 1, Kind: KindRead, File: 0, Off: 512, Len: 512}, Err: "injected"},
+		},
+	}))
+	f.Add([]byte("PVFSWLT1"))
+	f.Add([]byte("PVFSWLT2junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decoded trace must re-encode and decode to the same value.
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encoded trace failed: %v", err)
+		}
+		if back.Scenario != tr.Scenario || back.Params != tr.Params || len(back.Records) != len(tr.Records) {
+			t.Fatalf("round trip diverged: %+v vs %+v", back, tr)
+		}
+	})
+}

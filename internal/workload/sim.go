@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"pvfscache/internal/blockio"
+	"pvfscache/internal/sim"
+	"pvfscache/internal/simcluster"
+	"pvfscache/internal/wire"
+)
+
+// SimResult summarizes one DES execution of a Spec.
+type SimResult struct {
+	Elapsed time.Duration // virtual time for the whole run
+	Ops     int           // data ops executed (reads + writes)
+	Skipped int           // metadata/flush ops the model has no server for
+}
+
+// RunSim executes a Spec on the discrete-event simulator: the same op
+// streams a live chaos run executes, replayed against the calibrated
+// timing model, so a contention pattern found live can be studied with
+// virtual time and perfect determinism. Data content is not modeled (the
+// DES simulates timing and cache policy only), so the oracle does not
+// apply here; flushes ride the model's own flusher daemons and metadata
+// ops are counted but skipped (the DES has no mgr).
+//
+// The cluster must be freshly built and not yet run; RunSim starts the
+// client procs, runs the event loop to completion, and returns the
+// virtual elapsed time.
+func RunSim(c *simcluster.Cluster, spec *Spec) (SimResult, error) {
+	if len(c.Nodes) == 0 {
+		return SimResult{}, fmt.Errorf("workload: simulated cluster has no nodes")
+	}
+	files := make([]simFile, len(spec.Files))
+	for i, fs := range spec.Files {
+		id := c.CreateFile(fs.Name, fs.Size, false)
+		_, meta := c.Lookup(fs.Name)
+		files[i] = simFile{id: id, meta: meta}
+	}
+	res := SimResult{}
+	bar := &simBarrier{env: c.Env, n: len(spec.Ops), sig: c.Env.NewSignal()}
+	remaining := len(spec.Ops)
+	for cl := range spec.Ops {
+		cl := cl
+		node := c.Nodes[spec.Placement[cl]%len(c.Nodes)]
+		ops := spec.Ops[cl]
+		c.Env.Go(fmt.Sprintf("wl.client%d", cl), func(p *sim.Proc) {
+			for _, op := range ops {
+				switch op.Kind {
+				case KindRead:
+					f := files[op.File]
+					c.Read(p, node, f.id, f.meta, op.Off, op.Len)
+					res.Ops++
+				case KindWrite:
+					f := files[op.File]
+					c.Write(p, node, f.id, f.meta, op.Off, op.Len)
+					res.Ops++
+				case KindBarrier:
+					bar.wait(p)
+				default:
+					// Flush rides the model's flusher daemons; metadata ops
+					// have no simulated mgr. Count them so callers can see
+					// coverage, and charge a token CPU cost so storms still
+					// contend for the node.
+					res.Skipped++
+					node.CPU.Use(p, 10*time.Microsecond)
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				c.Finish()
+			}
+		})
+	}
+	elapsed := c.Env.Run()
+	res.Elapsed = elapsed
+	if blocked := c.Env.Deadlocked(); blocked > 0 {
+		return res, fmt.Errorf("workload: simulated run deadlocked with %d blocked procs", blocked)
+	}
+	if remaining != 0 {
+		return res, fmt.Errorf("workload: %d simulated clients did not finish", remaining)
+	}
+	return res, nil
+}
+
+type simFile struct {
+	id   blockio.FileID
+	meta wire.FileMeta
+}
+
+// simBarrier is a cyclic rendezvous for the DES's cooperative procs: the
+// last arrival fires the signal and re-arms it for the next round. The
+// event loop is single-threaded, so plain fields suffice.
+type simBarrier struct {
+	env     *sim.Env
+	n       int
+	arrived int
+	sig     *sim.Signal
+}
+
+func (b *simBarrier) wait(p *sim.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		old := b.sig
+		b.sig = b.env.NewSignal()
+		old.Fire()
+		return
+	}
+	b.sig.Wait(p)
+}

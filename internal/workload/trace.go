@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is the durable record of one run: the scenario identity (enough
+// to regenerate the Spec bit-for-bit) plus every op in the global order
+// it was issued. Write payloads are not stored — Fill regenerates them
+// from the op parameters — so traces stay compact even for large runs.
+type Trace struct {
+	Scenario string
+	Params   Params
+	Records  []Record
+}
+
+// Record is one executed op plus its outcome. Err is the error text
+// ("" = success); replay compares op sequences, not outcomes, since an
+// injected fault's timing may land differently in-process. T is the op's
+// completion time in nanoseconds since the run started — the chaos
+// harness uses it to check that op errors stay inside the fault window
+// (bounded-error accounting).
+type Record struct {
+	Op
+	T   int64
+	Err string
+}
+
+// traceMagic versions the binary format.
+const traceMagic = "PVFSWLT1"
+
+// Encode writes the trace in its compact binary form: a magic header,
+// varint-packed scenario parameters, then one varint-packed record per
+// op in Seq order.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	putV := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	putStr := func(s string) {
+		putUv(uint64(len(s)))
+		bw.WriteString(s)
+	}
+	putStr(t.Scenario)
+	p := t.Params
+	putV(int64(p.Clients))
+	putV(int64(p.Nodes))
+	putV(int64(p.OpsPerClient))
+	putV(p.FileSize)
+	putV(p.MaxIO)
+	putV(p.Seed)
+	putUv(uint64(len(t.Records)))
+	for _, r := range t.Records {
+		putUv(r.Seq)
+		putV(int64(r.Client))
+		putUv(uint64(r.Kind))
+		putV(int64(r.File))
+		putV(r.Off)
+		putV(r.Len)
+		putV(r.T)
+		putStr(r.Err)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if !bytes.Equal(magic, []byte(traceMagic)) {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+	}
+	var firstErr error
+	getUv := func() uint64 {
+		if firstErr != nil {
+			return 0
+		}
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			firstErr = err
+		}
+		return v
+	}
+	getV := func() int64 {
+		if firstErr != nil {
+			return 0
+		}
+		v, err := binary.ReadVarint(br)
+		if err != nil {
+			firstErr = err
+		}
+		return v
+	}
+	getStr := func() string {
+		n := getUv()
+		if firstErr != nil {
+			return ""
+		}
+		if n > 1<<20 {
+			firstErr = fmt.Errorf("workload: trace string length %d implausible", n)
+			return ""
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			firstErr = err
+			return ""
+		}
+		return string(b)
+	}
+	t := &Trace{}
+	t.Scenario = getStr()
+	t.Params.Clients = int(getV())
+	t.Params.Nodes = int(getV())
+	t.Params.OpsPerClient = int(getV())
+	t.Params.FileSize = getV()
+	t.Params.MaxIO = getV()
+	t.Params.Seed = getV()
+	n := getUv()
+	if firstErr != nil {
+		return nil, fmt.Errorf("workload: trace decode: %w", firstErr)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("workload: trace record count %d implausible", n)
+	}
+	t.Records = make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec Record
+		rec.Seq = getUv()
+		rec.Client = int(getV())
+		rec.Kind = Kind(getUv())
+		rec.File = int(getV())
+		rec.Off = getV()
+		rec.Len = getV()
+		rec.T = getV()
+		rec.Err = getStr()
+		if firstErr != nil {
+			return nil, fmt.Errorf("workload: trace record %d: %w", i, firstErr)
+		}
+		if rec.Kind >= kindCount {
+			return nil, fmt.Errorf("workload: trace record %d: bad kind %d", i, rec.Kind)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Verify checks that this trace's ops are exactly the ops its scenario
+// regenerates from its parameters — the replay acceptance: trace + seed
+// fully determines the op sequence. It regenerates the Spec, groups the
+// trace records per client, and compares program order field-for-field.
+func (t *Trace) Verify() error {
+	spec, err := t.Regenerate()
+	if err != nil {
+		return err
+	}
+	perClient := make([][]Record, len(spec.Ops))
+	for _, r := range t.Records {
+		if r.Client < 0 || r.Client >= len(perClient) {
+			return fmt.Errorf("workload: trace names client %d of %d", r.Client, len(perClient))
+		}
+		perClient[r.Client] = append(perClient[r.Client], r)
+	}
+	for c, recs := range perClient {
+		// Records arrive in global Seq order; within one client that is
+		// also program order.
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+		want := spec.Ops[c]
+		if len(recs) != len(want) {
+			return fmt.Errorf("workload: client %d ran %d ops, scenario generates %d", c, len(recs), len(want))
+		}
+		for i, r := range recs {
+			w := want[i]
+			if r.Kind != w.Kind || r.File != w.File || r.Off != w.Off || r.Len != w.Len {
+				return fmt.Errorf("workload: client %d op %d diverges: trace %v file=%d [%d,+%d), scenario %v file=%d [%d,+%d)",
+					c, i, r.Kind, r.File, r.Off, r.Len, w.Kind, w.File, w.Off, w.Len)
+			}
+		}
+	}
+	return nil
+}
+
+// Regenerate rebuilds the Spec this trace was recorded from.
+func (t *Trace) Regenerate() (*Spec, error) {
+	sc, err := Lookup(t.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Generate(t.Params)
+}
+
+// Recorder accumulates records from concurrently running clients and
+// stamps the global issue order. One Recorder per run.
+type Recorder struct {
+	start time.Time
+	mu    sync.Mutex
+	seq   uint64
+	recs  []Record
+}
+
+// NewRecorder returns an empty recorder; record times are relative to
+// this call.
+func NewRecorder() *Recorder { return &Recorder{start: time.Now()} }
+
+// Begin stamps op with the next global sequence number and returns it.
+// Call it immediately before issuing the op, so Seq order is issue order.
+func (r *Recorder) Begin(op Op) Op {
+	r.mu.Lock()
+	r.seq++
+	op.Seq = r.seq
+	r.mu.Unlock()
+	return op
+}
+
+// Since returns nanoseconds elapsed since the recorder started — the
+// clock record timestamps are expressed in.
+func (r *Recorder) Since() int64 { return int64(time.Since(r.start)) }
+
+// Count returns how many ops have completed so far.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// End records the outcome of a begun op.
+func (r *Recorder) End(op Op, err error) {
+	rec := Record{Op: op, T: int64(time.Since(r.start))}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+// Trace snapshots the records so far, in Seq order, for the given
+// scenario identity.
+func (r *Recorder) Trace(scenario string, p Params) *Trace {
+	r.mu.Lock()
+	recs := make([]Record, len(r.recs))
+	copy(recs, r.recs)
+	r.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return &Trace{Scenario: scenario, Params: p, Records: recs}
+}

@@ -743,7 +743,11 @@ func BenchmarkGlobalCacheRemoteRead(b *testing.B) {
 // latency-overlap win is measured by internal/cachemod's
 // BenchmarkFlushDrain pair, whose flush ports model disk service time.
 func benchLiveWriteStorm(b *testing.B, streams, window int) {
-	c, err := cluster.Start(cluster.Config{
+	benchLiveWriteStormBackend(b, streams, window, "")
+}
+
+func benchLiveWriteStormBackend(b *testing.B, streams, window int, backend string) {
+	cfg := cluster.Config{
 		IODs:         4,
 		ClientNodes:  1,
 		Caching:      true,
@@ -751,7 +755,12 @@ func benchLiveWriteStorm(b *testing.B, streams, window int) {
 		FlushPeriod:  time.Hour,
 		FlushStreams: streams,
 		FlushWindow:  window,
-	})
+		Backend:      backend,
+	}
+	if backend == "disk" {
+		cfg.DataDir = b.TempDir()
+	}
+	c, err := cluster.Start(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -790,6 +799,17 @@ func BenchmarkLiveWriteStormDrain(b *testing.B) { benchLiveWriteStorm(b, 0, 0) }
 // BenchmarkLiveWriteStormDrainSerial is the seed-shape ablation: one
 // stream, one blocking frame at a time.
 func BenchmarkLiveWriteStormDrainSerial(b *testing.B) { benchLiveWriteStorm(b, 1, 1) }
+
+// BenchmarkLiveWriteStormDrainDisk / SerialDisk: the same storm drained
+// into WAL-backed on-disk iods — every flushed byte is journaled and
+// pushed to the OS before the ack comes back.
+func BenchmarkLiveWriteStormDrainDisk(b *testing.B) {
+	benchLiveWriteStormBackend(b, 0, 0, "disk")
+}
+
+func BenchmarkLiveWriteStormDrainSerialDisk(b *testing.B) {
+	benchLiveWriteStormBackend(b, 1, 1, "disk")
+}
 
 // BenchmarkLiveWriteDirect measures the same write through original PVFS.
 func BenchmarkLiveWriteDirect(b *testing.B) {

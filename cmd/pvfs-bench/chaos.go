@@ -30,7 +30,7 @@ type chaosFlags struct {
 func registerChaosFlags(cf *chaosFlags) {
 	flag.BoolVar(&cf.enabled, "chaos", false, "run a seeded chaos scenario instead of the micro-benchmark")
 	flag.StringVar(&cf.scenario, "scenario", "sequential", "chaos workload scenario: sequential, strided, zipfian, prodcons, or metadata")
-	flag.StringVar(&cf.fault, "fault", "connkill", "chaos fault: none, connkill, crash, partition, or brownout")
+	flag.StringVar(&cf.fault, "fault", "connkill", "chaos fault: none, connkill, crash, partition, brownout, or restart (restart needs -backend disk, implied)")
 	flag.BoolVar(&cf.tcp, "tcp", false, "run the chaos cluster over loopback TCP instead of the in-memory fabric")
 	flag.IntVar(&cf.clients, "clients", 8, "chaos client processes")
 	flag.IntVar(&cf.nodes, "nodes", 2, "chaos client nodes (clients are spread across them)")
@@ -43,7 +43,7 @@ func registerChaosFlags(cf *chaosFlags) {
 // runChaos boots a fault-injected cluster, drives the scenario under the
 // consistency oracle, and reports the verdict. Exit status 1 means the
 // oracle rejected the run.
-func runChaos(cf chaosFlags, seed int64) {
+func runChaos(cf chaosFlags, sf storageFlags, seed int64) {
 	if _, err := workload.Lookup(cf.scenario); err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +61,8 @@ func runChaos(cf chaosFlags, seed int64) {
 			MaxIO:        cf.maxIO,
 		},
 		TCP:      cf.tcp,
+		Backend:  sf.backend,
+		DataDir:  sf.dataDir,
 		TraceDir: cf.traceDir,
 		Log:      log.Printf,
 	})

@@ -24,6 +24,12 @@
 // scan-resistant ghost policy), size its ghost history, and enable the
 // streaming read-around. See docs/TUNING.md for the full knob table.
 //
+// The in-process iods keep their blocks in memory by default;
+// -backend=disk puts each one on a WAL-backed on-disk store instead
+// (-datadir picks the directory, -fsync the durability policy):
+//
+//	pvfs-bench -backend disk -datadir /tmp/pvfs -fsync interval -write
+//
 // With -chaos the tool instead runs a seeded fault-injection scenario
 // under the consistency oracle:
 //
@@ -81,12 +87,17 @@ func main() {
 	policyName := flag.String("policy", "clock", "replacement policy: clock, lru, or ghost (scan-resistant)")
 	flag.Float64Var(&mods.ghostFrac, "ghostfrac", 0, "ghost-list size as a fraction of cache capacity under -policy ghost (0 = default 1.0, negative disables)")
 	flag.IntVar(&mods.bypass, "bypass", 0, "sequential streak at which streaming reads bypass the cache (0 = disabled)")
+	var sf storageFlags
+	flag.StringVar(&sf.backend, "backend", "", "iod storage engine for the in-process cluster: mem (default) or disk")
+	flag.StringVar(&sf.dataDir, "datadir", "", "data directory for -backend disk (default: a temp dir, removed at exit)")
+	flag.StringVar(&sf.fsync, "fsync", "", "disk fsync policy: onclose (default), interval, or always")
+	flag.DurationVar(&sf.fsyncInterval, "fsyncinterval", 0, "fsync cadence under -fsync interval (0 = default 100ms)")
 	var cf chaosFlags
 	registerChaosFlags(&cf)
 	flag.Parse()
 
 	if cf.enabled {
-		runChaos(cf, *seed)
+		runChaos(cf, sf, *seed)
 		return
 	}
 
@@ -136,8 +147,11 @@ func main() {
 	}
 
 	if *mgrAddr == "" {
-		runInProcess(mb, *caching, mods)
+		runInProcess(mb, *caching, mods, sf)
 		return
+	}
+	if sf.backend != "" {
+		log.Fatal("-backend applies to the in-process cluster only; external daemons own their storage")
 	}
 	iods := splitList(*iodList)
 	flushes := splitList(*flushList)
@@ -161,6 +175,27 @@ type modFlags struct {
 	bypass       int
 }
 
+// storageFlags selects the iod storage engine for in-process clusters.
+type storageFlags struct {
+	backend       string
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+}
+
+// resolveDataDir returns the data directory to use and a cleanup func.
+// With -backend disk and no -datadir, the run gets a throwaway temp dir.
+func (sf storageFlags) resolveDataDir() (string, func()) {
+	if sf.backend != "disk" || sf.dataDir != "" {
+		return sf.dataDir, func() {}
+	}
+	dir, err := os.MkdirTemp("", "pvfs-bench-data-*")
+	if err != nil {
+		log.Fatalf("-backend disk: %v", err)
+	}
+	return dir, func() { os.RemoveAll(dir) }
+}
+
 func splitList(s string) []string {
 	if s == "" {
 		return nil
@@ -177,12 +212,20 @@ func splitList(s string) []string {
 
 // runInProcess boots a full in-memory cluster and runs the benchmark with
 // and without caching for comparison.
-func runInProcess(mb microbench.Params, caching bool, mods modFlags) {
+func runInProcess(mb microbench.Params, caching bool, mods modFlags, sf storageFlags) {
+	dataDir, cleanup := sf.resolveDataDir()
+	defer cleanup()
 	modes := []bool{caching}
 	if caching {
 		modes = []bool{true, false}
 	}
-	for _, withCache := range modes {
+	for i, withCache := range modes {
+		sub := dataDir
+		if sub != "" && len(modes) > 1 {
+			// Each mode gets a fresh tree so the second run does not
+			// replay the first run's files.
+			sub = fmt.Sprintf("%s/mode%d", dataDir, i)
+		}
 		c, err := cluster.Start(cluster.Config{
 			IODs:            4,
 			ClientNodes:     mb.Nodes,
@@ -197,6 +240,10 @@ func runInProcess(mb microbench.Params, caching bool, mods modFlags) {
 			GhostFrac:       mods.ghostFrac,
 			FlushStreams:    mods.flushStreams,
 			FlushWindow:     mods.flushWindow,
+			Backend:         sf.backend,
+			DataDir:         sub,
+			Fsync:           sf.fsync,
+			FsyncInterval:   sf.fsyncInterval,
 		})
 		if err != nil {
 			log.Fatal(err)

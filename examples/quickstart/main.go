@@ -75,7 +75,8 @@ func main() {
 	}
 	var stored int64
 	for _, d := range c.IODs {
-		stored += d.Store().Size(f.ID())
+		sz, _ := d.Store().Size(f.ID())
+		stored += sz
 	}
 	fmt.Printf("after flush: iods hold data for file %d (sizes sum across strips)\n", f.ID())
 	_ = stored

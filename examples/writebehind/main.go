@@ -82,7 +82,8 @@ func storm(label string, cfg cluster.Config) time.Duration {
 	// nothing dirty, and the stores grew to the file's striped size).
 	var stored int64
 	for _, iod := range c.IODs {
-		stored += iod.Store().Size(f.ID())
+		sz, _ := iod.Store().Size(f.ID())
+		stored += sz
 	}
 	fmt.Printf("  durability: iod stores hold %d bytes of file %d\n", stored, f.ID())
 	return drain

@@ -288,7 +288,7 @@ func TestWriteFakedAckAndFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, 4096)
-	if n := r.iods[1].Store().ReadAt(2, 0, got); n != 4096 || !bytes.Equal(got, payload) {
+	if n, _ := r.iods[1].Store().ReadAt(2, 0, got); n != 4096 || !bytes.Equal(got, payload) {
 		t.Fatalf("flush did not persist data (n=%d)", n)
 	}
 }
@@ -437,7 +437,7 @@ func TestSyncWritePassesThrough(t *testing.T) {
 	}
 	// Sync-writes persist immediately — no flush needed.
 	got := make([]byte, 4096)
-	if n := r.iods[0].Store().ReadAt(6, 0, got); n != 4096 || !bytes.Equal(got, payload) {
+	if n, _ := r.iods[0].Store().ReadAt(6, 0, got); n != 4096 || !bytes.Equal(got, payload) {
 		t.Fatal("sync write not persisted")
 	}
 	// And the local cache holds a clean copy.
@@ -499,7 +499,7 @@ func TestWriteLargerThanCacheCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, 1<<20)
-	if n := r.iods[0].Store().ReadAt(13, 0, got); n != 1<<20 || !bytes.Equal(got, payload) {
+	if n, _ := r.iods[0].Store().ReadAt(13, 0, got); n != 1<<20 || !bytes.Equal(got, payload) {
 		t.Fatalf("large write corrupted (n=%d)", n)
 	}
 }
@@ -575,7 +575,7 @@ func TestCloseFlushesDirtyBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, 4096)
-	if n := d.Store().ReadAt(20, 0, got); n != 4096 || !bytes.Equal(got, payload) {
+	if n, _ := d.Store().ReadAt(20, 0, got); n != 4096 || !bytes.Equal(got, payload) {
 		t.Fatal("Close lost dirty data")
 	}
 }

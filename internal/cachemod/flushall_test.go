@@ -172,7 +172,7 @@ func TestFlushAllWaitsForInFlightBlocks(t *testing.T) {
 		t.Fatalf("%d dirty blocks after FlushAll", n)
 	}
 	got := make([]byte, 4096)
-	if n := d.Store().ReadAt(30, 0, got); n != 4096 || !bytes.Equal(got, payload) {
+	if n, _ := d.Store().ReadAt(30, 0, got); n != 4096 || !bytes.Equal(got, payload) {
 		t.Fatalf("flushed data not durable (n=%d)", n)
 	}
 }

@@ -236,7 +236,7 @@ func TestFlushStreamFailureIsolation(t *testing.T) {
 	for iodIdx := 0; iodIdx < 3; iodIdx += 2 {
 		got := make([]byte, 4096)
 		for blk := 0; blk < blocks; blk++ {
-			if n := r.iods[iodIdx].Store().ReadAt(blockio.FileID(10+iodIdx), int64(blk)*4096, got); n != 4096 ||
+			if n, _ := r.iods[iodIdx].Store().ReadAt(blockio.FileID(10+iodIdx), int64(blk)*4096, got); n != 4096 ||
 				!bytes.Equal(got, payload(iodIdx, blk)) {
 				t.Fatalf("iod %d block %d not durable while iod 1 was down", iodIdx, blk)
 			}
@@ -257,7 +257,7 @@ func TestFlushStreamFailureIsolation(t *testing.T) {
 	}
 	got := make([]byte, 4096)
 	for blk := 0; blk < blocks; blk++ {
-		if n := r.iods[1].Store().ReadAt(blockio.FileID(11), int64(blk)*4096, got); n != 4096 ||
+		if n, _ := r.iods[1].Store().ReadAt(blockio.FileID(11), int64(blk)*4096, got); n != 4096 ||
 			!bytes.Equal(got, payload(1, blk)) {
 			t.Fatalf("recovered iod block %d not durable (n=%d)", blk, n)
 		}
@@ -300,10 +300,10 @@ func TestPressureKickNotStarvedByFailingStream(t *testing.T) {
 		return r.mod.Buffer().DirtyCount() <= 1
 	}, "healthy streams draining past the failing one")
 	got := make([]byte, 4096)
-	if n := r.iods[0].Store().ReadAt(10, 0, got); n != 4096 || !bytes.Equal(got, block) {
+	if n, _ := r.iods[0].Store().ReadAt(10, 0, got); n != 4096 || !bytes.Equal(got, block) {
 		t.Fatal("iod 0's block not durable")
 	}
-	if n := r.iods[2].Store().ReadAt(12, 0, got); n != 4096 || !bytes.Equal(got, block) {
+	if n, _ := r.iods[2].Store().ReadAt(12, 0, got); n != 4096 || !bytes.Equal(got, block) {
 		t.Fatal("iod 2's block not durable")
 	}
 	// Bring iod 1 back so the Close-time FlushAll drains its block
@@ -365,7 +365,7 @@ func TestPressureKickWithStreamlessOwner(t *testing.T) {
 	waitfor.Until(t, 10*time.Second, func() bool {
 		mod.kickFlusher()
 		got := make([]byte, 4096)
-		n := iods[0].Store().ReadAt(20, 0, got)
+		n, _ := iods[0].Store().ReadAt(20, 0, got)
 		return n == 4096 && bytes.Equal(got, block)
 	}, "iod 0 draining despite the streamless oldest owner")
 	// iod 1's block is permanently stuck (no flush port) — Close's
@@ -485,7 +485,7 @@ func TestPipelinedFlushStorm(t *testing.T) {
 				continue // never written
 			}
 			want := bytes.Repeat([]byte{pattern(w, blk, g)}, 4096)
-			if n := r.iods[iodIdx].Store().ReadAt(file, int64(blk)*4096, got); n != 4096 || !bytes.Equal(got, want) {
+			if n, _ := r.iods[iodIdx].Store().ReadAt(file, int64(blk)*4096, got); n != 4096 || !bytes.Equal(got, want) {
 				t.Fatalf("writer %d block %d: durable bytes are not generation %d", w, blk, g)
 			}
 		}

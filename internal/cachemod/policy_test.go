@@ -70,7 +70,7 @@ func TestCacheNoneWriteAround(t *testing.T) {
 	}
 	// The iod has the bytes already — no flush needed.
 	got := make([]byte, 4096)
-	if n := r.iods[0].Store().ReadAt(file, 0, got); n != len(got) || !bytes.Equal(got, payload) {
+	if n, _ := r.iods[0].Store().ReadAt(file, 0, got); n != len(got) || !bytes.Equal(got, payload) {
 		t.Fatal("write-around bytes did not reach the iod")
 	}
 }

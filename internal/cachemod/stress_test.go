@@ -229,7 +229,7 @@ func TestModuleConcurrencyStorm(t *testing.T) {
 				continue
 			}
 			want := stormPattern(file, blk, gen)
-			if n := r.iods[w%2].Store().ReadAt(file, int64(blk)*stormBS, got); n != stormBS {
+			if n, _ := r.iods[w%2].Store().ReadAt(file, int64(blk)*stormBS, got); n != stormBS {
 				t.Fatalf("file %d block %d: short store read %d", file, blk, n)
 			}
 			for _, v := range got {

@@ -30,8 +30,12 @@ import (
 //     (directional blackhole, writes stall rather than fail) until heal
 //   - brownout: one iod serves with per-write latency injected (slow
 //     node); no errors tolerated, only slowness
+//   - restart: an iod fail-stops mid-flush like crash, but the daemon
+//     process actually dies (ports closed, backend volatile state gone)
+//     and reboots from the same data directory — so the run exercises
+//     journal replay, not just reconnection. Forces the disk backend.
 func Faults() []string {
-	return []string{"none", "connkill", "crash", "partition", "brownout"}
+	return []string{"none", "connkill", "crash", "partition", "brownout", "restart"}
 }
 
 // ErrTCPUnavailable marks environments where TCP sockets cannot be used;
@@ -60,6 +64,16 @@ type RunConfig struct {
 	// FlushPeriod is the write-behind interval (default 5ms: fast enough
 	// that a crash lands mid-flush within the run).
 	FlushPeriod time.Duration
+	// Backend selects the iods' storage engine ("", "mem", "disk" — see
+	// cluster.Config.Backend). The restart fault requires disk and
+	// defaults to it: a mem-backed daemon forgets every acknowledged
+	// byte when it dies, so rebooting one can never pass the oracle.
+	Backend string
+	// DataDir is the disk backend's root directory. Empty: a fresh
+	// directory is created under CHAOS_ARTIFACT_DIR (or the system temp
+	// dir), removed when the run passes and kept — journals included —
+	// as a failure artifact otherwise.
+	DataDir string
 	// TraceDir receives the run's trace file. Empty: the trace is saved
 	// only when the run fails, into CHAOS_ARTIFACT_DIR or the system
 	// temp directory.
@@ -84,6 +98,7 @@ type RunResult struct {
 	FaultStart  time.Duration // fault window relative to run start (0,0 = never fired)
 	FaultEnd    time.Duration
 	Elapsed     time.Duration
+	DataDir     string // disk-backend data root ("" for mem; kept on failure)
 }
 
 // Run executes one seeded chaos run: boot a live cluster behind a fault
@@ -134,6 +149,32 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	ctl := NewController(base)
 
+	// Storage backend: the restart fault reboots a daemon from its data
+	// directory, which only means anything on the disk engine.
+	backend := cfg.Backend
+	if cfg.Fault == "restart" && backend == "" {
+		backend = "disk"
+	}
+	if cfg.Fault == "restart" && backend != "disk" {
+		return nil, fmt.Errorf("chaos: the restart fault requires Backend \"disk\", got %q", backend)
+	}
+	dataDir := cfg.DataDir
+	cleanupData := false
+	if backend == "disk" && dataDir == "" {
+		root := os.Getenv("CHAOS_ARTIFACT_DIR")
+		if root == "" {
+			root = os.TempDir()
+		}
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, err
+		}
+		dataDir, err = os.MkdirTemp(root, fmt.Sprintf("chaos-data-%s-seed%d-", cfg.Fault, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		cleanupData = true
+	}
+
 	cl, err := cluster.Start(cluster.Config{
 		Network:     base,
 		NodeNetwork: func(node int) transport.Network { return ctl.View(nodeOrigin(node)) },
@@ -141,6 +182,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		ClientNodes: spec.Params.Nodes,
 		Caching:     true,
 		FlushPeriod: cfg.FlushPeriod,
+		Backend:     backend,
+		DataDir:     dataDir,
 	})
 	if err != nil {
 		return nil, err
@@ -149,9 +192,24 @@ func Run(cfg RunConfig) (*RunResult, error) {
 
 	r := &runner{cfg: cfg, spec: spec, ctl: ctl, cl: cl}
 	res, err := r.run()
+	if res != nil {
+		res.DataDir = dataDir
+	}
 	if err != nil && res != nil && res.TracePath != "" {
 		err = fmt.Errorf("%w\nreproduce: seed=%d trace=%s\n  go test ./internal/chaos -run TestChaosReplay -trace=%s",
 			err, cfg.Seed, res.TracePath, res.TracePath)
+	}
+	if cleanupData {
+		if err == nil {
+			os.RemoveAll(dataDir)
+			if res != nil {
+				res.DataDir = ""
+			}
+		} else {
+			// Keep the directory — journals and shard files are the crash
+			// forensics — and point the failure at it.
+			err = fmt.Errorf("%w\ndisk backend data kept at %s", err, dataDir)
+		}
 	}
 	return res, err
 }
@@ -560,26 +618,64 @@ func (p *faultPlan) run() {
 			close(trig)
 		})
 		r.cfg.Log("chaos: armed crash of iod %d on its flush port", iod)
-		select {
-		case <-trig:
-			p.hold(dur)
-		case <-p.stop:
-			// Run finished before any flush frame tripped the arm. Dirty
-			// data (if any) still drains on the flush period — give the
-			// crash a last chance to fire before giving up on it.
-			select {
-			case <-trig:
-				p.hold(dur)
-			case <-time.After(2 * r.cfg.FlushPeriod):
-				if r.ctl.Disarm(flushAddr) {
-					return // never fired: fault skipped this run
-				}
-				<-trig // fired concurrently with the disarm race
-			}
+		if !p.awaitTrigger(trig, flushAddr) {
+			return // never fired: fault skipped this run
 		}
+		p.hold(dur)
 		r.ctl.Restore(dataAddr, flushAddr)
 		p.markEnd()
 		r.cfg.Log("chaos: restored iod %d", iod)
+
+	case "restart":
+		// Same mid-flush trigger as crash, but the daemon really dies:
+		// ports close, the backend fail-stops (dirty cache and buffered
+		// state gone), and a fresh daemon reboots from the same directory
+		// — journal replay under live traffic. The controller Cut keeps
+		// clients from racing the reboot; Restore lifts it only after the
+		// new daemon is listening.
+		trig := make(chan struct{})
+		r.ctl.ArmShortWrite(flushAddr, p.rng.Intn(2), func() {
+			p.markStart()
+			r.ctl.Cut(dataAddr, flushAddr)
+			close(trig)
+		})
+		r.cfg.Log("chaos: armed kill-and-restart of iod %d on its flush port", iod)
+		if !p.awaitTrigger(trig, flushAddr) {
+			return
+		}
+		if err := r.cl.CrashIOD(iod); err != nil {
+			r.violation(fmt.Errorf("chaos: CrashIOD(%d): %w", iod, err))
+		}
+		r.cfg.Log("chaos: killed iod %d", iod)
+		p.hold(dur)
+		if err := r.cl.RestartIOD(iod); err != nil {
+			r.violation(fmt.Errorf("chaos: RestartIOD(%d): %w", iod, err))
+		}
+		r.ctl.Restore(dataAddr, flushAddr)
+		p.markEnd()
+		r.cfg.Log("chaos: rebooted iod %d from its data dir", iod)
+	}
+}
+
+// awaitTrigger waits for an armed short-write to fire, giving it one
+// last chance after the workload drains (dirty data still flushes on
+// the period). It reports false when the arm never fired and was
+// disarmed — the fault sat the run out.
+func (p *faultPlan) awaitTrigger(trig chan struct{}, flushAddr string) bool {
+	select {
+	case <-trig:
+		return true
+	case <-p.stop:
+		select {
+		case <-trig:
+			return true
+		case <-time.After(2 * p.r.cfg.FlushPeriod):
+			if p.r.ctl.Disarm(flushAddr) {
+				return false
+			}
+			<-trig // fired concurrently with the disarm race
+			return true
+		}
 	}
 }
 

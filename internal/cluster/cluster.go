@@ -8,6 +8,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +19,9 @@ import (
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/mgr"
 	"pvfscache/internal/pvfs"
+	"pvfscache/internal/storage"
+	"pvfscache/internal/storage/disk"
+	"pvfscache/internal/storage/mem"
 	"pvfscache/internal/transport"
 )
 
@@ -98,6 +102,20 @@ type Config struct {
 	// memory instead of leased from pools and scattered directly (ablation
 	// benchmarks).
 	DisableZeroCopy bool
+	// Backend selects the iods' storage engine: "" or "mem" for the
+	// in-memory simdisk store, "disk" for the WAL-backed on-disk engine
+	// (requires DataDir).
+	Backend string
+	// DataDir is the disk backend's root; each iod gets an `iod<N>`
+	// subdirectory. Required when Backend is "disk". A directory left by
+	// a previous (possibly crashed) cluster is recovered on boot.
+	DataDir string
+	// Fsync is the disk backend's journal fsync policy: "osync",
+	// "interval", or "onclose" (default). See disk.ParsePolicy.
+	Fsync string
+	// FsyncInterval bounds the power-loss window under Fsync="interval"
+	// (default 100ms).
+	FsyncInterval time.Duration
 	// Registry collects metrics from every component; nil creates one.
 	Registry *metrics.Registry
 }
@@ -114,9 +132,42 @@ type Cluster struct {
 	IODDataAddrs  []string
 	IODFlushAddrs []string
 
-	listeners []transport.Listener
+	// Backends holds each iod's storage backend; the cluster owns their
+	// lifecycle (iod.Close never closes its backend) so CrashIOD /
+	// RestartIOD can reboot a daemon onto recovered on-disk state.
+	Backends []storage.Backend
+
+	cfg       Config
+	listeners []transport.Listener // mgr listener(s)
+	iodPorts  []iodPort            // per-iod data + flush listeners
 	nextProc  map[int]int
 	nodeNet   func(node int) transport.Network
+}
+
+type iodPort struct {
+	data, flush transport.Listener
+}
+
+// newBackend builds iod i's storage backend from the cluster config.
+func newBackend(cfg Config, i int) (storage.Backend, error) {
+	switch cfg.Backend {
+	case "", "mem":
+		return mem.New(), nil
+	case "disk":
+		if cfg.DataDir == "" {
+			return nil, errors.New("cluster: Backend \"disk\" requires DataDir")
+		}
+		pol, err := disk.ParsePolicy(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		return disk.Open(disk.Options{
+			Dir:           filepath.Join(cfg.DataDir, fmt.Sprintf("iod%d", i)),
+			Fsync:         pol,
+			FsyncInterval: cfg.FsyncInterval,
+		})
+	}
+	return nil, fmt.Errorf("cluster: unknown backend %q (want \"mem\" or \"disk\")", cfg.Backend)
 }
 
 // nodeNetwork resolves the Network a client node dials through.
@@ -147,6 +198,7 @@ func Start(cfg Config) (*Cluster, error) {
 		Network:  cfg.Network,
 		nodeNet:  cfg.NodeNetwork,
 		Reg:      cfg.Registry,
+		cfg:      cfg,
 		nextProc: make(map[int]int),
 	}
 
@@ -160,9 +212,17 @@ func Start(cfg Config) (*Cluster, error) {
 	c.MgrAddr = ml.Addr()
 	go c.Mgr.Serve(ml)
 
-	// I/O daemons: a data port and a flush port each.
+	// I/O daemons: a data port and a flush port each, over a storage
+	// backend the cluster owns (so a daemon can be crashed and rebooted
+	// onto the same backend directory).
 	for i := 0; i < cfg.IODs; i++ {
-		d := iod.New(i, cfg.BlockSize, cfg.Network, cfg.Registry)
+		be, err := newBackend(cfg, i)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: iod %d backend: %w", i, err)
+		}
+		c.Backends = append(c.Backends, be)
+		d := iod.NewWithBackend(i, cfg.BlockSize, cfg.Network, cfg.Registry, be)
 		c.IODs = append(c.IODs, d)
 		dl, err := cfg.Network.Listen(":0")
 		if err != nil {
@@ -171,10 +231,11 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		fl, err := cfg.Network.Listen(":0")
 		if err != nil {
+			dl.Close()
 			c.Close()
 			return nil, fmt.Errorf("cluster: iod %d flush listener: %w", i, err)
 		}
-		c.listeners = append(c.listeners, dl, fl)
+		c.iodPorts = append(c.iodPorts, iodPort{data: dl, flush: fl})
 		c.IODDataAddrs = append(c.IODDataAddrs, dl.Addr())
 		c.IODFlushAddrs = append(c.IODFlushAddrs, fl.Addr())
 		go d.ServeData(dl)
@@ -273,7 +334,61 @@ func (c *Cluster) FlushAll() error {
 	return firstErr
 }
 
-// Close stops modules, listeners and daemons.
+// CrashIOD fail-stops daemon i: both ports close, in-flight requests
+// die at the clients, and the backend drops its volatile state exactly
+// like a killed process would (a disk backend keeps its directory; the
+// mem backend loses everything — that asymmetry is the point). The
+// daemon's slots stay in place so RestartIOD can reboot it.
+func (c *Cluster) CrashIOD(i int) error {
+	if i < 0 || i >= len(c.IODs) {
+		return fmt.Errorf("cluster: iod %d out of range", i)
+	}
+	p := c.iodPorts[i]
+	p.data.Close()
+	p.flush.Close()
+	c.IODs[i].Close()
+	be := c.Backends[i]
+	if cr, ok := be.(storage.Crasher); ok {
+		return cr.Crash()
+	}
+	return be.Close()
+}
+
+// RestartIOD reboots daemon i after CrashIOD: a fresh backend opens
+// from the same configuration (the disk backend replays its journal
+// from the same directory), and a fresh daemon re-listens on the same
+// addresses, so clients and flush streams reconnect without
+// reconfiguration. The coherence directory is volatile daemon state and
+// starts empty — documented in DESIGN.md §11.
+func (c *Cluster) RestartIOD(i int) error {
+	if i < 0 || i >= len(c.IODs) {
+		return fmt.Errorf("cluster: iod %d out of range", i)
+	}
+	be, err := newBackend(c.cfg, i)
+	if err != nil {
+		return fmt.Errorf("cluster: iod %d restart backend: %w", i, err)
+	}
+	d := iod.NewWithBackend(i, c.cfg.BlockSize, c.Network, c.Reg, be)
+	dl, err := c.Network.Listen(c.IODDataAddrs[i])
+	if err != nil {
+		be.Close()
+		return fmt.Errorf("cluster: iod %d data re-listen: %w", i, err)
+	}
+	fl, err := c.Network.Listen(c.IODFlushAddrs[i])
+	if err != nil {
+		dl.Close()
+		be.Close()
+		return fmt.Errorf("cluster: iod %d flush re-listen: %w", i, err)
+	}
+	c.Backends[i] = be
+	c.IODs[i] = d
+	c.iodPorts[i] = iodPort{data: dl, flush: fl}
+	go d.ServeData(dl)
+	go d.ServeFlush(fl)
+	return nil
+}
+
+// Close stops modules, listeners, daemons, and backends.
 func (c *Cluster) Close() error {
 	var firstErr error
 	for _, m := range c.Modules {
@@ -289,8 +404,20 @@ func (c *Cluster) Close() error {
 			firstErr = err
 		}
 	}
+	for _, p := range c.iodPorts {
+		for _, l := range []transport.Listener{p.data, p.flush} {
+			if err := l.Close(); err != nil && !errors.Is(err, transport.ErrClosed) && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
 	for _, d := range c.IODs {
 		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, be := range c.Backends {
+		if err := be.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -192,7 +192,7 @@ func TestDurabilityViaFlusher(t *testing.T) {
 	}, "flusher draining the dirty list")
 	// File was created with PCount=1 base 0: all data on iod 0.
 	got := make([]byte, len(data))
-	n := c.IODs[0].Store().ReadAt(f.ID(), 0, got)
+	n, _ := c.IODs[0].Store().ReadAt(f.ID(), 0, got)
 	if n != len(data) || !bytes.Equal(got, data) {
 		t.Fatalf("iod store has %d/%d correct bytes", n, len(data))
 	}

@@ -31,15 +31,26 @@ const (
 // the given shard count and returns the final durable file image as read
 // back through an uncached client.
 func runConsistencyOracle(t *testing.T, shards int, seed int64) []byte {
+	return runConsistencyOracleCfg(t, shards, seed, nil)
+}
+
+// runConsistencyOracleCfg is runConsistencyOracle with a config hook, so
+// the same seeded workload can judge alternative cluster shapes (the
+// disk backend, notably) byte-for-byte.
+func runConsistencyOracleCfg(t *testing.T, shards int, seed int64, edit func(*Config)) []byte {
 	t.Helper()
-	c := startTest(t, Config{
+	cfg := Config{
 		IODs:        3, // odd iod count exercises uneven striping
 		ClientNodes: 1,
 		Caching:     true,
 		CacheBlocks: 48, // 192 KB cache against a 1 MB file: heavy eviction
 		CacheShards: shards,
 		FlushPeriod: 5 * time.Millisecond,
-	})
+	}
+	if edit != nil {
+		edit(&cfg)
+	}
+	c := startTest(t, cfg)
 	p, err := c.NewProcess(0)
 	if err != nil {
 		t.Fatal(err)

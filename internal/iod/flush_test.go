@@ -37,7 +37,7 @@ func TestFlushRunCoversEveryBlock(t *testing.T) {
 		t.Fatalf("flush status %d", ack.Status)
 	}
 	got := make([]byte, len(run))
-	if n := s.Store().ReadAt(4, 2*4096+1000, got); n != len(run) || !bytes.Equal(got, run) {
+	if n, _ := s.Store().ReadAt(4, 2*4096+1000, got); n != len(run) || !bytes.Equal(got, run) {
 		t.Fatalf("run not durable: n=%d", n)
 	}
 	for idx := int64(2); idx <= 5; idx++ {
@@ -99,7 +99,7 @@ func TestFlushConcurrentFramesFromOneClient(t *testing.T) {
 	for f := 0; f < frames; f++ {
 		for b := 0; b < blocksPerFrame; b++ {
 			idx := int64(f*blocksPerFrame + b)
-			if n := s.Store().ReadAt(8, idx*4096, buf); n != 4096 {
+			if n, _ := s.Store().ReadAt(8, idx*4096, buf); n != 4096 {
 				t.Fatalf("block %d short read %d", idx, n)
 			}
 			if !bytes.Equal(buf, bytes.Repeat([]byte{pattern(f, b)}, 4096)) {

@@ -23,7 +23,8 @@ import (
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/rpc"
-	"pvfscache/internal/simdisk"
+	"pvfscache/internal/storage"
+	"pvfscache/internal/storage/mem"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
@@ -32,7 +33,7 @@ import (
 type Server struct {
 	id        int
 	blockSize int
-	store     *simdisk.Store
+	store     storage.Backend
 	reg       *metrics.Registry
 	network   transport.Network
 
@@ -58,10 +59,19 @@ type AccessObserver func(client uint32, file blockio.FileID, block int64, write 
 
 type holderSet map[uint32]struct{}
 
-// New returns an iod with the given index in the cluster's iod list.
-// network is used to dial client invalidation listeners; it may be nil when
-// sync-writes are not used. reg may be nil.
+// New returns an iod with the given index in the cluster's iod list,
+// backed by the in-memory storage backend. network is used to dial client
+// invalidation listeners; it may be nil when sync-writes are not used.
+// reg may be nil.
 func New(id int, blockSize int, network transport.Network, reg *metrics.Registry) *Server {
+	return NewWithBackend(id, blockSize, network, reg, mem.New())
+}
+
+// NewWithBackend returns an iod serving strip data from the given
+// storage backend. The caller owns the backend's lifecycle: iod.Close
+// does not close it, so a crashed-and-restarted daemon can reopen the
+// same on-disk state.
+func NewWithBackend(id int, blockSize int, network transport.Network, reg *metrics.Registry, store storage.Backend) *Server {
 	if blockSize <= 0 {
 		blockSize = blockio.DefaultBlockSize
 	}
@@ -71,7 +81,7 @@ func New(id int, blockSize int, network transport.Network, reg *metrics.Registry
 	return &Server{
 		id:        id,
 		blockSize: blockSize,
-		store:     simdisk.NewStore(),
+		store:     store,
 		reg:       reg,
 		network:   network,
 		clients:   make(map[uint32]string),
@@ -83,9 +93,9 @@ func New(id int, blockSize int, network transport.Network, reg *metrics.Registry
 // ID returns the daemon's index in the cluster iod list.
 func (s *Server) ID() int { return s.id }
 
-// Store exposes the daemon's backing store (tests and the simulator seed
-// data through it).
-func (s *Server) Store() *simdisk.Store { return s.store }
+// Store exposes the daemon's backing storage backend (tests and the
+// simulator seed data through it).
+func (s *Server) Store() storage.Backend { return s.store }
 
 // ServeData accepts data-port connections until the listener closes.
 func (s *Server) ServeData(l transport.Listener) error { return s.serve(l, s.handleData) }
@@ -202,7 +212,12 @@ func (s *Server) read(m *wire.Read) *wire.ReadResp {
 		return &wire.ReadResp{Status: wire.StatusBadRequest}
 	}
 	buf := s.readBufs.Get(int(m.Length))
-	n := s.store.ReadAt(m.File, m.Offset, buf)
+	n, err := s.store.ReadAt(m.File, m.Offset, buf)
+	if err != nil {
+		s.readBufs.Put(buf)
+		s.reg.Counter("iod.io_errors").Inc()
+		return &wire.ReadResp{Status: wire.StatusFor(err)}
+	}
 	s.reg.Counter("iod.reads").Inc()
 	s.reg.Counter("iod.read_bytes").Add(int64(n))
 	if m.Track && m.Client != 0 {
@@ -226,7 +241,12 @@ func (s *Server) readBlocks(m *wire.ReadBlocks) *wire.ReadBlocksResp {
 	lens := make([]uint32, len(m.Exts))
 	pos := 0
 	for i, e := range m.Exts {
-		n := s.store.ReadAt(m.File, e.Offset, buf[pos:pos+int(e.Length)])
+		n, err := s.store.ReadAt(m.File, e.Offset, buf[pos:pos+int(e.Length)])
+		if err != nil {
+			s.readBufs.Put(buf)
+			s.reg.Counter("iod.io_errors").Inc()
+			return &wire.ReadBlocksResp{Status: wire.StatusFor(err)}
+		}
 		lens[i] = uint32(n)
 		pos += n
 		s.reg.Counter("iod.read_bytes").Add(int64(n))
@@ -242,7 +262,14 @@ func (s *Server) readBlocks(m *wire.ReadBlocks) *wire.ReadBlocksResp {
 }
 
 func (s *Server) write(m *wire.Write) *wire.WriteAck {
-	s.store.WriteAt(m.File, m.Offset, m.Data)
+	// The ack is the durability promise: a backend failure must surface as
+	// a non-OK status, never as an OK for bytes that were not stored (the
+	// seed's silent-data-loss bug — simdisk could not fail, so no error
+	// path existed).
+	if err := s.store.WriteAt(m.File, m.Offset, m.Data); err != nil {
+		s.reg.Counter("iod.io_errors").Inc()
+		return &wire.WriteAck{Status: wire.StatusFor(err)}
+	}
 	s.reg.Counter("iod.writes").Inc()
 	s.reg.Counter("iod.write_bytes").Add(int64(len(m.Data)))
 	s.observe(m.Client, m.File, m.Offset, int64(len(m.Data)), true)
@@ -275,7 +302,14 @@ func (s *Server) flush(m *wire.Flush) *wire.FlushAck {
 	blocks := int64(0)
 	for _, blk := range m.Blocks {
 		off := blk.Index*bs + int64(blk.Off)
-		s.store.WriteAt(m.File, off, blk.Data)
+		if err := s.store.WriteAt(m.File, off, blk.Data); err != nil {
+			// Stop at the first failed run and fail the whole frame: the
+			// client re-queues every block it carried (FlushFailed) and
+			// re-sends after backoff, and re-applying the runs that did land
+			// is idempotent. Acking here would silently lose the bytes.
+			s.reg.Counter("iod.io_errors").Inc()
+			return &wire.FlushAck{Status: wire.StatusFor(err)}
+		}
 		first, count := blockio.BlockRange(off, int64(len(blk.Data)), s.blockSize)
 		blocks += count
 		for i := int64(0); i < count; i++ {
@@ -296,7 +330,12 @@ func (s *Server) flush(m *wire.Flush) *wire.FlushAck {
 // syncWrite performs the paper's coherent write: persist, then invalidate
 // every other cache holding any touched block, then acknowledge.
 func (s *Server) syncWrite(m *wire.SyncWrite) *wire.SyncWriteAck {
-	s.store.WriteAt(m.File, m.Offset, m.Data)
+	if err := s.store.WriteAt(m.File, m.Offset, m.Data); err != nil {
+		// Fail before touching the directory: no invalidations go out for
+		// bytes that were never persisted.
+		s.reg.Counter("iod.io_errors").Inc()
+		return &wire.SyncWriteAck{Status: wire.StatusFor(err)}
+	}
 	s.reg.Counter("iod.sync_writes").Inc()
 	s.observe(m.Client, m.File, m.Offset, int64(len(m.Data)), true)
 

@@ -176,7 +176,7 @@ func TestFlushPortWritesBlocks(t *testing.T) {
 		t.Fatalf("flush status %d", fa.Status)
 	}
 	buf := make([]byte, 4096)
-	if n := s.Store().ReadAt(9, 0, buf); n != 4096 || buf[0] != 1 {
+	if n, _ := s.Store().ReadAt(9, 0, buf); n != 4096 || buf[0] != 1 {
 		t.Fatalf("block 0 not stored: n=%d", n)
 	}
 	got := make([]byte, 7)

@@ -13,16 +13,30 @@ import (
 
 // Store holds the strip data an iod serves. Files are sparse: reads past
 // written data return short, and callers treat missing bytes as zero.
-// A Store is safe for concurrent use.
+// A Store is safe for concurrent use and honors the storage.Backend
+// ordering contract: a WriteAt that returns after a Delete returned
+// recreates the file, and never lands on the deleted file's detached
+// buffer (see fileData.dead).
 type Store struct {
 	mu    sync.RWMutex
 	files map[blockio.FileID]*fileData
 }
 
+// fileData is one file's backing buffer. dead is set (under mu) by
+// Delete after the entry leaves the Store map: an operation that
+// captured the pointer before the delete re-looks the file up instead
+// of touching the orphan, so an acknowledged write can never vanish
+// into a buffer no reader can reach.
 type fileData struct {
 	mu   sync.RWMutex
 	data []byte
+	dead bool
 }
+
+// testHookWriteLookup, when non-nil, runs in WriteAt between the map
+// lookup and taking the file lock — the window the delete/write race
+// regression test widens deterministically.
+var testHookWriteLookup func()
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -53,62 +67,97 @@ func (s *Store) WriteAt(id blockio.FileID, off int64, p []byte) {
 	if len(p) == 0 {
 		return
 	}
-	f := s.file(id, true)
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	end := off + int64(len(p))
-	if int64(len(f.data)) < end {
-		if int64(cap(f.data)) >= end {
-			// Capacity reserved by an earlier growth: the extension bytes
-			// were zeroed when the backing array was allocated and are
-			// untouched since (data never shrinks), so sparse reads of the
-			// gap stay zero.
-			f.data = f.data[:end]
-		} else {
-			newCap := int64(2 * cap(f.data))
-			if newCap < end {
-				newCap = end
-			}
-			grown := make([]byte, end, newCap)
-			copy(grown, f.data)
-			f.data = grown
+	for {
+		f := s.file(id, true)
+		if testHookWriteLookup != nil {
+			testHookWriteLookup()
 		}
+		f.mu.Lock()
+		if f.dead {
+			// A concurrent Delete detached this buffer after our lookup.
+			// Retry: the fresh lookup recreates the file, so the write is
+			// observable — the delete is ordered before it.
+			f.mu.Unlock()
+			continue
+		}
+		end := off + int64(len(p))
+		if int64(len(f.data)) < end {
+			if int64(cap(f.data)) >= end {
+				// Capacity reserved by an earlier growth: the extension bytes
+				// were zeroed when the backing array was allocated and are
+				// untouched since (data never shrinks), so sparse reads of the
+				// gap stay zero.
+				f.data = f.data[:end]
+			} else {
+				newCap := int64(2 * cap(f.data))
+				if newCap < end {
+					newCap = end
+				}
+				grown := make([]byte, end, newCap)
+				copy(grown, f.data)
+				f.data = grown
+			}
+		}
+		copy(f.data[off:end], p)
+		f.mu.Unlock()
+		return
 	}
-	copy(f.data[off:end], p)
 }
 
 // ReadAt copies up to len(p) bytes from offset off into p. It returns the
 // number of bytes copied, which is short when the range extends past the
 // stored size. It never returns an error: missing data is simply absent.
 func (s *Store) ReadAt(id blockio.FileID, off int64, p []byte) int {
-	f := s.file(id, false)
-	if f == nil {
-		return 0
+	for {
+		f := s.file(id, false)
+		if f == nil {
+			return 0
+		}
+		f.mu.RLock()
+		if f.dead {
+			f.mu.RUnlock()
+			continue
+		}
+		n := 0
+		if off < int64(len(f.data)) {
+			n = copy(p, f.data[off:])
+		}
+		f.mu.RUnlock()
+		return n
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	if off >= int64(len(f.data)) {
-		return 0
-	}
-	return copy(p, f.data[off:])
 }
 
 // Size returns the stored size of the file (0 if absent).
 func (s *Store) Size(id blockio.FileID) int64 {
-	f := s.file(id, false)
-	if f == nil {
-		return 0
+	for {
+		f := s.file(id, false)
+		if f == nil {
+			return 0
+		}
+		f.mu.RLock()
+		if f.dead {
+			f.mu.RUnlock()
+			continue
+		}
+		n := int64(len(f.data))
+		f.mu.RUnlock()
+		return n
 	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return int64(len(f.data))
 }
 
-// Delete removes a file's data.
+// Delete removes a file's data. The buffer is marked dead after it
+// leaves the map so in-flight operations that already hold the pointer
+// retry against the live map instead of using the orphan.
 func (s *Store) Delete(id blockio.FileID) {
 	s.mu.Lock()
+	f := s.files[id]
 	delete(s.files, id)
 	s.mu.Unlock()
+	if f != nil {
+		f.mu.Lock()
+		f.dead = true
+		f.mu.Unlock()
+	}
 }
 
 // Files returns the number of files with stored data.

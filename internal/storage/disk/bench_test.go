@@ -1,0 +1,37 @@
+package disk
+
+// Fsync-policy micro-benchmark: the per-ack cost of one journaled 4 KB
+// WriteAt under each durability policy. This is the number behind the
+// TUNING.md Fsync row — "always" pays an fsync per record, the other two
+// pay only the bufio flush to the OS.
+//
+//	go test -run xxx -bench WriteAtFsync -benchmem ./internal/storage/disk/
+import (
+	"testing"
+	"time"
+
+	"pvfscache/internal/blockio"
+)
+
+func benchWriteAt(b *testing.B, pol Policy) {
+	s, err := Open(Options{Dir: b.TempDir(), Fsync: pol, FsyncInterval: 10 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate over a 4 MB window so checkpoints stay realistic instead
+		// of endlessly overwriting one block.
+		off := int64(i%1024) * 4096
+		if err := s.WriteAt(blockio.FileID(1), off, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteAtFsyncOnClose(b *testing.B)  { benchWriteAt(b, SyncOnClose) }
+func BenchmarkWriteAtFsyncInterval(b *testing.B) { benchWriteAt(b, SyncInterval) }
+func BenchmarkWriteAtFsyncAlways(b *testing.B)   { benchWriteAt(b, SyncAlways) }

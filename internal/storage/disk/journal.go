@@ -1,0 +1,147 @@
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// The write-ahead journal is a flat stream of self-delimiting records:
+//
+//	[u32 payloadLen] [payload] [u32 crc32(payload)]   (little-endian)
+//	payload = [u8 kind] [u64 fileID] [u64 offset] [data ...]
+//
+// kinds: recWrite carries the written bytes as data; recDelete carries
+// none. The codec is count-guarded in the internal/wire style: a
+// declared payload length below the fixed header or above
+// maxRecordPayload is rejected before any allocation, so a corrupt or
+// adversarial length can't balloon memory. The CRC covers the whole
+// payload; replay stops at the first record that is short, fails its
+// checksum, or declares an invalid length — everything after a torn
+// tail is by definition unacknowledged (WriteAt appends records
+// strictly in ack order), so truncating there loses nothing the
+// backend promised to keep.
+const (
+	recWrite  byte = 1
+	recDelete byte = 2
+
+	payloadHeader = 1 + 8 + 8 // kind + fileID + offset
+	frameOverhead = 4 + 4     // length prefix + trailing CRC
+
+	// maxRecordPayload bounds one record at the largest write the wire
+	// layer can carry, with header slack. Anything bigger is garbage.
+	maxRecordPayload = payloadHeader + (64 << 20)
+)
+
+type record struct {
+	kind byte
+	id   uint64
+	off  int64
+	data []byte
+}
+
+// errTorn marks the journal's valid prefix ending: a short, corrupt, or
+// malformed record. Replay treats it as clean end-of-log.
+var errTorn = errors.New("disk journal: torn or corrupt record")
+
+// appendRecord encodes rec onto w. The data bytes are written straight
+// from rec.data (no staging copy); w is the store's buffered journal
+// writer.
+func appendRecord(w io.Writer, rec record) error {
+	plen := payloadHeader + len(rec.data)
+	if plen > maxRecordPayload {
+		return errors.New("disk journal: record exceeds max payload")
+	}
+	var hdr [4 + payloadHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(plen))
+	hdr[4] = rec.kind
+	binary.LittleEndian.PutUint64(hdr[5:13], rec.id)
+	binary.LittleEndian.PutUint64(hdr[13:21], uint64(rec.off))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:])
+	crc.Write(rec.data)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(rec.data) > 0 {
+		if _, err := w.Write(rec.data); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// decodePayload validates and parses one checksummed payload. The
+// returned record's data aliases payload.
+func decodePayload(payload []byte, sum uint32) (record, error) {
+	var rec record
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, errTorn
+	}
+	rec.kind = payload[0]
+	rec.id = binary.LittleEndian.Uint64(payload[1:9])
+	rec.off = int64(binary.LittleEndian.Uint64(payload[9:17]))
+	rec.data = payload[payloadHeader:]
+	switch rec.kind {
+	case recWrite:
+		if rec.off < 0 {
+			return rec, errTorn
+		}
+	case recDelete:
+		if len(rec.data) != 0 || rec.off != 0 {
+			return rec, errTorn
+		}
+	default:
+		return rec, errTorn
+	}
+	return rec, nil
+}
+
+// decodeFrame parses one record from the head of b, returning the
+// bytes consumed. It is the slice-level twin of readRecord and the
+// surface the fuzz target drives.
+func decodeFrame(b []byte) (record, int, error) {
+	if len(b) < 4 {
+		return record{}, 0, errTorn
+	}
+	plen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if plen < payloadHeader || plen > maxRecordPayload {
+		return record{}, 0, errTorn
+	}
+	total := 4 + plen + 4
+	if len(b) < total {
+		return record{}, 0, errTorn
+	}
+	sum := binary.LittleEndian.Uint32(b[4+plen : total])
+	rec, err := decodePayload(b[4:4+plen], sum)
+	if err != nil {
+		return record{}, 0, err
+	}
+	return rec, total, nil
+}
+
+// readRecord reads the next record from r. io.EOF means a clean log
+// end; errTorn means the valid prefix ended mid-record (crash tail).
+func readRecord(r io.Reader) (record, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		if err == io.EOF {
+			return record{}, io.EOF
+		}
+		return record{}, errTorn
+	}
+	plen := int(binary.LittleEndian.Uint32(lb[:]))
+	if plen < payloadHeader || plen > maxRecordPayload {
+		return record{}, errTorn
+	}
+	buf := make([]byte, plen+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return record{}, errTorn
+	}
+	sum := binary.LittleEndian.Uint32(buf[plen:])
+	return decodePayload(buf[:plen], sum)
+}

@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"sync"
+
+	"pvfscache/internal/blockio"
+)
+
+// Faulty wraps a Backend with a switchable error: while SetErr holds a
+// non-nil error every write, sync and read fails with it, modelling a
+// failing disk. Tests use it to drive the iod's StatusIOError ack path
+// and the flush streams' re-queue/backoff machinery — the in-memory
+// backend cannot fail on its own.
+type Faulty struct {
+	inner Backend
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewFaulty wraps b; the backend starts healthy.
+func NewFaulty(b Backend) *Faulty { return &Faulty{inner: b} }
+
+// SetErr installs the error every subsequent operation returns; nil
+// heals the backend.
+func (f *Faulty) SetErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+func (f *Faulty) fail() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// WriteAt implements Backend.
+func (f *Faulty) WriteAt(id blockio.FileID, off int64, p []byte) error {
+	if err := f.fail(); err != nil {
+		return err
+	}
+	return f.inner.WriteAt(id, off, p)
+}
+
+// ReadAt implements Backend.
+func (f *Faulty) ReadAt(id blockio.FileID, off int64, p []byte) (int, error) {
+	if err := f.fail(); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(id, off, p)
+}
+
+// Size implements Backend.
+func (f *Faulty) Size(id blockio.FileID) (int64, error) {
+	if err := f.fail(); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(id)
+}
+
+// Delete implements Backend.
+func (f *Faulty) Delete(id blockio.FileID) error {
+	if err := f.fail(); err != nil {
+		return err
+	}
+	return f.inner.Delete(id)
+}
+
+// Sync implements Backend.
+func (f *Faulty) Sync() error {
+	if err := f.fail(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close implements Backend. Close always reaches the inner backend so
+// tests can clean up a backend they broke.
+func (f *Faulty) Close() error { return f.inner.Close() }

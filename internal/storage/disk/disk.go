@@ -19,8 +19,9 @@
 // What survives power loss is governed by Options.Fsync: SyncAlways
 // fsyncs the journal every record, SyncInterval at most every
 // FsyncInterval, SyncOnClose only at checkpoint/Sync/Close. Checkpoint
-// always fsyncs data files before truncating the journal, so the
-// journal is never the only durable copy of applied records.
+// always fsyncs data files and the backend directory (shard creations
+// and unlinks) before truncating the journal, so the journal is never
+// the only durable copy of applied records.
 package disk
 
 import (
@@ -260,6 +261,11 @@ func (s *Store) replay() error {
 			}
 		}
 	}
+	// Replayed shard creations and unlinks must be durable in the
+	// directory before the journal is discarded.
+	if err := s.syncDir(); err != nil {
+		return err
+	}
 	if err := s.journal.Truncate(0); err != nil {
 		return err
 	}
@@ -398,14 +404,23 @@ func (s *Store) checkpointLocked() error {
 				return err
 			}
 		}
+		// Settle the counter per file: on a mid-loop error the remaining
+		// overlays are still staged and must keep counting toward the
+		// next flush, while cleared ones must not.
+		s.pendingBytes -= pendingSize(f)
 		f.pending = nil
 		touched = append(touched, df)
 	}
-	s.pendingBytes = 0
 	for _, df := range touched {
 		if err := df.Sync(); err != nil {
 			return err
 		}
+	}
+	// Shard-file creations and unlinks since the last checkpoint must be
+	// durable in the directory before the journal — their only other
+	// copy — is discarded.
+	if err := s.syncDir(); err != nil {
+		return err
 	}
 	if err := s.journal.Truncate(0); err != nil {
 		return err
@@ -417,8 +432,25 @@ func (s *Store) checkpointLocked() error {
 		return err
 	}
 	s.jw.Reset(s.journal)
+	// Every overlay was applied and the journal is empty: clear whatever
+	// the counter still carries (the nominal delete-record costs).
+	s.pendingBytes = 0
 	s.lastSync = time.Now()
 	return nil
+}
+
+// syncDir fsyncs the backend directory so shard-file creations and
+// unlinks survive power loss, not just a process crash.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ReadAt implements storage.Backend: data file bytes with the staged
@@ -440,17 +472,17 @@ func (s *Store) ReadAt(id blockio.FileID, off int64, p []byte) (int, error) {
 	}
 	out := p[:n]
 	clear(out) // sparse gaps and unwritten data-file tail read as zero
-	if f.f == nil && len(f.pending) == 0 {
-		// Entry from the directory scan, never touched since: open for
-		// reading now.
+	if f.f == nil {
+		// The entry may come from the directory scan (reopened store), in
+		// which case the shard file holds durable bytes outside the
+		// overlay — open it regardless of staged writes. For a brand-new
+		// file O_CREATE makes an empty shard, which reads as zeros.
 		if _, err := s.ensureData(id, f); err != nil {
 			return 0, err
 		}
 	}
-	if f.f != nil {
-		if _, err := f.f.ReadAt(out, off); err != nil && err != io.EOF {
-			return 0, err
-		}
+	if _, err := f.f.ReadAt(out, off); err != nil && err != io.EOF {
+		return 0, err
 	}
 	end := off + int64(n)
 	for _, w := range f.pending {
@@ -507,6 +539,12 @@ func pendingSize(f *file) int64 {
 	return n
 }
 
+// deleteRecordCost is the nominal weight a delete record adds toward
+// the checkpoint trigger. Deletes stage no overlay bytes, but each one
+// still grows the journal; without a charge a delete-heavy workload
+// would never checkpoint and the journal would grow until Sync/Close.
+const deleteRecordCost = 4096
+
 // Delete implements storage.Backend. The mutex linearizes Delete
 // against WriteAt, satisfying the ordering contract by construction.
 func (s *Store) Delete(id blockio.FileID) error {
@@ -518,7 +556,14 @@ func (s *Store) Delete(id blockio.FileID) error {
 	if err := s.journalAppend(record{kind: recDelete, id: uint64(id)}); err != nil {
 		return err
 	}
-	return s.removeLocked(id)
+	if err := s.removeLocked(id); err != nil {
+		return err
+	}
+	s.pendingBytes += deleteRecordCost
+	if s.pendingBytes >= s.opts.FlushThreshold {
+		return s.checkpointLocked()
+	}
+	return nil
 }
 
 // Sync implements storage.Backend: a full checkpoint, after which every

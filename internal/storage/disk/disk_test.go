@@ -306,6 +306,62 @@ func TestFsyncPoliciesWriteThrough(t *testing.T) {
 	}
 }
 
+// TestReopenWriteThenReadSeesDurableBytes is the regression for the
+// lazy-open bug: after a clean Close/Open, a small staged write must
+// not hide the durable on-disk bytes outside the overlay.
+func TestReopenWriteThenReadSeesDurableBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	payload := bytes.Repeat([]byte{5}, 4096)
+	if err := s.WriteAt(fid(1), 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, Options{Dir: dir})
+	defer r.Close()
+	// Stage an overlay write before any read: the data file is not open
+	// yet, and the read below must still serve the durable bytes.
+	if err := r.WriteAt(fid(1), 10, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{5}, 4096)
+	want[10], want[11] = 0xAA, 0xBB
+	if got := readAll(t, r, 1, 0, 4096); !bytes.Equal(got, want) {
+		t.Fatal("durable bytes hidden by post-reopen overlay write")
+	}
+}
+
+// TestDeleteHeavyWorkloadCheckpoints: delete records must count toward
+// the checkpoint trigger so the journal cannot grow without bound on a
+// delete-only workload.
+func TestDeleteHeavyWorkloadCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, FlushThreshold: 4 * deleteRecordCost})
+	defer s.Close()
+	for i := uint64(1); i <= 16; i++ {
+		if err := s.WriteAt(fid(i), 0, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 16; i++ {
+		if err := s.Delete(fid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 deletes at FlushThreshold = 4 records: several checkpoints must
+	// have fired, so the journal holds at most a threshold's worth.
+	if fi.Size() > 4*deleteRecordCost {
+		t.Fatalf("journal grew to %d bytes under delete-only load", fi.Size())
+	}
+}
+
 func TestOpenRequiresDir(t *testing.T) {
 	if _, err := Open(Options{}); err == nil {
 		t.Fatal("Open without Dir succeeded")

@@ -18,6 +18,7 @@ type chaosFlags struct {
 	enabled  bool
 	scenario string
 	fault    string
+	gc       bool
 	tcp      bool
 	clients  int
 	nodes    int
@@ -30,7 +31,8 @@ type chaosFlags struct {
 func registerChaosFlags(cf *chaosFlags) {
 	flag.BoolVar(&cf.enabled, "chaos", false, "run a seeded chaos scenario instead of the micro-benchmark")
 	flag.StringVar(&cf.scenario, "scenario", "sequential", "chaos workload scenario: sequential, strided, zipfian, prodcons, or metadata")
-	flag.StringVar(&cf.fault, "fault", "connkill", "chaos fault: none, connkill, crash, partition, brownout, or restart (restart needs -backend disk, implied)")
+	flag.StringVar(&cf.fault, "fault", "connkill", "chaos fault: none, connkill, crash, partition, brownout, restart (needs -backend disk, implied), or a membership fault — killpeer, join, drain (imply -gc; gc-safe scenarios only)")
+	flag.BoolVar(&cf.gc, "gc", false, "run the cooperative global cache in mgr-joined mode (gc-safe scenarios only; membership faults imply it)")
 	flag.BoolVar(&cf.tcp, "tcp", false, "run the chaos cluster over loopback TCP instead of the in-memory fabric")
 	flag.IntVar(&cf.clients, "clients", 8, "chaos client processes")
 	flag.IntVar(&cf.nodes, "nodes", 2, "chaos client nodes (clients are spread across them)")
@@ -60,11 +62,12 @@ func runChaos(cf chaosFlags, sf storageFlags, seed int64) {
 			FileSize:     cf.fileSize,
 			MaxIO:        cf.maxIO,
 		},
-		TCP:      cf.tcp,
-		Backend:  sf.backend,
-		DataDir:  sf.dataDir,
-		TraceDir: cf.traceDir,
-		Log:      log.Printf,
+		GlobalCache: cf.gc,
+		TCP:         cf.tcp,
+		Backend:     sf.backend,
+		DataDir:     sf.dataDir,
+		TraceDir:    cf.traceDir,
+		Log:         log.Printf,
 	})
 	if err != nil {
 		log.Printf("FAIL: %v", err)

@@ -656,6 +656,15 @@ func (m *Manager) Invalidate(key blockio.BlockKey) bool {
 	return m.shardFor(key).invalidate(key)
 }
 
+// InvalidateClean drops the block only if it holds no unflushed writes:
+// dirty (or mid-flush) blocks are kept, because discarding one would lose
+// an acknowledged write. Graceful drains use this — a sync-write conflict
+// uses Invalidate, whose unconditional drop is last-writer-wins by design.
+// It reports whether a block was dropped.
+func (m *Manager) InvalidateClean(key blockio.BlockKey) bool {
+	return m.shardFor(key).invalidateClean(key)
+}
+
 // InvalidateFile drops every resident block of a file and returns how many
 // were dropped. The sweep visits the shards one at a time; blocks inserted
 // concurrently into an already-swept shard survive, exactly as a block
@@ -722,6 +731,24 @@ func (m *Manager) DirtyCount() int {
 	for _, s := range m.shards {
 		s.mu.Lock()
 		n += s.dirtyFIFO.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// DirtyCountOwned returns the number of dirty blocks (in-flight flushes
+// included — a block leaves the FIFO only when its ack lands) stored by
+// one iod. The drain path polls it to decide when a departing iod's dirty
+// data is fully durable.
+func (m *Manager) DirtyCountOwned(owner int) int {
+	n := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for el := s.dirtyFIFO.Front(); el != nil; el = el.Next() {
+			if el.Value.(*block).owner == owner {
+				n++
+			}
+		}
 		s.mu.Unlock()
 	}
 	return n

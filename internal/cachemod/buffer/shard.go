@@ -305,6 +305,25 @@ func (s *shard) invalidate(key blockio.BlockKey) bool {
 	return true
 }
 
+// invalidateClean is invalidate restricted to blocks with no unflushed
+// writes; dirty or in-flight blocks survive (see Manager.InvalidateClean).
+func (s *shard) invalidateClean(key blockio.BlockKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.table[key]
+	if !ok {
+		s.ghostForget(key)
+		return false
+	}
+	if b.dirtyEl != nil || b.flushing {
+		return false
+	}
+	s.ghostForget(key)
+	s.removeBlock(b)
+	s.ctrs.invalidations.Inc()
+	return true
+}
+
 // invalidateFile drops every resident block of a file from this shard,
 // along with the file's ghost entries (see invalidate).
 func (s *shard) invalidateFile(file blockio.FileID) int {

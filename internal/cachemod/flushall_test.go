@@ -9,6 +9,7 @@ import (
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/globalcache"
 	"pvfscache/internal/iod"
+	"pvfscache/internal/membership"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
@@ -52,19 +53,27 @@ func TestHostilePeerBlockSizeRejected(t *testing.T) {
 		IODDataAddrs:     []string{dl.Addr()},
 		Buffer:           buffer.Config{BlockSize: 4096, Capacity: 16},
 		DisableCoherence: true,
-		GlobalCache:      &globalcache.Ring{Peers: []string{"gc-hostile-peer", "gc-self-node"}, Self: 1},
-		Registry:         reg,
+		GlobalCache: &globalcache.Options{
+			SelfID: 1,
+			Peers: []membership.Member{
+				{ID: 0, Addr: "gc-hostile-peer"},
+				{ID: 1, Addr: "gc-self-node"},
+			},
+			Replicas: 1, // primary only: the walk must hit the hostile peer
+		},
+		Registry: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer mod.Close()
 
-	// A block homed at the hostile peer (Home == Mix % 2 == 0).
+	// A block whose ring primary is the hostile peer.
+	ring := membership.NewRing(membership.StaticView([]string{"gc-hostile-peer", "gc-self-node"}), 0, 1)
 	var key blockio.BlockKey
 	for f := blockio.FileID(1); ; f++ {
 		key = blockio.BlockKey{File: f, Index: 0}
-		if key.Mix()%2 == 0 {
+		if ring.Primary(key) == 0 {
 			break
 		}
 	}

@@ -49,6 +49,7 @@ import (
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/globalcache"
+	"pvfscache/internal/membership"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/pvfs"
 	"pvfscache/internal/rpc"
@@ -130,9 +131,11 @@ type Config struct {
 	DisableCoherence bool
 	// GlobalCache, when non-nil, enables the cooperative global cache
 	// extension (the paper's §5 ongoing work): this module serves its
-	// blocks to peers on Ring.Peers[Ring.Self] and probes block home
-	// nodes before fetching from the iods.
-	GlobalCache *globalcache.Ring
+	// blocks to peers and probes a block's replica set before fetching
+	// from the iods. The options select the membership mode — Peers pins
+	// a static view, MgrAddr joins the mgr-coordinated epoch-versioned
+	// view (see globalcache.Options).
+	GlobalCache *globalcache.Options
 	// Registry receives the module's counters; nil uses a private one.
 	Registry *metrics.Registry
 }
@@ -291,8 +294,7 @@ type Module struct {
 	invalListener transport.Listener
 	invalServer   *rpc.Server
 
-	gcService *globalcache.Service
-	gcClient  *globalcache.Client
+	gcNode *globalcache.Node // nil without the global cache
 
 	// streams is the pipelined write-behind engine: one flush stream per
 	// iod (see flusher.go), gated by streamSem (capacity FlushStreams).
@@ -361,19 +363,27 @@ func New(cfg Config) (*Module, error) {
 	}
 
 	if cfg.GlobalCache != nil {
-		ring := *cfg.GlobalCache
-		if !ring.Valid() {
-			m.Close()
-			return nil, errors.New("cachemod: invalid global-cache ring")
+		opts := *cfg.GlobalCache
+		// Static mode listens at this member's published address; dynamic
+		// mode listens wherever it can (":0") and advertises the result to
+		// the mgr when it joins.
+		listenAddr := opts.SelfAddr
+		if opts.MgrAddr == "" {
+			if i := (membership.View{Members: opts.Peers}).IndexOf(opts.SelfID); i >= 0 {
+				listenAddr = opts.Peers[i].Addr
+			}
 		}
-		l, err := cfg.Network.Listen(ring.Peers[ring.Self])
+		if listenAddr == "" {
+			listenAddr = ":0"
+		}
+		l, err := cfg.Network.Listen(listenAddr)
 		if err != nil {
 			m.Close()
 			return nil, fmt.Errorf("cachemod: global-cache listener: %w", err)
 		}
-		m.gcService = globalcache.NewService(m.buf, l, cfg.Registry)
-		m.gcClient, err = globalcache.NewClient(ring, cfg.Network, cfg.Registry)
+		m.gcNode, err = globalcache.Start(opts, m.buf, l, cfg.Network, cfg.Registry)
 		if err != nil {
+			l.Close()
 			m.Close()
 			return nil, err
 		}
@@ -430,11 +440,8 @@ func (m *Module) Close() error {
 			err = m.FlushAll()
 		}
 		close(m.stop)
-		if m.gcClient != nil {
-			m.gcClient.Close()
-		}
-		if m.gcService != nil {
-			m.gcService.Close()
+		if m.gcNode != nil {
+			m.gcNode.Close()
 		}
 		if m.invalListener != nil {
 			m.invalListener.Close()
@@ -555,7 +562,11 @@ func (m *Module) handleInvalidate(msg wire.Message) wire.Message {
 	}
 	for _, idx := range inv.Indices {
 		key := blockio.BlockKey{File: inv.File, Index: idx}
-		m.buf.Invalidate(key)
+		if inv.Drain {
+			m.buf.InvalidateClean(key)
+		} else {
+			m.buf.Invalidate(key)
+		}
 		m.dropPrefetchMark(key)
 	}
 	m.cfg.Registry.Counter("module.invalidations_rx").Inc()
@@ -598,6 +609,49 @@ func (m *Module) kickFlusher() {
 		return
 	}
 	target.kickStream()
+}
+
+// GlobalCacheNode exposes the module's global-cache node, or nil when the
+// global cache is disabled. Chaos harnesses and tests use it to inspect
+// the membership ring or fail-stop the peer service.
+func (m *Module) GlobalCacheNode() *globalcache.Node { return m.gcNode }
+
+// KillPeerService fail-stops this node's global-cache service without
+// touching the rest of the module: peers see connection errors and fail
+// over, while this node keeps serving its applications (and keeps its
+// client side, so its own reads still probe the surviving peers).
+func (m *Module) KillPeerService() {
+	if m.gcNode != nil {
+		m.gcNode.KillService()
+	}
+}
+
+// DrainIOD flushes every dirty block owned by iod and waits until none
+// remain or the deadline passes. It is the cache-module half of a graceful
+// iod drain: the caller quiesces writers for the target iod, drains here,
+// and only then retires the daemon. Unlike FlushAll it is directed — only
+// the target iod's stream is kicked, so the other streams keep their
+// write-behind period.
+func (m *Module) DrainIOD(iod int, deadline time.Time) error {
+	if iod < 0 || iod >= len(m.streams) {
+		if n := m.buf.DirtyCountOwned(iod); n > 0 {
+			return fmt.Errorf("cachemod: iod %d has %d dirty blocks but no flush stream", iod, n)
+		}
+		return nil
+	}
+	for {
+		n := m.buf.DirtyCountOwned(iod)
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cachemod: drain iod %d: %d dirty blocks remain at deadline", iod, n)
+		}
+		m.streams[iod].kickStream()
+		// Flush acks arrive on the stream goroutine; poll with a short
+		// sleep rather than a condvar — drains are rare and bounded.
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // kickAllStreams wakes every flush stream (FlushAll's full-width drain).

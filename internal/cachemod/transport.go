@@ -271,14 +271,14 @@ func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, dst []byte, pr 
 	// resorting to the iod. A read-around request skips the probe: its
 	// blocks must not be installed here, and a stream hammering the peer
 	// ring would displace exactly the shared blocks the ring exists for.
-	if t.m.gcClient != nil && pr.admit != admitNever {
+	if t.m.gcNode != nil && pr.admit != admitNever {
 		bs := t.m.buf.BlockSize()
 		data, mem := t.m.getBlock()
 		// A healthy peer always serves a whole block; anything else is a
 		// buggy or hostile response whose bytes must not be installed or
 		// sliced (an oversize block would panic InstallFetched, a short
 		// one the span copy). Fall through to the iod fetch instead.
-		if n, ok := t.m.gcClient.Get(sp.Key, data); ok && n != bs {
+		if n, ok := t.m.gcNode.Get(sp.Key, data); ok && n != bs {
 			t.m.cfg.Registry.Counter("module.gcache_bad_resp").Inc()
 		} else if ok {
 			// resident bytes outrank the peer copy
@@ -673,11 +673,11 @@ func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte, admit admi
 			// block's unflushed writes be answered with the iod's stale
 			// bytes.
 			t.m.buf.InstallFetchedAdmit(key, iod, blockData, admit == admitMust)
-			if t.m.gcClient != nil {
+			if t.m.gcNode != nil {
 				// Feed the global cache: the block's home node gets a copy
 				// (made before Push returns, so the slab's lifetime is not
 				// extended by the asynchronous push).
-				t.m.gcClient.Push(key, iod, blockData)
+				t.m.gcNode.Push(key, iod, blockData)
 			}
 		}
 		t.m.publishFetched(run.states[i], key, blockData, mem)

@@ -42,13 +42,20 @@ func runCell(t *testing.T, scenario, fault string, tcp bool) {
 	// Progress-triggered faults always engage (the threshold is passed at
 	// the latest when the run completes); only the traffic-triggered
 	// crash may legitimately sit out a run with no flush frames.
-	if fault == "partition" || fault == "brownout" || fault == "connkill" {
+	switch fault {
+	case "partition", "brownout", "connkill", "killpeer", "join", "drain":
 		if res.FaultStart == 0 {
 			t.Fatalf("%s fault never engaged", fault)
 		}
 	}
 	if fault == "none" && res.OpErrors != 0 {
 		t.Fatalf("fault-free run had %d op errors", res.OpErrors)
+	}
+	// A dead peer cache or a ring join tears nothing on the data path
+	// down: gets fail over inside their bounded timeouts, so these runs
+	// tolerate no op errors at all.
+	if (fault == "killpeer" || fault == "join") && res.OpErrors != 0 {
+		t.Fatalf("%s run had %d op errors; failover must be invisible", fault, res.OpErrors)
 	}
 }
 
@@ -60,6 +67,21 @@ func TestChaosMatrix(t *testing.T) {
 		for _, fault := range Faults() {
 			t.Run(sc.Name+"/"+fault, func(t *testing.T) {
 				runCell(t, sc.Name, fault, false)
+			})
+		}
+	}
+}
+
+// TestChaosMembership pairs the membership faults with the global-cache-
+// safe scenarios: the cooperative cache runs in mgr-joined mode
+// throughout while a peer cache dies, a new node joins the ring, or an
+// iod drains and rejoins mid-workload — and the oracle still demands
+// byte-for-byte durability with op errors bounded by the fault window.
+func TestChaosMembership(t *testing.T) {
+	for _, sc := range GCSafeScenarios() {
+		for _, fault := range MembershipFaults() {
+			t.Run(sc+"/"+fault, func(t *testing.T) {
+				runCell(t, sc, fault, false)
 			})
 		}
 	}

@@ -38,6 +38,30 @@ func Faults() []string {
 	return []string{"none", "connkill", "crash", "partition", "brownout", "restart"}
 }
 
+// MembershipFaults lists the global-cache membership faults. They are
+// deliberately kept out of Faults(): they force GlobalCache on, and a
+// cooperative cache is only coherent for scenarios that never rewrite a
+// block other nodes may re-read later (a copy pushed to its ring home
+// goes stale when the block is rewritten and flushed), so the full
+// scenario×fault matrix must not auto-pair them. Pair them only with the
+// scenarios GCSafeScenarios lists.
+//
+//   - killpeer: one node's global-cache service fail-stops mid-run; the
+//     other nodes' gets must fail over (replicas, then the iods) within
+//     their bounded fetch timeouts and no op may error
+//   - join: a new caching node joins the live ring mid-run — the mgr
+//     bumps the epoch, peers refetch the view on stale-epoch answers —
+//     with no op errors
+//   - drain: one iod is gracefully drained (modules flush what they owe
+//     it, remaining holders are handed off) and rejoined; op errors are
+//     bounded by the down window exactly as for a crash
+func MembershipFaults() []string { return []string{"killpeer", "join", "drain"} }
+
+// GCSafeScenarios are the workload scenarios whose block-sharing shape
+// keeps the global cache coherent: no node ever re-reads a block another
+// node rewrote after it was pushed to the ring.
+func GCSafeScenarios() []string { return []string{"sequential", "prodcons"} }
+
 // ErrTCPUnavailable marks environments where TCP sockets cannot be used;
 // tests skip rather than fail on it.
 var ErrTCPUnavailable = errors.New("chaos: tcp unavailable in this environment")
@@ -64,6 +88,10 @@ type RunConfig struct {
 	// FlushPeriod is the write-behind interval (default 5ms: fast enough
 	// that a crash lands mid-flush within the run).
 	FlushPeriod time.Duration
+	// GlobalCache boots the cluster with the cooperative global cache in
+	// mgr-joined membership mode. Forced on by the membership faults;
+	// only the GCSafeScenarios workloads may run with it.
+	GlobalCache bool
 	// Backend selects the iods' storage engine ("", "mem", "disk" — see
 	// cluster.Config.Backend). The restart fault requires disk and
 	// defaults to it: a mem-backed daemon forgets every acknowledged
@@ -113,7 +141,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		cfg.Fault = "none"
 	}
 	if !validFault(cfg.Fault) {
-		return nil, fmt.Errorf("chaos: unknown fault %q (have %v)", cfg.Fault, Faults())
+		return nil, fmt.Errorf("chaos: unknown fault %q (have %v and %v)",
+			cfg.Fault, Faults(), MembershipFaults())
+	}
+	if isMembershipFault(cfg.Fault) {
+		cfg.GlobalCache = true
+	}
+	if cfg.GlobalCache && !gcSafeScenario(cfg.Scenario) {
+		return nil, fmt.Errorf("chaos: scenario %q is not global-cache safe (have %v)",
+			cfg.Scenario, GCSafeScenarios())
 	}
 	if cfg.IODs <= 0 {
 		cfg.IODs = 4
@@ -181,6 +217,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		IODs:        cfg.IODs,
 		ClientNodes: spec.Params.Nodes,
 		Caching:     true,
+		GlobalCache: cfg.GlobalCache,
 		FlushPeriod: cfg.FlushPeriod,
 		Backend:     backend,
 		DataDir:     dataDir,
@@ -217,6 +254,24 @@ func Run(cfg RunConfig) (*RunResult, error) {
 func validFault(f string) bool {
 	for _, k := range Faults() {
 		if k == f {
+			return true
+		}
+	}
+	return isMembershipFault(f)
+}
+
+func isMembershipFault(f string) bool {
+	for _, k := range MembershipFaults() {
+		if k == f {
+			return true
+		}
+	}
+	return false
+}
+
+func gcSafeScenario(s string) bool {
+	for _, k := range GCSafeScenarios() {
+		if k == s {
 			return true
 		}
 	}
@@ -625,6 +680,54 @@ func (p *faultPlan) run() {
 		r.ctl.Restore(dataAddr, flushAddr)
 		p.markEnd()
 		r.cfg.Log("chaos: restored iod %d", iod)
+
+	case "killpeer":
+		// Fail-stop one node's global-cache service. No heal: the run must
+		// pass with the peer gone — gets fail over to replicas and then
+		// the iods inside their bounded timeouts, so no op ever errors.
+		if !p.waitProgress(startFrac) {
+			return
+		}
+		node := p.rng.Intn(r.spec.Params.Nodes)
+		p.markStart()
+		r.cl.Module(node).KillPeerService()
+		p.markEnd()
+		r.cfg.Log("chaos: killed global-cache service on node %d", node)
+
+	case "join":
+		// Grow the ring mid-run: the mgr bumps the epoch and peers chase
+		// it via stale-epoch answers. Nothing is torn down, so no op may
+		// error here either.
+		if !p.waitProgress(startFrac) {
+			return
+		}
+		p.markStart()
+		node, err := r.cl.AddCacheNode()
+		if err != nil {
+			r.violation(fmt.Errorf("chaos: AddCacheNode: %w", err))
+		}
+		p.markEnd()
+		r.cfg.Log("chaos: node %d joined the global-cache ring", node)
+
+	case "drain":
+		// Graceful rolling restart of one iod: flush everything the
+		// modules owe it, hand off its remaining holders, close, rejoin.
+		// The drain wait is bounded by the writers finishing their
+		// passes; op errors are confined to the closed window.
+		if !p.waitProgress(startFrac) {
+			return
+		}
+		p.markStart()
+		if err := r.cl.DrainIOD(iod, 15*time.Second); err != nil {
+			r.violation(fmt.Errorf("chaos: DrainIOD(%d): %w", iod, err))
+		}
+		r.cfg.Log("chaos: drained iod %d", iod)
+		p.hold(dur)
+		if err := r.cl.RejoinIOD(iod); err != nil {
+			r.violation(fmt.Errorf("chaos: RejoinIOD(%d): %w", iod, err))
+		}
+		p.markEnd()
+		r.cfg.Log("chaos: rejoined iod %d", iod)
 
 	case "restart":
 		// Same mid-flush trigger as crash, but the daemon really dies:

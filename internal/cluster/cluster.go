@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
-	"sync/atomic"
 	"time"
 
 	"pvfscache/internal/cachemod"
@@ -24,10 +23,6 @@ import (
 	"pvfscache/internal/storage/mem"
 	"pvfscache/internal/transport"
 )
-
-// clusterSeq makes generated in-memory addresses unique across clusters
-// sharing one network.
-var clusterSeq atomic.Int64
 
 // Config describes the cluster to boot.
 type Config struct {
@@ -85,8 +80,16 @@ type Config struct {
 	// DisableCoherence turns off invalidation listeners and registration.
 	DisableCoherence bool
 	// GlobalCache enables the cooperative global cache extension: node
-	// caches serve each other misses before the iods are consulted.
+	// caches serve each other misses before the iods are consulted. Each
+	// module joins the mgr's epoch-versioned membership view, so nodes
+	// added later (AddCacheNode) enter the ring live.
 	GlobalCache bool
+	// GCReplicas is how many ring members may hold a block's pushed copy
+	// (0 = membership.DefaultReplicas). Reads fail over along this set.
+	GCReplicas int
+	// GCVNodes is the virtual nodes per member on the global-cache ring
+	// (0 = membership.DefaultVNodes).
+	GCVNodes int
 	// RPCConns is the rpc connection-pool size each cache module keeps
 	// per iod port (default rpc.DefaultConns). Raise it when many
 	// processes per node keep independent requests in flight.
@@ -242,44 +245,13 @@ func Start(cfg Config) (*Cluster, error) {
 		go d.ServeFlush(fl)
 	}
 
-	// Cache modules, one per client node.
+	// Cache modules, one per client node. With the global cache enabled
+	// each module joins the mgr's membership view at boot, so the first
+	// epochs are the boot joins and later AddCacheNode calls simply keep
+	// bumping the same view.
 	if cfg.Caching {
-		var peerAddrs []string
-		if cfg.GlobalCache {
-			for node := 0; node < cfg.ClientNodes; node++ {
-				peerAddrs = append(peerAddrs,
-					fmt.Sprintf("gcache-%d-%d", clusterSeq.Add(1), node))
-			}
-		}
 		for node := 0; node < cfg.ClientNodes; node++ {
-			var ring *globalcache.Ring
-			if cfg.GlobalCache {
-				ring = &globalcache.Ring{Peers: peerAddrs, Self: node}
-			}
-			mod, err := cachemod.New(cachemod.Config{
-				GlobalCache:     ring,
-				Network:         c.nodeNetwork(node),
-				ClientID:        uint32(node + 1),
-				IODDataAddrs:    c.IODDataAddrs,
-				IODFlushAddrs:   c.IODFlushAddrs,
-				RPCConns:        cfg.RPCConns,
-				ReadaheadWindow: cfg.ReadaheadWindow,
-				BypassThreshold: cfg.BypassThreshold,
-				DisableVector:   cfg.DisableVector,
-				DisableZeroCopy: cfg.DisableZeroCopy,
-				Buffer: buffer.Config{
-					BlockSize: cfg.BlockSize,
-					Capacity:  cfg.CacheBlocks,
-					Shards:    cfg.CacheShards,
-					Policy:    cfg.Policy,
-					GhostFrac: cfg.GhostFrac,
-				},
-				FlushPeriod:      cfg.FlushPeriod,
-				FlushStreams:     cfg.FlushStreams,
-				FlushWindow:      cfg.FlushWindow,
-				DisableCoherence: cfg.DisableCoherence,
-				Registry:         cfg.Registry,
-			})
+			mod, err := cachemod.New(c.moduleConfig(node))
 			if err != nil {
 				c.Close()
 				return nil, fmt.Errorf("cluster: cache module for node %d: %w", node, err)
@@ -290,6 +262,60 @@ func Start(cfg Config) (*Cluster, error) {
 		c.Modules = make([]*cachemod.Module, cfg.ClientNodes)
 	}
 	return c, nil
+}
+
+// moduleConfig builds the cache-module config for one client node.
+func (c *Cluster) moduleConfig(node int) cachemod.Config {
+	cfg := c.cfg
+	mc := cachemod.Config{
+		Network:         c.nodeNetwork(node),
+		ClientID:        uint32(node + 1),
+		IODDataAddrs:    c.IODDataAddrs,
+		IODFlushAddrs:   c.IODFlushAddrs,
+		RPCConns:        cfg.RPCConns,
+		ReadaheadWindow: cfg.ReadaheadWindow,
+		BypassThreshold: cfg.BypassThreshold,
+		DisableVector:   cfg.DisableVector,
+		DisableZeroCopy: cfg.DisableZeroCopy,
+		Buffer: buffer.Config{
+			BlockSize: cfg.BlockSize,
+			Capacity:  cfg.CacheBlocks,
+			Shards:    cfg.CacheShards,
+			Policy:    cfg.Policy,
+			GhostFrac: cfg.GhostFrac,
+		},
+		FlushPeriod:      cfg.FlushPeriod,
+		FlushStreams:     cfg.FlushStreams,
+		FlushWindow:      cfg.FlushWindow,
+		DisableCoherence: cfg.DisableCoherence,
+		Registry:         cfg.Registry,
+	}
+	if cfg.GlobalCache {
+		mc.GlobalCache = &globalcache.Options{
+			SelfID:   uint32(node),
+			MgrAddr:  c.MgrAddr,
+			Replicas: cfg.GCReplicas,
+			VNodes:   cfg.GCVNodes,
+		}
+	}
+	return mc
+}
+
+// AddCacheNode boots one more caching client node after the cluster is
+// up: its module joins the live global-cache membership view (bumping the
+// epoch), and subsequent pushes and gets spread across the grown ring. It
+// returns the new node's index, usable with NewProcess and Module.
+func (c *Cluster) AddCacheNode() (int, error) {
+	if !c.cfg.Caching {
+		return 0, errors.New("cluster: AddCacheNode requires Caching")
+	}
+	node := len(c.Modules)
+	mod, err := cachemod.New(c.moduleConfig(node))
+	if err != nil {
+		return 0, fmt.Errorf("cluster: cache module for node %d: %w", node, err)
+	}
+	c.Modules = append(c.Modules, mod)
+	return node, nil
 }
 
 // NewProcess returns a PVFS client representing one application process on
@@ -381,6 +407,65 @@ func (c *Cluster) RestartIOD(i int) error {
 		return fmt.Errorf("cluster: iod %d flush re-listen: %w", i, err)
 	}
 	c.Backends[i] = be
+	c.IODs[i] = d
+	c.iodPorts[i] = iodPort{data: dl, flush: fl}
+	go d.ServeData(dl)
+	go d.ServeFlush(fl)
+	return nil
+}
+
+// DrainIOD gracefully retires daemon i, in contrast to CrashIOD's
+// fail-stop: the daemon first stops admitting new coherence holders, then
+// every cache module flushes the dirty blocks it owes the daemon
+// (directed at that iod's stream only), the daemon invalidates and drops
+// its remaining directory entries, and only then do its ports close. The
+// storage backend stays open and keeps its data — a graceful exit hands
+// its state off rather than losing it — so RejoinIOD can bring the
+// daemon back without recovery. timeout bounds the whole flush wait.
+func (c *Cluster) DrainIOD(i int, timeout time.Duration) error {
+	if i < 0 || i >= len(c.IODs) {
+		return fmt.Errorf("cluster: iod %d out of range", i)
+	}
+	deadline := time.Now().Add(timeout)
+	d := c.IODs[i]
+	d.StartDrain()
+	var firstErr error
+	for _, m := range c.Modules {
+		if m == nil {
+			continue
+		}
+		if err := m.DrainIOD(i, deadline); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if _, err := d.DrainHolders(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	p := c.iodPorts[i]
+	p.data.Close()
+	p.flush.Close()
+	d.Close()
+	return firstErr
+}
+
+// RejoinIOD brings a drained daemon back: a fresh daemon re-listens on
+// the same addresses over the still-open backend DrainIOD handed off, so
+// no journal recovery runs and no data moved. (After CrashIOD use
+// RestartIOD, which reopens the backend through recovery.)
+func (c *Cluster) RejoinIOD(i int) error {
+	if i < 0 || i >= len(c.IODs) {
+		return fmt.Errorf("cluster: iod %d out of range", i)
+	}
+	d := iod.NewWithBackend(i, c.cfg.BlockSize, c.Network, c.Reg, c.Backends[i])
+	dl, err := c.Network.Listen(c.IODDataAddrs[i])
+	if err != nil {
+		return fmt.Errorf("cluster: iod %d data re-listen: %w", i, err)
+	}
+	fl, err := c.Network.Listen(c.IODFlushAddrs[i])
+	if err != nil {
+		dl.Close()
+		return fmt.Errorf("cluster: iod %d flush re-listen: %w", i, err)
+	}
 	c.IODs[i] = d
 	c.iodPorts[i] = iodPort{data: dl, flush: fl}
 	go d.ServeData(dl)

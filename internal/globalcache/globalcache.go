@@ -2,258 +2,511 @@
 // work (§5): "a global cache that can be shared by all the nodes ...
 // before disk operations are really invoked."
 //
-// Every block has a home node, chosen by hashing its key over the node
-// ring. When a node fetches a block from an iod it pushes a copy to the
-// block's home (PeerPut); when a node misses locally it asks the home
-// (PeerGet) before going to the iod. Cluster memory thus acts as a second
-// cache level between the per-node caches and the daemons.
+// Every block has a primary home node plus failover replicas, chosen by
+// consistent hashing over an epoch-versioned membership view
+// (internal/membership). When a node fetches a block from an iod it
+// pushes a copy to the block's primary (PeerPut); when a node misses
+// locally it asks the replica set in order (PeerGet) before going to the
+// iod. Cluster memory thus acts as a second cache level between the
+// per-node caches and the daemons.
 //
-// The implementation is deliberately simple cooperative caching — no
-// N-chance recirculation, no duplicate avoidance beyond home placement —
-// as the paper describes the global cache only as a direction.
+// Robustness model:
+//
+//   - Reads walk the replica set: an error, timeout, or ejected peer
+//     moves the fetch to the next replica (membership.failovers counts
+//     each hop). A clean miss from a reachable peer ends the walk — the
+//     common-case miss must not pay replicas × latency.
+//   - Every peer RPC is bounded by Options.FetchTimeout and every peer
+//     client runs the rpc health breaker, so a dead peer costs a bounded
+//     error and is then ejected until a background probe readmits it.
+//   - In dynamic mode (Options.MgrAddr set) the node joins the
+//     mgr-coordinated view at start, refreshes it periodically, carries
+//     the view's epoch on every peer RPC, and answers mismatched epochs
+//     with StatusStaleEpoch so both sides converge on the mgr's view.
+//     Static mode (Options.Peers) pins an epoch-1 view for ablation and
+//     unit tests.
 package globalcache
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/membership"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
 
-// Ring maps blocks to home nodes.
-type Ring struct {
-	// Peers lists every node's peer-cache service address, in node order.
-	Peers []string
-	// Self is this node's index in Peers.
-	Self int
+// Defaults for the peer data plane. The fetch timeout is far above a
+// healthy in-cluster round trip (microseconds to low milliseconds) but
+// small enough that degrading to an iod read on a dead peer costs less
+// than a human-visible stall.
+const (
+	DefaultFetchTimeout    = 100 * time.Millisecond
+	DefaultProbeInterval   = 100 * time.Millisecond
+	DefaultFailThreshold   = 3
+	DefaultRefreshInterval = 500 * time.Millisecond
+)
+
+// Options assembles a node's view of the global cache. Exactly one of
+// Peers (static membership) or MgrAddr (mgr-coordinated membership) must
+// be set.
+type Options struct {
+	// SelfID is this node's stable member ID.
+	SelfID uint32
+	// SelfAddr is the advertised peer-service address. Empty means "use
+	// the listener's address" — the normal dynamic-mode shape, where the
+	// node listens on ":0"-style addresses and advertises the result.
+	SelfAddr string
+
+	// Peers fixes the member list at boot (static mode, epoch 1).
+	Peers []membership.Member
+	// MgrAddr selects dynamic mode: join the mgr's view at start, refresh
+	// it periodically, leave on Close.
+	MgrAddr string
+
+	// VNodes and Replicas shape the consistent-hash ring
+	// (membership.DefaultVNodes / DefaultReplicas when zero).
+	VNodes   int
+	Replicas int
+
+	// FetchTimeout bounds each peer round trip; ProbeInterval and
+	// FailThreshold configure the per-peer health breaker;
+	// RefreshInterval paces dynamic-mode view refreshes. Zero selects the
+	// package defaults.
+	FetchTimeout    time.Duration
+	ProbeInterval   time.Duration
+	FailThreshold   int
+	RefreshInterval time.Duration
 }
 
-// Valid reports whether the ring is usable.
-func (r Ring) Valid() bool { return len(r.Peers) > 0 && r.Self >= 0 && r.Self < len(r.Peers) }
-
-// Home returns the home node index for a block. It routes by the same mix
-// hash (blockio.BlockKey.Mix) the buffer manager stripes its shards with.
-func (r Ring) Home(key blockio.BlockKey) int {
-	return int(key.Mix() % uint64(len(r.Peers)))
+func (o *Options) fetchTimeout() time.Duration {
+	if o.FetchTimeout <= 0 {
+		return DefaultFetchTimeout
+	}
+	return o.FetchTimeout
 }
 
-// Service answers PeerGet and PeerPut requests against a node's buffer
-// manager. Run one per node, listening on the node's ring address. It is a
-// thin handler over the shared rpc server core: peers keep several
-// requests in flight and block buffers are recycled once written.
-type Service struct {
-	buf *buffer.Manager
-	reg *metrics.Registry
+func (o *Options) probeInterval() time.Duration {
+	if o.ProbeInterval <= 0 {
+		return DefaultProbeInterval
+	}
+	return o.ProbeInterval
+}
+
+func (o *Options) refreshInterval() time.Duration {
+	if o.RefreshInterval <= 0 {
+		return DefaultRefreshInterval
+	}
+	return o.RefreshInterval
+}
+
+// Node is one node's complete global-cache presence: the peer service
+// answering PeerGet/PeerPut against the local buffer manager, the client
+// side that queries and feeds remote peers, and the membership state
+// (current ring, epoch, refresh machinery) both sides share.
+type Node struct {
+	opts    Options
+	buf     *buffer.Manager
+	network transport.Network
+	reg     *metrics.Registry
+
 	l   transport.Listener
 	srv *rpc.Server
 
+	mc   *membership.Client // nil in static mode
+	ring atomic.Pointer[membership.Ring]
+
+	refreshMu sync.Mutex // serializes view refreshes (single-flight)
+	refreshQ  atomic.Bool
+
+	mu    sync.Mutex
+	peers map[string]*rpc.Client // keyed by address; members shift indices across views
+
 	blockBufs rpc.BufPool
+	pushBufs  rpc.BufPool
+	pushCh    chan wire.PeerPut
+	wg        sync.WaitGroup
+	stop      chan struct{}
+	once      sync.Once
+	killed    atomic.Bool
 }
 
-// NewService starts serving the buffer manager's contents on l.
-func NewService(buf *buffer.Manager, l transport.Listener, reg *metrics.Registry) *Service {
+// Start brings up a node's global cache on l: serve the local buffer
+// manager to peers, join (dynamic mode) or pin (static mode) the
+// membership view, and start the push forwarder and view refresher.
+func Start(opts Options, buf *buffer.Manager, l transport.Listener, network transport.Network, reg *metrics.Registry) (*Node, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	s := &Service{buf: buf, reg: reg, l: l}
-	s.srv = rpc.NewServer(rpc.HandlerFunc(s.handle), rpc.ServerConfig{
-		AfterWrite: s.recycle,
-	})
-	go s.srv.Serve(l)
-	return s
+	if (len(opts.Peers) == 0) == (opts.MgrAddr == "") {
+		return nil, errors.New("globalcache: exactly one of Peers and MgrAddr must be set")
+	}
+	if opts.SelfAddr == "" {
+		opts.SelfAddr = l.Addr()
+	}
+	n := &Node{
+		opts:    opts,
+		buf:     buf,
+		network: network,
+		reg:     reg,
+		l:       l,
+		peers:   make(map[string]*rpc.Client),
+		pushCh:  make(chan wire.PeerPut, 256),
+		stop:    make(chan struct{}),
+	}
+
+	var view membership.View
+	if opts.MgrAddr != "" {
+		n.mc = membership.NewClient(network, opts.MgrAddr, 0)
+		v, err := n.mc.Join(opts.SelfID, opts.SelfAddr)
+		if err != nil {
+			n.mc.Close()
+			return nil, fmt.Errorf("globalcache: joining view via %s: %w", opts.MgrAddr, err)
+		}
+		view = v
+	} else {
+		view = membership.View{Epoch: 1, Members: append([]membership.Member(nil), opts.Peers...)}
+	}
+	n.ring.Store(membership.NewRing(view, opts.VNodes, opts.Replicas))
+
+	n.srv = rpc.NewServer(rpc.HandlerFunc(n.handle), rpc.ServerConfig{AfterWrite: n.recycle})
+	go n.srv.Serve(l)
+
+	n.wg.Add(1)
+	go n.pushLoop()
+	if n.mc != nil {
+		n.wg.Add(1)
+		go n.refreshLoop()
+	}
+	return n, nil
 }
 
-// Close stops the service and its connections.
-func (s *Service) Close() error {
-	err := s.l.Close()
-	s.srv.Close()
+// Ring returns the node's current ring (test and bench introspection).
+func (n *Node) Ring() *membership.Ring { return n.ring.Load() }
+
+// Close leaves the view (dynamic mode), stops the forwarder and
+// refresher, and closes the service and every peer connection.
+func (n *Node) Close() error {
+	n.once.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	if n.mc != nil {
+		// Best-effort deregistration: the mgr drops us from the view so
+		// surviving peers stop routing to this address after their next
+		// refresh. A dead mgr must not block shutdown.
+		n.mc.Leave(n.opts.SelfID) //nolint:errcheck
+		n.mc.Close()
+	}
+	err := n.l.Close()
+	n.srv.Close()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, rc := range n.peers {
+		rc.Close()
+	}
+	n.peers = make(map[string]*rpc.Client)
 	return err
 }
 
-func (s *Service) handle(msg wire.Message) wire.Message {
+// KillService fail-stops the peer service only — listener and server die,
+// the client side keeps running and the view keeps its entry. It models a
+// crashed cache peer for the chaos harness: other nodes' fetches to this
+// node start failing and must fail over, while this node's own reads
+// degrade to iod traffic.
+func (n *Node) KillService() {
+	if n.killed.Swap(true) {
+		return
+	}
+	n.l.Close()
+	n.srv.Close()
+}
+
+// --- service side ---
+
+func (n *Node) handle(msg wire.Message) wire.Message {
 	switch m := msg.(type) {
 	case *wire.PeerGet:
-		data := s.blockBufs.Get(s.buf.BlockSize())
+		if st := n.epochCheck(m.Epoch); st != wire.StatusOK {
+			return &wire.PeerGetResp{Status: st}
+		}
+		data := n.blockBufs.Get(n.buf.BlockSize())
 		key := blockio.BlockKey{File: m.File, Index: m.Index}
-		if s.buf.ReadSpan(key, 0, data) {
-			s.reg.Counter("gcache.serve_hits").Inc()
+		if n.buf.ReadSpan(key, 0, data) {
+			n.reg.Counter("gcache.serve_hits").Inc()
 			return &wire.PeerGetResp{Status: wire.StatusOK, Data: data}
 		}
-		s.blockBufs.Put(data)
-		s.reg.Counter("gcache.serve_misses").Inc()
+		n.blockBufs.Put(data)
+		n.reg.Counter("gcache.serve_misses").Inc()
 		return &wire.PeerGetResp{Status: wire.StatusNotFound}
 	case *wire.PeerPut:
+		if st := n.epochCheck(m.Epoch); st != wire.StatusOK {
+			return &wire.PeerPutAck{Status: st}
+		}
 		// Wire-supplied Data is peer-controlled. Legitimate peers always
 		// push whole blocks; an oversize one would panic InsertClean, and
 		// a SHORT one would be zero-filled and marked whole-valid — this
 		// node would then serve those fabricated zero bytes to the whole
 		// cluster as the block's home. Reject anything but a whole block.
-		if len(m.Data) != s.buf.BlockSize() {
+		if len(m.Data) != n.buf.BlockSize() {
 			return &wire.PeerPutAck{Status: wire.StatusBadRequest}
 		}
 		key := blockio.BlockKey{File: m.File, Index: m.Index}
-		s.buf.InsertClean(key, int(m.Owner), m.Data)
-		s.reg.Counter("gcache.puts_rx").Inc()
+		n.buf.InsertClean(key, int(m.Owner), m.Data)
+		n.reg.Counter("gcache.puts_rx").Inc()
 		return &wire.PeerPutAck{Status: wire.StatusOK}
 	default:
 		return nil
 	}
 }
 
-// recycle returns a served block buffer to the pool after the response has
-// been written.
-func (s *Service) recycle(resp wire.Message) {
+// epochCheck compares a request's epoch against ours. Mismatch answers
+// StatusStaleEpoch; when the requester is ahead, we are the stale side
+// and kick an async refresh so we catch up without blocking the handler.
+func (n *Node) epochCheck(reqEpoch uint64) wire.Status {
+	ours := n.ring.Load().Epoch()
+	if reqEpoch == 0 || ours == 0 || reqEpoch == ours {
+		return wire.StatusOK
+	}
+	n.reg.Counter("membership.stale_epochs").Inc()
+	if reqEpoch > ours {
+		n.asyncRefresh()
+	}
+	return wire.StatusStaleEpoch
+}
+
+// recycle returns a served block buffer to the pool after the response
+// has been written.
+func (n *Node) recycle(resp wire.Message) {
 	if gr, ok := resp.(*wire.PeerGetResp); ok {
-		s.blockBufs.Put(gr.Data)
+		n.blockBufs.Put(gr.Data)
 	}
 }
 
-// Client queries and feeds the global cache from one node. Peer round
-// trips ride the shared rpc core: one pooled, multiplexed rpc.Client per
-// peer node. Block copies queued for pushing live in a pool and are
-// recycled once the push round trip completes.
-type Client struct {
-	ring    Ring
-	network transport.Network
-	reg     *metrics.Registry
+// --- membership refresh ---
 
-	mu    sync.Mutex
-	peers map[int]*rpc.Client
-
-	pushBufs rpc.BufPool
-	pushCh   chan wire.PeerPut
-	wg       sync.WaitGroup
-	stop     chan struct{}
-	once     sync.Once
-}
-
-// NewClient returns a client for the given ring. Pushes are delivered by a
-// background forwarder; a full push queue drops pushes rather than
-// blocking the read path.
-func NewClient(ring Ring, network transport.Network, reg *metrics.Registry) (*Client, error) {
-	if !ring.Valid() {
-		return nil, errors.New("globalcache: invalid ring")
-	}
-	if reg == nil {
-		reg = metrics.NewRegistry()
-	}
-	c := &Client{
-		ring:    ring,
-		network: network,
-		reg:     reg,
-		peers:   make(map[int]*rpc.Client),
-		pushCh:  make(chan wire.PeerPut, 256),
-		stop:    make(chan struct{}),
-	}
-	c.wg.Add(1)
-	go c.pushLoop()
-	return c, nil
-}
-
-// Close stops the forwarder and closes peer connections.
-func (c *Client) Close() error {
-	c.once.Do(func() { close(c.stop) })
-	c.wg.Wait()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, rc := range c.peers {
-		rc.Close()
-	}
-	c.peers = make(map[int]*rpc.Client)
-	return nil
-}
-
-// Get fetches a block from its home node's cache into dst and reports the
-// number of payload bytes the peer returned along with whether the get
-// hit. It returns (0, false) when this node is the home, the home is
-// unreachable, or the home misses. A healthy peer always serves a whole
-// block; the caller must validate n against its block size before trusting
-// dst. The peer's response bytes are copied out of their leased frame
-// before this returns, so dst is caller-owned plain memory.
-func (c *Client) Get(key blockio.BlockKey, dst []byte) (n int, ok bool) {
-	home := c.ring.Home(key)
-	if home == c.ring.Self {
-		return 0, false
-	}
-	res, err := c.roundTrip(home, &wire.PeerGet{File: key.File, Index: key.Index})
-	if err != nil {
-		return 0, false
-	}
-	defer res.Release()
-	gr, ok := res.Msg.(*wire.PeerGetResp)
-	if !ok || gr.Status != wire.StatusOK {
-		c.reg.Counter("gcache.get_misses").Inc()
-		return 0, false
-	}
-	c.reg.Counter("gcache.get_hits").Inc()
-	copy(dst, gr.Data)
-	return len(gr.Data), true
-}
-
-// Push asynchronously forwards a freshly fetched block to its home node.
-// Blocks homed at this node are ignored (they are already in the local
-// cache). data is copied into a pooled buffer before Push returns, so the
-// caller may recycle it immediately.
-func (c *Client) Push(key blockio.BlockKey, owner int, data []byte) {
-	home := c.ring.Home(key)
-	if home == c.ring.Self {
-		return
-	}
-	cp := c.pushBufs.Get(len(data))
-	copy(cp, data)
-	select {
-	case c.pushCh <- wire.PeerPut{File: key.File, Index: key.Index, Owner: uint32(owner), Data: cp}:
-	default:
-		c.pushBufs.Put(cp)
-		c.reg.Counter("gcache.push_dropped").Inc()
-	}
-}
-
-func (c *Client) pushLoop() {
-	defer c.wg.Done()
+// refreshLoop periodically re-fetches the view so epoch changes propagate
+// even to idle nodes (a node that never trips a stale-epoch response
+// still learns about joins within RefreshInterval).
+func (n *Node) refreshLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.opts.refreshInterval())
+	defer ticker.Stop()
 	for {
 		select {
-		case <-c.stop:
+		case <-n.stop:
 			return
-		case put := <-c.pushCh:
-			home := c.ring.Home(blockio.BlockKey{File: put.File, Index: put.Index})
-			if res, err := c.roundTrip(home, &put); err == nil {
-				res.Release()
-				c.reg.Counter("gcache.push_tx").Inc()
-			}
-			c.pushBufs.Put(put.Data)
+		case <-ticker.C:
+			n.refreshView()
 		}
 	}
 }
 
-// roundTrip performs one synchronous exchange with a peer, retrying once
-// so a stale pooled connection gets one redial before the peer is treated
-// as unreachable. The caller owns the returned result's lease.
-func (c *Client) roundTrip(peer int, req wire.Message) (rpc.Result, error) {
-	rc := c.peerClient(peer)
+// refreshView fetches the current view and swaps the ring if the epoch
+// moved. Concurrent callers collapse onto one fetch.
+func (n *Node) refreshView() bool {
+	if n.mc == nil {
+		return false
+	}
+	n.refreshMu.Lock()
+	defer n.refreshMu.Unlock()
+	v, err := n.mc.Fetch()
+	if err != nil {
+		return false
+	}
+	cur := n.ring.Load()
+	if v.Epoch == cur.Epoch() {
+		return false
+	}
+	n.ring.Store(membership.NewRing(v, n.opts.VNodes, n.opts.Replicas))
+	n.reg.Counter("membership.epoch_refreshes").Inc()
+	return true
+}
+
+// asyncRefresh schedules a refreshView off the caller's goroutine,
+// single-flight: one pending refresh at a time.
+func (n *Node) asyncRefresh() {
+	if n.mc == nil || !n.refreshQ.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer n.refreshQ.Store(false)
+		n.refreshView()
+	}()
+}
+
+// --- client side ---
+
+// Get fetches a block from its replica set into dst and reports the
+// number of payload bytes returned along with whether the get hit. The
+// walk is primary-first: an error, timeout, or ejected peer fails over to
+// the next replica; a clean miss from a reachable peer (or this node
+// itself being the replica) ends the walk — the block is simply not in
+// cluster memory. A stale-epoch answer refreshes the view and retries the
+// walk once. A healthy peer always serves a whole block; the caller must
+// validate n against its block size before trusting dst. The peer's
+// response bytes are copied out of their leased frame before this
+// returns, so dst is caller-owned plain memory.
+func (n *Node) Get(key blockio.BlockKey, dst []byte) (int, bool) {
+	var setBuf [8]int
+	for attempt := 0; attempt < 2; attempt++ {
+		ring := n.ring.Load()
+		set := ring.ReplicaSet(key, setBuf[:0])
+		members := ring.Members()
+		stale := false
+		tried := 0
+		for _, mi := range set {
+			m := members[mi]
+			if m.ID == n.opts.SelfID {
+				// Our own cache already missed; the block is not here.
+				break
+			}
+			if tried > 0 {
+				n.reg.Counter("membership.failovers").Inc()
+			}
+			tried++
+			res, err := n.fetch(m.Addr, &wire.PeerGet{File: key.File, Index: key.Index, Epoch: ring.Epoch()})
+			if err != nil {
+				continue // next replica
+			}
+			gr, ok := res.Msg.(*wire.PeerGetResp)
+			if !ok {
+				res.Release()
+				continue
+			}
+			switch gr.Status {
+			case wire.StatusOK:
+				nb := len(gr.Data)
+				copy(dst, gr.Data)
+				res.Release()
+				n.reg.Counter("gcache.get_hits").Inc()
+				return nb, true
+			case wire.StatusStaleEpoch:
+				res.Release()
+				stale = true
+			default:
+				res.Release()
+			}
+			// A reachable peer answered without the block: stop walking.
+			break
+		}
+		if stale && n.refreshView() {
+			continue // one retry against the new ring
+		}
+		break
+	}
+	n.reg.Counter("gcache.get_misses").Inc()
+	return 0, false
+}
+
+// Push asynchronously forwards a freshly fetched block to its primary
+// home node. Blocks homed at this node are ignored (they are already in
+// the local cache). data is copied into a pooled buffer before Push
+// returns, so the caller may recycle it immediately.
+func (n *Node) Push(key blockio.BlockKey, owner int, data []byte) {
+	ring := n.ring.Load()
+	p := ring.Primary(key)
+	if p < 0 || ring.Members()[p].ID == n.opts.SelfID {
+		return
+	}
+	cp := n.pushBufs.Get(len(data))
+	copy(cp, data)
+	select {
+	case n.pushCh <- wire.PeerPut{File: key.File, Index: key.Index, Owner: uint32(owner), Data: cp}:
+	default:
+		n.pushBufs.Put(cp)
+		n.reg.Counter("gcache.push_dropped").Inc()
+	}
+}
+
+// pushLoop delivers queued pushes. The primary is re-resolved at send
+// time against the current ring (the view may have moved since Push), and
+// a stale-epoch answer refreshes the view and retries once against the
+// new primary.
+func (n *Node) pushLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case put := <-n.pushCh:
+			n.deliverPush(&put)
+			n.pushBufs.Put(put.Data)
+		}
+	}
+}
+
+func (n *Node) deliverPush(put *wire.PeerPut) {
+	for attempt := 0; attempt < 2; attempt++ {
+		ring := n.ring.Load()
+		p := ring.Primary(blockio.BlockKey{File: put.File, Index: put.Index})
+		if p < 0 {
+			return
+		}
+		m := ring.Members()[p]
+		if m.ID == n.opts.SelfID {
+			return
+		}
+		put.Epoch = ring.Epoch()
+		res, err := n.fetch(m.Addr, put)
+		if err != nil {
+			return // push is best-effort; the block just isn't replicated
+		}
+		ack, ok := res.Msg.(*wire.PeerPutAck)
+		st := wire.StatusOK
+		if ok {
+			st = ack.Status
+		}
+		res.Release()
+		if st == wire.StatusStaleEpoch && n.refreshView() {
+			continue
+		}
+		if st == wire.StatusOK {
+			n.reg.Counter("gcache.push_tx").Inc()
+		}
+		return
+	}
+}
+
+// fetch performs one bounded exchange with a peer. A non-timeout failure
+// gets one immediate retry so a stale pooled connection can redial;
+// timeouts and ejections propagate straight out so the caller fails over
+// instead of paying the bound twice.
+func (n *Node) fetch(addr string, req wire.Message) (rpc.Result, error) {
+	rc := n.peerClient(addr)
 	res := rc.Call(req)
-	if res.Err != nil {
+	if res.Err != nil && !errors.Is(res.Err, rpc.ErrCallTimeout) && !errors.Is(res.Err, rpc.ErrPeerEjected) {
 		res = rc.Call(req)
 	}
 	if res.Err != nil {
-		return rpc.Result{}, fmt.Errorf("globalcache: peer %d unreachable: %w", peer, res.Err)
+		return rpc.Result{}, fmt.Errorf("globalcache: peer %s unreachable: %w", addr, res.Err)
 	}
 	return res, nil
 }
 
-func (c *Client) peerClient(peer int) *rpc.Client {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rc := c.peers[peer]
+func (n *Node) peerClient(addr string) *rpc.Client {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rc := n.peers[addr]
 	if rc == nil {
-		rc = rpc.NewClient(rpc.ClientConfig{Network: c.network, Addr: c.ring.Peers[peer]})
-		c.peers[peer] = rc
+		rc = rpc.NewClient(rpc.ClientConfig{
+			Network:     n.network,
+			Addr:        addr,
+			CallTimeout: n.opts.fetchTimeout(),
+			Health: &rpc.HealthConfig{
+				FailThreshold: n.opts.FailThreshold,
+				ProbeInterval: n.opts.probeInterval(),
+				OnEject:       func() { n.reg.Counter("membership.ejections").Inc() },
+				OnReadmit:     func() { n.reg.Counter("membership.readmissions").Inc() },
+				OnProbe:       func() { n.reg.Counter("membership.reprobes").Inc() },
+			},
+		})
+		n.peers[addr] = rc
 	}
 	return rc
 }

@@ -2,188 +2,270 @@ package globalcache
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/cachemod/buffer"
+	"pvfscache/internal/membership"
 	"pvfscache/internal/metrics"
+	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
 )
 
-func TestRingHomeStableAndInRange(t *testing.T) {
-	r := Ring{Peers: []string{"a", "b", "c"}, Self: 0}
-	seen := make(map[int]int)
-	for f := 1; f <= 10; f++ {
-		for b := int64(0); b < 100; b++ {
-			key := blockio.BlockKey{File: blockio.FileID(f), Index: b}
-			h1 := r.Home(key)
-			h2 := r.Home(key)
-			if h1 != h2 {
-				t.Fatalf("home not stable for %v", key)
-			}
-			if h1 < 0 || h1 >= 3 {
-				t.Fatalf("home %d out of range", h1)
-			}
-			seen[h1]++
-		}
-	}
-	// The hash must actually spread blocks over nodes.
-	for n := 0; n < 3; n++ {
-		if seen[n] == 0 {
-			t.Errorf("node %d homes no blocks", n)
-		}
-	}
+const testBlock = 64
+
+// rig is a static-membership cluster of global-cache nodes on one
+// in-memory network.
+type rig struct {
+	net   transport.Network
+	bufs  []*buffer.Manager
+	nodes []*Node
+	regs  []*metrics.Registry
 }
 
-func TestRingValidity(t *testing.T) {
-	if (Ring{}).Valid() {
-		t.Error("empty ring valid")
-	}
-	if (Ring{Peers: []string{"a"}, Self: 1}).Valid() {
-		t.Error("out-of-range self valid")
-	}
-	if !(Ring{Peers: []string{"a", "b"}, Self: 1}).Valid() {
-		t.Error("good ring invalid")
-	}
-}
-
-// twoNodeRig builds two buffer managers with peer services and clients on
-// one in-memory network.
-func twoNodeRig(t *testing.T) (bufs [2]*buffer.Manager, clients [2]*Client) {
+func newRig(t *testing.T, count, replicas int, opts Options) *rig {
 	t.Helper()
-	net := transport.NewMem()
-	peers := []string{"gc-0", "gc-1"}
-	for i := 0; i < 2; i++ {
-		bufs[i] = buffer.New(buffer.Config{BlockSize: 64, Capacity: 32})
-		l, err := net.Listen(peers[i])
+	r := &rig{net: transport.NewMem()}
+	members := make([]membership.Member, count)
+	for i := range members {
+		members[i] = membership.Member{ID: uint32(i), Addr: addrOf(i)}
+	}
+	for i := 0; i < count; i++ {
+		buf := buffer.New(buffer.Config{BlockSize: testBlock, Capacity: 32})
+		l, err := r.net.Listen(addrOf(i))
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc := NewService(bufs[i], l, metrics.NewRegistry())
-		t.Cleanup(func() { svc.Close() })
-	}
-	for i := 0; i < 2; i++ {
-		c, err := NewClient(Ring{Peers: peers, Self: i}, net, metrics.NewRegistry())
+		o := opts
+		o.SelfID = uint32(i)
+		o.Peers = members
+		o.Replicas = replicas
+		if o.FetchTimeout == 0 {
+			o.FetchTimeout = 100 * time.Millisecond
+		}
+		reg := metrics.NewRegistry()
+		n, err := Start(o, buf, l, r.net, reg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { c.Close() })
-		clients[i] = c
+		t.Cleanup(func() { n.Close() })
+		r.bufs = append(r.bufs, buf)
+		r.nodes = append(r.nodes, n)
+		r.regs = append(r.regs, reg)
 	}
-	return bufs, clients
+	return r
 }
 
-// keyHomedAt finds a block key whose home is the given node in a 2-ring.
-func keyHomedAt(home int) blockio.BlockKey {
-	r := Ring{Peers: []string{"x", "y"}, Self: 0}
-	for i := int64(0); ; i++ {
+func addrOf(i int) string {
+	return string(rune('a'+i)) + "-gc"
+}
+
+// keyWithReplicas searches for a block key whose replica set (as node
+// `from` computes it) starts with the given member indices.
+func keyWithReplicas(t *testing.T, n *Node, want ...int) blockio.BlockKey {
+	t.Helper()
+	var buf [8]int
+	for i := int64(0); i < 1<<20; i++ {
 		key := blockio.BlockKey{File: 1, Index: i}
-		if r.Home(key) == home {
+		set := n.Ring().ReplicaSet(key, buf[:0])
+		if len(set) < len(want) {
+			continue
+		}
+		match := true
+		for j, w := range want {
+			if set[j] != w {
+				match = false
+				break
+			}
+		}
+		if match {
 			return key
 		}
 	}
+	t.Fatal("no key found with the requested replica set")
+	return blockio.BlockKey{}
 }
 
-func TestGetServedFromPeer(t *testing.T) {
-	bufs, clients := twoNodeRig(t)
-	key := keyHomedAt(1) // home is node 1; node 0 queries it
-	data := bytes.Repeat([]byte{0xAB}, 64)
-	bufs[1].InsertClean(key, 0, data)
+func TestGetServedFromPrimary(t *testing.T) {
+	r := newRig(t, 2, 1, Options{})
+	key := keyWithReplicas(t, r.nodes[0], 1)
+	data := bytes.Repeat([]byte{0xAB}, testBlock)
+	r.bufs[1].InsertClean(key, 0, data)
 
-	got := make([]byte, 64)
-	n, ok := clients[0].Get(key, got)
+	got := make([]byte, testBlock)
+	n, ok := r.nodes[0].Get(key, got)
 	if !ok {
 		t.Fatal("peer get missed")
 	}
-	if n != 64 || !bytes.Equal(got, data) {
+	if n != testBlock || !bytes.Equal(got, data) {
 		t.Fatal("peer get wrong data")
 	}
 }
 
 func TestGetMissesWhenPeerCold(t *testing.T) {
-	_, clients := twoNodeRig(t)
-	if _, ok := clients[0].Get(keyHomedAt(1), make([]byte, 64)); ok {
+	r := newRig(t, 2, 1, Options{})
+	if _, ok := r.nodes[0].Get(keyWithReplicas(t, r.nodes[0], 1), make([]byte, testBlock)); ok {
 		t.Fatal("cold peer returned a hit")
 	}
 }
 
 func TestGetSkipsSelfHomedBlocks(t *testing.T) {
-	bufs, clients := twoNodeRig(t)
-	key := keyHomedAt(0)
-	bufs[0].InsertClean(key, 0, make([]byte, 64))
-	// Node 0 is home: Get must not loop back to itself.
-	if _, ok := clients[0].Get(key, make([]byte, 64)); ok {
+	r := newRig(t, 2, 1, Options{})
+	key := keyWithReplicas(t, r.nodes[0], 0)
+	r.bufs[0].InsertClean(key, 0, make([]byte, testBlock))
+	// Node 0 is the primary: Get must not loop back to itself.
+	if _, ok := r.nodes[0].Get(key, make([]byte, testBlock)); ok {
 		t.Fatal("self-homed get should report false")
 	}
 }
 
-func TestPushLandsAtHome(t *testing.T) {
-	bufs, clients := twoNodeRig(t)
-	key := keyHomedAt(1)
-	data := bytes.Repeat([]byte{0x5A}, 64)
-	clients[0].Push(key, 3, data)
+func TestPushLandsAtPrimary(t *testing.T) {
+	r := newRig(t, 2, 1, Options{})
+	key := keyWithReplicas(t, r.nodes[0], 1)
+	data := bytes.Repeat([]byte{0x5A}, testBlock)
+	r.nodes[0].Push(key, 3, data)
 
 	deadline := time.Now().Add(2 * time.Second)
-	for !bufs[1].Contains(key, 0, 64) {
+	for !r.bufs[1].Contains(key, 0, testBlock) {
 		if time.Now().After(deadline) {
-			t.Fatal("push never arrived at home node")
+			t.Fatal("push never arrived at the primary")
 		}
 		time.Sleep(time.Millisecond)
 	}
-	dst := make([]byte, 64)
-	bufs[1].ReadSpan(key, 0, dst)
+	dst := make([]byte, testBlock)
+	r.bufs[1].ReadSpan(key, 0, dst)
 	if !bytes.Equal(dst, data) {
 		t.Fatal("pushed data corrupt")
 	}
 }
 
 func TestPushToSelfIgnored(t *testing.T) {
-	bufs, clients := twoNodeRig(t)
-	key := keyHomedAt(0)
-	clients[0].Push(key, 0, make([]byte, 64))
+	r := newRig(t, 2, 1, Options{})
+	key := keyWithReplicas(t, r.nodes[0], 0)
+	r.nodes[0].Push(key, 0, make([]byte, testBlock))
 	time.Sleep(20 * time.Millisecond)
-	if bufs[0].Contains(key, 0, 64) {
+	if r.bufs[0].Contains(key, 0, testBlock) {
 		t.Fatal("self push inserted a block")
 	}
 }
 
-func TestGetUnreachablePeerDegrades(t *testing.T) {
-	net := transport.NewMem()
-	c, err := NewClient(Ring{Peers: []string{"self", "gone"}, Self: 0}, net, nil)
-	if err != nil {
-		t.Fatal(err)
+// TestFailoverToReplica kills the primary's service and checks a read
+// fails over to the secondary replica that holds the block, counting the
+// hop in membership.failovers.
+func TestFailoverToReplica(t *testing.T) {
+	r := newRig(t, 3, 2, Options{FetchTimeout: 50 * time.Millisecond})
+	key := keyWithReplicas(t, r.nodes[0], 1, 2)
+	data := bytes.Repeat([]byte{0xC3}, testBlock)
+	r.bufs[2].InsertClean(key, 0, data)
+
+	r.nodes[1].KillService()
+
+	got := make([]byte, testBlock)
+	n, ok := r.nodes[0].Get(key, got)
+	if !ok {
+		t.Fatal("get did not fail over to the replica")
 	}
-	defer c.Close()
-	if _, ok := c.Get(keyHomedAt(1), make([]byte, 64)); ok {
-		t.Fatal("unreachable peer returned a hit")
+	if n != testBlock || !bytes.Equal(got, data) {
+		t.Fatal("failover served wrong data")
+	}
+	if r.regs[0].Counter("membership.failovers").Value() == 0 {
+		t.Fatal("failover not counted")
 	}
 }
 
-func TestNewClientRejectsBadRing(t *testing.T) {
-	if _, err := NewClient(Ring{}, transport.NewMem(), nil); err == nil {
-		t.Fatal("invalid ring accepted")
+// TestDeadPeerDegradesInBoundedTime is the regression test for the
+// unbounded-hang bug: a blackholed peer (accepts, never answers) must
+// cost at most the fetch timeout per replica, not an indefinite hang.
+func TestDeadPeerDegradesInBoundedTime(t *testing.T) {
+	net := transport.NewMem()
+	// A blackhole listener stands in for member 1: accepts and holds.
+	bl, err := net.Listen("blackhole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bl.Close()
+	var held []transport.Conn
+	var mu sync.Mutex
+	go func() {
+		for {
+			c, err := bl.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, c)
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+
+	buf := buffer.New(buffer.Config{BlockSize: testBlock, Capacity: 8})
+	l, err := net.Listen("self-gc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Start(Options{
+		SelfID: 0,
+		Peers: []membership.Member{
+			{ID: 0, Addr: "self-gc"},
+			{ID: 1, Addr: "blackhole"},
+		},
+		Replicas:     1,
+		FetchTimeout: 50 * time.Millisecond,
+	}, buf, l, net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	key := keyWithReplicas(t, n, 1)
+	start := time.Now()
+	if _, ok := n.Get(key, make([]byte, testBlock)); ok {
+		t.Fatal("blackholed peer returned a hit")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("get against a hung peer took %v, want ~the 50ms fetch timeout", d)
+	}
+}
+
+func TestStartRejectsBadOptions(t *testing.T) {
+	net := transport.NewMem()
+	buf := buffer.New(buffer.Config{BlockSize: testBlock, Capacity: 8})
+	l, err := net.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := Start(Options{}, buf, l, net, nil); err == nil {
+		t.Fatal("no membership mode accepted")
+	}
+	if _, err := Start(Options{
+		Peers:   []membership.Member{{ID: 0, Addr: "x"}},
+		MgrAddr: "mgr",
+	}, buf, l, net, nil); err == nil {
+		t.Fatal("both membership modes accepted")
 	}
 }
 
 // TestOversizedPeerPutRejected checks a hostile PeerPut larger than the
 // block size gets a bad-request ack instead of panicking the node.
 func TestOversizedPeerPutRejected(t *testing.T) {
-	net := transport.NewMem()
-	buf := buffer.New(buffer.Config{BlockSize: 4096, Capacity: 8})
-	l, err := net.Listen("victim")
-	if err != nil {
-		t.Fatal(err)
-	}
-	svc := NewService(buf, l, nil)
-	defer svc.Close()
-	conn, err := net.Dial("victim")
+	r := newRig(t, 2, 1, Options{})
+	conn, err := r.net.Dial(addrOf(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := wire.WriteMessage(conn, &wire.PeerPut{File: 1, Index: 0, Data: make([]byte, 8192)}); err != nil {
+	if err := wire.WriteMessage(conn, &wire.PeerPut{File: 1, Index: 0, Data: make([]byte, 2*testBlock)}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := wire.ReadMessage(conn)
@@ -193,5 +275,105 @@ func TestOversizedPeerPutRejected(t *testing.T) {
 	ack, ok := resp.(*wire.PeerPutAck)
 	if !ok || ack.Status != wire.StatusBadRequest {
 		t.Fatalf("oversized put got %+v", resp)
+	}
+}
+
+// fakeMgr answers the membership view protocol from a Tracker — the mgr
+// side of dynamic mode without booting a cluster.
+func fakeMgr(t *testing.T, net transport.Network, addr string) *membership.Tracker {
+	t.Helper()
+	tr := membership.NewTracker(nil)
+	l, err := net.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rpc.NewServer(rpc.HandlerFunc(func(m wire.Message) wire.Message {
+		switch m := m.(type) {
+		case *wire.ViewGet:
+			return membership.ViewToResp(tr.View())
+		case *wire.JoinView:
+			return membership.ViewToResp(tr.Join(m.ID, m.Addr))
+		case *wire.LeaveView:
+			return membership.ViewToResp(tr.Leave(m.ID))
+		default:
+			return nil
+		}
+	}), rpc.ServerConfig{})
+	go s.Serve(l)
+	t.Cleanup(func() { l.Close(); s.Close() })
+	return tr
+}
+
+// TestDynamicJoinAndStaleEpochConvergence boots two nodes against a fake
+// mgr with a long refresh interval, so only the stale-epoch protocol can
+// reconcile their views: node A joins at epoch 1, node B's join bumps to
+// epoch 2, and A learns of it when B's first fetch hits A with a newer
+// epoch.
+func TestDynamicJoinAndStaleEpochConvergence(t *testing.T) {
+	net := transport.NewMem()
+	fakeMgr(t, net, "mgr")
+
+	start := func(id uint32, addr string) (*Node, *metrics.Registry) {
+		buf := buffer.New(buffer.Config{BlockSize: testBlock, Capacity: 16})
+		l, err := net.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.NewRegistry()
+		n, err := Start(Options{
+			SelfID:          id,
+			MgrAddr:         "mgr",
+			Replicas:        1,
+			FetchTimeout:    50 * time.Millisecond,
+			RefreshInterval: time.Hour, // isolate the stale-epoch path
+		}, buf, l, net, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n, reg
+	}
+
+	a, aReg := start(0, "node-a")
+	if got := a.Ring().Epoch(); got != 1 {
+		t.Fatalf("first joiner sees epoch %d, want 1", got)
+	}
+	b, _ := start(1, "node-b")
+	if got := b.Ring().Epoch(); got != 2 {
+		t.Fatalf("second joiner sees epoch %d, want 2", got)
+	}
+
+	// B routes a get to A carrying epoch 2; A (still at 1) must answer
+	// StaleEpoch and refresh itself.
+	key := keyWithReplicas(t, b, 0) // primary = member index 0 (node A) in B's ring
+	if _, ok := b.Get(key, make([]byte, testBlock)); ok {
+		t.Fatal("unexpected hit")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Ring().Epoch() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node A never converged (epoch %d, stale_epochs=%d)",
+				a.Ring().Epoch(), aReg.Counter("membership.stale_epochs").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if aReg.Counter("membership.stale_epochs").Value() == 0 {
+		t.Fatal("stale-epoch path never engaged")
+	}
+
+	// With views converged, traffic flows: B caches a block homed at A,
+	// pushes it, and A-homed gets hit.
+	data := bytes.Repeat([]byte{0x7E}, testBlock)
+	b.Push(key, 0, data)
+	got := make([]byte, testBlock)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if n, ok := b.Get(key, got); ok && n == testBlock && bytes.Equal(got, data) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pushed block never became fetchable after convergence")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -19,6 +19,7 @@ package iod
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/metrics"
@@ -36,6 +37,11 @@ type Server struct {
 	store     storage.Backend
 	reg       *metrics.Registry
 	network   transport.Network
+
+	// draining, once set, stops the coherence directory from admitting
+	// new holders: reads still serve data but are no longer tracked, so
+	// the directory only shrinks while the daemon is being retired.
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	clients map[uint32]string              // client id -> invalidation listener address
@@ -355,8 +361,63 @@ func (s *Server) syncWrite(m *wire.SyncWrite) *wire.SyncWriteAck {
 	return &wire.SyncWriteAck{Status: wire.StatusOK, Invalidated: invalidated}
 }
 
+// StartDrain puts the daemon in drain mode: it keeps serving but stops
+// recording new coherence-directory holders. Call it before flushing the
+// clients so the directory cannot grow behind the drain's back.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// HolderBlocks returns how many blocks the coherence directory currently
+// records holders for.
+func (s *Server) HolderBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dir)
+}
+
+// DrainHolders hands off the remaining coherence state: every directory
+// entry is invalidated at its holders and dropped, leaving the directory
+// empty so the daemon can exit without orphaning cached copies. It
+// returns the number of blocks handed off; delivery errors to individual
+// clients (already-gone nodes) do not abort the sweep — their entries
+// are dropped regardless, exactly as a sync-write's invalidation would.
+func (s *Server) DrainHolders() (int, error) {
+	s.draining.Store(true)
+	s.mu.Lock()
+	dir := s.dir
+	s.dir = make(map[blockio.BlockKey]holderSet)
+	s.mu.Unlock()
+
+	victims := make(map[uint32]map[blockio.FileID][]int64)
+	for key, hs := range dir {
+		for client := range hs {
+			files := victims[client]
+			if files == nil {
+				files = make(map[blockio.FileID][]int64)
+				victims[client] = files
+			}
+			files[key.File] = append(files[key.File], key.Index)
+		}
+	}
+	var firstErr error
+	for client, files := range victims {
+		for file, indices := range files {
+			if err := s.sendInvalidateMode(client, file, indices, true); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	s.reg.Counter("membership.drain_handoffs").Add(int64(len(dir)))
+	return len(dir), firstErr
+}
+
 // trackHolders registers client as a holder of every block in the range.
 func (s *Server) trackHolders(client uint32, file blockio.FileID, off, length int64) {
+	if s.draining.Load() {
+		return
+	}
 	first, count := blockio.BlockRange(off, length, s.blockSize)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -372,6 +433,9 @@ func (s *Server) trackHolders(client uint32, file blockio.FileID, off, length in
 }
 
 func (s *Server) addHolder(client uint32, key blockio.BlockKey) {
+	if s.draining.Load() {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	hs := s.dir[key]
@@ -420,11 +484,17 @@ func (s *Server) Holders(key blockio.BlockKey) []uint32 {
 // sendInvalidate delivers one Invalidate round trip to a client cache
 // through a pooled rpc client (dialed lazily, redialed after failures).
 func (s *Server) sendInvalidate(client uint32, file blockio.FileID, indices []int64) error {
+	return s.sendInvalidateMode(client, file, indices, false)
+}
+
+// sendInvalidateMode is sendInvalidate with the drain flag exposed: a
+// drain-marked invalidation lets the client keep blocks it has dirtied.
+func (s *Server) sendInvalidateMode(client uint32, file blockio.FileID, indices []int64, drain bool) error {
 	rc, err := s.invalClientFor(client)
 	if err != nil {
 		return err
 	}
-	res := rc.Call(&wire.Invalidate{File: file, Indices: indices})
+	res := rc.Call(&wire.Invalidate{File: file, Indices: indices, Drain: drain})
 	if res.Err != nil {
 		return res.Err
 	}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"pvfscache/internal/blockio"
+	"pvfscache/internal/membership"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/rpc"
 	"pvfscache/internal/transport"
@@ -28,6 +29,7 @@ const DefaultStripSize = 64 << 10
 type Server struct {
 	iodCount uint32
 	reg      *metrics.Registry
+	members  *membership.Tracker
 
 	mu     sync.Mutex
 	byName map[string]*entry
@@ -50,14 +52,23 @@ func New(iodCount int, reg *metrics.Registry) *Server {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Server{
+	s := &Server{
 		iodCount: uint32(iodCount),
 		reg:      reg,
 		byName:   make(map[string]*entry),
 		byID:     make(map[blockio.FileID]*entry),
 		nextID:   1,
 	}
+	s.members = membership.NewTracker(func(uint64) {
+		s.reg.Counter("membership.epoch_bumps").Inc()
+	})
+	return s
 }
+
+// Members is the mgr's authoritative global-cache membership view: nodes
+// Join/Leave it over the wire (see handle) and in-process callers may use
+// it directly.
+func (s *Server) Members() *membership.Tracker { return s.members }
 
 // IODCount returns the number of data servers in the cluster.
 func (s *Server) IODCount() int { return int(s.iodCount) }
@@ -195,6 +206,12 @@ func (s *Server) handle(msg wire.Message) wire.Message {
 		return &wire.StatusMsg{Status: wire.StatusFor(s.SetSize(m.File, m.Size))}
 	case *wire.List:
 		return &wire.ListResp{Status: wire.StatusOK, Names: s.List()}
+	case *wire.ViewGet:
+		return membership.ViewToResp(s.members.View())
+	case *wire.JoinView:
+		return membership.ViewToResp(s.members.Join(m.ID, m.Addr))
+	case *wire.LeaveView:
+		return membership.ViewToResp(s.members.Leave(m.ID))
 	default:
 		return nil
 	}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pvfscache/internal/transport"
 	"pvfscache/internal/wire"
@@ -72,6 +73,17 @@ type ClientConfig struct {
 	// responses must arrive in request order on each connection. Use it to
 	// talk to servers that predate tagged framing.
 	Untagged bool
+	// CallTimeout bounds each synchronous Call round trip (zero = no
+	// bound). On expiry the connection the request rode is torn down —
+	// every waiter on it fails with ErrCallTimeout and the next call
+	// re-dials — so a hung peer costs one timeout, not a hung caller.
+	// Go is not subject to the timeout; async callers own their waits.
+	CallTimeout time.Duration
+	// Health, when non-nil, enables per-peer circuit breaking (see
+	// HealthConfig): consecutive failures eject the peer, calls on an
+	// ejected peer fail fast with ErrPeerEjected, and a background prober
+	// readmits it.
+	Health *HealthConfig
 }
 
 // Client issues concurrent round trips to one peer over a pool of
@@ -81,6 +93,8 @@ type ClientConfig struct {
 type Client struct {
 	cfg    ClientConfig
 	closed atomic.Bool
+	hs     health
+	stop   chan struct{} // closed by Close; stops the health prober
 
 	mu    sync.Mutex
 	conns []*clientConn
@@ -114,7 +128,7 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.Conns <= 0 {
 		cfg.Conns = DefaultConns
 	}
-	c := &Client{cfg: cfg, conns: make([]*clientConn, cfg.Conns)}
+	c := &Client{cfg: cfg, conns: make([]*clientConn, cfg.Conns), stop: make(chan struct{})}
 	for i := range c.conns {
 		c.conns[i] = &clientConn{client: c}
 	}
@@ -132,17 +146,43 @@ func (c *Client) Go(req wire.Message) (<-chan Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cc.send(req)
+	ch, _, err := cc.send(req)
+	return ch, err
 }
 
-// Call is the synchronous form of Go. The caller owns the returned
-// Result's lease (see Result.Release).
+// Call is the synchronous form of Go, bounded by ClientConfig.CallTimeout
+// when one is set. The caller owns the returned Result's lease (see
+// Result.Release).
 func (c *Client) Call(req wire.Message) Result {
-	ch, err := c.Go(req)
+	cc, err := c.pick()
 	if err != nil {
 		return Result{Err: err}
 	}
-	return <-ch
+	ch, conn, err := cc.send(req)
+	if err != nil {
+		return Result{Err: err}
+	}
+	if c.cfg.CallTimeout <= 0 {
+		return <-ch
+	}
+	timer := time.NewTimer(c.cfg.CallTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r
+	case <-timer.C:
+		// Fail the connection the request rode — but only if it is still
+		// the live one; if it was already replaced, our waiter was failed
+		// with it and the result below is immediate. After failLocked the
+		// waiter is guaranteed a result (the response that raced in, or
+		// ErrCallTimeout), so this receive cannot block.
+		cc.mu.Lock()
+		if cc.conn == conn {
+			cc.failLocked(ErrCallTimeout)
+		}
+		cc.mu.Unlock()
+		return <-ch
+	}
 }
 
 // pick chooses the pooled connection with the fewest requests in flight.
@@ -151,6 +191,9 @@ func (c *Client) pick() (*clientConn, error) {
 	defer c.mu.Unlock()
 	if c.closed.Load() {
 		return nil, ErrClosed
+	}
+	if c.hs.ejected.Load() {
+		return nil, ErrPeerEjected
 	}
 	best := c.conns[0]
 	bestN := best.load()
@@ -167,6 +210,7 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	close(c.stop)
 	// The flag is set before any conn lock is taken, and send re-checks it
 	// under the conn lock, so a send racing with Close either fails with
 	// ErrClosed or registers its connection before failLocked reaps it —
@@ -188,8 +232,10 @@ func (cc *clientConn) load() int {
 // send writes req on this connection, dialing or redialing first if
 // needed, and registers a waiter for the response. The waiter is
 // registered before the write so the read loop can deliver (or failLocked
-// can abort) no matter where the write blocks.
-func (cc *clientConn) send(req wire.Message) (<-chan Result, error) {
+// can abort) no matter where the write blocks. The transport.Conn the
+// request rode is returned so Call's timeout can fail exactly that
+// connection and no newer one.
+func (cc *clientConn) send(req wire.Message) (<-chan Result, transport.Conn, error) {
 	ch := make(chan Result, 1)
 	cc.writeMu.Lock()
 	defer cc.writeMu.Unlock()
@@ -197,7 +243,7 @@ func (cc *clientConn) send(req wire.Message) (<-chan Result, error) {
 	cc.mu.Lock()
 	if cc.client.closed.Load() {
 		cc.mu.Unlock()
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if cc.err != nil {
 		// One redial attempt per call after a failure.
@@ -210,13 +256,14 @@ func (cc *clientConn) send(req wire.Message) (<-chan Result, error) {
 		cc.mu.Unlock()
 		conn, err := cc.client.cfg.Network.Dial(cc.client.cfg.Addr)
 		if err != nil {
-			return nil, fmt.Errorf("rpc: dialing %s: %w", cc.client.cfg.Addr, err)
+			cc.client.noteFailure()
+			return nil, nil, fmt.Errorf("rpc: dialing %s: %w", cc.client.cfg.Addr, err)
 		}
 		cc.mu.Lock()
 		if cc.client.closed.Load() {
 			cc.mu.Unlock()
 			conn.Close()
-			return nil, ErrClosed
+			return nil, nil, ErrClosed
 		}
 		cc.conn = conn
 		cc.err = nil
@@ -254,9 +301,9 @@ func (cc *clientConn) send(req wire.Message) (<-chan Result, error) {
 			cc.failLocked(werr)
 		}
 		cc.mu.Unlock()
-		return nil, fmt.Errorf("rpc: sending %v to %s: %w", req.WireType(), cc.client.cfg.Addr, werr)
+		return nil, nil, fmt.Errorf("rpc: sending %v to %s: %w", req.WireType(), cc.client.cfg.Addr, werr)
 	}
-	return ch, nil
+	return ch, conn, nil
 }
 
 // withdrawLocked removes a waiter whose request never hit the wire. In
@@ -321,12 +368,18 @@ func (cc *clientConn) readLoop(conn transport.Conn) {
 		}
 		cc.inflight--
 		cc.mu.Unlock()
+		cc.client.noteSuccess()
 		ch <- Result{Msg: msg, Lease: newLease(payload)}
 	}
 }
 
-// failLocked tears the connection down and fails every waiter.
+// failLocked tears the connection down and fails every waiter. Every
+// failure except our own shutdown counts against the peer's health (one
+// count per connection failure, not per waiter).
 func (cc *clientConn) failLocked(err error) {
+	if !errors.Is(err, ErrClosed) {
+		cc.client.noteFailure()
+	}
 	if cc.conn != nil {
 		cc.conn.Close()
 		cc.conn = nil

@@ -497,6 +497,7 @@ func (m *FlushAck) decode(r *reader) error {
 
 func (m *Invalidate) append(b []byte) []byte {
 	b = apU64(b, uint64(m.File))
+	b = apBool(b, m.Drain)
 	b = apU32(b, uint32(len(m.Indices)))
 	for _, idx := range m.Indices {
 		b = apI64(b, idx)
@@ -510,6 +511,9 @@ func (m *Invalidate) decode(r *reader) error {
 		return err
 	}
 	m.File = blockio.FileID(f)
+	if m.Drain, err = r.bool(); err != nil {
+		return err
+	}
 	n, err := r.count(8)
 	if err != nil {
 		return err
@@ -535,7 +539,8 @@ func (m *InvalidAck) decode(r *reader) error {
 
 func (m *PeerGet) append(b []byte) []byte {
 	b = apU64(b, uint64(m.File))
-	return apI64(b, m.Index)
+	b = apI64(b, m.Index)
+	return apU64(b, m.Epoch)
 }
 
 func (m *PeerGet) decode(r *reader) error {
@@ -544,7 +549,10 @@ func (m *PeerGet) decode(r *reader) error {
 		return err
 	}
 	m.File = blockio.FileID(f)
-	m.Index, err = r.i64()
+	if m.Index, err = r.i64(); err != nil {
+		return err
+	}
+	m.Epoch, err = r.u64()
 	return err
 }
 

@@ -1,0 +1,120 @@
+package wire
+
+// Membership messages (0x06xx): the mgr-coordinated view protocol. A
+// global-cache node Joins with its peer-service address when it boots,
+// Leaves when it drains, and any node can fetch the current view. The
+// mgr answers every one of them with a ViewResp carrying the full
+// epoch-stamped member list, so a join doubles as the joiner's first
+// view fetch.
+const (
+	TViewGet   Type = 0x0601
+	TViewResp  Type = 0x0602
+	TJoinView  Type = 0x0603
+	TLeaveView Type = 0x0604
+)
+
+// ViewGet asks the mgr for the current membership view.
+type ViewGet struct{}
+
+// ViewResp carries an epoch-stamped membership view: parallel ID and
+// address lists, sorted by ID.
+type ViewResp struct {
+	Status Status
+	Epoch  uint64
+	IDs    []uint32
+	Addrs  []string
+}
+
+// JoinView registers (or re-addresses) a global-cache member.
+type JoinView struct {
+	ID   uint32
+	Addr string
+}
+
+// LeaveView deregisters a member that is draining out of the ring.
+type LeaveView struct{ ID uint32 }
+
+// WireType implementations.
+func (*ViewGet) WireType() Type   { return TViewGet }
+func (*ViewResp) WireType() Type  { return TViewResp }
+func (*JoinView) WireType() Type  { return TJoinView }
+func (*LeaveView) WireType() Type { return TLeaveView }
+
+func (m *ViewGet) append(b []byte) []byte { return b }
+
+func (m *ViewGet) decode(r *reader) error { return nil }
+
+func (m *ViewResp) append(b []byte) []byte {
+	b = apU16(b, uint16(m.Status))
+	b = apU64(b, m.Epoch)
+	b = apU32(b, uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		b = apU32(b, id)
+	}
+	b = apU32(b, uint32(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		b = apStr(b, a)
+	}
+	return b
+}
+
+func (m *ViewResp) decode(r *reader) error {
+	s, err := r.u16()
+	if err != nil {
+		return err
+	}
+	m.Status = Status(s)
+	if m.Epoch, err = r.u64(); err != nil {
+		return err
+	}
+	n, err := r.count(4)
+	if err != nil {
+		return err
+	}
+	m.IDs = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := r.u32()
+		if err != nil {
+			return err
+		}
+		m.IDs = append(m.IDs, id)
+	}
+	an, err := r.count(4)
+	if err != nil {
+		return err
+	}
+	if an != n {
+		return errTruncated
+	}
+	m.Addrs = make([]string, 0, an)
+	for i := 0; i < an; i++ {
+		a, err := r.str()
+		if err != nil {
+			return err
+		}
+		m.Addrs = append(m.Addrs, a)
+	}
+	return nil
+}
+
+func (m *JoinView) append(b []byte) []byte {
+	b = apU32(b, m.ID)
+	return apStr(b, m.Addr)
+}
+
+func (m *JoinView) decode(r *reader) error {
+	var err error
+	if m.ID, err = r.u32(); err != nil {
+		return err
+	}
+	m.Addr, err = r.str()
+	return err
+}
+
+func (m *LeaveView) append(b []byte) []byte { return apU32(b, m.ID) }
+
+func (m *LeaveView) decode(r *reader) error {
+	var err error
+	m.ID, err = r.u32()
+	return err
+}

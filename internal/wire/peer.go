@@ -11,6 +11,7 @@ type PeerPut struct {
 	File  blockio.FileID
 	Index int64
 	Owner uint32 // iod index storing the block
+	Epoch uint64 // sender's membership epoch (0 = unchecked, static rings)
 	Data  []byte
 }
 
@@ -31,6 +32,7 @@ func (m *PeerPut) appendHead(b []byte) []byte {
 	b = apU64(b, uint64(m.File))
 	b = apI64(b, m.Index)
 	b = apU32(b, m.Owner)
+	b = apU64(b, m.Epoch)
 	return apU32(b, uint32(len(m.Data)))
 }
 
@@ -48,6 +50,9 @@ func (m *PeerPut) decode(r *reader) error {
 		return err
 	}
 	if m.Owner, err = r.u32(); err != nil {
+		return err
+	}
+	if m.Epoch, err = r.u64(); err != nil {
 		return err
 	}
 	m.Data, err = r.bytes()

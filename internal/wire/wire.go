@@ -134,6 +134,14 @@ func (t Type) String() string {
 		return "PeerPut"
 	case TPeerPutAck:
 		return "PeerPutAck"
+	case TViewGet:
+		return "ViewGet"
+	case TViewResp:
+		return "ViewResp"
+	case TJoinView:
+		return "JoinView"
+	case TLeaveView:
+		return "LeaveView"
 	default:
 		return fmt.Sprintf("Type(0x%04x)", uint16(t))
 	}
@@ -149,7 +157,9 @@ const (
 	StatusExists
 	StatusIOError
 	StatusBadRequest
-	StatusShortRead // read extended past end of stored data
+	StatusShortRead  // read extended past end of stored data
+	StatusStaleEpoch // peer's membership epoch differs from the request's
+	StatusDraining   // peer is draining and not admitting new work
 )
 
 // Err converts a non-OK status to an error; StatusOK yields nil.
@@ -167,6 +177,10 @@ func (s Status) Err() error {
 		return ErrBadRequest
 	case StatusShortRead:
 		return ErrShortRead
+	case StatusStaleEpoch:
+		return ErrStaleEpoch
+	case StatusDraining:
+		return ErrDraining
 	default:
 		return fmt.Errorf("wire: unknown status %d", uint16(s))
 	}
@@ -179,6 +193,8 @@ var (
 	ErrIO         = errors.New("wire: i/o error")
 	ErrBadRequest = errors.New("wire: bad request")
 	ErrShortRead  = errors.New("wire: short read")
+	ErrStaleEpoch = errors.New("wire: stale membership epoch")
+	ErrDraining   = errors.New("wire: peer draining")
 	ErrTooLarge   = errors.New("wire: message exceeds size limit")
 )
 
@@ -195,6 +211,10 @@ func StatusFor(err error) Status {
 		return StatusBadRequest
 	case errors.Is(err, ErrShortRead):
 		return StatusShortRead
+	case errors.Is(err, ErrStaleEpoch):
+		return StatusStaleEpoch
+	case errors.Is(err, ErrDraining):
+		return StatusDraining
 	default:
 		return StatusIOError
 	}
@@ -387,9 +407,14 @@ type FlushAck struct{ Status Status }
 // --- coherence messages ---
 
 // Invalidate tells a client cache to drop its copies of the listed blocks.
+// Drain marks a graceful-drain handoff rather than a sync-write conflict:
+// the receiver keeps blocks it has dirtied (discarding them would lose
+// acknowledged writes; they flush to the daemon's successor) and drops
+// only clean copies.
 type Invalidate struct {
 	File    blockio.FileID
 	Indices []int64
+	Drain   bool
 }
 
 // InvalidAck acknowledges an Invalidate.
@@ -397,10 +422,15 @@ type InvalidAck struct{ Status Status }
 
 // --- global-cache extension ---
 
-// PeerGet asks a peer node's cache for a single block.
+// PeerGet asks a peer node's cache for a single block. Epoch is the
+// membership epoch the requester routed with; a peer holding a different
+// view answers StatusStaleEpoch so the requester refetches the view
+// before retrying (epoch 0 on either side skips the check — static
+// rings).
 type PeerGet struct {
 	File  blockio.FileID
 	Index int64
+	Epoch uint64
 }
 
 // PeerGetResp returns the block if the peer holds it.
@@ -496,6 +526,14 @@ func New(t Type) Message {
 		return &PeerPut{}
 	case TPeerPutAck:
 		return &PeerPutAck{}
+	case TViewGet:
+		return &ViewGet{}
+	case TViewResp:
+		return &ViewResp{}
+	case TJoinView:
+		return &JoinView{}
+	case TLeaveView:
+		return &LeaveView{}
 	default:
 		return nil
 	}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"log"
 
+	"pvfscache/internal/admin"
 	"pvfscache/internal/iod"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/transport"
@@ -25,6 +26,7 @@ func main() {
 		dataAddr  = flag.String("data", ":7010", "data port listen address")
 		flushAddr = flag.String("flush", ":7011", "flush port listen address")
 		blockSize = flag.Int("block", 4096, "cache block size used for the coherence directory")
+		adminAddr = flag.String("admin", "", "admin HTTP listen address (metrics, pprof); empty disables")
 	)
 	flag.Parse()
 
@@ -39,7 +41,17 @@ func main() {
 	}
 	log.Printf("iod %d: data on %s, flush on %s", *id, dl.Addr(), fl.Addr())
 
-	srv := iod.New(*id, *blockSize, net, metrics.NewRegistry())
+	reg := metrics.NewRegistry()
+	if *adminAddr != "" {
+		a, err := admin.Start(*adminAddr, admin.Config{Registry: reg})
+		if err != nil {
+			log.Fatalf("admin: %v", err)
+		}
+		defer a.Close()
+		log.Printf("iod %d: admin on http://%s/metrics", *id, a.Addr())
+	}
+
+	srv := iod.New(*id, *blockSize, net, reg)
 	errs := make(chan error, 2)
 	go func() { errs <- srv.ServeData(dl) }()
 	go func() { errs <- srv.ServeFlush(fl) }()

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"log"
 
+	"pvfscache/internal/admin"
 	"pvfscache/internal/metrics"
 	"pvfscache/internal/mgr"
 	"pvfscache/internal/transport"
@@ -20,8 +21,9 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("pvfs-mgr: ")
 	var (
-		addr = flag.String("addr", ":7000", "listen address")
-		iods = flag.Int("iods", 4, "number of I/O daemons in the cluster")
+		addr      = flag.String("addr", ":7000", "listen address")
+		iods      = flag.Int("iods", 4, "number of I/O daemons in the cluster")
+		adminAddr = flag.String("admin", "", "admin HTTP listen address (metrics, pprof); empty disables")
 	)
 	flag.Parse()
 
@@ -31,7 +33,16 @@ func main() {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
 	log.Printf("metadata server listening on %s (%d iods)", l.Addr(), *iods)
-	srv := mgr.New(*iods, metrics.NewRegistry())
+	reg := metrics.NewRegistry()
+	if *adminAddr != "" {
+		a, aerr := admin.Start(*adminAddr, admin.Config{Registry: reg})
+		if aerr != nil {
+			log.Fatalf("admin: %v", aerr)
+		}
+		defer a.Close()
+		log.Printf("admin on http://%s/metrics", a.Addr())
+	}
+	srv := mgr.New(*iods, reg)
 	if err := srv.Serve(l); err != nil {
 		log.Fatalf("serve: %v", err)
 	}

@@ -1,0 +1,126 @@
+// Package admin is the daemon observability endpoint: one small HTTP
+// server per daemon (cache node, iod, or mgr) exposing the process's
+// metrics registry in Prometheus text format, live pprof profiling, and
+// the cache module's per-request trace mode. It is deliberately separate
+// from the wire protocol — operators curl it, scrapers poll it, and none
+// of its traffic shares a connection (or a failure domain) with data-path
+// RPC. The server binds a real TCP socket even when the cluster itself
+// runs on the in-memory test transport, which is what lets an e2e test
+// scrape a live cluster exactly as a Prometheus agent would.
+package admin
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"pvfscache/internal/metrics"
+)
+
+// Tracer is the per-request trace seam (implemented by cachemod.Module):
+// arm n traces, then drain what was captured.
+type Tracer interface {
+	ArmTrace(n int)
+	TraceArmed() int
+	TraceText() string
+}
+
+// Config assembles an admin endpoint.
+type Config struct {
+	// Registry is scraped by /metrics. Required.
+	Registry *metrics.Registry
+	// Collect, when non-nil, runs before each /metrics scrape so gauges
+	// computed from live state (per-tenant dirty counts, stream health)
+	// are fresh at scrape time rather than maintained on the hot path.
+	Collect func(*metrics.Registry)
+	// Tracer, when non-nil, backs the /trace endpoint.
+	Tracer Tracer
+}
+
+// Handler returns the admin HTTP mux: /metrics, /healthz, /trace, and
+// live /debug/pprof/*.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Collect != nil {
+			cfg.Collect(cfg.Registry)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Registry.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Tracer == nil {
+			http.Error(w, "trace mode unavailable: no cache module behind this endpoint", http.StatusNotFound)
+			return
+		}
+		if arm := r.URL.Query().Get("arm"); arm != "" {
+			n, err := strconv.Atoi(arm)
+			if err != nil || n < 0 {
+				http.Error(w, "arm must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			cfg.Tracer.ArmTrace(n)
+			fmt.Fprintf(w, "armed %d traces\n", n)
+			return
+		}
+		text := cfg.Tracer.TraceText()
+		if text == "" {
+			fmt.Fprintf(w, "no traces captured (%d still armed); arm with /trace?arm=N\n", cfg.Tracer.TraceArmed())
+			return
+		}
+		fmt.Fprint(w, text)
+	})
+	// Live profiling: the stdlib pprof handlers, mounted on this mux
+	// rather than http.DefaultServeMux so daemons sharing a process
+	// (tests, the cluster harness) do not fight over global routes.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is one live admin endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves the
+// admin endpoint until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("admin: Config.Registry is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(cfg),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server; in-flight scrapes are cut off.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"pvfscache/internal/blockio"
@@ -106,6 +107,13 @@ const (
 	// OutcomeNoSpace means no free block was available and no clean block
 	// could be evicted. The caller should flush and retry, or bypass.
 	OutcomeNoSpace
+	// OutcomeStale means the install was rejected because the block's
+	// write stamp moved past the caller's snapshot: a write was applied —
+	// and possibly flushed and evicted — after the fetch carrying this
+	// image was issued, so the image may predate data the iod already
+	// acknowledged. The caller must re-read the block and retry with a
+	// fresh stamp. Nothing was installed or patched.
+	OutcomeStale
 )
 
 // String names the outcome.
@@ -117,6 +125,8 @@ func (o Outcome) String() string {
 		return "need-fetch"
 	case OutcomeNoSpace:
 		return "no-space"
+	case OutcomeStale:
+		return "stale"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -212,12 +222,14 @@ func ceilPow2(n int) int {
 
 // block is one cache frame.
 type block struct {
-	key   blockio.BlockKey
-	owner int // iod index holding this block's data on disk
-	data  []byte
+	key    blockio.BlockKey
+	owner  int    // iod index holding this block's data on disk
+	tenant uint32 // principal charged for the dirty residency (0 = untagged)
+	data   []byte
 
 	validOff, validLen int
 	dirtyOff, dirtyLen int
+	written            bool   // any write this residency (dirtying or sync)
 	flushGen           uint64 // bumped on every dirtying write
 	dirtySeq           uint64 // manager-wide age stamp of the dirty enqueue
 	flushing           bool   // a snapshot is in flight to the iod
@@ -276,6 +288,7 @@ type counters struct {
 	writeNoSpace  *metrics.Counter
 	insertNoSpace *metrics.Counter
 	writeRMW      *metrics.Counter
+	staleInstalls *metrics.Counter
 
 	ghostHits          *metrics.Counter
 	admissionRejects   *metrics.Counter
@@ -291,6 +304,13 @@ type Manager struct {
 	mask   uint64 // len(shards)-1; len is a power of two
 
 	dirtySeq atomic.Uint64 // cross-shard dirty-age stamps for TakeDirty
+
+	// Tenant flush weights (SetTenantWeight). hasWeights lets the flusher's
+	// TakeDirty path skip the weighted apportioning entirely until the
+	// first weight is registered.
+	weightMu   sync.Mutex
+	weights    map[uint32]int
+	hasWeights atomic.Bool
 }
 
 // New returns a manager with cfg (zero fields take defaults).
@@ -305,6 +325,7 @@ func New(cfg Config) *Manager {
 		writeNoSpace:  cfg.Registry.Counter("cache.write_nospace"),
 		insertNoSpace: cfg.Registry.Counter("cache.insert_nospace"),
 		writeRMW:      cfg.Registry.Counter("cache.write_rmw"),
+		staleInstalls: cfg.Registry.Counter("cache.stale_installs"),
 
 		ghostHits:          cfg.Registry.Counter("cache.ghost_hits"),
 		admissionRejects:   cfg.Registry.Counter("cache.admission_rejects"),
@@ -368,23 +389,25 @@ func New(cfg Config) *Manager {
 			}
 		}
 		s := &shard{
-			cfg:       &m.cfg,
-			ctrs:      ctrs,
-			seq:       &m.dirtySeq,
-			capacity:  capacity,
-			lowWater:  low,
-			highWater: high,
-			protCap:   capacity - probTarget,
-			ghostCap:  ghostCap,
-			table:     make(map[blockio.BlockKey]*block, capacity),
-			free:      make([]*block, 0, capacity),
-			lru:       list.New(),
-			clockRing: list.New(),
-			dirtyFIFO: list.New(),
-			probList:  list.New(),
-			protList:  list.New(),
-			ghost:     list.New(),
-			ghostIdx:  make(map[blockio.BlockKey]*list.Element),
+			cfg:           &m.cfg,
+			ctrs:          ctrs,
+			seq:           &m.dirtySeq,
+			capacity:      capacity,
+			lowWater:      low,
+			highWater:     high,
+			protCap:       capacity - probTarget,
+			ghostCap:      ghostCap,
+			table:         make(map[blockio.BlockKey]*block, capacity),
+			stamps:        make(map[blockio.BlockKey]uint32),
+			free:          make([]*block, 0, capacity),
+			dirtyByTenant: make(map[uint32]int),
+			lru:           list.New(),
+			clockRing:     list.New(),
+			dirtyFIFO:     list.New(),
+			probList:      list.New(),
+			protList:      list.New(),
+			ghost:         list.New(),
+			ghostIdx:      make(map[blockio.BlockKey]*list.Element),
 		}
 		for j := 0; j < capacity; j++ {
 			s.free = append(s.free, &block{data: backing[next*cfg.BlockSize : (next+1)*cfg.BlockSize]})
@@ -437,13 +460,23 @@ func (m *Manager) Contains(key blockio.BlockKey, off, length int) bool {
 // clear (the sync-write path, whose data is simultaneously persisted at the
 // iod). owner is the iod that stores the block.
 func (m *Manager) WriteSpan(key blockio.BlockKey, owner, off int, src []byte, markDirty bool) Outcome {
+	return m.WriteSpanTenant(key, owner, off, src, markDirty, 0)
+}
+
+// WriteSpanTenant is WriteSpan with a principal tag: if the write dirties a
+// clean block, the block's dirty residency is charged to tenant until the
+// flush that cleans it (or an invalidation that drops it). A block dirtied
+// by one tenant and re-written by another keeps its original attribution —
+// first-dirtier pays — which keeps the per-tenant counts conserved without
+// a transfer protocol. Tenant 0 is the untagged default.
+func (m *Manager) WriteSpanTenant(key blockio.BlockKey, owner, off int, src []byte, markDirty bool, tenant uint32) Outcome {
 	if len(src) == 0 {
 		return OutcomeOK
 	}
 	if off < 0 || off+len(src) > m.cfg.BlockSize {
 		panic(fmt.Sprintf("buffer: span [%d,%d) outside block", off, off+len(src)))
 	}
-	return m.shardFor(key).writeSpan(key, owner, off, src, markDirty)
+	return m.shardFor(key).writeSpan(key, owner, off, src, markDirty, tenant)
 }
 
 // InsertClean installs a freshly fetched whole block. Bytes inside the
@@ -460,6 +493,21 @@ func (m *Manager) InsertClean(key blockio.BlockKey, owner int, data []byte) Outc
 	return m.shardFor(key).insertClean(key, owner, data, false)
 }
 
+// WriteStamp returns the block's current write stamp. The stamp advances
+// under the shard lock on every dirtying write and again when a block
+// that was written this residency leaves the table (eviction or
+// invalidation) — the two events after which an image fetched from the
+// iod earlier may no longer be the newest acknowledged data (a write the
+// fetch predates can be applied, flushed, and evicted entirely within the
+// fetch's flight, leaving nothing resident to patch it from). A fetch
+// records the stamp when it is issued and presents it at install time;
+// the install is refused (OutcomeStale) if the stamp moved. The stamp map
+// keeps one word per written key for the manager's lifetime — bounded by
+// file blocks ever dirtied on this node, never by cache capacity.
+func (m *Manager) WriteStamp(key blockio.BlockKey) uint32 {
+	return m.shardFor(key).writeStamp(key)
+}
+
 // InstallFetched installs a freshly fetched whole-block image and patches
 // the caller's buffer to the canonical bytes, in one shard-lock
 // acquisition. data should be a whole-block buffer; it is mutated in
@@ -473,7 +521,13 @@ func (m *Manager) InsertClean(key blockio.BlockKey, owner int, data []byte) Outc
 // drops the resident block entirely. Every fetch-install path must use
 // this instead of a bare InsertClean, or a read of a partially valid
 // block can surface the iod's stale bytes for the valid range.
-func (m *Manager) InstallFetched(key blockio.BlockKey, owner int, data []byte) Outcome {
+//
+// stamp is the block's WriteStamp from when the fetch was issued; if the
+// block was written since (even if that write has already been flushed
+// and its frame evicted — the resident-wins patch then has nothing left
+// to win with), the install is refused with OutcomeStale and data is left
+// untouched. Callers re-read the block and retry with a fresh stamp.
+func (m *Manager) InstallFetched(key blockio.BlockKey, owner int, data []byte, stamp uint32) Outcome {
 	// Whole-block images only: a short buffer could not receive the
 	// resident-wins patch, silently diverging the caller's copy from the
 	// cache — the very bug this API exists to prevent. (InsertClean, which
@@ -481,7 +535,7 @@ func (m *Manager) InstallFetched(key blockio.BlockKey, owner int, data []byte) O
 	if len(data) != m.cfg.BlockSize {
 		panic("buffer: InstallFetched requires a whole-block image")
 	}
-	return m.shardFor(key).installFetched(key, owner, data, false)
+	return m.shardFor(key).installFetched(key, owner, data, false, stamp)
 }
 
 // InstallFetchedAdmit is InstallFetched with the discretionary-admission
@@ -490,11 +544,11 @@ func (m *Manager) InstallFetched(key blockio.BlockKey, owner int, data []byte) O
 // (its reuse is asserted by the application, not proven by history) and is
 // never rejected by the admission gate. Under the other policies must has
 // no effect.
-func (m *Manager) InstallFetchedAdmit(key blockio.BlockKey, owner int, data []byte, must bool) Outcome {
+func (m *Manager) InstallFetchedAdmit(key blockio.BlockKey, owner int, data []byte, must bool, stamp uint32) Outcome {
 	if len(data) != m.cfg.BlockSize {
 		panic("buffer: InstallFetchedAdmit requires a whole-block image")
 	}
-	return m.shardFor(key).installFetched(key, owner, data, must)
+	return m.shardFor(key).installFetched(key, owner, data, must, stamp)
 }
 
 // PatchResident overlays the block's resident valid bytes onto data (a
@@ -502,12 +556,27 @@ func (m *Manager) InstallFetchedAdmit(key blockio.BlockKey, owner int, data []by
 // half of InstallFetched's resident-wins patch. A bypassed fetch must
 // still serve this node's newest view of the block — resident bytes may be
 // dirtier or newer than what the iod returned — even though the fetched
-// image is never installed.
-func (m *Manager) PatchResident(key blockio.BlockKey, data []byte) {
+// image is never installed. The stamp check is the same as
+// InstallFetched's: a bypassed image whose block was written mid-flight
+// is refused (OutcomeStale), because the newer write may already have
+// been flushed and evicted, leaving no resident bytes to patch from.
+func (m *Manager) PatchResident(key blockio.BlockKey, data []byte, stamp uint32) Outcome {
 	if len(data) != m.cfg.BlockSize {
 		panic("buffer: PatchResident requires a whole-block image")
 	}
-	m.shardFor(key).patchResident(key, data)
+	return m.shardFor(key).patchResident(key, data, stamp)
+}
+
+// OverlaySpan copies the intersection of the block's resident valid bytes
+// with the span [off, off+len(dst)) into dst, where dst holds the span's
+// bytes from some earlier snapshot (a joined fetch's published image). The
+// snapshot was patched with resident bytes when the fetch landed, but a
+// request that joined later may have begun after further writes were
+// acked into the cache; re-overlaying at copy time serves the node's
+// newest view instead of the pre-write snapshot. A non-resident block
+// leaves dst untouched.
+func (m *Manager) OverlaySpan(key blockio.BlockKey, off int, dst []byte) {
+	m.shardFor(key).overlaySpan(key, off, dst)
 }
 
 // NoteBypass counts one block intentionally served around the cache (the
@@ -521,11 +590,13 @@ func (m *Manager) NoteBypass(key blockio.BlockKey) {
 }
 
 // dirtyCand is one shard's dirty block offered to a cross-shard TakeDirty
-// merge: enough to order globally by age and come back for the snapshot.
+// merge: enough to order globally by age, apportion by tenant weight, and
+// come back for the snapshot.
 type dirtyCand struct {
-	seq   uint64
-	key   blockio.BlockKey
-	shard int
+	seq    uint64
+	key    blockio.BlockKey
+	shard  int
+	tenant uint32
 }
 
 // TakeDirty snapshots up to max dirty blocks (oldest first) for flushing.
@@ -547,7 +618,9 @@ type dirtyCand struct {
 // FlushFailed (it did not). An item that is never handed back wedges its
 // block: still dirty, never evictable, never flushable again.
 func (m *Manager) TakeDirty(max int) []FlushItem {
-	if len(m.shards) == 1 {
+	if len(m.shards) == 1 && !m.hasWeights.Load() {
+		// Fast path; with registered tenant weights even a single shard
+		// must go through the merged path for weighted apportioning.
 		return m.shards[0].takeDirty(max)
 	}
 	return m.takeDirtyMerged(anyOwner, max, false)
@@ -574,13 +647,25 @@ func (m *Manager) TakeDirtyOwned(owner, max int) []FlushItem {
 // TakeDirty (sharded) and TakeDirtyOwned. runOrder re-sorts the final
 // batch by (file, index) for the per-iod flush streams.
 func (m *Manager) takeDirtyMerged(owner, max int, runOrder bool) []FlushItem {
+	collect := max
+	if max > 0 && m.hasWeights.Load() {
+		// Weighted apportioning must see candidates younger than the
+		// oldest max, or a low-weight tenant's aged backlog would hide
+		// every other tenant from the batch. Candidates are cheap (no
+		// data copied) and bounded by capacity, so collect them all.
+		collect = 0
+	}
 	var cands []dirtyCand
 	for i, s := range m.shards {
-		cands = s.collectDirtyCandidates(max, i, owner, cands)
+		cands = s.collectDirtyCandidates(collect, i, owner, cands)
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
 	if max > 0 && len(cands) > max {
-		cands = cands[:max]
+		if m.hasWeights.Load() {
+			cands = m.apportionByWeight(cands, max)
+		} else {
+			cands = cands[:max]
+		}
 	}
 	perShard := make([][]blockio.BlockKey, len(m.shards))
 	for _, c := range cands {
@@ -607,6 +692,74 @@ func (m *Manager) takeDirtyMerged(owner, max int, runOrder bool) []FlushItem {
 		})
 	}
 	return items
+}
+
+// SetTenantWeight sets the flush-scheduling weight of a tenant (default 1;
+// values below 1 are clamped). When any weight is registered, oversubscribed
+// TakeDirty batches are apportioned across the tenants present in the
+// candidate set proportionally to their weights instead of purely by age —
+// a heavy low-weight writer can no longer monopolize every flush round and
+// starve another tenant's dirty blocks behind its own backlog.
+func (m *Manager) SetTenantWeight(tenant uint32, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	m.weightMu.Lock()
+	if m.weights == nil {
+		m.weights = make(map[uint32]int)
+	}
+	m.weights[tenant] = weight
+	m.weightMu.Unlock()
+	m.hasWeights.Store(true)
+}
+
+// apportionByWeight selects max candidates from the age-sorted cands:
+// each tenant present gets a slot share proportional to its weight
+// (unregistered tenants weigh 1), filled oldest-first within the tenant;
+// slots a tenant cannot fill spill over to the globally oldest remaining
+// candidates. The result is re-sorted by age so downstream batching sees
+// the same oldest-first order as the unweighted path.
+func (m *Manager) apportionByWeight(cands []dirtyCand, max int) []dirtyCand {
+	byTenant := make(map[uint32][]int) // tenant -> indexes into cands, age order
+	for i, c := range cands {
+		byTenant[c.tenant] = append(byTenant[c.tenant], i)
+	}
+	m.weightMu.Lock()
+	total := 0
+	weight := make(map[uint32]int, len(byTenant))
+	for t := range byTenant {
+		w := m.weights[t]
+		if w < 1 {
+			w = 1
+		}
+		weight[t] = w
+		total += w
+	}
+	m.weightMu.Unlock()
+
+	picked := make([]bool, len(cands))
+	n := 0
+	for t, idxs := range byTenant {
+		share := max * weight[t] / total
+		for j := 0; j < share && j < len(idxs); j++ {
+			picked[idxs[j]] = true
+			n++
+		}
+	}
+	// Rounding slack and underfilled tenants spill to global age order.
+	for i := 0; n < max && i < len(cands); i++ {
+		if !picked[i] {
+			picked[i] = true
+			n++
+		}
+	}
+	out := make([]dirtyCand, 0, n)
+	for i, c := range cands {
+		if picked[i] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // OldestDirtyOwner reports the iod storing the oldest eligible (not
@@ -752,6 +905,34 @@ func (m *Manager) DirtyCountOwned(owner int) int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// DirtyCountTenant returns the number of dirty blocks charged to one
+// tenant (in-flight flushes included, matching DirtyCountOwned). The QoS
+// quota gate polls it per write, so it reads each shard's per-tenant count
+// map rather than walking the FIFOs: O(shards), not O(dirty).
+func (m *Manager) DirtyCountTenant(tenant uint32) int {
+	n := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		n += s.dirtyByTenant[tenant]
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// DirtyByTenant returns the dirty-block count of every tenant with at
+// least one dirty block, aggregated over the shards.
+func (m *Manager) DirtyByTenant() map[uint32]int {
+	out := make(map[uint32]int)
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for t, n := range s.dirtyByTenant {
+			out[t] += n
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // FreeCount returns the total free-list length across shards.

@@ -199,7 +199,7 @@ func TestGhostAdmissionGateRejectsUnproven(t *testing.T) {
 	}
 	// A must-cache install (per-open hint) also overrides, landing
 	// pinned-protected.
-	if got := m.InstallFetchedAdmit(key(2, 2), 0, fill(5, 64), true); got != OutcomeOK {
+	if got := m.InstallFetchedAdmit(key(2, 2), 0, fill(5, 64), true, m.WriteStamp(key(2, 2))); got != OutcomeOK {
 		t.Fatalf("must-cache install = %v", got)
 	}
 	if err := m.CheckConsistency(); err != nil {
@@ -243,7 +243,7 @@ func TestGhostPatchResidentAndNoteBypass(t *testing.T) {
 		t.Fatalf("write = %v", got)
 	}
 	img := fill(0x11, 64)
-	m.PatchResident(a, img)
+	m.PatchResident(a, img, m.WriteStamp(a))
 	if !bytes.Equal(img[:16], fill(0xDD, 16)) {
 		t.Fatal("PatchResident did not overlay resident dirty bytes")
 	}
@@ -252,7 +252,7 @@ func TestGhostPatchResidentAndNoteBypass(t *testing.T) {
 	}
 	// A non-resident key leaves the image alone and installs nothing.
 	img2 := fill(0x22, 64)
-	m.PatchResident(key(3, 7), img2)
+	m.PatchResident(key(3, 7), img2, m.WriteStamp(key(3, 7)))
 	if !bytes.Equal(img2, fill(0x22, 64)) {
 		t.Fatal("PatchResident modified the image of an uncached key")
 	}

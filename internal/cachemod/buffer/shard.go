@@ -26,13 +26,27 @@ type shard struct {
 	protCap   int // PolicyGhost: max protected residents before demotion
 	ghostCap  int // PolicyGhost: max remembered evicted keys
 
-	mu        sync.Mutex
-	table     map[blockio.BlockKey]*block
+	mu    sync.Mutex
+	table map[blockio.BlockKey]*block
+	// stamps is the per-key write-stamp table (see Manager.WriteStamp): a
+	// key's stamp advances on every dirtying write and when a written
+	// block leaves the table, and installs of fetched images are refused
+	// when the stamp moved past the fetcher's snapshot. Entries persist
+	// after eviction — that is the point: the stamp must outlive the frame
+	// so a fetch that straddled a write+flush+evict cycle is detectably
+	// stale. One uint32 per key ever written on this node.
+	stamps    map[blockio.BlockKey]uint32
 	free      []*block
 	lru       *list.List // exact-LRU order, front = most recently used
 	clockRing *list.List // resident blocks in insertion order
 	clockHand *list.Element
 	dirtyFIFO *list.List // blocks awaiting flush, front = oldest
+
+	// dirtyByTenant counts this shard's dirty blocks per charged tenant
+	// (entries are deleted at zero). It is the QoS quota gate's O(shards)
+	// answer to "how much dirty residency does this principal hold" and is
+	// conserved against the dirty FIFO by checkConsistency.
+	dirtyByTenant map[uint32]int
 
 	// PolicyGhost state (see ghost.go): the resident segments and the
 	// bounded metadata-only history of evicted keys. Always allocated,
@@ -75,8 +89,9 @@ func (s *shard) contains(key blockio.BlockKey, off, length int) bool {
 	return ok && covers(b.validOff, b.validLen, off, length)
 }
 
-// writeSpan is WriteSpan for keys routed to this shard.
-func (s *shard) writeSpan(key blockio.BlockKey, owner, off int, src []byte, markDirty bool) Outcome {
+// writeSpan is WriteSpan for keys routed to this shard. tenant is charged
+// if the write dirties a clean block (see Manager.WriteSpanTenant).
+func (s *shard) writeSpan(key blockio.BlockKey, owner, off int, src []byte, markDirty bool, tenant uint32) Outcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.table[key]
@@ -92,7 +107,9 @@ func (s *shard) writeSpan(key blockio.BlockKey, owner, off int, src []byte, mark
 		copy(b.data[off:], src)
 		b.validOff, b.validLen = off, len(src)
 		if markDirty {
-			s.markDirty(b, off, len(src))
+			s.markDirty(b, off, len(src), tenant)
+		} else {
+			s.noteWritten(b)
 		}
 		s.touchInsert(b)
 		return OutcomeOK
@@ -106,10 +123,20 @@ func (s *shard) writeSpan(key blockio.BlockKey, owner, off int, src []byte, mark
 	copy(b.data[off:], src)
 	b.validOff, b.validLen = hull(b.validOff, b.validLen, off, len(src))
 	if markDirty {
-		s.markDirty(b, off, len(src))
+		s.markDirty(b, off, len(src), tenant)
+	} else {
+		s.noteWritten(b)
 	}
 	s.touch(b)
 	return OutcomeOK
+}
+
+// noteWritten advances the block's write stamp for a non-dirtying (sync)
+// write: the bytes changed even though nothing is queued for flushing, so
+// in-flight fetch images predating the write must be refused at install.
+func (s *shard) noteWritten(b *block) {
+	b.written = true
+	s.stamps[b.key]++
 }
 
 // insertClean is InsertClean for keys routed to this shard.
@@ -119,13 +146,17 @@ func (s *shard) insertClean(key blockio.BlockKey, owner int, data []byte, must b
 	return s.insertCleanLocked(key, owner, data, must)
 }
 
-// installFetched is InstallFetched for keys routed to this shard: patch
-// the caller's image with the resident valid bytes, then install it, all
-// under one lock so the installed copy and the handed-out copy cannot
-// diverge in between.
-func (s *shard) installFetched(key blockio.BlockKey, owner int, data []byte, must bool) Outcome {
+// installFetched is InstallFetched for keys routed to this shard: check
+// the fetcher's stamp, patch the caller's image with the resident valid
+// bytes, then install it, all under one lock so the stamp check, the
+// installed copy, and the handed-out copy cannot diverge in between.
+func (s *shard) installFetched(key blockio.BlockKey, owner int, data []byte, must bool, stamp uint32) Outcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.stamps[key] != stamp {
+		s.ctrs.staleInstalls.Inc()
+		return OutcomeStale
+	}
 	// data is a whole block (Manager.InstallFetched enforces it), so the
 	// valid interval always fits.
 	if b, ok := s.table[key]; ok && b.validLen > 0 {
@@ -134,13 +165,39 @@ func (s *shard) installFetched(key blockio.BlockKey, owner int, data []byte, mus
 	return s.insertCleanLocked(key, owner, data, must)
 }
 
-// patchResident is PatchResident for keys routed to this shard.
-func (s *shard) patchResident(key blockio.BlockKey, data []byte) {
+// overlaySpan is OverlaySpan for keys routed to this shard.
+func (s *shard) overlaySpan(key blockio.BlockKey, off int, dst []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	b, ok := s.table[key]
+	if !ok || b.validLen == 0 {
+		return
+	}
+	lo, hi := max(b.validOff, off), min(b.validOff+b.validLen, off+len(dst))
+	if lo < hi {
+		copy(dst[lo-off:], b.data[lo:hi])
+	}
+}
+
+// patchResident is PatchResident for keys routed to this shard.
+func (s *shard) patchResident(key blockio.BlockKey, data []byte, stamp uint32) Outcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stamps[key] != stamp {
+		s.ctrs.staleInstalls.Inc()
+		return OutcomeStale
+	}
 	if b, ok := s.table[key]; ok && b.validLen > 0 {
 		copy(data[b.validOff:], b.data[b.validOff:b.validOff+b.validLen])
 	}
+	return OutcomeOK
+}
+
+// writeStamp is WriteStamp for keys routed to this shard.
+func (s *shard) writeStamp(key blockio.BlockKey) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stamps[key]
 }
 
 // insertCleanLocked is insertClean's body (s.mu held).
@@ -213,7 +270,7 @@ func (s *shard) collectDirtyCandidates(max, shardIdx, owner int, out []dirtyCand
 		if b.flushing || (owner != anyOwner && b.owner != owner) {
 			continue
 		}
-		out = append(out, dirtyCand{seq: b.dirtySeq, key: b.key, shard: shardIdx})
+		out = append(out, dirtyCand{seq: b.dirtySeq, key: b.key, shard: shardIdx, tenant: b.tenant})
 		n++
 	}
 	return out
@@ -412,8 +469,10 @@ func (s *shard) allocate(key blockio.BlockKey, owner int, must, pin bool) *block
 	}
 	b.key = key
 	b.owner = owner
+	b.tenant = 0
 	b.validOff, b.validLen = 0, 0
 	b.dirtyOff, b.dirtyLen = 0, 0
+	b.written = false
 	b.flushGen = 0
 	b.flushing = false
 	b.ref = false
@@ -445,6 +504,13 @@ func (s *shard) evictBlock(v *block) {
 // removeBlock detaches a block from every structure and returns its frame
 // to the free list.
 func (s *shard) removeBlock(b *block) {
+	if b.written {
+		// A written block leaving the table advances its write stamp: an
+		// in-flight fetch that was issued while (or before) this residency
+		// held newer bytes can no longer be patched from it, so its image
+		// must not be installed (see Manager.WriteStamp).
+		s.stamps[b.key]++
+	}
 	delete(s.table, b.key)
 	if b.lruEl != nil {
 		s.lru.Remove(b.lruEl)
@@ -460,6 +526,7 @@ func (s *shard) removeBlock(b *block) {
 	if b.dirtyEl != nil {
 		s.dirtyFIFO.Remove(b.dirtyEl)
 		b.dirtyEl = nil
+		s.tenantRelease(b.tenant)
 	}
 	s.segRemove(b)
 	b.dirtyOff, b.dirtyLen = 0, 0
@@ -488,22 +555,39 @@ func (s *shard) touchInsert(b *block) {
 
 // markDirty extends the block's dirty hull and enqueues it for flushing,
 // stamping it with the manager-wide dirty age so cross-shard flush batches
-// drain oldest-first.
-func (s *shard) markDirty(b *block, off, length int) {
+// drain oldest-first. The clean→dirty transition charges tenant; a block
+// already dirty keeps its original attribution (first-dirtier pays).
+func (s *shard) markDirty(b *block, off, length int, tenant uint32) {
 	b.dirtyOff, b.dirtyLen = hull(b.dirtyOff, b.dirtyLen, off, length)
+	b.written = true
 	b.flushGen++
+	s.stamps[b.key]++
 	if b.dirtyEl == nil {
 		b.dirtySeq = s.seq.Add(1)
 		b.dirtyEl = s.dirtyFIFO.PushBack(b)
+		b.tenant = tenant
+		s.dirtyByTenant[tenant]++
 	}
 }
 
-// markClean clears the dirty state after a successful flush.
+// markClean clears the dirty state after a successful flush, releasing the
+// tenant's dirty charge.
 func (s *shard) markClean(b *block) {
 	b.dirtyOff, b.dirtyLen = 0, 0
 	if b.dirtyEl != nil {
 		s.dirtyFIFO.Remove(b.dirtyEl)
 		b.dirtyEl = nil
+		s.tenantRelease(b.tenant)
+	}
+}
+
+// tenantRelease decrements one tenant's dirty count, deleting the entry at
+// zero so DirtyByTenant never reports departed tenants.
+func (s *shard) tenantRelease(tenant uint32) {
+	if n := s.dirtyByTenant[tenant]; n <= 1 {
+		delete(s.dirtyByTenant, tenant)
+	} else {
+		s.dirtyByTenant[tenant] = n - 1
 	}
 }
 
@@ -572,6 +656,7 @@ func (s *shard) checkConsistency(shardIdx int, mask uint64) error {
 			shardIdx, s.lru.Len(), s.clockRing.Len(), resident)
 	}
 	dirty := 0
+	byTenant := make(map[uint32]int)
 	for key, b := range s.table {
 		if b.key != key {
 			return fmt.Errorf("shard %d: table key %v holds block keyed %v", shardIdx, key, b.key)
@@ -591,6 +676,7 @@ func (s *shard) checkConsistency(shardIdx int, mask uint64) error {
 		}
 		if b.dirty() {
 			dirty++
+			byTenant[b.tenant]++
 			if !covers(b.validOff, b.validLen, b.dirtyOff, b.dirtyLen) {
 				return fmt.Errorf("shard %d: block %v dirty [%d,%d) outside valid [%d,%d)",
 					shardIdx, key, b.dirtyOff, b.dirtyOff+b.dirtyLen, b.validOff, b.validOff+b.validLen)
@@ -599,6 +685,24 @@ func (s *shard) checkConsistency(shardIdx int, mask uint64) error {
 	}
 	if s.dirtyFIFO.Len() != dirty {
 		return fmt.Errorf("shard %d: dirtyFIFO=%d, want %d dirty blocks", shardIdx, s.dirtyFIFO.Len(), dirty)
+	}
+	// Per-tenant dirty conservation: the quota gate's account must equal a
+	// recount from the blocks themselves, in both directions, with no
+	// lingering zero entries.
+	for t, n := range byTenant {
+		if s.dirtyByTenant[t] != n {
+			return fmt.Errorf("shard %d: tenant %d dirty account %d, recount %d",
+				shardIdx, t, s.dirtyByTenant[t], n)
+		}
+	}
+	for t, n := range s.dirtyByTenant {
+		if n <= 0 {
+			return fmt.Errorf("shard %d: tenant %d holds non-positive dirty account %d", shardIdx, t, n)
+		}
+		if byTenant[t] != n {
+			return fmt.Errorf("shard %d: tenant %d dirty account %d but recount %d",
+				shardIdx, t, n, byTenant[t])
+		}
 	}
 	for _, b := range s.free {
 		if b.dirtyLen != 0 || b.dirtyEl != nil || b.lruEl != nil || b.clockEl != nil {

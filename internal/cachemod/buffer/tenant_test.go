@@ -1,0 +1,229 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pvfscache/internal/blockio"
+)
+
+// countByFile tallies flush items per file, which the tenant tests use as
+// a proxy for the owning tenant (each tenant writes its own file).
+func countByFile(items []FlushItem, file int) int {
+	n := 0
+	for _, it := range items {
+		if it.Key.File == blockio.FileID(file) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTenantDirtyAttribution pins the per-tenant accounting rules:
+// first-dirtier-pays, sync writes charge nobody, and both flush and
+// invalidation release the charge.
+func TestTenantDirtyAttribution(t *testing.T) {
+	m := mgr(16, PolicyClock)
+	for i := 0; i < 2; i++ {
+		if out := m.WriteSpanTenant(key(1, i), 0, 0, fill(1, 64), true, 7); out != OutcomeOK {
+			t.Fatalf("write %d: outcome %v", i, out)
+		}
+	}
+	if out := m.WriteSpanTenant(key(2, 0), 0, 0, fill(2, 64), true, 9); out != OutcomeOK {
+		t.Fatalf("tenant 9 write: outcome %v", out)
+	}
+	if got := m.DirtyCountTenant(7); got != 2 {
+		t.Fatalf("tenant 7 dirty = %d, want 2", got)
+	}
+	if got := m.DirtyCountTenant(9); got != 1 {
+		t.Fatalf("tenant 9 dirty = %d, want 1", got)
+	}
+
+	// Re-dirtying an already-dirty block under another tenant must not
+	// move the charge: the first dirtier pays until the block cleans.
+	if out := m.WriteSpanTenant(key(1, 0), 0, 0, fill(3, 64), true, 9); out != OutcomeOK {
+		t.Fatalf("re-dirty: outcome %v", out)
+	}
+	if got := m.DirtyCountTenant(7); got != 2 {
+		t.Fatalf("tenant 7 dirty after re-dirty = %d, want 2 (first dirtier pays)", got)
+	}
+	if got := m.DirtyCountTenant(9); got != 1 {
+		t.Fatalf("tenant 9 dirty after re-dirty = %d, want 1", got)
+	}
+
+	// A sync write (markDirty=false) never charges a quota.
+	if out := m.WriteSpanTenant(key(3, 0), 0, 0, fill(4, 64), false, 7); out != OutcomeOK {
+		t.Fatalf("sync write: outcome %v", out)
+	}
+	if got := m.DirtyCountTenant(7); got != 2 {
+		t.Fatalf("tenant 7 dirty after sync write = %d, want 2", got)
+	}
+
+	// Flushing releases every charge.
+	items := m.TakeDirty(0)
+	if len(items) != 3 {
+		t.Fatalf("TakeDirty drained %d items, want 3", len(items))
+	}
+	m.FlushDone(items)
+	if by := m.DirtyByTenant(); len(by) != 0 {
+		t.Fatalf("DirtyByTenant after flush = %v, want empty", by)
+	}
+
+	// Invalidation releases the charge too (the dirty data is gone, so
+	// the quota slot must come back).
+	if out := m.WriteSpanTenant(key(4, 0), 0, 0, fill(5, 64), true, 7); out != OutcomeOK {
+		t.Fatalf("pre-invalidate write: outcome %v", out)
+	}
+	m.Invalidate(key(4, 0))
+	if got := m.DirtyCountTenant(7); got != 0 {
+		t.Fatalf("tenant 7 dirty after invalidate = %d, want 0", got)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatalf("CheckConsistency: %v", err)
+	}
+}
+
+// TestTenantWeightedTake pins the weighted flush-batch split: when the
+// dirty backlog exceeds the batch, each tenant gets slots proportional to
+// its registered weight instead of pure age order.
+func TestTenantWeightedTake(t *testing.T) {
+	// Unweighted baseline: selection is purely by age, so a batch of 8
+	// comes entirely from the older tenant's blocks.
+	m := mgr(64, PolicyClock)
+	for i := 0; i < 16; i++ {
+		m.WriteSpanTenant(key(1, i), 0, 0, fill(1, 64), true, 1)
+	}
+	for i := 0; i < 16; i++ {
+		m.WriteSpanTenant(key(2, i), 0, 0, fill(2, 64), true, 2)
+	}
+	items := m.TakeDirty(8)
+	if got := countByFile(items, 1); got != 8 {
+		t.Fatalf("unweighted take: %d of 8 from the older tenant, want all 8", got)
+	}
+	m.FlushDone(items)
+
+	// Weighted: tenant 2 at weight 3 earns 3/4 of the batch even though
+	// tenant 1's blocks are older.
+	m2 := mgr(64, PolicyClock)
+	m2.SetTenantWeight(1, 1)
+	m2.SetTenantWeight(2, 3)
+	for i := 0; i < 16; i++ {
+		m2.WriteSpanTenant(key(1, i), 0, 0, fill(1, 64), true, 1)
+	}
+	for i := 0; i < 16; i++ {
+		m2.WriteSpanTenant(key(2, i), 0, 0, fill(2, 64), true, 2)
+	}
+	items = m2.TakeDirty(8)
+	if len(items) != 8 {
+		t.Fatalf("weighted take returned %d items, want 8", len(items))
+	}
+	if got := countByFile(items, 2); got != 6 {
+		t.Fatalf("weighted take: tenant 2 got %d of 8 slots, want 6 (weight 3 of 4)", got)
+	}
+	if got := countByFile(items, 1); got != 2 {
+		t.Fatalf("weighted take: tenant 1 got %d of 8 slots, want 2 (weight 1 of 4)", got)
+	}
+	m2.FlushDone(items)
+	if err := m2.CheckConsistency(); err != nil {
+		t.Fatalf("CheckConsistency: %v", err)
+	}
+}
+
+// TestTenantConservationStorm hammers the per-tenant counters from
+// concurrent writers, a flusher that randomly fails batches, and an
+// invalidator, while CheckConsistency audits the books live. Run under
+// -race this is the conservation proof the QoS quotas depend on: a leaked
+// or double-released charge would starve or unbound a tenant forever.
+func TestTenantConservationStorm(t *testing.T) {
+	m := New(Config{BlockSize: 64, Capacity: 256, Shards: 4})
+	const tenants = 3
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: each goroutine is one tenant hammering its own files.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := uint32(g%tenants + 1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.WriteSpanTenant(key(g+1, i%48), 0, 0, fill(byte(i), 64), true, tenant)
+			}
+		}(g)
+	}
+
+	// Flusher: alternates success and failure so both release paths and
+	// the requeue path stay hot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fail := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			items := m.TakeDirty(32)
+			if len(items) == 0 {
+				continue
+			}
+			if fail {
+				m.FlushFailed(items)
+			} else {
+				m.FlushDone(items)
+			}
+			fail = !fail
+		}
+	}()
+
+	// Invalidator: coherence-style drops of blocks in every state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Invalidate(key(i%6+1, i%48))
+		}
+	}()
+
+	// Audit the books while the storm runs.
+	for i := 0; i < 50; i++ {
+		if err := m.CheckConsistency(); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("CheckConsistency during storm: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Drain everything; every tenant's ledger must return to zero.
+	for {
+		items := m.TakeDirty(0)
+		if len(items) == 0 {
+			break
+		}
+		m.FlushDone(items)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatalf("CheckConsistency after drain: %v", err)
+	}
+	for tenant, n := range m.DirtyByTenant() {
+		t.Errorf("tenant %d still charged %d dirty blocks after full drain", tenant, n)
+	}
+	if got := m.DirtyCount(); got != 0 {
+		t.Errorf("DirtyCount after drain = %d, want 0", got)
+	}
+}

@@ -90,6 +90,27 @@ type Config struct {
 	// WriteStall bounds how long a write blocks waiting for cache space
 	// before falling back to write-through (default 2s).
 	WriteStall time.Duration
+	// TenantDirtyQuota bounds one tagged tenant's share of the cache's
+	// dirty frames: a tenant may hold at most TenantDirtyQuota × capacity
+	// × weight dirty blocks before its buffered writes are shed with
+	// StatusOverload (after a bounded OverloadStall wait for flush
+	// progress). 0 (the default) disables the quota. Untagged traffic
+	// (tenant 0) is never shed — quotas only constrain principals that
+	// opted into tagging, so existing workloads see no behaviour change.
+	TenantDirtyQuota float64
+	// TenantFetchBudget bounds one tagged tenant's in-flight read blocks:
+	// a read whose block count would push the tenant past
+	// TenantFetchBudget × weight outstanding blocks is shed with
+	// StatusOverload instead of queueing unboundedly. A request larger
+	// than the whole budget is admitted alone (when nothing else is in
+	// flight) rather than wedged forever. 0 (the default) disables the
+	// budget.
+	TenantFetchBudget int
+	// OverloadStall bounds how long an over-quota write waits for flush
+	// progress before shedding (default 20ms). Deliberately much shorter
+	// than WriteStall: a shed is a fast, explicit retry signal
+	// (wire.StatusOverload → pvfs.Client backoff), not a stall.
+	OverloadStall time.Duration
 	// RPCConns is the connection-pool size per iod port (default
 	// rpc.DefaultConns). More connections let more of the node's
 	// processes keep requests in flight against one iod concurrently.
@@ -165,6 +186,18 @@ func (c *Config) fillDefaults() error {
 	if c.WriteStall <= 0 {
 		c.WriteStall = 2 * time.Second
 	}
+	if c.TenantDirtyQuota < 0 {
+		c.TenantDirtyQuota = 0 // disabled
+	}
+	if c.TenantDirtyQuota > 1 {
+		c.TenantDirtyQuota = 1
+	}
+	if c.TenantFetchBudget < 0 {
+		c.TenantFetchBudget = 0 // disabled
+	}
+	if c.OverloadStall <= 0 {
+		c.OverloadStall = 20 * time.Millisecond
+	}
 	if c.ReadaheadWindow == 0 {
 		c.ReadaheadWindow = 8
 	}
@@ -232,6 +265,16 @@ type fetchState struct {
 	err      error
 	prefetch bool // transfer issued by the readahead prefetcher
 
+	// stamp is the block's buffer write stamp recorded when the fetch was
+	// registered in the table; the install presents it so an image that
+	// predates a write applied (and possibly flushed and evicted) during
+	// the flight is refused and re-read (buffer.OutcomeStale). finalStamp
+	// is the stamp the successful install validated against — set before
+	// done closes, it lets late joiners detect writes that landed after
+	// publication and fall back to a synchronous fetch.
+	stamp      uint32
+	finalStamp uint32
+
 	refs atomic.Int32
 	mem  *memRef // backing allocation of data; nil when GC-managed
 }
@@ -288,6 +331,22 @@ type Module struct {
 	// outstanding — the common case for non-scan workloads.
 	prefetchMarks atomic.Int64
 
+	// tenants holds the per-file tenant tags (pvfs open tags →
+	// TenantHint) and qos the per-tenant QoS state (weight, in-flight
+	// read blocks, shed counters; see qos.go). tenantCount mirrors the
+	// tag count so untagged workloads skip the mutex — the policies
+	// pattern.
+	tenantMu    sync.Mutex
+	tenants     map[blockio.FileID]uint32
+	qos         map[uint32]*tenantState
+	tenantCount atomic.Int64
+
+	// traceArm counts requests still to be traced (ArmTrace); traces is
+	// the bounded ring of captured per-request hop logs (see trace.go).
+	traceArm atomic.Int64
+	traceMu  sync.Mutex
+	traces   []string
+
 	spaceMu   sync.Mutex
 	spaceCond *sync.Cond
 
@@ -322,6 +381,8 @@ func New(cfg Config) (*Module, error) {
 		ra:          make(map[blockio.FileID]*raState),
 		prefetched:  make(map[blockio.BlockKey]struct{}),
 		policies:    make(map[blockio.FileID]pvfs.CachePolicy),
+		tenants:     make(map[blockio.FileID]uint32),
+		qos:         make(map[uint32]*tenantState),
 		harvestKick: make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 	}
@@ -820,6 +881,38 @@ func (m *Module) readAdmitMode(file blockio.FileID) admitMode {
 // makes the merge converge. The fetched image lives in a pooled block
 // buffer for exactly the duration of the call.
 func (m *Module) fetchBlockSpan(iod int, key blockio.BlockKey, off int, dst []byte) error {
+	data, mem := m.getBlock()
+	defer func() {
+		if mem != nil {
+			mem.release()
+		}
+	}()
+	must := m.cachePolicy(key.File) == pvfs.CacheMust
+	for {
+		// The stamp must be read before the iod does: any write applied
+		// after this point is detected at install time and retried.
+		stamp := m.buf.WriteStamp(key)
+		if err := m.readBlockInto(iod, key, data); err != nil {
+			return err
+		}
+		// Resident bytes outrank the fetch; a stale image (the block was
+		// written — and possibly flushed and evicted — mid-flight) is
+		// refused whole and re-read against the now-current store.
+		if m.buf.InstallFetchedAdmit(key, iod, data, must, stamp) != buffer.OutcomeStale {
+			break
+		}
+		m.cfg.Registry.Counter("module.fetch_stale_retries").Inc()
+	}
+	if dst != nil {
+		copy(dst, data[off:off+len(dst)])
+	}
+	m.cfg.Registry.Counter("module.sync_fetches").Inc()
+	return nil
+}
+
+// readBlockInto reads one whole block synchronously from its iod into dst
+// (a whole-block buffer), zero-filling past what the iod stores.
+func (m *Module) readBlockInto(iod int, key blockio.BlockKey, dst []byte) error {
 	bs := int64(m.buf.BlockSize())
 	res := m.data[iod].Call(&wire.Read{
 		Client: m.cfg.ClientID,
@@ -839,20 +932,8 @@ func (m *Module) fetchBlockSpan(iod int, key blockio.BlockKey, off int, dst []by
 	if err := rr.Status.Err(); err != nil {
 		return err
 	}
-	data, mem := m.getBlock()
-	n := copy(data, rr.Data)
-	if mem != nil {
-		zeroFill(data[n:]) // pooled buffers carry the previous tenant's bytes
-	}
-	must := m.cachePolicy(key.File) == pvfs.CacheMust
-	m.buf.InstallFetchedAdmit(key, iod, data, must) // resident bytes outrank the fetch
-	if dst != nil {
-		copy(dst, data[off:off+len(dst)])
-	}
-	if mem != nil {
-		mem.release()
-	}
-	m.cfg.Registry.Counter("module.sync_fetches").Inc()
+	n := copy(dst, rr.Data)
+	zeroFill(dst[n:]) // pooled buffers carry the previous tenant's bytes
 	return nil
 }
 

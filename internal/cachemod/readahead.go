@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"pvfscache/internal/blockio"
+	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/wire"
 )
 
@@ -304,12 +305,16 @@ func (m *Module) prefetchRange(file blockio.FileID, hint stripeHint, idxs []int6
 		if m.buf.Contains(key, 0, bs) {
 			continue
 		}
+		// Stamp before registration: a write applied after this point is
+		// detected at install time (see fetchState.stamp).
+		stamp := m.buf.WriteStamp(key)
 		m.fetchMu.Lock()
 		if m.fetches[key] != nil {
 			m.fetchMu.Unlock()
 			continue // a demand fetch or earlier prefetch owns it
 		}
 		st := newFetchState(true)
+		st.stamp = stamp
 		m.fetches[key] = st
 		m.fetchMu.Unlock()
 		perIOD[iod] = append(perIOD[iod], claim{key: key, st: st})
@@ -432,17 +437,40 @@ func (m *Module) prefetchIOD(iod int, file blockio.FileID, keys []blockio.BlockK
 			blockData, mem := m.getBlock()
 			n := copy(blockData, data[start:served])
 			zeroFill(blockData[n:])
+			var oc buffer.Outcome
 			switch mode {
 			case admitNever:
 				// Read-around: the stream's blocks never enter the
 				// cache, but any newer resident bytes still outrank the
 				// fetched image before joiners see it.
-				m.buf.PatchResident(key, blockData)
+				oc = m.buf.PatchResident(key, blockData, st.stamp)
 			case admitMust:
-				m.buf.InstallFetchedAdmit(key, iod, blockData, true)
+				oc = m.buf.InstallFetchedAdmit(key, iod, blockData, true, st.stamp)
 			default:
-				m.buf.InstallFetched(key, iod, blockData) // resident bytes outrank the prefetch
+				// resident bytes outrank the prefetch
+				oc = m.buf.InstallFetched(key, iod, blockData, st.stamp)
 			}
+			if oc == buffer.OutcomeStale {
+				// The block was written while the prefetch was in flight
+				// (and the write may already be flushed and evicted): the
+				// image must not be installed or served. A prefetch is
+				// speculative — drop it rather than re-read; joiners see
+				// no data and fall back to their own synchronous fetch,
+				// and a demand miss re-reads the current store.
+				m.cfg.Registry.Counter("module.prefetch_stale_drops").Inc()
+				m.fetchMu.Lock()
+				if m.fetches[key] == st {
+					delete(m.fetches, key)
+				}
+				m.fetchMu.Unlock()
+				close(st.done)
+				st.decref()
+				if mem != nil {
+					mem.release()
+				}
+				continue
+			}
+			st.finalStamp = st.stamp
 			m.publishFetched(st, key, blockData, mem)
 			if mode != admitNever {
 				m.raMu.Lock()

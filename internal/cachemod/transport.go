@@ -60,6 +60,14 @@ func (t *CachedTransport) CachePolicyHint(file blockio.FileID, policy pvfs.Cache
 	t.m.SetCachePolicy(file, policy)
 }
 
+// TenantHint implements pvfs.TenantHinter: libpvfs forwards a file's
+// per-open tenant (principal) tag and scheduling weight, and the module
+// charges the file's dirty frames and in-flight fetches to that principal
+// (see qos.go).
+func (t *CachedTransport) TenantHint(file blockio.FileID, tenant uint32, weight int) {
+	t.m.SetTenant(file, tenant, weight)
+}
+
 // pendingOp is the per-request FSM state between Send and Recv.
 type pendingOp struct {
 	ready wire.Message      // response already known (fake ack, full cache hit)
@@ -81,6 +89,23 @@ type pendingRead struct {
 	vector  bool
 	lens    []uint32
 	admit   admitMode // admission decision, fixed once per request
+
+	// qos is the tenant state charged qosBlocks in-flight read blocks at
+	// classification time (nil when budgets are off); trace is the armed
+	// per-request trace, nil when disarmed.
+	qos       *tenantState
+	qosBlocks int
+	trace     *reqTrace
+}
+
+// releaseBudget returns the request's in-flight read-block charge to its
+// tenant. Idempotent: every exit from the read FSM — full hit, completed,
+// issue error — calls it exactly where the request stops being in flight.
+func (pr *pendingRead) releaseBudget() {
+	if pr.qos != nil {
+		pr.qos.inflight.Add(-int64(pr.qosBlocks))
+		pr.qos = nil
+	}
 }
 
 // tgtSpan is one block span of the request together with the destination
@@ -254,6 +279,11 @@ func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, dst []byte, pr 
 		t.m.notePrefetchHit(sp.Key)
 		return owned
 	}
+	// The write stamp is snapshotted before the fetch is registered (and
+	// so before any iod or peer reads the block on our behalf): a write
+	// applied after this point — even one flushed and evicted before the
+	// fetch lands — moves the stamp and forces the install to re-read.
+	stamp := t.m.buf.WriteStamp(sp.Key)
 	t.m.fetchMu.Lock()
 	if st := t.m.fetches[sp.Key]; st != nil {
 		// Join: the data reference must be acquired while the entry is
@@ -265,6 +295,7 @@ func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, dst []byte, pr 
 		return owned
 	}
 	st := newFetchState(false)
+	st.stamp = stamp
 	t.m.fetches[sp.Key] = st
 	t.m.fetchMu.Unlock()
 	// Global-cache extension: probe the block's home node before
@@ -281,16 +312,20 @@ func (t *CachedTransport) classifySpan(iod int, sp blockio.Span, dst []byte, pr 
 		if n, ok := t.m.gcNode.Get(sp.Key, data); ok && n != bs {
 			t.m.cfg.Registry.Counter("module.gcache_bad_resp").Inc()
 		} else if ok {
-			// resident bytes outrank the peer copy
-			t.m.buf.InstallFetchedAdmit(sp.Key, iod, data, pr.admit == admitMust)
-			copy(dst, data[sp.Off:sp.Off+sp.Len])
-			t.m.publishFetched(st, sp.Key, data, mem)
-			st.decref() // the owner's hold; joiners keep the block alive
-			if mem != nil {
-				mem.release() // the creator's hold
+			// Resident bytes outrank the peer copy; a stale install (the
+			// block was written here since the probe began) falls through
+			// to the iod fetch, which revalidates against a fresh stamp.
+			if t.m.buf.InstallFetchedAdmit(sp.Key, iod, data, pr.admit == admitMust, st.stamp) != buffer.OutcomeStale {
+				st.finalStamp = st.stamp
+				copy(dst, data[sp.Off:sp.Off+sp.Len])
+				t.m.publishFetched(st, sp.Key, data, mem)
+				st.decref() // the owner's hold; joiners keep the block alive
+				if mem != nil {
+					mem.release() // the creator's hold
+				}
+				t.m.cfg.Registry.Counter("module.gcache_hits").Inc()
+				return owned
 			}
-			t.m.cfg.Registry.Counter("module.gcache_hits").Inc()
-			return owned
 		}
 		if mem != nil {
 			mem.release()
@@ -451,7 +486,14 @@ func (t *CachedTransport) sendRead(iod int, req *wire.Read, sink [][]byte) (*pen
 	}
 	bs := t.m.buf.BlockSize()
 	spans := blockio.Spans(req.File, req.Offset, req.Length, bs)
-	pr := &pendingRead{admit: t.m.readAdmitMode(req.File)}
+	rt := t.m.traceStart("read", req.File, req.Offset, req.Length)
+	tenant := t.m.tenantOf(req.File)
+	qos, ok := t.m.acquireFetchBudget(tenant, len(spans))
+	if !ok {
+		rt.finish(fmt.Sprintf("shed overload tenant=%d (%d blocks over budget)", tenant, len(spans)))
+		return &pendingOp{ready: &wire.ReadResp{Status: wire.StatusOverload}}, nil
+	}
+	pr := &pendingRead{admit: t.m.readAdmitMode(req.File), qos: qos, qosBlocks: len(spans), trace: rt}
 	var dstBase []byte
 	if sink != nil {
 		pr.sink = true
@@ -464,15 +506,22 @@ func (t *CachedTransport) sendRead(iod int, req *wire.Read, sink [][]byte) (*pen
 	for _, sp := range spans {
 		owned = t.classifySpan(iod, sp, dstBase[sp.Pos:sp.Pos+int64(sp.Len)], pr, owned)
 	}
+	rt.hop("classified: %d spans, %d hits, %d joins, %d misses",
+		len(spans), len(spans)-len(owned)-len(pr.waits), len(pr.waits), len(owned))
 	if err := t.issueFetches(iod, req.File, owned, pr); err != nil {
+		pr.releaseBudget()
+		rt.finish(fmt.Sprintf("issue error: %v", err))
 		return nil, err
 	}
 	if len(pr.fetches) == 0 && len(pr.waits) == 0 {
 		// Entire request served from the cache: the response is ready now;
 		// libpvfs's receive call will be faked locally.
+		pr.releaseBudget()
 		t.m.cfg.Registry.Counter("module.read_full_hits").Inc()
+		rt.finish("full cache hit")
 		return &pendingOp{ready: &wire.ReadResp{Status: wire.StatusOK, Data: pr.result}}, nil
 	}
+	rt.hop("issued %d fetches", len(pr.fetches))
 	return &pendingOp{read: pr}, nil
 }
 
@@ -488,10 +537,31 @@ func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks, sink [][
 	if !ok {
 		return &pendingOp{ready: &wire.ReadBlocksResp{Status: wire.StatusBadRequest}}, nil
 	}
+	nblocks := 0
+	for _, e := range req.Exts {
+		if e.Length > 0 {
+			_, count := blockio.BlockRange(e.Offset, e.Length, bs)
+			nblocks += int(count)
+		}
+	}
+	var firstOff int64
+	if len(req.Exts) > 0 {
+		firstOff = req.Exts[0].Offset
+	}
+	rt := t.m.traceStart("readv", req.File, firstOff, total)
+	tenant := t.m.tenantOf(req.File)
+	qos, budgetOK := t.m.acquireFetchBudget(tenant, nblocks)
+	if !budgetOK {
+		rt.finish(fmt.Sprintf("shed overload tenant=%d (%d blocks over budget)", tenant, nblocks))
+		return &pendingOp{ready: &wire.ReadBlocksResp{Status: wire.StatusOverload}}, nil
+	}
 	pr := &pendingRead{
-		vector: true,
-		lens:   make([]uint32, len(req.Exts)),
-		admit:  t.m.readAdmitMode(req.File),
+		vector:    true,
+		lens:      make([]uint32, len(req.Exts)),
+		admit:     t.m.readAdmitMode(req.File),
+		qos:       qos,
+		qosBlocks: nblocks,
+		trace:     rt,
 	}
 	if sink != nil {
 		pr.sink = true
@@ -515,14 +585,20 @@ func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks, sink [][
 		}
 		base += e.Length
 	}
+	rt.hop("classified: %d extents, %d joins, %d misses", len(req.Exts), len(pr.waits), len(owned))
 	if err := t.issueFetches(iod, req.File, owned, pr); err != nil {
+		pr.releaseBudget()
+		rt.finish(fmt.Sprintf("issue error: %v", err))
 		return nil, err
 	}
 
 	if len(pr.fetches) == 0 && len(pr.waits) == 0 {
+		pr.releaseBudget()
 		t.m.cfg.Registry.Counter("module.read_full_hits").Inc()
+		rt.finish("full cache hit")
 		return &pendingOp{ready: &wire.ReadBlocksResp{Status: wire.StatusOK, Lens: pr.lens, Data: pr.result}}, nil
 	}
+	rt.hop("issued %d fetches", len(pr.fetches))
 	return &pendingOp{read: pr}, nil
 }
 
@@ -530,6 +606,10 @@ func (t *CachedTransport) sendVectorRead(iod int, req *wire.ReadBlocks, sink [][
 // the cache, and assembles the response (status-only in sink mode: the
 // caller's buffers already hold every byte).
 func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
+	// The request stops being in flight when this returns, success or not:
+	// every fetch has landed or aborted and every join resolved, so the
+	// tenant's budget charge is returned on all paths.
+	defer pr.releaseBudget()
 	var firstErr error
 	for _, f := range pr.fetches {
 		res := <-f.ch
@@ -538,6 +618,7 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 			if firstErr == nil {
 				firstErr = res.Err
 			}
+			pr.trace.hop("fetch iod=%d failed: %v", f.iod, res.Err)
 			continue
 		}
 		err := t.fillFromResponse(pr, f, res.Msg)
@@ -549,12 +630,32 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 			if firstErr == nil {
 				firstErr = err
 			}
+			pr.trace.hop("fetch iod=%d rejected: %v", f.iod, err)
+			continue
 		}
+		pr.trace.hop("fetch iod=%d landed (%d runs)", f.iod, len(f.runs))
 	}
 	for _, w := range pr.waits {
 		<-w.st.done
 		if w.st.err == nil && w.st.data != nil {
 			copy(w.dst, w.st.data[w.off:w.off+len(w.dst)])
+			// The published image carries resident bytes only as of the
+			// moment the fetch landed; this request may have joined after
+			// later writes were acked into the cache. Re-overlay the
+			// resident valid bytes so a write that completed before this
+			// read began is never answered with the pre-write snapshot.
+			t.m.buf.OverlaySpan(w.key, w.off, w.dst)
+			// The overlay only helps while the newer bytes are resident. If
+			// the block's write stamp moved past the published image's
+			// (written after the install — and possibly flushed and evicted
+			// since), fall back to a synchronous fetch, which revalidates
+			// against the stamp itself.
+			if t.m.buf.WriteStamp(w.key) != w.st.finalStamp {
+				t.m.cfg.Registry.Counter("module.join_stale_refetches").Inc()
+				if err := t.m.fetchBlockSpan(w.iod, w.key, w.off, w.dst); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
 			w.st.decref()
 			t.m.cfg.Registry.Counter("module.fetch_joins").Inc()
 			if w.st.prefetch {
@@ -571,9 +672,14 @@ func (t *CachedTransport) completeRead(pr *pendingRead) (wire.Message, error) {
 			}
 		}
 	}
+	if len(pr.waits) > 0 {
+		pr.trace.hop("resolved %d joins", len(pr.waits))
+	}
 	if firstErr != nil {
+		pr.trace.finish(fmt.Sprintf("error: %v", firstErr))
 		return nil, firstErr
 	}
+	pr.trace.finish("ok")
 	if pr.vector {
 		return &wire.ReadBlocksResp{Status: wire.StatusOK, Lens: pr.lens, Data: pr.result}, nil
 	}
@@ -612,7 +718,11 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 		data := rr.Data
 		for i, run := range f.runs {
 			served := int(rr.Lens[i])
-			t.fillRun(f.iod, run, data[:served], pr.admit)
+			if err := t.fillRun(f.iod, run, data[:served], pr.admit); err != nil {
+				// fillRun settled its own run's states; the caller's
+				// abortRuns sweep closes the runs that never filled.
+				return err
+			}
 			data = data[served:]
 		}
 		return nil
@@ -629,8 +739,7 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 			return fmt.Errorf("cachemod: fetch response overlong (%d bytes for %d blocks)",
 				len(rr.Data), len(f.runs[0].keys))
 		}
-		t.fillRun(f.iod, f.runs[0], rr.Data, pr.admit)
-		return nil
+		return t.fillRun(f.iod, f.runs[0], rr.Data, pr.admit)
 	default:
 		return fmt.Errorf("cachemod: fetch failed: %v", msg.WireType())
 	}
@@ -647,7 +756,7 @@ func (t *CachedTransport) fillFromResponse(pr *pendingRead, f fetch, msg wire.Me
 // (admitNever: don't-cache hint or streaming bypass) skips the install
 // and the global-cache push — the slab serves the request and any
 // joiners, then returns to its pool.
-func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte, admit admitMode) {
+func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte, admit admitMode) error {
 	bs := t.m.buf.BlockSize()
 	// One zero-padded slab for the whole run; the published per-block
 	// buffers are read-only slices of it.
@@ -658,21 +767,48 @@ func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte, admit admi
 	}
 	for i, key := range run.keys {
 		blockData := slab[i*bs : (i+1)*bs]
+		st := run.states[i]
+		stamp := st.stamp
+		for {
+			// The install (or, read-around, the resident patch) presents
+			// the stamp snapshotted when the fetch was issued: the image
+			// must be patched with any newer resident bytes before the
+			// destinations, the waiters, or the global cache see it, and
+			// if the block was written mid-flight — possibly flushed and
+			// evicted, leaving nothing resident to patch from — the image
+			// is refused whole (OutcomeStale) and re-read from the iod
+			// against a fresh stamp. The loop terminates when a re-read
+			// lands with no concurrent write to its block.
+			var oc buffer.Outcome
+			if admit == admitNever {
+				oc = t.m.buf.PatchResident(key, blockData, stamp)
+			} else {
+				oc = t.m.buf.InstallFetchedAdmit(key, iod, blockData, admit == admitMust, stamp)
+			}
+			if oc != buffer.OutcomeStale {
+				break
+			}
+			t.m.cfg.Registry.Counter("module.fetch_stale_retries").Inc()
+			stamp = t.m.buf.WriteStamp(key)
+			if err := t.m.readBlockInto(iod, key, blockData); err != nil {
+				// Settle this run: earlier states were published (their
+				// joiners and the done-channel protocol own them; drop
+				// only our hold), the rest abort with the error.
+				for j := 0; j < i; j++ {
+					run.states[j].decref()
+				}
+				t.abortRuns([]fetchRun{{keys: run.keys[i:], states: run.states[i:]}}, err)
+				if mem != nil {
+					mem.release()
+				}
+				return err
+			}
+		}
+		st.finalStamp = stamp
 		switch admit {
 		case admitNever:
-			// The image must still be patched with any newer resident
-			// bytes before the destinations or waiters see it — a
-			// partially valid block's unflushed writes outrank the iod's
-			// stale copy, bypass or not.
-			t.m.buf.PatchResident(key, blockData)
 			t.m.buf.NoteBypass(key)
 		default:
-			// InstallFetched patches the image with any newer resident
-			// bytes before it reaches the destinations, the waiters, or
-			// the global cache — a bare insert would let a partially valid
-			// block's unflushed writes be answered with the iod's stale
-			// bytes.
-			t.m.buf.InstallFetchedAdmit(key, iod, blockData, admit == admitMust)
 			if t.m.gcNode != nil {
 				// Feed the global cache: the block's home node gets a copy
 				// (made before Push returns, so the slab's lifetime is not
@@ -680,7 +816,7 @@ func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte, admit admi
 				t.m.gcNode.Push(key, iod, blockData)
 			}
 		}
-		t.m.publishFetched(run.states[i], key, blockData, mem)
+		t.m.publishFetched(st, key, blockData, mem)
 	}
 	for _, ts := range run.spans {
 		lo := int(ts.sp.Key.Index-run.firstIdx)*bs + ts.sp.Off
@@ -694,6 +830,7 @@ func (t *CachedTransport) fillRun(iod int, run fetchRun, data []byte, admit admi
 	if mem != nil {
 		mem.release() // the creator's hold
 	}
+	return nil
 }
 
 // abortRuns publishes a fetch failure to waiters and clears the table.
@@ -758,12 +895,23 @@ func (t *CachedTransport) sendWrite(iod int, req *wire.Write) (*pendingOp, error
 		t.m.cfg.Registry.Counter("module.write_around").Inc()
 		return &pendingOp{call: ch}, nil
 	}
+	rt := t.m.traceStart("write", req.File, req.Offset, int64(len(req.Data)))
+	tenant := t.m.tenantOf(req.File)
+	if t.m.shedWrite(tenant) {
+		// Overload shed: the tenant is over its dirty-frame quota and the
+		// flusher made no room within OverloadStall. Shedding happens
+		// before any span is buffered, so the whole operation is cleanly
+		// re-issuable by the client's retry loop.
+		rt.finish(fmt.Sprintf("shed overload tenant=%d (%d dirty)", tenant, t.m.buf.DirtyCountTenant(tenant)))
+		return &pendingOp{ready: &wire.WriteAck{Status: wire.StatusOverload}}, nil
+	}
 	bs := t.m.buf.BlockSize()
 	spans := blockio.Spans(req.File, req.Offset, int64(len(req.Data)), bs)
 	deadline := time.Now().Add(t.m.cfg.WriteStall)
 	for _, sp := range spans {
 		src := req.Data[sp.Pos : sp.Pos+int64(sp.Len)]
-		if err := t.writeSpan(iod, sp, src, deadline); err != nil {
+		if err := t.writeSpan(iod, sp, src, deadline, tenant); err != nil {
+			rt.finish(fmt.Sprintf("error: %v", err))
 			return nil, err
 		}
 	}
@@ -772,14 +920,17 @@ func (t *CachedTransport) sendWrite(iod int, req *wire.Write) (*pendingOp, error
 		t.m.kickFlusher()
 	}
 	t.m.cfg.Registry.Counter("module.writes_buffered").Inc()
+	rt.finish(fmt.Sprintf("buffered %d spans", len(spans)))
 	return &pendingOp{ready: &wire.WriteAck{Status: wire.StatusOK}}, nil
 }
 
 // writeSpan applies one block span to the cache, handling read-modify-
-// write and cache-full conditions.
-func (t *CachedTransport) writeSpan(iod int, sp blockio.Span, src []byte, deadline time.Time) error {
+// write and cache-full conditions. Dirty frames are charged to tenant
+// (the per-principal quota and the flusher's weighted scheduling key on
+// that attribution).
+func (t *CachedTransport) writeSpan(iod int, sp blockio.Span, src []byte, deadline time.Time, tenant uint32) error {
 	for {
-		switch t.m.buf.WriteSpan(sp.Key, iod, sp.Off, src, true) {
+		switch t.m.buf.WriteSpanTenant(sp.Key, iod, sp.Off, src, true, tenant) {
 		case buffer.OutcomeOK:
 			return nil
 		case buffer.OutcomeNeedFetch:

@@ -385,6 +385,8 @@ func (r *runner) run() (*RunResult, error) {
 							r.violation(cerr)
 							err = cerr
 						}
+					} else {
+						r.oracle.AbortRead(op)
 					}
 					r.rec.End(op, err)
 				case workload.KindFlush:

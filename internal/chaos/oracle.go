@@ -24,13 +24,20 @@ import (
 // final image may differ from the reference only at bytes covered by
 // in-doubt writes, and only with those writes' values.
 //
-// Read acceptance is per byte against four sources — the reference
-// snapshot when the read began, the reference at check time, and any
-// pending (in-flight) or in-doubt write covering the byte. This accepts
-// every legal interleaving of concurrent writers (scenarios keep write
-// regions disjoint per client, so "legal" is well defined byte-wise)
-// while still catching lost updates, stale reads of flushed data, and
-// torn multi-block writes with wrong content.
+// Read acceptance is per byte against five sources — the reference
+// snapshot when the read began, the reference at check time, any pending
+// (in-flight) or in-doubt write covering the byte, and any write that was
+// applied to the reference while the read was in flight. The last source
+// closes a window-accounting hole: a read concurrent with two
+// back-to-back writes to the same byte may legally return the first
+// write's value, yet by check time both writes have been applied, so the
+// value matches neither the begin snapshot nor the current reference and
+// has left the pending set. Together these accept every legal
+// interleaving of concurrent writers (scenarios keep write regions
+// disjoint per client, so "legal" is well defined byte-wise) while still
+// catching lost updates, stale reads of flushed data, and torn
+// multi-block writes with wrong content: a stale value predating the
+// read's window is never admitted.
 type Oracle struct {
 	seed int64
 
@@ -38,6 +45,21 @@ type Oracle struct {
 	files   [][]byte // reference images, index = Spec file index
 	pending map[uint64]writeRec
 	doubt   []writeRec
+
+	// applyTick counts reference-image applications; reads record it at
+	// begin so window holds exactly the values that became current (or
+	// left the doubt list) while some read was in flight.
+	applyTick uint64
+	window    []appliedRec
+	reads     map[uint64]uint64 // active read Seq -> applyTick at begin
+}
+
+// appliedRec is one write (or clipped doubt fragment) that entered or
+// left the legal-value set at tick, kept while a concurrent read that
+// could have observed it is still unchecked.
+type appliedRec struct {
+	tick uint64
+	rec  writeRec
 }
 
 type writeRec struct {
@@ -52,7 +74,7 @@ type writeRec struct {
 // InitImage's bytes during setup so images and cluster agree from byte
 // zero.
 func NewOracle(seed int64, files []workload.FileSpec) *Oracle {
-	o := &Oracle{seed: seed, pending: make(map[uint64]writeRec)}
+	o := &Oracle{seed: seed, pending: make(map[uint64]writeRec), reads: make(map[uint64]uint64)}
 	for i, fs := range files {
 		img := make([]byte, fs.Size)
 		workload.Fill(img, seed, i, 0, 0)
@@ -97,12 +119,18 @@ func (o *Oracle) EndWrite(op workload.Op, err error) {
 		o.doubt = append(o.doubt, rec)
 		return
 	}
+	o.applyTick++
+	if len(o.reads) > 0 {
+		o.window = append(o.window, appliedRec{tick: o.applyTick, rec: rec})
+	}
 	copy(o.files[rec.file][rec.off:], rec.data)
 	o.clipDoubtLocked(rec.file, rec.off, rec.off+int64(len(rec.data)))
 }
 
 // clipDoubtLocked removes [start, end) of the given file from every
-// doubt entry, splitting entries the range lands inside.
+// doubt entry, splitting entries the range lands inside. While reads are
+// in flight the clipped fragments move to the window log: they were legal
+// values until this instant, and a concurrent read may have seen one.
 func (o *Oracle) clipDoubtLocked(file int, start, end int64) {
 	var out []writeRec
 	for _, d := range o.doubt {
@@ -110,6 +138,11 @@ func (o *Oracle) clipDoubtLocked(file int, start, end int64) {
 		if d.file != file || dEnd <= start || d.off >= end {
 			out = append(out, d)
 			continue
+		}
+		if len(o.reads) > 0 {
+			cs, ce := max64(d.off, start), min64(dEnd, end)
+			o.window = append(o.window, appliedRec{tick: o.applyTick,
+				rec: writeRec{seq: d.seq, file: d.file, off: cs, data: d.data[cs-d.off : ce-d.off]}})
 		}
 		if d.off < start {
 			out = append(out, writeRec{seq: d.seq, file: d.file, off: d.off, data: d.data[:start-d.off]})
@@ -121,14 +154,61 @@ func (o *Oracle) clipDoubtLocked(file int, start, end int64) {
 	o.doubt = out
 }
 
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // BeginRead snapshots the reference bytes a read may legally observe
-// from the moment it starts.
+// from the moment it starts and opens its concurrency window: writes
+// applied from here until CheckRead (or AbortRead) are also legal.
 func (o *Oracle) BeginRead(op workload.Op) []byte {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.reads[op.Seq] = o.applyTick
 	snap := make([]byte, op.Len)
 	copy(snap, o.files[op.File][op.Off:op.Off+op.Len])
 	return snap
+}
+
+// AbortRead closes a read's window without checking it — the op failed,
+// so the harness accounts it as a fault-window error instead.
+func (o *Oracle) AbortRead(op workload.Op) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.finishReadLocked(op.Seq)
+}
+
+// finishReadLocked retires one read's window and trims the window log to
+// what the remaining active reads can still observe.
+func (o *Oracle) finishReadLocked(seq uint64) {
+	delete(o.reads, seq)
+	if len(o.reads) == 0 {
+		o.window = o.window[:0]
+		return
+	}
+	oldest := o.applyTick
+	for _, begin := range o.reads {
+		if begin < oldest {
+			oldest = begin
+		}
+	}
+	keep := o.window[:0]
+	for _, a := range o.window {
+		if a.tick > oldest {
+			keep = append(keep, a)
+		}
+	}
+	o.window = keep
 }
 
 // CheckRead validates the bytes a completed read returned. A nil error
@@ -138,6 +218,11 @@ func (o *Oracle) BeginRead(op workload.Op) []byte {
 func (o *Oracle) CheckRead(op workload.Op, snap, got []byte) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	begin, ok := o.reads[op.Seq]
+	if !ok {
+		begin = o.applyTick // no recorded window: only begin/now/pending apply
+	}
+	defer o.finishReadLocked(op.Seq)
 	ref := o.files[op.File]
 	for i := range got {
 		abs := op.Off + int64(i)
@@ -148,10 +233,29 @@ func (o *Oracle) CheckRead(op workload.Op, snap, got []byte) error {
 		if o.coveredLocked(op.File, abs, b) {
 			continue
 		}
-		return fmt.Errorf("chaos: read op %d (client %d, file %d) byte @%d = 0x%02x, want 0x%02x (begin) or 0x%02x (now), no in-flight write explains it",
+		if o.appliedDuringLocked(op.File, abs, b, begin) {
+			continue
+		}
+		return fmt.Errorf("chaos: read op %d (client %d, file %d) byte @%d = 0x%02x, want 0x%02x (begin) or 0x%02x (now), no write in the read's window explains it",
 			op.Seq, op.Client, op.File, abs, b, snap[i], ref[abs])
 	}
 	return nil
+}
+
+// appliedDuringLocked reports whether a write applied after tick `since`
+// (i.e. during the checking read's window) covered abs with value b.
+func (o *Oracle) appliedDuringLocked(file int, abs int64, b byte, since uint64) bool {
+	for _, a := range o.window {
+		if a.tick <= since {
+			continue
+		}
+		d := a.rec
+		if d.file == file && abs >= d.off && abs < d.off+int64(len(d.data)) &&
+			d.data[abs-d.off] == b {
+			return true
+		}
+	}
+	return false
 }
 
 // coveredLocked reports whether some pending or in-doubt write of file

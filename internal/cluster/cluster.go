@@ -9,8 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strconv"
 	"time"
 
+	"pvfscache/internal/admin"
 	"pvfscache/internal/cachemod"
 	"pvfscache/internal/cachemod/buffer"
 	"pvfscache/internal/globalcache"
@@ -119,6 +121,27 @@ type Config struct {
 	// FsyncInterval bounds the power-loss window under Fsync="interval"
 	// (default 100ms).
 	FsyncInterval time.Duration
+	// WriteStall bounds how long a buffered write blocks waiting for cache
+	// space before falling back to write-through (0 = cachemod default 2s).
+	WriteStall time.Duration
+	// TenantDirtyQuota bounds each tagged tenant's share of a node cache's
+	// dirty frames; over-quota buffered writes shed with StatusOverload.
+	// 0 (the default) disables quotas — required for oracle-checked chaos
+	// runs, which assume no op errors without injected faults. See
+	// cachemod.Config.TenantDirtyQuota.
+	TenantDirtyQuota float64
+	// TenantFetchBudget bounds each tagged tenant's in-flight read blocks
+	// per node (0 = unlimited). See cachemod.Config.TenantFetchBudget.
+	TenantFetchBudget int
+	// OverloadStall is how long an over-quota write waits for flush
+	// progress before shedding (0 = cachemod default).
+	OverloadStall time.Duration
+	// AdminAddr, when non-empty, starts one admin HTTP endpoint (metrics,
+	// pprof, trace mode; see internal/admin) per caching client node on a
+	// real TCP socket — even when the cluster itself runs the in-memory
+	// transport. Use "127.0.0.1:0" to let each node pick a free port; the
+	// bound addresses land in Cluster.AdminAddrs.
+	AdminAddr string
 	// Registry collects metrics from every component; nil creates one.
 	Registry *metrics.Registry
 }
@@ -130,6 +153,11 @@ type Cluster struct {
 	IODs    []*iod.Server
 	Modules []*cachemod.Module // indexed by client node; nil without caching
 	Reg     *metrics.Registry
+
+	// Admins holds each caching node's admin endpoint (nil entries when
+	// Config.AdminAddr is empty); AdminAddrs the bound TCP addresses.
+	Admins     []*admin.Server
+	AdminAddrs []string
 
 	MgrAddr       string
 	IODDataAddrs  []string
@@ -257,11 +285,47 @@ func Start(cfg Config) (*Cluster, error) {
 				return nil, fmt.Errorf("cluster: cache module for node %d: %w", node, err)
 			}
 			c.Modules = append(c.Modules, mod)
+			if err := c.startAdmin(node, mod); err != nil {
+				c.Close()
+				return nil, err
+			}
 		}
 	} else {
 		c.Modules = make([]*cachemod.Module, cfg.ClientNodes)
 	}
 	return c, nil
+}
+
+// startAdmin boots a node's admin endpoint when Config.AdminAddr is set.
+// The Collect hook refreshes gauges computed from live module state —
+// per-tenant dirty residency above all — at scrape time, so the data path
+// never maintains labeled gauges.
+func (c *Cluster) startAdmin(node int, mod *cachemod.Module) error {
+	if c.cfg.AdminAddr == "" {
+		c.Admins = append(c.Admins, nil)
+		c.AdminAddrs = append(c.AdminAddrs, "")
+		return nil
+	}
+	nodeTag := strconv.Itoa(node)
+	srv, err := admin.Start(c.cfg.AdminAddr, admin.Config{
+		Registry: c.Reg,
+		Tracer:   mod,
+		Collect: func(r *metrics.Registry) {
+			for tenant, n := range mod.Buffer().DirtyByTenant() {
+				name := metrics.Labeled("module.tenant_dirty_blocks",
+					"node", nodeTag, "tenant", strconv.FormatUint(uint64(tenant), 10))
+				r.Gauge(name).Set(int64(n))
+			}
+			r.Gauge(metrics.Labeled("module.dirty_blocks", "node", nodeTag)).
+				Set(int64(mod.Buffer().DirtyCount()))
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: admin endpoint for node %d: %w", node, err)
+	}
+	c.Admins = append(c.Admins, srv)
+	c.AdminAddrs = append(c.AdminAddrs, srv.Addr())
+	return nil
 }
 
 // moduleConfig builds the cache-module config for one client node.
@@ -284,11 +348,15 @@ func (c *Cluster) moduleConfig(node int) cachemod.Config {
 			Policy:    cfg.Policy,
 			GhostFrac: cfg.GhostFrac,
 		},
-		FlushPeriod:      cfg.FlushPeriod,
-		FlushStreams:     cfg.FlushStreams,
-		FlushWindow:      cfg.FlushWindow,
-		DisableCoherence: cfg.DisableCoherence,
-		Registry:         cfg.Registry,
+		FlushPeriod:       cfg.FlushPeriod,
+		FlushStreams:      cfg.FlushStreams,
+		FlushWindow:       cfg.FlushWindow,
+		WriteStall:        cfg.WriteStall,
+		TenantDirtyQuota:  cfg.TenantDirtyQuota,
+		TenantFetchBudget: cfg.TenantFetchBudget,
+		OverloadStall:     cfg.OverloadStall,
+		DisableCoherence:  cfg.DisableCoherence,
+		Registry:          cfg.Registry,
 	}
 	if cfg.GlobalCache {
 		mc.GlobalCache = &globalcache.Options{
@@ -315,6 +383,9 @@ func (c *Cluster) AddCacheNode() (int, error) {
 		return 0, fmt.Errorf("cluster: cache module for node %d: %w", node, err)
 	}
 	c.Modules = append(c.Modules, mod)
+	if err := c.startAdmin(node, mod); err != nil {
+		return 0, err
+	}
 	return node, nil
 }
 
@@ -473,9 +544,17 @@ func (c *Cluster) RejoinIOD(i int) error {
 	return nil
 }
 
-// Close stops modules, listeners, daemons, and backends.
+// Close stops admin endpoints, modules, listeners, daemons, and backends.
 func (c *Cluster) Close() error {
 	var firstErr error
+	for _, a := range c.Admins {
+		if a == nil {
+			continue
+		}
+		if err := a.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, m := range c.Modules {
 		if m == nil {
 			continue

@@ -1,0 +1,230 @@
+// Prometheus text exposition for a Registry.
+//
+// Registry names are dotted ("module.flush_errors") and may carry an
+// inline label block built by Labeled ("module.tenant_dirty{tenant=\"3\"}").
+// WritePrometheus renders the registry in the Prometheus text format
+// (version 0.0.4): dots become underscores, any other character outside
+// [a-zA-Z0-9_:] becomes an underscore, series sharing a base name are
+// grouped under one # TYPE line, and histograms expose their power-of-two
+// buckets as cumulative `le` series plus _sum and _count.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Labeled builds a registry metric name carrying a Prometheus-style label
+// block: Labeled("module.tenant_dirty", "tenant", "3") returns
+// `module.tenant_dirty{tenant="3"}`. Label values are escaped per the
+// exposition format (backslash, double-quote and newline). Pairs must come
+// in key/value couples; a dangling key panics, since it is a programming
+// error at the call site.
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: Labeled requires key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitSeries splits a registry name into its sanitized base name and the
+// label block (including braces, empty if unlabeled). Only the base is
+// sanitized: label values were already escaped by Labeled.
+func splitSeries(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return sanitizeName(name[:i]), name[i:]
+	}
+	return sanitizeName(name), ""
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// series is one exportable time series: a sanitized base name, an optional
+// label block, and the raw registry name to read the value back out.
+type series struct {
+	base   string
+	labels string
+	raw    string
+}
+
+func collectSeries(names map[string]struct{}) []series {
+	out := make([]series, 0, len(names))
+	for raw := range names {
+		base, labels := splitSeries(raw)
+		out = append(out, series{base: base, labels: labels, raw: raw})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format. Output is deterministic: series are sorted by
+// sanitized name then label block, and each base name gets exactly one
+// # TYPE line even when many labeled series share it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]struct{}, len(r.counters))
+	cvals := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = struct{}{}
+		cvals[name] = c.Value()
+	}
+	gauges := make(map[string]struct{}, len(r.gauges))
+	gvals := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = struct{}{}
+		gvals[name] = g.Value()
+	}
+	hists := make(map[string]struct{}, len(r.histograms))
+	hrefs := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = struct{}{}
+		hrefs[name] = h
+	}
+	r.mu.Unlock()
+
+	lastType := ""
+	emitType := func(base, typ string) error {
+		key := typ + "\x00" + base
+		if key == lastType {
+			return nil
+		}
+		lastType = key
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+		return err
+	}
+
+	for _, s := range collectSeries(counters) {
+		if err := emitType(s.base, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", s.base, s.labels, cvals[s.raw]); err != nil {
+			return err
+		}
+	}
+	for _, s := range collectSeries(gauges) {
+		if err := emitType(s.base, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", s.base, s.labels, gvals[s.raw]); err != nil {
+			return err
+		}
+	}
+	for _, s := range collectSeries(hists) {
+		if err := emitType(s.base, "histogram"); err != nil {
+			return err
+		}
+		if err := writeHistogram(w, s, hrefs[s.raw]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative buckets of h. The registry's buckets
+// are power-of-two (bucket i counts 2^(i-1) < v <= 2^i; bucket 0 counts
+// v <= 1), so the `le` bounds are 1, 2, 4, ... up to the highest non-empty
+// bucket, followed by +Inf. An extra `le` label is appended to any label
+// block the series already carries.
+func writeHistogram(w io.Writer, s series, h *Histogram) error {
+	h.mu.Lock()
+	buckets := h.buckets
+	count := h.count
+	sum := h.sum
+	h.mu.Unlock()
+
+	top := -1
+	for i, n := range buckets {
+		if n != 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += buckets[i]
+		bound := "1"
+		if i > 0 {
+			bound = fmt.Sprintf("%d", int64(1)<<uint(i))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.base, withLabel(s.labels, "le", bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.base, withLabel(s.labels, "le", "+Inf"), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.base, s.labels, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.base, s.labels, count)
+	return err
+}
+
+// withLabel merges one extra label into an existing (possibly empty) label
+// block.
+func withLabel(labels, key, val string) string {
+	pair := key + `="` + escapeLabelValue(val) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}

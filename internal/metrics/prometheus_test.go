@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every encoder edge: dotted
+// names, multiple labeled series under one base, label-value escaping,
+// name sanitization (dashes, leading digits), and both labeled and
+// unlabeled histograms.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(42)
+	r.Counter(Labeled("module.tenant_writes", "tenant", "1")).Add(7)
+	r.Counter(Labeled("module.tenant_writes", "tenant", "2")).Add(9)
+	r.Counter(Labeled("module.tenant_writes", "tenant", "a\\b\"c\nd")).Inc()
+	r.Gauge("cache.free-frames").Set(-3)
+	r.Gauge("9lives").Set(5)
+	h := r.Histogram("op.latency_us")
+	for _, v := range []int64{1, 3, 3, 9} {
+		h.Observe(v)
+	}
+	r.Histogram(Labeled("op.latency_us", "node", "0")).Observe(1)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("encoding drifted from golden file (run with -update to accept)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusShape asserts structural invariants independent of the
+// golden bytes: one TYPE line per base name, cumulative buckets, and
+// monotone ordering.
+func TestWritePrometheusShape(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	types := map[string]int{}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[fields[2]]++
+		}
+	}
+	for name, n := range types {
+		if n != 1 {
+			t.Errorf("base %q declared %d times, want 1", name, n)
+		}
+	}
+	if types["module_tenant_writes"] != 1 {
+		t.Errorf("labeled counter family missing its TYPE line: %v", types)
+	}
+	out := b.String()
+	if !strings.Contains(out, `op_latency_us_bucket{le="+Inf"} 4`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `op_latency_us_bucket{node="0",le="+Inf"} 1`) {
+		t.Errorf("labeled histogram lost its labels:\n%s", out)
+	}
+}
+
+func TestLabeledEscaping(t *testing.T) {
+	got := Labeled("x", "k", "a\\b\"c\nd")
+	want := `x{k="a\\b\"c\nd"}`
+	if got != want {
+		t.Errorf("Labeled escaping: got %s want %s", got, want)
+	}
+	if Labeled("plain") != "plain" {
+		t.Errorf("Labeled with no pairs should return base")
+	}
+}

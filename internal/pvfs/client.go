@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"pvfscache/internal/blockio"
 	"pvfscache/internal/rpc"
@@ -46,6 +47,13 @@ type Config struct {
 	// Transport overrides the data path. Nil builds a DirectTransport —
 	// the original, uncached PVFS behaviour.
 	Transport Transport
+	// OverloadRetries bounds how many times an operation shed with
+	// wire.StatusOverload is retried before the error surfaces to the
+	// application. 0 takes the default (5); negative disables retrying.
+	OverloadRetries int
+	// OverloadBackoff is the first retry's sleep; it doubles per attempt
+	// up to a 100 ms cap. 0 takes the default (2 ms).
+	OverloadBackoff time.Duration
 }
 
 // Client is one application process's handle on the file system. It is not
@@ -135,6 +143,50 @@ func (c *Client) OpenWithPolicy(name string, policy CachePolicy) (*File, error) 
 	return f, nil
 }
 
+// OpenWithTenant resolves an existing file and tags it with a tenant
+// (principal) ID and flush-scheduling weight — the QoS knob at the
+// application boundary. On a caching transport the tag charges the file's
+// dirty frames and in-flight fetches to that tenant's quota and budget;
+// see TenantHinter. Like OpenWithPolicy, the hint is advisory and
+// node-wide per file: the last open's tag wins.
+func (c *Client) OpenWithTenant(name string, tenant uint32, weight int) (*File, error) {
+	f, err := c.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f.HintTenant(tenant, weight)
+	return f, nil
+}
+
+// retryOverload runs op, retrying (with doubling, capped backoff) while it
+// fails with wire.ErrOverload — a shed request whose state the daemon
+// discarded, so re-issuing the whole operation is safe. Retries exhaust
+// after cfg.OverloadRetries attempts and the overload error surfaces.
+func (c *Client) retryOverload(op func() error) error {
+	retries := c.cfg.OverloadRetries
+	if retries == 0 {
+		retries = 5
+	}
+	backoff := c.cfg.OverloadBackoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+	const maxBackoff = 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !errors.Is(err, wire.ErrOverload) || attempt >= retries {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+}
+
 func (c *Client) newFile(name string, id blockio.FileID, meta wire.FileMeta) *File {
 	f := &File{client: c, name: name, id: id, meta: meta}
 	c.files[id] = f
@@ -219,6 +271,14 @@ func (f *File) HintCachePolicy(policy CachePolicy) {
 	}
 }
 
+// HintTenant forwards a tenant tag and scheduling weight for this file to
+// the transport (see TenantHinter). A no-op on transports without a cache.
+func (f *File) HintTenant(tenant uint32, weight int) {
+	if h, ok := f.client.data.(TenantHinter); ok {
+		h.TenantHint(f.id, tenant, weight)
+	}
+}
+
 // Refresh re-reads the file's metadata from mgr.
 func (f *File) Refresh() error {
 	resp, err := f.client.mgrCall(&wire.Stat{File: f.id})
@@ -245,7 +305,18 @@ func (f *File) Refresh() error {
 // most one round trip per operation. Reads entirely beyond EOF return
 // (0, io.EOF); reads crossing EOF return short. Bytes inside holes of
 // sparse files read as zero.
-func (f *File) ReadAt(p []byte, off int64) (int, error) {
+//
+// A read shed by a saturated node (wire.ErrOverload) is retried with
+// backoff before the error surfaces; see Config.OverloadRetries.
+func (f *File) ReadAt(p []byte, off int64) (n int, err error) {
+	err = f.client.retryOverload(func() error {
+		n, err = f.readAtOnce(p, off)
+		return err
+	})
+	return n, err
+}
+
+func (f *File) readAtOnce(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pvfs: negative offset %d", off)
 	}
@@ -491,7 +562,18 @@ func (f *File) SyncWriteAt(p []byte, off int64) (int, error) {
 	return f.writeAt(p, off, true)
 }
 
-func (f *File) writeAt(p []byte, off int64, sync bool) (int, error) {
+// writeAt retries whole shed operations like ReadAt does: an overloaded
+// cache module rejects the write before buffering anything, so the
+// operation is re-issuable from scratch.
+func (f *File) writeAt(p []byte, off int64, sync bool) (n int, err error) {
+	err = f.client.retryOverload(func() error {
+		n, err = f.writeAtOnce(p, off, sync)
+		return err
+	})
+	return n, err
+}
+
+func (f *File) writeAtOnce(p []byte, off int64, sync bool) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pvfs: negative offset %d", off)
 	}

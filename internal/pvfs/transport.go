@@ -93,6 +93,17 @@ type CachePolicyHinter interface {
 	CachePolicyHint(file blockio.FileID, policy CachePolicy)
 }
 
+// TenantHinter is an optional Transport extension: the library forwards a
+// per-open tenant (principal) tag and scheduling weight so a caching
+// transport can charge the file's dirty residency and in-flight fetches to
+// that principal and schedule its flush traffic by weight — the QoS
+// counterpart of CachePolicyHinter. Tenant 0 is the untagged default;
+// weight is clamped to ≥ 1. Like the other hinter extensions, transports
+// without cross-request state simply do not implement it.
+type TenantHinter interface {
+	TenantHint(file blockio.FileID, tenant uint32, weight int)
+}
+
 // ReadSinker is an optional Transport extension: the zero-copy read path.
 // SendRead issues a read request (a *wire.Read or *wire.ReadBlocks) whose
 // response bytes the transport scatters directly into sink — one

@@ -160,6 +160,7 @@ const (
 	StatusShortRead  // read extended past end of stored data
 	StatusStaleEpoch // peer's membership epoch differs from the request's
 	StatusDraining   // peer is draining and not admitting new work
+	StatusOverload   // node is saturated; the request was shed and may be retried
 )
 
 // Err converts a non-OK status to an error; StatusOK yields nil.
@@ -181,6 +182,8 @@ func (s Status) Err() error {
 		return ErrStaleEpoch
 	case StatusDraining:
 		return ErrDraining
+	case StatusOverload:
+		return ErrOverload
 	default:
 		return fmt.Errorf("wire: unknown status %d", uint16(s))
 	}
@@ -195,6 +198,7 @@ var (
 	ErrShortRead  = errors.New("wire: short read")
 	ErrStaleEpoch = errors.New("wire: stale membership epoch")
 	ErrDraining   = errors.New("wire: peer draining")
+	ErrOverload   = errors.New("wire: node overloaded, retry")
 	ErrTooLarge   = errors.New("wire: message exceeds size limit")
 )
 
@@ -215,6 +219,8 @@ func StatusFor(err error) Status {
 		return StatusStaleEpoch
 	case errors.Is(err, ErrDraining):
 		return StatusDraining
+	case errors.Is(err, ErrOverload):
+		return StatusOverload
 	default:
 		return StatusIOError
 	}

@@ -182,6 +182,7 @@ func Scenarios() []Scenario {
 		{"zipfian", "hot-spot zipf reads over the whole file, writes in own regions, one shared node cache", genZipfian},
 		{"prodcons", "producers write and flush, a barrier, then consumers on another node read", genProdCons},
 		{"metadata", "namespace create/list/unlink storms interleaved with small data ops", genMetadata},
+		{"antagonist", "one client saturates the shared node cache with max-size writes while the rest run small ops", genAntagonist},
 	}
 }
 
@@ -410,6 +411,48 @@ func genMetadata(p Params) (*Spec, error) {
 				off := start + rng.Int63n(max64(end-start-4096, 1))
 				spec.Ops[c] = append(spec.Ops[c], clampedOp(c, KindRead, 0, off, 4096, end))
 			}
+		}
+	}
+	return spec, nil
+}
+
+// genAntagonist: every client on node 0, and client 0 is the antagonist —
+// back-to-back MaxIO writes over its own region, several passes deep, so
+// the shared cache's dirty list is saturated by one principal. The
+// remaining clients are victims: small alternating reads and writes in
+// their own regions. With per-tenant QoS off this is the noisy-neighbour
+// shape (victim writes stall behind the antagonist's dirty backlog); with
+// quotas on, the antagonist sheds and retries instead. Writes stay
+// region-owned either way, so the consistency oracle verifies every byte
+// of both tenants.
+func genAntagonist(p Params) (*Spec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Clients < 2 {
+		return nil, fmt.Errorf("workload: antagonist needs at least 2 clients, got %d", p.Clients)
+	}
+	spec := newSpec("antagonist", p, []FileSpec{{Name: "wl/antag.dat", Size: p.FileSize}})
+	for c := 0; c < p.Clients; c++ {
+		spec.Placement[c] = 0 // one shared cache: the contention point
+		start, end := p.region(c)
+		budget := p.OpsPerClient
+		if c == 0 {
+			// Antagonist: a saturating maximum-size write pass, no reads.
+			spec.Ops[c] = appendPass(spec.Ops[c], c, KindWrite, 0, start, end, p.MaxIO, budget)
+			continue
+		}
+		// Victim: small ops at deterministic pseudo-random offsets in its
+		// own region, half reads, half writes.
+		rng := rand.New(rand.NewSource(p.Seed ^ int64(c)*0x5DEECE66D))
+		const small = 4096
+		for n := budget; n > 0; n-- {
+			off := start + rng.Int63n(max64(end-start-small, 1))
+			kind := KindRead
+			if rng.Float64() < 0.5 {
+				kind = KindWrite
+			}
+			spec.Ops[c] = append(spec.Ops[c], clampedOp(c, kind, 0, off, small, end))
 		}
 	}
 	return spec, nil
